@@ -1,0 +1,34 @@
+//! Figure 4/5 (segments × variables axes): linear-regression aggregate time
+//! as the number of segments and independent variables grows (v0.3 kernel).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use madlib_bench::{figure4_table, measure_linregr};
+use madlib_linalg::kernels::KernelGeneration;
+
+fn bench_segments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure5_segments");
+    group.sample_size(10);
+    let base = figure4_table(20_000, 40, 1, 7);
+    for segments in [1usize, 2, 4, 8] {
+        let table = base.repartition(segments).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(segments), &table, |b, t| {
+            b.iter(|| measure_linregr(t, KernelGeneration::V03))
+        });
+    }
+    group.finish();
+}
+
+fn bench_variables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure5_variables");
+    group.sample_size(10);
+    for variables in [10usize, 20, 40, 80] {
+        let table = figure4_table(10_000, variables, 4, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(variables), &table, |b, t| {
+            b.iter(|| measure_linregr(t, KernelGeneration::V03))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_segments, bench_variables);
+criterion_main!(benches);

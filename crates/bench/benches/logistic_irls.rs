@@ -1,0 +1,26 @@
+//! Section 4.2: one IRLS fit of binary logistic regression (driver loop +
+//! per-iteration parallel aggregate).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use madlib_core::datasets::logistic_regression_data;
+use madlib_core::regress::LogisticRegression;
+use madlib_engine::{Database, Executor};
+
+fn bench_irls(c: &mut Criterion) {
+    let mut group = c.benchmark_group("logistic_irls");
+    group.sample_size(10);
+    let data = logistic_regression_data(5_000, 8, 4, 3).unwrap();
+    group.bench_function("fit_5000x8", |b| {
+        b.iter(|| {
+            let db = Database::new(4).unwrap();
+            LogisticRegression::new("y", "x")
+                .with_max_iterations(10)
+                .fit(&Executor::new(), &db, &data.table)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_irls);
+criterion_main!(benches);

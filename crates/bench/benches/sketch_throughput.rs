@@ -1,0 +1,41 @@
+//! Table 1 descriptive-statistics modules: sketch update/query throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use madlib_sketch::{CountMinSketch, FlajoletMartin, QuantileSummary};
+
+fn bench_sketches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sketches");
+    group.sample_size(20);
+    let keys: Vec<String> = (0..10_000).map(|i| format!("key_{}", i % 997)).collect();
+    group.bench_function("countmin_10k_updates", |b| {
+        b.iter(|| {
+            let mut sketch = CountMinSketch::new(5, 512);
+            for key in &keys {
+                sketch.update(key, 1);
+            }
+            sketch.estimate("key_0")
+        })
+    });
+    group.bench_function("fm_10k_updates", |b| {
+        b.iter(|| {
+            let mut sketch = FlajoletMartin::new(64);
+            for key in &keys {
+                sketch.update(key);
+            }
+            sketch.estimate()
+        })
+    });
+    group.bench_function("gk_quantile_10k_inserts", |b| {
+        b.iter(|| {
+            let mut summary = QuantileSummary::new(0.01);
+            for i in 0..10_000 {
+                summary.insert(((i * 7919) % 10_000) as f64);
+            }
+            summary.median()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sketches);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Table 3: Viterbi and MCMC inference throughput over a trained CRF.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use madlib_text::mcmc::{gibbs_sample, McmcConfig};
+use madlib_text::viterbi::{viterbi_decode, viterbi_top_k};
+use madlib_text::ChainCrf;
+
+fn toy_crf() -> ChainCrf {
+    let num_labels = 4;
+    let num_observations = 16;
+    let mut weights = vec![0.0; num_labels * num_observations + num_labels * num_labels];
+    for obs in 0..num_observations {
+        weights[(obs % num_labels) * num_observations + obs] = 2.0;
+    }
+    ChainCrf::from_weights(num_labels, num_observations, weights).unwrap()
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_inference");
+    group.sample_size(20);
+    let crf = toy_crf();
+    let observations: Vec<usize> = (0..60).map(|i| i % 16).collect();
+    group.bench_function("viterbi_top1_len60", |b| {
+        b.iter(|| viterbi_decode(&crf, &observations).unwrap())
+    });
+    group.bench_function("viterbi_top5_len60", |b| {
+        b.iter(|| viterbi_top_k(&crf, &observations, 5).unwrap())
+    });
+    group.bench_function("gibbs_200_samples_len60", |b| {
+        let config = McmcConfig {
+            samples: 200,
+            burn_in: 50,
+            seed: 1,
+        };
+        b.iter(|| gibbs_sample(&crf, &observations, &config).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,496 @@
+//! `repro` — regenerates every table and figure of the MADlib paper's
+//! evaluation on the Rust reproduction.
+//!
+//! ```text
+//! cargo run -p madlib-bench --bin repro --release -- all
+//! cargo run -p madlib-bench --bin repro --release -- figure4 [--full]
+//! cargo run -p madlib-bench --bin repro --release -- figure5 [--full]
+//! cargo run -p madlib-bench --bin repro --release -- table1 | table2 | table3
+//! cargo run -p madlib-bench --bin repro --release -- logistic | kmeans | overhead
+//! ```
+//!
+//! With `--full` the Figure 4/5 sweeps use the paper's variable counts
+//! (10…320) and a larger row count; the default is a laptop-sized scaledown
+//! that preserves the shape of the results.
+
+use madlib_bench::{figure4_sweep, render_figure4, render_figure5};
+use madlib_convex::objectives::{
+    CrfObjective, LassoObjective, LeastSquaresObjective, LogisticObjective,
+    MatrixFactorizationObjective, SvmHingeObjective,
+};
+use madlib_convex::{ConvexObjective, IgdConfig, IgdRunner, StepSchedule};
+use madlib_core::assoc::Apriori;
+use madlib_core::classify::{DecisionTree, LinearSvm, NaiveBayes};
+use madlib_core::cluster::KMeans;
+use madlib_core::datasets;
+use madlib_core::factor::LowRankFactorization;
+use madlib_core::optim::conjugate_gradient_solve;
+use madlib_core::regress::{LinearRegression, LogisticRegression};
+use madlib_core::topic::Lda;
+use madlib_engine::{row, Column, ColumnType, Database, Executor, Row, Schema, Table, Value};
+use madlib_linalg::kernels::KernelGeneration;
+use madlib_linalg::{DenseMatrix, DenseVector, SparseVector};
+use madlib_sketch::{profile_table, CountMinSketch, FlajoletMartin, QuantileSummary};
+use madlib_text::mcmc::{gibbs_sample, metropolis_hastings_sample, McmcConfig};
+use madlib_text::viterbi::viterbi_decode;
+use madlib_text::{ChainCrf, FeatureExtractor, TrigramIndex};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let command = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    match command {
+        "figure4" => figure4(full),
+        "figure5" => figure5(full),
+        "table1" => table1(),
+        "table2" => table2(),
+        "table3" => table3(),
+        "logistic" => logistic(),
+        "kmeans" => kmeans(),
+        "overhead" => overhead(),
+        "all" => {
+            figure4(full);
+            figure5(full);
+            table1();
+            table2();
+            table3();
+            logistic();
+            kmeans();
+            overhead();
+        }
+        other => {
+            eprintln!("unknown experiment: {other}");
+            eprintln!("expected one of: figure4 figure5 table1 table2 table3 logistic kmeans overhead all");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn sweep_parameters(full: bool) -> (Vec<usize>, Vec<usize>, usize) {
+    if full {
+        // The paper's grid (segments scaled to the local core count).
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(8);
+        let segments: Vec<usize> = [6, 12, 18, 24]
+            .iter()
+            .map(|&s| s.min(cores))
+            .collect::<Vec<_>>();
+        (segments, vec![10, 20, 40, 80, 160, 320], 1_000_000)
+    } else {
+        (vec![1, 2, 4, 8], vec![10, 20, 40, 80], 50_000)
+    }
+}
+
+fn figure4(full: bool) {
+    let (segments, variables, rows) = sweep_parameters(full);
+    println!("== Figure 4: linear-regression execution times ==");
+    println!(
+        "(rows = {rows}, segments = {segments:?}, variables = {variables:?}; paper: 10M rows on a 24-core Greenplum cluster)\n"
+    );
+    let measurements = figure4_sweep(&segments, &variables, rows, &KernelGeneration::ALL);
+    println!("{}", render_figure4(&measurements));
+}
+
+fn figure5(full: bool) {
+    let (segments, variables, rows) = sweep_parameters(full);
+    println!("== Figure 5: execution time vs. #variables per segment count (v0.3) ==\n");
+    let measurements = figure4_sweep(&segments, &variables, rows, &[KernelGeneration::V03]);
+    println!("{}", render_figure5(&measurements));
+}
+
+fn check(name: &str, passed: bool, detail: String) {
+    println!("  [{}] {:<28} {}", if passed { "ok" } else { "FAIL" }, name, detail);
+}
+
+#[allow(clippy::too_many_lines)]
+fn table1() {
+    println!("== Table 1: methods provided in MADlib v0.3 (reproduction status) ==");
+    let executor = Executor::new();
+    let db = Database::new(4).unwrap();
+
+    // Supervised learning.
+    let lin = datasets::linear_regression_data(2_000, 5, 0.1, 4, 1).unwrap();
+    let lin_model = LinearRegression::new("y", "x").fit(&executor, &lin.table).unwrap();
+    check(
+        "Linear Regression",
+        lin_model.r2 > 0.9,
+        format!("r2 = {:.4}", lin_model.r2),
+    );
+
+    let logit = datasets::logistic_regression_data(2_000, 3, 4, 2).unwrap();
+    let logit_model = LogisticRegression::new("y", "x")
+        .fit(&executor, &db, &logit.table)
+        .unwrap();
+    check(
+        "Logistic Regression",
+        logit_model.converged,
+        format!("{} IRLS iterations", logit_model.num_iterations),
+    );
+
+    let nb_schema = Schema::new(vec![
+        Column::new("label", ColumnType::Text),
+        Column::new("features", ColumnType::DoubleArray),
+    ]);
+    let mut nb_table = Table::new(nb_schema.clone(), 4).unwrap();
+    for i in 0..200 {
+        let (label, center) = if i % 2 == 0 { ("a", 0.0) } else { ("b", 5.0) };
+        nb_table
+            .insert(row![label, vec![center + (i % 7) as f64 * 0.1]])
+            .unwrap();
+    }
+    let nb = NaiveBayes::new("label", "features").fit(&executor, &nb_table).unwrap();
+    check(
+        "Naive Bayes Classification",
+        nb.predict(&[0.1]).unwrap() == "a" && nb.predict(&[5.1]).unwrap() == "b",
+        format!("{} classes", nb.classes.len()),
+    );
+
+    let mut dt_table = Table::new(nb_schema, 4).unwrap();
+    for i in 0..200 {
+        let x = i as f64 / 20.0;
+        let label = if x > 5.0 { "high" } else { "low" };
+        dt_table.insert(row![label, vec![x]]).unwrap();
+    }
+    let dt = DecisionTree::new("label", "features").fit(&executor, &dt_table).unwrap();
+    check(
+        "Decision Trees (C4.5)",
+        dt.predict(&[9.0]).unwrap() == "high" && dt.predict(&[1.0]).unwrap() == "low",
+        format!("{} leaves", dt.leaf_count()),
+    );
+
+    let svm_data = datasets::logistic_regression_data(1_000, 3, 4, 5).unwrap();
+    let svm = LinearSvm::new("y", "x").with_epochs(15).fit(&executor, &svm_data.table).unwrap();
+    check(
+        "Support Vector Machines",
+        svm.final_objective.is_finite(),
+        format!("objective = {:.4}", svm.final_objective),
+    );
+
+    // Unsupervised learning.
+    let blobs = datasets::gaussian_blobs(600, 3, 2, 0.5, 4, 7).unwrap();
+    let km = KMeans::new("coords", 3)
+        .unwrap()
+        .fit(&executor, &db, &blobs.table)
+        .unwrap();
+    check(
+        "k-Means Clustering",
+        km.converged,
+        format!("{} iterations, inertia = {:.1}", km.iterations, km.inertia),
+    );
+
+    let ratings = datasets::ratings_data(30, 25, 2, 0.5, 4, 9).unwrap();
+    let mf = LowRankFactorization::new("user_id", "item_id", "rating", 4)
+        .unwrap()
+        .with_epochs(40)
+        .fit(&executor, &ratings)
+        .unwrap();
+    check(
+        "SVD Matrix Factorization",
+        mf.train_rmse < 0.3,
+        format!("train RMSE = {:.4}", mf.train_rmse),
+    );
+
+    let corpus = datasets::document_corpus(30, 3, 15, 40, 4, 11).unwrap();
+    let lda = Lda::new("tokens", 3)
+        .unwrap()
+        .with_alpha(0.1)
+        .with_iterations(80)
+        .fit(&executor, &corpus)
+        .unwrap();
+    check(
+        "Latent Dirichlet Allocation",
+        lda.top_words(0, 5).unwrap().len() == 5,
+        format!("{} topics over {} words", lda.num_topics, lda.vocabulary.len()),
+    );
+
+    let baskets = datasets::market_basket_data(800, 25, 4, 13).unwrap();
+    let rules = Apriori::new("items", 0.2, 0.6)
+        .unwrap()
+        .mine_rules(&executor, &baskets)
+        .unwrap();
+    check(
+        "Association Rules",
+        !rules.is_empty(),
+        format!("{} rules found", rules.len()),
+    );
+
+    // Descriptive statistics.
+    let mut cm = CountMinSketch::with_error_bounds(0.01, 0.01);
+    for i in 0..10_000u64 {
+        cm.update(&format!("key{}", i % 97), 1);
+    }
+    check(
+        "Count-Min Sketch",
+        cm.estimate("key0") >= 10_000 / 97,
+        format!("estimate(key0) = {}", cm.estimate("key0")),
+    );
+
+    let mut fm = FlajoletMartin::new(64);
+    for i in 0..5_000 {
+        fm.update(&format!("user{i}"));
+    }
+    check(
+        "Flajolet-Martin Sketch",
+        (fm.estimate() - 5_000.0).abs() / 5_000.0 < 0.35,
+        format!("estimate = {:.0} (true 5000)", fm.estimate()),
+    );
+
+    let profile = profile_table(&executor, &lin.table).unwrap();
+    check(
+        "Data Profiling",
+        profile.columns.len() == 2,
+        format!("{} columns profiled", profile.columns.len()),
+    );
+
+    let mut quantiles = QuantileSummary::new(0.01);
+    for i in 0..10_000 {
+        quantiles.insert(i as f64);
+    }
+    check(
+        "Quantiles",
+        (quantiles.median().unwrap() - 5_000.0).abs() < 300.0,
+        format!("median ≈ {:.0}", quantiles.median().unwrap()),
+    );
+
+    // Support modules.
+    let sparse = SparseVector::from_dense(&[0.0, 0.0, 3.0, 3.0, 0.0, 0.0, 0.0, 1.0]);
+    check(
+        "Sparse Vectors",
+        sparse.run_count() < sparse.len(),
+        format!("{} runs for {} elements", sparse.run_count(), sparse.len()),
+    );
+    check(
+        "Array Operations",
+        madlib_linalg::array_ops::array_dot(&[1.0, 2.0], &[3.0, 4.0]).unwrap() == 11.0,
+        "dot([1,2],[3,4]) = 11".to_owned(),
+    );
+    let spd = DenseMatrix::from_rows(&[vec![4.0, 1.0], vec![1.0, 3.0]]).unwrap();
+    let cg = conjugate_gradient_solve(&spd, &DenseVector::from_vec(vec![1.0, 2.0]), 1e-10, 50)
+        .unwrap();
+    check(
+        "Conjugate Gradient",
+        cg.converged,
+        format!("{} iterations", cg.iterations),
+    );
+    println!();
+}
+
+fn table2() {
+    println!("== Table 2: models implemented via the convex (SGD) framework ==");
+    let executor = Executor::new();
+    let run = |name: &str,
+               objective: &dyn DynObjective,
+               table: &Table,
+               initial: Vec<f64>,
+               epochs: usize| {
+        let runner = IgdRunner::new(IgdConfig {
+            max_epochs: epochs,
+            tolerance: 1e-8,
+            schedule: StepSchedule::Constant(0.05),
+        });
+        let db = Database::new(table.num_segments()).unwrap();
+        let summary = objective.run(&runner, &executor, &db, table, initial);
+        let reduction = 100.0 * (1.0 - summary.1 / summary.0.max(1e-12));
+        println!(
+            "  {:<22} initial objective {:>12.4}  final {:>12.4}  reduction {:>5.1}%  epochs {}",
+            name, summary.0, summary.1, reduction, summary.2
+        );
+    };
+
+    let reg = datasets::linear_regression_data(3_000, 6, 0.1, 4, 21).unwrap();
+    let cls = datasets::logistic_regression_data(3_000, 6, 4, 22).unwrap();
+
+    let ls = LeastSquaresObjective::new("y", "x", 6);
+    run("Least Squares", &ls, &reg.table, vec![0.0; 6], 40);
+    let lasso = LassoObjective::new("y", "x", 6, 0.01);
+    run("Lasso", &lasso, &reg.table, vec![0.0; 6], 40);
+    let logistic = LogisticObjective::new("y", "x", 6);
+    run("Logistic Regression", &logistic, &cls.table, vec![0.0; 6], 40);
+    let svm = SvmHingeObjective::new("y", "x", 6, 1e-3);
+    run("Classification (SVM)", &svm, &cls.table, vec![0.0; 6], 40);
+
+    let ratings = datasets::ratings_data(40, 30, 2, 0.4, 4, 23).unwrap();
+    let mf = MatrixFactorizationObjective::new("user_id", "item_id", "rating", 40, 30, 4, 1e-4);
+    let initial = mf.initial_model();
+    run("Recommendation", &mf, &ratings, initial, 80);
+
+    let crf_table = crf_corpus(60, 4);
+    let crf = CrfObjective::new("observations", "labels", 2, 4);
+    let crf_dim = crf.dimension();
+    run("Labeling (CRF)", &crf, &crf_table, vec![0.0; crf_dim], 40);
+    println!();
+}
+
+/// Object-safe adapter so `table2` can iterate heterogeneous objectives.
+trait DynObjective {
+    fn run(
+        &self,
+        runner: &IgdRunner,
+        executor: &Executor,
+        db: &Database,
+        table: &Table,
+        initial: Vec<f64>,
+    ) -> (f64, f64, usize);
+}
+
+impl<O: ConvexObjective> DynObjective for O {
+    fn run(
+        &self,
+        runner: &IgdRunner,
+        executor: &Executor,
+        db: &Database,
+        table: &Table,
+        initial: Vec<f64>,
+    ) -> (f64, f64, usize) {
+        let summary = runner
+            .run(executor, db, table, self, initial)
+            .expect("IGD training failed");
+        (
+            summary.initial_objective_value,
+            summary.objective_value,
+            summary.epochs,
+        )
+    }
+}
+
+/// Small synthetic CRF training corpus shared by table2/table3.
+fn crf_corpus(sequences: usize, segments: usize) -> Table {
+    let schema = Schema::new(vec![
+        Column::new("observations", ColumnType::IntArray),
+        Column::new("labels", ColumnType::IntArray),
+    ]);
+    let mut t = Table::new(schema, segments).unwrap();
+    for s in 0..sequences {
+        let length = 6 + s % 4;
+        let mut observations = Vec::new();
+        let mut labels = Vec::new();
+        for idx in 0..length {
+            let label = (idx + s) % 2;
+            observations.push((label * 2 + s % 2) as i64);
+            labels.push(label as i64);
+        }
+        t.insert(Row::new(vec![
+            Value::IntArray(observations),
+            Value::IntArray(labels),
+        ]))
+        .unwrap();
+    }
+    t
+}
+
+fn table3() {
+    println!("== Table 3: statistical text-analysis methods (POS / NER / ER) ==");
+    let executor = Executor::new();
+    let db = Database::new(4).unwrap();
+
+    // Text feature extraction.
+    let extractor = FeatureExtractor::new().with_dictionary("person", ["tim", "alice", "bob"]);
+    let tokens = madlib_text::tokenize("Tim Tebow visited Denver in 2011");
+    let features = extractor.extract(&tokens);
+    check(
+        "Text Feature Extraction",
+        features[0].active.iter().any(|f| f == "dict:person"),
+        format!("{} tokens, {} features on token 0", tokens.len(), features[0].active.len()),
+    );
+
+    // CRF training + Viterbi inference.
+    let corpus = crf_corpus(60, 4);
+    let crf = ChainCrf::train(&executor, &db, &corpus, "observations", "labels", 2, 4, 40)
+        .unwrap();
+    let observations = [0usize, 3, 0, 3, 0];
+    let (labels, score) = viterbi_decode(&crf, &observations).unwrap();
+    check(
+        "Viterbi Inference",
+        labels == vec![0, 1, 0, 1, 0],
+        format!("decoded {labels:?} with score {score:.2}"),
+    );
+
+    // MCMC inference.
+    let config = McmcConfig {
+        samples: 400,
+        burn_in: 100,
+        seed: 5,
+    };
+    let gibbs = gibbs_sample(&crf, &observations, &config).unwrap();
+    let mh = metropolis_hastings_sample(&crf, &observations, &config).unwrap();
+    check(
+        "MCMC Inference (Gibbs/MH)",
+        gibbs.map_labels == labels && mh.map_labels == labels,
+        format!(
+            "Gibbs confidence {:.2}, MH acceptance {:.2}",
+            gibbs.marginals[0][labels[0]], mh.acceptance_rate
+        ),
+    );
+
+    // Approximate string matching (entity resolution).
+    let mut index = TrigramIndex::new();
+    index.insert("Tim Tebow threw for 300 yards");
+    index.insert("Peyton Manning led the drive");
+    index.insert("tim tebo signs autographs");
+    let matches = index.search("Tim Tebow", 0.5);
+    check(
+        "Approximate String Matching",
+        matches.len() == 2,
+        format!("{} approximate mentions of 'Tim Tebow'", matches.len()),
+    );
+    println!();
+}
+
+fn logistic() {
+    println!("== Section 4.2: logistic regression via the IRLS driver (Figure 3 control flow) ==");
+    let executor = Executor::new();
+    let db = Database::new(4).unwrap();
+    let data = datasets::logistic_regression_data(20_000, 10, 4, 31).unwrap();
+    let start = Instant::now();
+    let model = LogisticRegression::new("y", "x")
+        .fit(&executor, &db, &data.table)
+        .unwrap();
+    println!(
+        "  20k rows × 10 variables: {} iterations, converged = {}, {:.3}s total, log-likelihood {:.1}\n",
+        model.num_iterations,
+        model.converged,
+        start.elapsed().as_secs_f64(),
+        model.log_likelihood
+    );
+}
+
+fn kmeans() {
+    println!("== Section 4.3: k-means large-state iteration ==");
+    let executor = Executor::new();
+    let db = Database::new(4).unwrap();
+    let data = datasets::gaussian_blobs(20_000, 5, 8, 1.0, 4, 37).unwrap();
+    let start = Instant::now();
+    let model = KMeans::new("coords", 5)
+        .unwrap()
+        .fit(&executor, &db, &data.table)
+        .unwrap();
+    println!(
+        "  20k points × 8 dims, k=5: {} iterations, converged = {}, inertia {:.0}, {:.3}s total\n",
+        model.iterations,
+        model.converged,
+        model.inertia,
+        start.elapsed().as_secs_f64()
+    );
+}
+
+fn overhead() {
+    println!("== Section 4.4: per-query overhead of the aggregate machinery ==");
+    let table = madlib_bench::figure4_table(10, 2, 4, 3);
+    let start = Instant::now();
+    let iterations = 100;
+    for _ in 0..iterations {
+        let _ = madlib_bench::measure_linregr(&table, KernelGeneration::V03);
+    }
+    let per_query = start.elapsed().as_secs_f64() / iterations as f64;
+    println!(
+        "  tiny (10-row) linregr query: {:.6}s per query ({} samples) — the paper reports a fraction of a second\n",
+        per_query, iterations
+    );
+}

@@ -1,0 +1,93 @@
+//! The convex-objective abstraction.
+
+use madlib_engine::{Result, Row, Schema};
+
+/// A decomposable convex objective `f(w) = Σ_rows f_row(w)`.
+///
+/// Implementations describe a single training tuple's contribution to the
+/// loss and its (sub)gradient; the [`crate::IgdRunner`] supplies the data
+/// access, parallelism, iteration and convergence machinery.  This mirrors
+/// the paper's observation that "each tuple in the input table encodes a
+/// single fᵢ" and that adding a new model then takes "a matter of days" —
+/// here, a few dozen lines.
+pub trait ConvexObjective: Sync {
+    /// Number of parameters in the model vector.
+    fn dimension(&self) -> usize;
+
+    /// Loss contribution of one row at the given model.
+    ///
+    /// # Errors
+    /// Implementations should surface malformed rows as engine errors.
+    fn row_loss(&self, row: &Row, schema: &Schema, model: &[f64]) -> Result<f64>;
+
+    /// Adds one row's (sub)gradient contribution into `gradient`
+    /// (pre-zeroed, length [`ConvexObjective::dimension`]).
+    ///
+    /// # Errors
+    /// Implementations should surface malformed rows as engine errors.
+    fn accumulate_gradient(
+        &self,
+        row: &Row,
+        schema: &Schema,
+        model: &[f64],
+        gradient: &mut [f64],
+    ) -> Result<()>;
+
+    /// Optional proximal / projection step applied after each model update
+    /// (e.g. the soft-thresholding operator for L1 regularization).  The
+    /// default is a no-op.
+    fn proximal(&self, _model: &mut [f64], _step: f64) {}
+
+    /// Optional regularization term added to the reported objective value
+    /// (the data terms come from [`ConvexObjective::row_loss`]).
+    fn regularization(&self, _model: &[f64]) -> f64 {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use madlib_engine::row;
+    use madlib_engine::{Column, ColumnType, Schema};
+
+    /// Minimal objective used to exercise the trait's default methods.
+    struct Quadratic;
+
+    impl ConvexObjective for Quadratic {
+        fn dimension(&self) -> usize {
+            1
+        }
+        fn row_loss(&self, _row: &Row, _schema: &Schema, model: &[f64]) -> Result<f64> {
+            Ok(model[0] * model[0])
+        }
+        fn accumulate_gradient(
+            &self,
+            _row: &Row,
+            _schema: &Schema,
+            model: &[f64],
+            gradient: &mut [f64],
+        ) -> Result<()> {
+            gradient[0] += 2.0 * model[0];
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn default_methods_are_no_ops() {
+        let objective = Quadratic;
+        let schema = Schema::new(vec![Column::new("x", ColumnType::Double)]);
+        let r = row![1.0];
+        assert_eq!(objective.dimension(), 1);
+        assert_eq!(objective.row_loss(&r, &schema, &[3.0]).unwrap(), 9.0);
+        let mut g = vec![0.0];
+        objective
+            .accumulate_gradient(&r, &schema, &[3.0], &mut g)
+            .unwrap();
+        assert_eq!(g, vec![6.0]);
+        let mut model = vec![1.0];
+        objective.proximal(&mut model, 0.1);
+        assert_eq!(model, vec![1.0]);
+        assert_eq!(objective.regularization(&model), 0.0);
+    }
+}

@@ -1,0 +1,12 @@
+//! The model objectives of the paper's Table 2, all expressed against the
+//! [`crate::ConvexObjective`] abstraction.
+
+pub mod classification;
+pub mod crf;
+pub mod factorization;
+pub mod regression;
+
+pub use classification::{LogisticObjective, SvmHingeObjective};
+pub use crf::CrfObjective;
+pub use factorization::MatrixFactorizationObjective;
+pub use regression::{LassoObjective, LeastSquaresObjective, RidgeObjective};

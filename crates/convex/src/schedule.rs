@@ -1,0 +1,93 @@
+//! Step-size schedules for (stochastic) gradient descent.
+//!
+//! The paper's Section 5.1 notes "α is a positive number called the stepsize
+//! that goes to zero with more iterations.  For example, it suffices to set
+//! α = 1/k".  These schedules cover the common choices.
+
+/// A step-size schedule α(k) evaluated at iteration `k ≥ 1`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StepSchedule {
+    /// Constant step size.
+    Constant(f64),
+    /// `α₀ / k` — the paper's example schedule.
+    InverseIteration(f64),
+    /// `α₀ / √k` — the standard choice for non-strongly-convex objectives.
+    InverseSqrt(f64),
+    /// `α₀ · decay^k` — exponential decay.
+    Exponential {
+        /// Initial step size.
+        initial: f64,
+        /// Multiplicative decay per iteration (in `(0, 1]`).
+        decay: f64,
+    },
+}
+
+impl StepSchedule {
+    /// The step size to use at iteration `k` (1-based).
+    pub fn step(&self, k: usize) -> f64 {
+        let k = k.max(1) as f64;
+        match *self {
+            StepSchedule::Constant(alpha) => alpha,
+            StepSchedule::InverseIteration(alpha) => alpha / k,
+            StepSchedule::InverseSqrt(alpha) => alpha / k.sqrt(),
+            StepSchedule::Exponential { initial, decay } => initial * decay.powf(k - 1.0),
+        }
+    }
+
+    /// Whether every step the schedule will ever produce is positive.
+    pub fn is_valid(&self) -> bool {
+        match *self {
+            StepSchedule::Constant(a)
+            | StepSchedule::InverseIteration(a)
+            | StepSchedule::InverseSqrt(a) => a > 0.0,
+            StepSchedule::Exponential { initial, decay } => {
+                initial > 0.0 && decay > 0.0 && decay <= 1.0
+            }
+        }
+    }
+}
+
+impl Default for StepSchedule {
+    fn default() -> Self {
+        StepSchedule::InverseSqrt(0.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_decay_as_documented() {
+        assert_eq!(StepSchedule::Constant(0.5).step(1), 0.5);
+        assert_eq!(StepSchedule::Constant(0.5).step(100), 0.5);
+        assert_eq!(StepSchedule::InverseIteration(1.0).step(4), 0.25);
+        assert!((StepSchedule::InverseSqrt(1.0).step(4) - 0.5).abs() < 1e-12);
+        let exp = StepSchedule::Exponential {
+            initial: 1.0,
+            decay: 0.5,
+        };
+        assert_eq!(exp.step(1), 1.0);
+        assert_eq!(exp.step(3), 0.25);
+        // k = 0 is clamped to 1.
+        assert_eq!(StepSchedule::InverseIteration(1.0).step(0), 1.0);
+    }
+
+    #[test]
+    fn validity_checks() {
+        assert!(StepSchedule::Constant(0.1).is_valid());
+        assert!(!StepSchedule::Constant(0.0).is_valid());
+        assert!(!StepSchedule::InverseSqrt(-1.0).is_valid());
+        assert!(StepSchedule::Exponential {
+            initial: 1.0,
+            decay: 0.9
+        }
+        .is_valid());
+        assert!(!StepSchedule::Exponential {
+            initial: 1.0,
+            decay: 1.5
+        }
+        .is_valid());
+        assert!(StepSchedule::default().is_valid());
+    }
+}

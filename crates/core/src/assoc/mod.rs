@@ -1,0 +1,5 @@
+//! Association-rule mining.
+
+pub mod apriori;
+
+pub use apriori::{AssociationRule, Apriori, FrequentItemset};

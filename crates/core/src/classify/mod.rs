@@ -1,0 +1,10 @@
+//! Supervised classification methods: naive Bayes, C4.5 decision trees, and
+//! linear support vector machines.
+
+pub mod decision_tree;
+pub mod naive_bayes;
+pub mod svm;
+
+pub use decision_tree::{DecisionTree, DecisionTreeModel};
+pub use naive_bayes::{NaiveBayes, NaiveBayesModel};
+pub use svm::{LinearSvm, SvmModel};

@@ -1,0 +1,315 @@
+//! Gaussian naive Bayes classification.
+//!
+//! Table 1 of the paper lists Naive Bayes among the supervised methods.  The
+//! MADlib implementation computes per-class feature statistics with grouped
+//! SQL aggregation; here the same structure appears as a single parallel
+//! aggregate whose state is a per-class set of streaming summaries (count,
+//! mean, variance per feature), merged across segments with the same
+//! Chan/Welford update the `madlib-stats` summary uses.
+
+use crate::error::{MethodError, Result};
+use madlib_engine::{Aggregate, Executor, Row, Schema, Table};
+use madlib_stats::Summary;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-class training statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassStats {
+    /// Number of training rows with this label.
+    pub count: u64,
+    /// Per-feature means.
+    pub means: Vec<f64>,
+    /// Per-feature variances (with a small floor to avoid zero-variance
+    /// degeneracy).
+    pub variances: Vec<f64>,
+}
+
+/// A fitted Gaussian naive Bayes model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NaiveBayesModel {
+    /// Per-class statistics keyed by label.
+    pub classes: BTreeMap<String, ClassStats>,
+    /// Total number of training rows.
+    pub total_rows: u64,
+    /// Number of features.
+    pub num_features: usize,
+}
+
+impl NaiveBayesModel {
+    /// Log joint score `log P(class) + Σ log N(x_i | μ, σ²)` for each class,
+    /// sorted descending by score.
+    ///
+    /// # Errors
+    /// Returns [`MethodError::InvalidInput`] on feature-length mismatch.
+    pub fn log_scores(&self, x: &[f64]) -> Result<Vec<(String, f64)>> {
+        if x.len() != self.num_features {
+            return Err(MethodError::invalid_input(format!(
+                "feature length {} does not match model width {}",
+                x.len(),
+                self.num_features
+            )));
+        }
+        let mut scores = Vec::with_capacity(self.classes.len());
+        for (label, stats) in &self.classes {
+            let prior = (stats.count as f64 / self.total_rows as f64).ln();
+            let mut log_likelihood = 0.0;
+            for ((xi, mean), var) in x.iter().zip(&stats.means).zip(&stats.variances) {
+                let var = var.max(1e-9);
+                log_likelihood += -0.5 * ((xi - mean) * (xi - mean) / var)
+                    - 0.5 * (2.0 * std::f64::consts::PI * var).ln();
+            }
+            scores.push((label.clone(), prior + log_likelihood));
+        }
+        scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        Ok(scores)
+    }
+
+    /// Most likely class label.
+    ///
+    /// # Errors
+    /// Returns [`MethodError::InvalidInput`] on feature-length mismatch or an
+    /// untrained (empty) model.
+    pub fn predict(&self, x: &[f64]) -> Result<String> {
+        self.log_scores(x)?
+            .into_iter()
+            .next()
+            .map(|(label, _)| label)
+            .ok_or_else(|| MethodError::invalid_input("model has no classes"))
+    }
+}
+
+/// Gaussian naive Bayes as a user-defined aggregate.
+#[derive(Debug, Clone)]
+pub struct NaiveBayes {
+    label_column: String,
+    features_column: String,
+}
+
+/// Transition state: per-class, per-feature streaming summaries.
+#[derive(Debug, Clone, Default)]
+pub struct NaiveBayesState {
+    classes: BTreeMap<String, Vec<Summary>>,
+    num_features: usize,
+}
+
+impl NaiveBayes {
+    /// Creates the aggregate reading `label_column` (text) and
+    /// `features_column` (double array).
+    pub fn new(label_column: impl Into<String>, features_column: impl Into<String>) -> Self {
+        Self {
+            label_column: label_column.into(),
+            features_column: features_column.into(),
+        }
+    }
+
+    /// Fits the model over the table with the parallel executor.
+    ///
+    /// # Errors
+    /// Propagates engine errors; requires a non-empty table.
+    pub fn fit(&self, executor: &Executor, table: &Table) -> Result<NaiveBayesModel> {
+        executor
+            .validate_input(table, true)
+            .map_err(MethodError::from)?;
+        executor.aggregate(table, self).map_err(MethodError::from)
+    }
+}
+
+impl Aggregate for NaiveBayes {
+    type State = NaiveBayesState;
+    type Output = NaiveBayesModel;
+
+    fn initial_state(&self) -> NaiveBayesState {
+        NaiveBayesState::default()
+    }
+
+    fn transition(
+        &self,
+        state: &mut NaiveBayesState,
+        row: &Row,
+        schema: &Schema,
+    ) -> madlib_engine::Result<()> {
+        let label = row
+            .get_named(schema, &self.label_column)?
+            .as_text()?
+            .to_owned();
+        let features = row
+            .get_named(schema, &self.features_column)?
+            .as_double_array()?;
+        if state.num_features == 0 {
+            state.num_features = features.len();
+        } else if features.len() != state.num_features {
+            return Err(madlib_engine::EngineError::aggregate(format!(
+                "inconsistent feature width: expected {}, found {}",
+                state.num_features,
+                features.len()
+            )));
+        }
+        let summaries = state
+            .classes
+            .entry(label)
+            .or_insert_with(|| vec![Summary::new(); features.len()]);
+        for (summary, value) in summaries.iter_mut().zip(features) {
+            summary.update(*value);
+        }
+        Ok(())
+    }
+
+    fn merge(&self, left: NaiveBayesState, right: NaiveBayesState) -> NaiveBayesState {
+        if left.classes.is_empty() {
+            return right;
+        }
+        let mut out = left;
+        if out.num_features == 0 {
+            out.num_features = right.num_features;
+        }
+        for (label, summaries) in right.classes {
+            match out.classes.get_mut(&label) {
+                None => {
+                    out.classes.insert(label, summaries);
+                }
+                Some(existing) => {
+                    for (a, b) in existing.iter_mut().zip(&summaries) {
+                        a.merge(b);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn finalize(&self, state: NaiveBayesState) -> madlib_engine::Result<NaiveBayesModel> {
+        if state.classes.is_empty() {
+            return Err(madlib_engine::EngineError::aggregate(
+                "naive Bayes over empty input",
+            ));
+        }
+        let mut classes = BTreeMap::new();
+        let mut total_rows = 0u64;
+        for (label, summaries) in state.classes {
+            let count = summaries.first().map(|s| s.count()).unwrap_or(0);
+            total_rows += count;
+            let means = summaries
+                .iter()
+                .map(|s| s.mean().unwrap_or(0.0))
+                .collect();
+            let variances = summaries
+                .iter()
+                .map(|s| s.variance_population().unwrap_or(0.0).max(1e-9))
+                .collect();
+            classes.insert(
+                label,
+                ClassStats {
+                    count,
+                    means,
+                    variances,
+                },
+            );
+        }
+        Ok(NaiveBayesModel {
+            classes,
+            total_rows,
+            num_features: state.num_features,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use madlib_engine::{row, Column, ColumnType, Schema, Table};
+
+    fn labeled_schema() -> Schema {
+        Schema::new(vec![
+            Column::new("label", ColumnType::Text),
+            Column::new("features", ColumnType::DoubleArray),
+        ])
+    }
+
+    fn two_blob_table(segments: usize) -> Table {
+        let mut t = Table::new(labeled_schema(), segments).unwrap();
+        // Class A around (0, 0); class B around (10, 10).
+        for i in 0..50 {
+            let jitter = (i % 5) as f64 * 0.1;
+            t.insert(row!["A", vec![0.0 + jitter, 0.5 - jitter]]).unwrap();
+            t.insert(row!["B", vec![10.0 - jitter, 9.5 + jitter]]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn separates_well_separated_classes() {
+        let t = two_blob_table(4);
+        let model = NaiveBayes::new("label", "features")
+            .fit(&Executor::new(), &t)
+            .unwrap();
+        assert_eq!(model.classes.len(), 2);
+        assert_eq!(model.total_rows, 100);
+        assert_eq!(model.num_features, 2);
+        assert_eq!(model.predict(&[0.1, 0.4]).unwrap(), "A");
+        assert_eq!(model.predict(&[9.8, 9.9]).unwrap(), "B");
+        let scores = model.log_scores(&[0.0, 0.0]).unwrap();
+        assert_eq!(scores[0].0, "A");
+        assert!(scores[0].1 > scores[1].1);
+    }
+
+    #[test]
+    fn partition_invariance() {
+        let t1 = two_blob_table(1);
+        let t8 = t1.repartition(8).unwrap();
+        let m1 = NaiveBayes::new("label", "features")
+            .fit(&Executor::new(), &t1)
+            .unwrap();
+        let m8 = NaiveBayes::new("label", "features")
+            .fit(&Executor::new(), &t8)
+            .unwrap();
+        for (label, stats) in &m1.classes {
+            let other = &m8.classes[label];
+            assert_eq!(stats.count, other.count);
+            for (a, b) in stats.means.iter().zip(&other.means) {
+                assert!((a - b).abs() < 1e-9);
+            }
+            for (a, b) in stats.variances.iter().zip(&other.variances) {
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn class_priors_influence_prediction() {
+        let mut t = Table::new(labeled_schema(), 2).unwrap();
+        // Heavily imbalanced identical distributions: prior should dominate.
+        for _ in 0..95 {
+            t.insert(row!["common", vec![0.0]]).unwrap();
+        }
+        for _ in 0..5 {
+            t.insert(row!["rare", vec![0.0]]).unwrap();
+        }
+        let model = NaiveBayes::new("label", "features")
+            .fit(&Executor::new(), &t)
+            .unwrap();
+        assert_eq!(model.predict(&[0.0]).unwrap(), "common");
+    }
+
+    #[test]
+    fn error_handling() {
+        let empty = Table::new(labeled_schema(), 2).unwrap();
+        assert!(NaiveBayes::new("label", "features")
+            .fit(&Executor::new(), &empty)
+            .is_err());
+
+        let mut ragged = Table::new(labeled_schema(), 1).unwrap();
+        ragged.insert(row!["A", vec![1.0, 2.0]]).unwrap();
+        ragged.insert(row!["A", vec![1.0]]).unwrap();
+        assert!(NaiveBayes::new("label", "features")
+            .fit(&Executor::new(), &ragged)
+            .is_err());
+
+        let t = two_blob_table(1);
+        let model = NaiveBayes::new("label", "features")
+            .fit(&Executor::new(), &t)
+            .unwrap();
+        assert!(model.predict(&[1.0]).is_err());
+        assert!(model.log_scores(&[1.0, 2.0, 3.0]).is_err());
+    }
+}

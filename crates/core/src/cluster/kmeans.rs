@@ -1,0 +1,476 @@
+//! k-means clustering (paper Section 4.3).
+//!
+//! The paper uses k-means as its example of *large-state iteration*: the
+//! inter-iteration state is the set of `k` centroids, the intra-iteration
+//! state is the running barycenter accumulation, and each Lloyd iteration is
+//! one user-defined aggregate pass driven by a driver function.  This module
+//! reproduces exactly that structure:
+//!
+//! * the per-iteration pass is [`KMeansStep`], a UDA whose transition function
+//!   assigns each point to its closest centroid (the `closest_column` UDF of
+//!   the paper) and accumulates per-centroid sums and counts;
+//! * the outer loop is an [`IterationController`] run, staging the flattened
+//!   centroid matrix as the inter-iteration state;
+//! * convergence is declared when no (or few) points change assignment, which
+//!   the step tracks by also counting reassignments against the previous
+//!   centroids.
+
+use crate::cluster::seeding::{seed_centroids, SeedingMethod};
+use crate::error::{MethodError, Result};
+use madlib_engine::iteration::{IterationConfig, IterationController};
+use madlib_engine::{Aggregate, Database, Executor, Row, Schema, Table};
+use madlib_linalg::array_ops::closest_column;
+use serde::{Deserialize, Serialize};
+
+/// A fitted k-means model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KMeansModel {
+    /// Final centroid positions.
+    pub centroids: Vec<Vec<f64>>,
+    /// Sum of squared distances of every point to its closest centroid.
+    pub inertia: f64,
+    /// Number of Lloyd iterations executed.
+    pub iterations: usize,
+    /// Whether the reassignment-fraction convergence criterion was met.
+    pub converged: bool,
+    /// Number of points clustered.
+    pub num_points: usize,
+}
+
+impl KMeansModel {
+    /// Index of the centroid closest to `point`.
+    ///
+    /// # Errors
+    /// Returns [`MethodError::InvalidInput`] on a dimension mismatch.
+    pub fn assign(&self, point: &[f64]) -> Result<usize> {
+        let (idx, _) = closest_column(&self.centroids, point)?;
+        Ok(idx)
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+}
+
+/// Configuration and driver for Lloyd's algorithm.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    coords_column: String,
+    k: usize,
+    max_iterations: usize,
+    /// Stop when the fraction of points changing assignment falls below this.
+    reassignment_fraction: f64,
+    seeding: SeedingMethod,
+    seed: u64,
+}
+
+impl KMeans {
+    /// Creates a k-means driver reading points from `coords_column`.
+    ///
+    /// # Errors
+    /// Returns [`MethodError::InvalidParameter`] when `k == 0`.
+    pub fn new(coords_column: impl Into<String>, k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(MethodError::invalid_parameter("k", "must be positive"));
+        }
+        Ok(Self {
+            coords_column: coords_column.into(),
+            k,
+            max_iterations: 50,
+            reassignment_fraction: 0.001,
+            seeding: SeedingMethod::KMeansPlusPlus,
+            seed: 0,
+        })
+    }
+
+    /// Sets the iteration cap.
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Sets the convergence threshold on the fraction of reassigned points.
+    pub fn with_reassignment_fraction(mut self, fraction: f64) -> Self {
+        self.reassignment_fraction = fraction.max(0.0);
+        self
+    }
+
+    /// Selects the seeding method.
+    pub fn with_seeding(mut self, seeding: SeedingMethod) -> Self {
+        self.seeding = seeding;
+        self
+    }
+
+    /// Sets the RNG seed used for seeding.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs Lloyd's algorithm over the points table.
+    ///
+    /// # Errors
+    /// Propagates engine errors; requires at least `k` points.
+    pub fn fit(
+        &self,
+        executor: &Executor,
+        database: &Database,
+        table: &Table,
+    ) -> Result<KMeansModel> {
+        executor
+            .validate_input(table, true)
+            .map_err(MethodError::from)?;
+        let coords_column = self.coords_column.clone();
+        // Seeding phase: pull a small sample of points (here: all points'
+        // coordinates; the seeding itself is cheap relative to Lloyd).
+        let points: Vec<Vec<f64>> = executor
+            .parallel_map(table, move |row, schema| {
+                Ok(row
+                    .get_named(schema, &coords_column)?
+                    .as_double_array()?
+                    .to_vec())
+            })
+            .map_err(MethodError::from)?;
+        let num_points = points.len();
+        if num_points < self.k {
+            return Err(MethodError::invalid_parameter(
+                "k",
+                format!("need at least k={} points, found {num_points}", self.k),
+            ));
+        }
+        let dims = points[0].len();
+        if points.iter().any(|p| p.len() != dims) {
+            return Err(MethodError::invalid_input(
+                "inconsistent point dimensions across rows",
+            ));
+        }
+        let initial = seed_centroids(&points, self.k, self.seeding, self.seed)?;
+
+        let config = IterationConfig {
+            max_iterations: self.max_iterations,
+            tolerance: self.reassignment_fraction,
+            fail_on_max_iterations: false,
+            state_table_name: "kmeans_state".to_owned(),
+        };
+        let controller = IterationController::new(database.clone(), config);
+
+        let k = self.k;
+        let reassignment_threshold = (self.reassignment_fraction * num_points as f64).ceil();
+        let coords_column = self.coords_column.clone();
+        let outcome = controller
+            .run(
+                flatten_centroids(&initial),
+                |state, _iteration| {
+                    // The state is the flattened centroid matrix, optionally
+                    // followed by one bookkeeping slot (reassignment count)
+                    // appended by the previous step.
+                    let centroids = unflatten_centroids(&state[..k * dims], dims);
+                    let step = KMeansStep {
+                        coords_column: &coords_column,
+                        centroids: &centroids,
+                    };
+                    let result = executor.aggregate(table, &step)?;
+                    let new_centroids = result.new_centroids(&centroids);
+                    // Flatten and append the bookkeeping slot carrying the
+                    // reassignment count so the convergence test can see it.
+                    let mut flat = flatten_centroids(&new_centroids);
+                    flat.push(result.reassignments as f64);
+                    Ok(flat)
+                },
+                |_prev, next, _tol| {
+                    // The last slot of the state is the reassignment count of
+                    // the pass that produced it.
+                    next.last()
+                        .map(|&r| r <= reassignment_threshold)
+                        .unwrap_or(false)
+                },
+            )
+            .map_err(MethodError::from)?;
+
+        // Strip the bookkeeping slot (absent when zero iterations ran).
+        let mut final_flat = outcome.final_state.clone();
+        if final_flat.len() == k * dims + 1 {
+            final_flat.pop();
+        }
+        let centroids = unflatten_centroids(&final_flat, dims);
+
+        // Final inertia pass.
+        let inertia: f64 = points
+            .iter()
+            .map(|p| closest_column(&centroids, p).map(|(_, d)| d))
+            .collect::<std::result::Result<Vec<f64>, _>>()?
+            .iter()
+            .sum();
+
+        Ok(KMeansModel {
+            centroids,
+            inertia,
+            iterations: outcome.iterations,
+            converged: outcome.converged,
+            num_points,
+        })
+    }
+}
+
+fn flatten_centroids(centroids: &[Vec<f64>]) -> Vec<f64> {
+    centroids.iter().flatten().copied().collect()
+}
+
+fn unflatten_centroids(flat: &[f64], dims: usize) -> Vec<Vec<f64>> {
+    flat.chunks(dims).map(|c| c.to_vec()).collect()
+}
+
+/// Result of one Lloyd pass.
+#[derive(Debug, Clone)]
+struct StepResult {
+    sums: Vec<Vec<f64>>,
+    counts: Vec<u64>,
+    reassignments: u64,
+}
+
+impl StepResult {
+    /// New centroid positions: barycenters of the assigned points; empty
+    /// clusters keep their previous centroid (the standard Lloyd fix-up).
+    fn new_centroids(&self, previous: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        self.sums
+            .iter()
+            .zip(&self.counts)
+            .zip(previous)
+            .map(|((sum, &count), prev)| {
+                if count == 0 {
+                    prev.clone()
+                } else {
+                    sum.iter().map(|s| s / count as f64).collect()
+                }
+            })
+            .collect()
+    }
+}
+
+/// One Lloyd iteration as a UDA.  The *inter*-iteration state (previous
+/// centroids) is carried in the aggregate definition itself; the *intra*-
+/// iteration state (sums/counts/reassignments) is the transition state —
+/// matching the paper's description of which state the transition function
+/// may modify.
+#[derive(Debug, Clone)]
+struct KMeansStep<'a> {
+    coords_column: &'a str,
+    centroids: &'a [Vec<f64>],
+}
+
+#[derive(Debug, Clone)]
+struct KMeansIntraState {
+    sums: Vec<Vec<f64>>,
+    counts: Vec<u64>,
+    reassignments: u64,
+}
+
+impl Aggregate for KMeansStep<'_> {
+    type State = KMeansIntraState;
+    type Output = StepResult;
+
+    fn initial_state(&self) -> KMeansIntraState {
+        let dims = self.centroids.first().map(Vec::len).unwrap_or(0);
+        KMeansIntraState {
+            sums: vec![vec![0.0; dims]; self.centroids.len()],
+            counts: vec![0; self.centroids.len()],
+            reassignments: 0,
+        }
+    }
+
+    fn transition(
+        &self,
+        state: &mut KMeansIntraState,
+        row: &Row,
+        schema: &Schema,
+    ) -> madlib_engine::Result<()> {
+        let point = row
+            .get_named(schema, self.coords_column)?
+            .as_double_array()?;
+        let (closest, _) = closest_column(self.centroids, point)
+            .map_err(madlib_engine::EngineError::aggregate)?;
+        for (s, p) in state.sums[closest].iter_mut().zip(point) {
+            *s += p;
+        }
+        state.counts[closest] += 1;
+        Ok(())
+    }
+
+    fn merge(&self, mut left: KMeansIntraState, right: KMeansIntraState) -> KMeansIntraState {
+        for (ls, rs) in left.sums.iter_mut().zip(&right.sums) {
+            for (a, b) in ls.iter_mut().zip(rs) {
+                *a += b;
+            }
+        }
+        for (lc, rc) in left.counts.iter_mut().zip(&right.counts) {
+            *lc += rc;
+        }
+        left.reassignments += right.reassignments;
+        left
+    }
+
+    fn finalize(&self, state: KMeansIntraState) -> madlib_engine::Result<StepResult> {
+        // Reassignment count: how many points are assigned to a centroid that
+        // will move by more than a tiny amount this iteration.  Computed from
+        // the difference between the old centroid and the new barycenter,
+        // weighted by the cluster size.
+        let mut reassignments = 0u64;
+        for ((sum, &count), prev) in state.sums.iter().zip(&state.counts).zip(self.centroids) {
+            if count == 0 {
+                continue;
+            }
+            let movement: f64 = sum
+                .iter()
+                .zip(prev)
+                .map(|(s, p)| {
+                    let new = s / count as f64;
+                    (new - p) * (new - p)
+                })
+                .sum();
+            if movement.sqrt() > 1e-9 {
+                reassignments += count;
+            }
+        }
+        Ok(StepResult {
+            sums: state.sums,
+            counts: state.counts,
+            reassignments,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::gaussian_blobs;
+
+    fn fit(k: usize, data: &Table, seed: u64) -> KMeansModel {
+        let db = Database::new(data.num_segments()).unwrap();
+        KMeans::new("coords", k)
+            .unwrap()
+            .with_seed(seed)
+            .fit(&Executor::new(), &db, data)
+            .unwrap()
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let data = gaussian_blobs(300, 3, 2, 0.5, 4, 11).unwrap();
+        let model = fit(3, &data.table, 3);
+        assert_eq!(model.k(), 3);
+        assert_eq!(model.num_points, 300);
+        assert!(model.converged);
+        // Every true center should have a fitted centroid within a small
+        // distance (blobs are ~25+ units apart, noise σ = 0.5).
+        for truth in &data.true_centers {
+            let min_dist = model
+                .centroids
+                .iter()
+                .map(|c| {
+                    c.iter()
+                        .zip(truth)
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum::<f64>()
+                        .sqrt()
+                })
+                .fold(f64::INFINITY, f64::min);
+            assert!(min_dist < 2.0, "no centroid near true center {truth:?}");
+        }
+        // Inertia should be roughly rows · dims · σ² (≈ 300·2·0.25 = 150).
+        assert!(model.inertia < 600.0);
+    }
+
+    #[test]
+    fn assignment_agrees_with_ground_truth_partition() {
+        let data = gaussian_blobs(200, 2, 3, 0.3, 2, 29).unwrap();
+        let model = fit(2, &data.table, 1);
+        // Points from the same generator cluster map to the same fitted
+        // cluster (up to relabeling): check pairwise consistency on a sample.
+        // Rows come back in segment order, so use the id column to look up
+        // the ground-truth assignment made at insertion time.
+        let rows = data.table.collect_rows();
+        let pairs: Vec<(usize, usize)> = rows
+            .iter()
+            .map(|r| {
+                let id = r.get(0).as_int().unwrap() as usize;
+                let fitted = model.assign(r.get(1).as_double_array().unwrap()).unwrap();
+                (data.assignments[id], fitted)
+            })
+            .collect();
+        for i in (0..pairs.len()).step_by(7) {
+            for j in (0..pairs.len()).step_by(13) {
+                let same_truth = pairs[i].0 == pairs[j].0;
+                let same_fitted = pairs[i].1 == pairs[j].1;
+                assert_eq!(same_truth, same_fitted, "rows {i} and {j} disagree");
+            }
+        }
+    }
+
+    #[test]
+    fn k_equal_one_gives_global_mean() {
+        let data = gaussian_blobs(100, 1, 2, 1.0, 2, 5).unwrap();
+        let model = fit(1, &data.table, 0);
+        assert_eq!(model.k(), 1);
+        // Centroid should be near the single true center.
+        let truth = &data.true_centers[0];
+        for (c, t) in model.centroids[0].iter().zip(truth) {
+            assert!((c - t).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn parameter_and_input_validation() {
+        assert!(KMeans::new("coords", 0).is_err());
+        let data = gaussian_blobs(5, 2, 2, 0.1, 1, 2).unwrap();
+        let db = Database::new(1).unwrap();
+        // k larger than the number of points.
+        assert!(KMeans::new("coords", 10)
+            .unwrap()
+            .fit(&Executor::new(), &db, &data.table)
+            .is_err());
+        // Empty table.
+        let empty = Table::new(crate::datasets::points_schema(), 2).unwrap();
+        assert!(KMeans::new("coords", 2)
+            .unwrap()
+            .fit(&Executor::new(), &db, &empty)
+            .is_err());
+    }
+
+    #[test]
+    fn random_seeding_also_converges() {
+        let data = gaussian_blobs(150, 3, 2, 0.4, 3, 17).unwrap();
+        let db = Database::new(3).unwrap();
+        let model = KMeans::new("coords", 3)
+            .unwrap()
+            .with_seeding(SeedingMethod::Random)
+            .with_max_iterations(100)
+            .with_seed(23)
+            .fit(&Executor::new(), &db, &data.table)
+            .unwrap();
+        assert_eq!(model.centroids.len(), 3);
+        assert!(model.iterations >= 1);
+        // Driver temp tables cleaned up.
+        assert!(db.list_tables().is_empty());
+    }
+
+    #[test]
+    fn partition_invariance_of_one_step() {
+        // With fixed seeding the whole fit is deterministic and partition
+        // invariant.
+        let data = gaussian_blobs(120, 3, 2, 0.2, 1, 31).unwrap();
+        let reference = fit(3, &data.table, 7);
+        let repartitioned = data.table.repartition(6).unwrap();
+        let other = fit(3, &repartitioned, 7);
+        let mut a = reference.centroids.clone();
+        let mut b = other.centroids.clone();
+        let sort_key = |c: &Vec<f64>| (c[0] * 1e6) as i64;
+        a.sort_by_key(sort_key);
+        b.sort_by_key(sort_key);
+        for (ca, cb) in a.iter().zip(&b) {
+            for (x, y) in ca.iter().zip(cb) {
+                assert!((x - y).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Unsupervised clustering methods.
+
+pub mod kmeans;
+pub mod seeding;
+
+pub use kmeans::{KMeans, KMeansModel};
+pub use seeding::SeedingMethod;

@@ -1,0 +1,162 @@
+//! Centroid seeding strategies for k-means.
+//!
+//! The paper's Section 4.3 describes the seeding phase as step (1) of Lloyd's
+//! algorithm; MADlib offers both random seeding and the k-means++ strategy of
+//! Arthur & Vassilvitskii (the paper cites it as reference [5]).
+
+use crate::error::{MethodError, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How initial centroids are chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeedingMethod {
+    /// Choose `k` distinct input points uniformly at random.
+    Random,
+    /// k-means++: choose points with probability proportional to their
+    /// squared distance from the nearest already-chosen centroid.
+    KMeansPlusPlus,
+}
+
+/// Selects `k` initial centroids from `points` using the given method.
+///
+/// # Errors
+/// Returns [`MethodError::InvalidParameter`] when `k` is zero or larger than
+/// the number of points.
+pub fn seed_centroids(
+    points: &[Vec<f64>],
+    k: usize,
+    method: SeedingMethod,
+    seed: u64,
+) -> Result<Vec<Vec<f64>>> {
+    if k == 0 {
+        return Err(MethodError::invalid_parameter("k", "must be positive"));
+    }
+    if k > points.len() {
+        return Err(MethodError::invalid_parameter(
+            "k",
+            format!("cannot exceed the number of points ({})", points.len()),
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    match method {
+        SeedingMethod::Random => {
+            // Reservoir-free sampling of k distinct indices.
+            let mut chosen: Vec<usize> = Vec::with_capacity(k);
+            while chosen.len() < k {
+                let idx = rng.gen_range(0..points.len());
+                if !chosen.contains(&idx) {
+                    chosen.push(idx);
+                }
+            }
+            Ok(chosen.into_iter().map(|i| points[i].clone()).collect())
+        }
+        SeedingMethod::KMeansPlusPlus => {
+            let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+            let first = rng.gen_range(0..points.len());
+            centroids.push(points[first].clone());
+            let mut distances: Vec<f64> = points
+                .iter()
+                .map(|p| squared_distance(p, &centroids[0]))
+                .collect();
+            while centroids.len() < k {
+                let total: f64 = distances.iter().sum();
+                let next_idx = if total <= 0.0 {
+                    // All remaining points coincide with a centroid; pick any.
+                    rng.gen_range(0..points.len())
+                } else {
+                    let mut target = rng.gen_range(0.0..total);
+                    let mut idx = 0;
+                    for (i, d) in distances.iter().enumerate() {
+                        if target < *d {
+                            idx = i;
+                            break;
+                        }
+                        target -= d;
+                        idx = i;
+                    }
+                    idx
+                };
+                centroids.push(points[next_idx].clone());
+                let newest = centroids.last().expect("just pushed");
+                for (d, p) in distances.iter_mut().zip(points) {
+                    let nd = squared_distance(p, newest);
+                    if nd < *d {
+                        *d = nd;
+                    }
+                }
+            }
+            Ok(centroids)
+        }
+    }
+}
+
+fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_points() -> Vec<Vec<f64>> {
+        let mut points = Vec::new();
+        for cx in [0.0, 100.0, 200.0] {
+            for i in 0..20 {
+                points.push(vec![cx + (i % 5) as f64 * 0.1, cx + (i / 5) as f64 * 0.1]);
+            }
+        }
+        points
+    }
+
+    #[test]
+    fn produces_k_centroids_from_input_points() {
+        let points = grid_points();
+        for method in [SeedingMethod::Random, SeedingMethod::KMeansPlusPlus] {
+            let centroids = seed_centroids(&points, 3, method, 42).unwrap();
+            assert_eq!(centroids.len(), 3);
+            for c in &centroids {
+                assert!(points.contains(c), "centroid must be one of the inputs");
+            }
+        }
+    }
+
+    #[test]
+    fn kmeans_plus_plus_spreads_centroids() {
+        let points = grid_points();
+        let centroids =
+            seed_centroids(&points, 3, SeedingMethod::KMeansPlusPlus, 1).unwrap();
+        // With three well-separated clumps, k-means++ should pick one point
+        // from each clump (each clump spans < 1 unit, clumps are 100 apart).
+        let mut clumps: Vec<usize> = centroids
+            .iter()
+            .map(|c| (c[0] / 100.0).round() as usize)
+            .collect();
+        clumps.sort_unstable();
+        clumps.dedup();
+        assert_eq!(clumps.len(), 3, "expected one centroid per clump");
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let points = grid_points();
+        let a = seed_centroids(&points, 4, SeedingMethod::Random, 9).unwrap();
+        let b = seed_centroids(&points, 4, SeedingMethod::Random, 9).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_bad_k() {
+        let points = grid_points();
+        assert!(seed_centroids(&points, 0, SeedingMethod::Random, 0).is_err());
+        assert!(seed_centroids(&points, points.len() + 1, SeedingMethod::Random, 0).is_err());
+    }
+
+    #[test]
+    fn handles_duplicate_points() {
+        let points = vec![vec![1.0, 1.0]; 10];
+        let centroids =
+            seed_centroids(&points, 3, SeedingMethod::KMeansPlusPlus, 5).unwrap();
+        assert_eq!(centroids.len(), 3);
+    }
+}

@@ -1,0 +1,443 @@
+//! Synthetic dataset generators.
+//!
+//! The paper's evaluation (Section 4.4) runs linear regression over dense
+//! synthetic data with a configurable number of rows and independent
+//! variables; the university-contribution sections train SGD models and CRFs
+//! on labeled data.  We do not have the authors' generator or cluster, so
+//! this module provides deterministic, seeded generators that produce
+//! workloads with the same *statistical structure*: known ground-truth
+//! parameters plus controlled noise, so tests can verify recovery and the
+//! benchmark harness can sweep sizes.
+
+use crate::error::{MethodError, Result};
+use madlib_engine::{Column, ColumnType, Row, Schema, Table, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Standard schema for regression/classification tables: `(y double
+/// precision, x double precision[])`, exactly the layout assumed by the
+/// paper's Listing 1 transition function.
+pub fn labeled_point_schema() -> Schema {
+    Schema::new(vec![
+        Column::new("y", ColumnType::Double),
+        Column::new("x", ColumnType::DoubleArray),
+    ])
+}
+
+/// Draws from a standard normal via the Box–Muller transform (keeps the
+/// dependency surface to `rand`'s uniform sampler only).
+fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Generated regression data together with its ground truth.
+#[derive(Debug, Clone)]
+pub struct RegressionData {
+    /// Table with columns `(y, x)`.
+    pub table: Table,
+    /// True coefficient vector used by the generator (first entry is the
+    /// intercept when `intercept` was requested).
+    pub true_coefficients: Vec<f64>,
+    /// Noise standard deviation.
+    pub noise_std: f64,
+}
+
+/// Generates a dense linear-regression workload: `y = ⟨b, x⟩ + ε`.
+///
+/// * `rows` — number of observations.
+/// * `num_variables` — number of independent variables (the "# independent
+///   variables" axis of Figure 4/5).
+/// * `noise_std` — standard deviation of the Gaussian noise ε.
+/// * `segments` — how many table partitions to spread the rows over.
+/// * `seed` — RNG seed (generation is fully deterministic).
+///
+/// # Errors
+/// Returns [`MethodError::InvalidParameter`] for zero rows/variables/segments.
+pub fn linear_regression_data(
+    rows: usize,
+    num_variables: usize,
+    noise_std: f64,
+    segments: usize,
+    seed: u64,
+) -> Result<RegressionData> {
+    if rows == 0 {
+        return Err(MethodError::invalid_parameter("rows", "must be positive"));
+    }
+    if num_variables == 0 {
+        return Err(MethodError::invalid_parameter(
+            "num_variables",
+            "must be positive",
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let true_coefficients: Vec<f64> = (0..num_variables)
+        .map(|_| rng.gen_range(-2.0..2.0))
+        .collect();
+    let mut table = Table::new(labeled_point_schema(), segments).map_err(MethodError::from)?;
+    for _ in 0..rows {
+        let x: Vec<f64> = (0..num_variables).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut y: f64 = x
+            .iter()
+            .zip(&true_coefficients)
+            .map(|(a, b)| a * b)
+            .sum();
+        y += noise_std * standard_normal(&mut rng);
+        table
+            .insert(Row::new(vec![Value::Double(y), Value::DoubleArray(x)]))
+            .map_err(MethodError::from)?;
+    }
+    Ok(RegressionData {
+        table,
+        true_coefficients,
+        noise_std,
+    })
+}
+
+/// Generated binary-classification data with ground truth.
+#[derive(Debug, Clone)]
+pub struct ClassificationData {
+    /// Table with columns `(y, x)` where `y ∈ {0, 1}`.
+    pub table: Table,
+    /// True coefficient vector of the generating logistic model.
+    pub true_coefficients: Vec<f64>,
+}
+
+/// Generates logistic-regression data: `P(y=1|x) = σ(⟨b, x⟩)`.
+///
+/// # Errors
+/// Returns [`MethodError::InvalidParameter`] for zero rows/variables.
+pub fn logistic_regression_data(
+    rows: usize,
+    num_variables: usize,
+    segments: usize,
+    seed: u64,
+) -> Result<ClassificationData> {
+    if rows == 0 || num_variables == 0 {
+        return Err(MethodError::invalid_parameter(
+            "rows/num_variables",
+            "must be positive",
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let true_coefficients: Vec<f64> = (0..num_variables)
+        .map(|_| rng.gen_range(-3.0..3.0))
+        .collect();
+    let mut table = Table::new(labeled_point_schema(), segments).map_err(MethodError::from)?;
+    for _ in 0..rows {
+        let x: Vec<f64> = (0..num_variables).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let z: f64 = x
+            .iter()
+            .zip(&true_coefficients)
+            .map(|(a, b)| a * b)
+            .sum();
+        let p = 1.0 / (1.0 + (-z).exp());
+        let y = if rng.gen::<f64>() < p { 1.0 } else { 0.0 };
+        table
+            .insert(Row::new(vec![Value::Double(y), Value::DoubleArray(x)]))
+            .map_err(MethodError::from)?;
+    }
+    Ok(ClassificationData {
+        table,
+        true_coefficients,
+    })
+}
+
+/// Generated clustering data with ground truth.
+#[derive(Debug, Clone)]
+pub struct ClusterData {
+    /// Table with columns `(id bigint, coords double precision[])` — the
+    /// `points` table layout of the paper's Section 4.3.
+    pub table: Table,
+    /// Centers used by the generator.
+    pub true_centers: Vec<Vec<f64>>,
+    /// Ground-truth cluster assignment per row, in insertion order.
+    pub assignments: Vec<usize>,
+}
+
+/// Schema of the k-means `points` table.
+pub fn points_schema() -> Schema {
+    Schema::new(vec![
+        Column::new("id", ColumnType::Int),
+        Column::new("coords", ColumnType::DoubleArray),
+    ])
+}
+
+/// Generates a Gaussian-mixture clustering workload with `k` well-separated
+/// centers in `dims` dimensions.
+///
+/// # Errors
+/// Returns [`MethodError::InvalidParameter`] for zero rows/clusters/dims.
+pub fn gaussian_blobs(
+    rows: usize,
+    k: usize,
+    dims: usize,
+    spread: f64,
+    segments: usize,
+    seed: u64,
+) -> Result<ClusterData> {
+    if rows == 0 || k == 0 || dims == 0 {
+        return Err(MethodError::invalid_parameter(
+            "rows/k/dims",
+            "must be positive",
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Well-separated centers on a scaled integer lattice.
+    let true_centers: Vec<Vec<f64>> = (0..k)
+        .map(|c| {
+            (0..dims)
+                .map(|d| ((c * dims + d) % 7) as f64 * 10.0 + c as f64 * 25.0)
+                .collect()
+        })
+        .collect();
+    let mut table = Table::new(points_schema(), segments).map_err(MethodError::from)?;
+    let mut assignments = Vec::with_capacity(rows);
+    for i in 0..rows {
+        let cluster = rng.gen_range(0..k);
+        assignments.push(cluster);
+        let coords: Vec<f64> = true_centers[cluster]
+            .iter()
+            .map(|c| c + spread * standard_normal(&mut rng))
+            .collect();
+        table
+            .insert(Row::new(vec![
+                Value::Int(i as i64),
+                Value::DoubleArray(coords),
+            ]))
+            .map_err(MethodError::from)?;
+    }
+    Ok(ClusterData {
+        table,
+        true_centers,
+        assignments,
+    })
+}
+
+/// Generates market-basket transactions for the association-rules module:
+/// a table `(transaction_id bigint, items text[])`.  A handful of "pattern"
+/// item pairs co-occur frequently so that Apriori has real rules to find.
+///
+/// # Errors
+/// Returns [`MethodError::InvalidParameter`] for zero transactions or items.
+pub fn market_basket_data(
+    transactions: usize,
+    catalog_size: usize,
+    segments: usize,
+    seed: u64,
+) -> Result<Table> {
+    if transactions == 0 || catalog_size < 4 {
+        return Err(MethodError::invalid_parameter(
+            "transactions/catalog_size",
+            "need at least 1 transaction and 4 catalog items",
+        ));
+    }
+    let schema = Schema::new(vec![
+        Column::new("transaction_id", ColumnType::Int),
+        Column::new("items", ColumnType::TextArray),
+    ]);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut table = Table::new(schema, segments).map_err(MethodError::from)?;
+    for tid in 0..transactions {
+        let mut items: Vec<String> = Vec::new();
+        // Pattern: item_0 + item_1 co-occur in ~40% of baskets; item_2 joins
+        // them half the time, giving a strong 2- and 3-item rule.
+        if rng.gen::<f64>() < 0.4 {
+            items.push("item_0".to_owned());
+            items.push("item_1".to_owned());
+            if rng.gen::<f64>() < 0.5 {
+                items.push("item_2".to_owned());
+            }
+        }
+        let extras = rng.gen_range(1..4);
+        for _ in 0..extras {
+            let idx = rng.gen_range(3..catalog_size);
+            let name = format!("item_{idx}");
+            if !items.contains(&name) {
+                items.push(name);
+            }
+        }
+        table
+            .insert(Row::new(vec![
+                Value::Int(tid as i64),
+                Value::TextArray(items),
+            ]))
+            .map_err(MethodError::from)?;
+    }
+    Ok(table)
+}
+
+/// Generates a ratings table `(user_id, item_id, rating)` from a low-rank
+/// ground-truth model, for the matrix-factorization module (the
+/// "Recommendation" row of the paper's Table 2).
+///
+/// # Errors
+/// Returns [`MethodError::InvalidParameter`] for empty dimensions.
+pub fn ratings_data(
+    users: usize,
+    items: usize,
+    rank: usize,
+    observed_fraction: f64,
+    segments: usize,
+    seed: u64,
+) -> Result<Table> {
+    if users == 0 || items == 0 || rank == 0 {
+        return Err(MethodError::invalid_parameter(
+            "users/items/rank",
+            "must be positive",
+        ));
+    }
+    let schema = Schema::new(vec![
+        Column::new("user_id", ColumnType::Int),
+        Column::new("item_id", ColumnType::Int),
+        Column::new("rating", ColumnType::Double),
+    ]);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let user_factors: Vec<Vec<f64>> = (0..users)
+        .map(|_| (0..rank).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
+    let item_factors: Vec<Vec<f64>> = (0..items)
+        .map(|_| (0..rank).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
+    let mut table = Table::new(schema, segments).map_err(MethodError::from)?;
+    for (u, uf) in user_factors.iter().enumerate() {
+        for (i, itf) in item_factors.iter().enumerate() {
+            if rng.gen::<f64>() > observed_fraction {
+                continue;
+            }
+            let rating: f64 = uf.iter().zip(itf).map(|(a, b)| a * b).sum::<f64>()
+                + 0.05 * standard_normal(&mut rng);
+            table
+                .insert(Row::new(vec![
+                    Value::Int(u as i64),
+                    Value::Int(i as i64),
+                    Value::Double(rating),
+                ]))
+                .map_err(MethodError::from)?;
+        }
+    }
+    Ok(table)
+}
+
+/// Generates a corpus of synthetic documents for the LDA module: a table
+/// `(doc_id bigint, tokens text[])` drawn from `k` topics with distinct
+/// vocabularies.
+///
+/// # Errors
+/// Returns [`MethodError::InvalidParameter`] for empty dimensions.
+pub fn document_corpus(
+    documents: usize,
+    topics: usize,
+    words_per_topic: usize,
+    doc_length: usize,
+    segments: usize,
+    seed: u64,
+) -> Result<Table> {
+    if documents == 0 || topics == 0 || words_per_topic == 0 || doc_length == 0 {
+        return Err(MethodError::invalid_parameter(
+            "documents/topics/words_per_topic/doc_length",
+            "must be positive",
+        ));
+    }
+    let schema = Schema::new(vec![
+        Column::new("doc_id", ColumnType::Int),
+        Column::new("tokens", ColumnType::TextArray),
+    ]);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut table = Table::new(schema, segments).map_err(MethodError::from)?;
+    for d in 0..documents {
+        let dominant = d % topics;
+        let mut tokens = Vec::with_capacity(doc_length);
+        for _ in 0..doc_length {
+            // 80% of tokens come from the dominant topic's vocabulary.
+            let topic = if rng.gen::<f64>() < 0.8 {
+                dominant
+            } else {
+                rng.gen_range(0..topics)
+            };
+            let word = rng.gen_range(0..words_per_topic);
+            tokens.push(format!("t{topic}_w{word}"));
+        }
+        table
+            .insert(Row::new(vec![
+                Value::Int(d as i64),
+                Value::TextArray(tokens),
+            ]))
+            .map_err(MethodError::from)?;
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regression_data_shape_and_determinism() {
+        let a = linear_regression_data(100, 5, 0.1, 4, 42).unwrap();
+        let b = linear_regression_data(100, 5, 0.1, 4, 42).unwrap();
+        assert_eq!(a.table.row_count(), 100);
+        assert_eq!(a.true_coefficients.len(), 5);
+        assert_eq!(a.true_coefficients, b.true_coefficients);
+        assert_eq!(a.table.collect_rows(), b.table.collect_rows());
+        let c = linear_regression_data(100, 5, 0.1, 4, 43).unwrap();
+        assert_ne!(a.true_coefficients, c.true_coefficients);
+        assert!(linear_regression_data(0, 5, 0.1, 1, 0).is_err());
+        assert!(linear_regression_data(5, 0, 0.1, 1, 0).is_err());
+    }
+
+    #[test]
+    fn logistic_data_labels_are_binary() {
+        let d = logistic_regression_data(200, 3, 2, 7).unwrap();
+        assert_eq!(d.table.row_count(), 200);
+        for row in d.table.iter() {
+            let y = row.get(0).as_double().unwrap();
+            assert!(y == 0.0 || y == 1.0);
+        }
+        assert!(logistic_regression_data(0, 1, 1, 0).is_err());
+    }
+
+    #[test]
+    fn blobs_have_k_clusters() {
+        let d = gaussian_blobs(90, 3, 2, 0.5, 3, 11).unwrap();
+        assert_eq!(d.table.row_count(), 90);
+        assert_eq!(d.true_centers.len(), 3);
+        assert_eq!(d.assignments.len(), 90);
+        assert!(d.assignments.iter().all(|&a| a < 3));
+        assert!(gaussian_blobs(0, 3, 2, 0.5, 1, 0).is_err());
+    }
+
+    #[test]
+    fn market_basket_contains_pattern_items() {
+        let t = market_basket_data(500, 20, 4, 3).unwrap();
+        assert_eq!(t.row_count(), 500);
+        let with_pattern = t
+            .iter()
+            .filter(|r| {
+                r.get(1)
+                    .as_text_array()
+                    .unwrap()
+                    .contains(&"item_0".to_owned())
+            })
+            .count();
+        // ~40% of 500 = 200; allow generous slack.
+        assert!(with_pattern > 120 && with_pattern < 280);
+        assert!(market_basket_data(10, 2, 1, 0).is_err());
+    }
+
+    #[test]
+    fn ratings_and_corpus_generators() {
+        let r = ratings_data(10, 8, 2, 0.5, 2, 5).unwrap();
+        assert!(r.row_count() > 10);
+        assert!(r.row_count() <= 80);
+        assert!(ratings_data(0, 1, 1, 0.1, 1, 0).is_err());
+
+        let c = document_corpus(12, 3, 10, 30, 2, 9).unwrap();
+        assert_eq!(c.row_count(), 12);
+        for row in c.iter() {
+            assert_eq!(row.get(1).as_text_array().unwrap().len(), 30);
+        }
+        assert!(document_corpus(0, 1, 1, 1, 1, 0).is_err());
+    }
+}

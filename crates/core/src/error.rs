@@ -1,0 +1,113 @@
+//! Error type shared by all methods.
+
+use madlib_engine::EngineError;
+use madlib_linalg::LinalgError;
+use std::fmt;
+
+/// Convenience alias for method results.
+pub type Result<T> = std::result::Result<T, MethodError>;
+
+/// Errors produced by the method library.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MethodError {
+    /// The underlying engine reported an error (missing table/column, type
+    /// mismatch, non-convergent driver, ...).
+    Engine(EngineError),
+    /// A linear-algebra routine failed (singular matrix, shape mismatch, ...).
+    Linalg(LinalgError),
+    /// The input data is unusable for this method (empty, degenerate,
+    /// inconsistent dimensions across rows, ...).
+    InvalidInput {
+        /// Description of the problem.
+        message: String,
+    },
+    /// A hyper-parameter is out of range.
+    InvalidParameter {
+        /// Parameter name.
+        parameter: &'static str,
+        /// Description of the violated constraint.
+        message: String,
+    },
+    /// An iterative method failed to converge and was configured to treat
+    /// that as an error.
+    DidNotConverge {
+        /// Iterations completed.
+        iterations: usize,
+        /// Last observed convergence measure.
+        last_change: f64,
+    },
+}
+
+impl MethodError {
+    /// Constructs an [`MethodError::InvalidInput`].
+    pub fn invalid_input(message: impl Into<String>) -> Self {
+        MethodError::InvalidInput {
+            message: message.into(),
+        }
+    }
+
+    /// Constructs an [`MethodError::InvalidParameter`].
+    pub fn invalid_parameter(parameter: &'static str, message: impl Into<String>) -> Self {
+        MethodError::InvalidParameter {
+            parameter,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for MethodError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MethodError::Engine(e) => write!(f, "engine error: {e}"),
+            MethodError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            MethodError::InvalidInput { message } => write!(f, "invalid input: {message}"),
+            MethodError::InvalidParameter { parameter, message } => {
+                write!(f, "invalid parameter {parameter}: {message}")
+            }
+            MethodError::DidNotConverge {
+                iterations,
+                last_change,
+            } => write!(
+                f,
+                "did not converge after {iterations} iterations (last change {last_change:e})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MethodError {}
+
+impl From<EngineError> for MethodError {
+    fn from(e: EngineError) -> Self {
+        MethodError::Engine(e)
+    }
+}
+
+impl From<LinalgError> for MethodError {
+    fn from(e: LinalgError) -> Self {
+        MethodError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: MethodError = EngineError::TableNotFound { name: "t".into() }.into();
+        assert!(e.to_string().contains("engine error"));
+        let e: MethodError = LinalgError::EmptyInput { operation: "x" }.into();
+        assert!(e.to_string().contains("linear algebra"));
+        assert!(MethodError::invalid_input("no rows").to_string().contains("no rows"));
+        assert!(MethodError::invalid_parameter("k", "must be positive")
+            .to_string()
+            .contains("k"));
+        assert!(MethodError::DidNotConverge {
+            iterations: 7,
+            last_change: 0.5
+        }
+        .to_string()
+        .contains('7'));
+    }
+}

@@ -1,0 +1,5 @@
+//! Matrix-factorization methods.
+
+pub mod lowrank;
+
+pub use lowrank::{LowRankFactorization, LowRankModel};

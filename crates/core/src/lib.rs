@@ -1,0 +1,42 @@
+//! # madlib-core
+//!
+//! The MADlib-rs method library: the statistical methods listed in Table 1 of
+//! the paper, implemented in the macro/micro-programming style of Section 3 —
+//! every data-bound computation is a user-defined aggregate or a driver-
+//! function iteration over the [`madlib_engine`] substrate, and the in-core
+//! arithmetic goes through [`madlib_linalg`].
+//!
+//! | Paper Table 1 entry            | Module |
+//! |--------------------------------|--------|
+//! | Linear Regression              | [`regress::linear`] |
+//! | Logistic Regression            | [`regress::logistic`] |
+//! | Naive Bayes Classification     | [`classify::naive_bayes`] |
+//! | Decision Trees (C4.5)          | [`classify::decision_tree`] |
+//! | Support Vector Machines        | [`classify::svm`] |
+//! | k-Means Clustering             | [`cluster::kmeans`] |
+//! | SVD Matrix Factorization       | [`factor::lowrank`] |
+//! | Latent Dirichlet Allocation    | [`topic::lda`] |
+//! | Association Rules              | [`assoc::apriori`] |
+//! | Conjugate Gradient             | [`optim::conjugate_gradient`] |
+//! | Quantiles / Sketches / Profile | the `madlib-sketch` crate |
+//! | Sparse Vectors / Array Ops     | the `madlib-linalg` crate |
+//!
+//! In addition, [`datasets`] provides the synthetic workload generators used
+//! by the examples, tests and the benchmark harness, and [`validate`]
+//! provides evaluation metrics and cross-validation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assoc;
+pub mod classify;
+pub mod cluster;
+pub mod datasets;
+pub mod error;
+pub mod factor;
+pub mod optim;
+pub mod regress;
+pub mod topic;
+pub mod validate;
+
+pub use error::{MethodError, Result};

@@ -1,0 +1,174 @@
+//! Conjugate-gradient solver for symmetric positive-definite systems.
+//!
+//! Table 1 of the paper lists "Conjugate Gradient Optimization" among the
+//! support modules: MADlib uses it to solve the normal equations and as an
+//! inner solver for methods whose Hessian-vector products are cheap.  This is
+//! the standard (unpreconditioned) CG iteration; it touches the matrix only
+//! through matrix-vector products, so callers can pass either an explicit
+//! matrix or an implicit operator.
+
+use crate::error::{MethodError, Result};
+use madlib_linalg::{DenseMatrix, DenseVector};
+
+/// Result of a conjugate-gradient solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgResult {
+    /// The solution vector.
+    pub x: DenseVector,
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Final residual norm ‖b − Ax‖.
+    pub residual_norm: f64,
+    /// Whether the tolerance was reached.
+    pub converged: bool,
+}
+
+/// Solves `A x = b` for symmetric positive-definite `A` with conjugate
+/// gradients.
+///
+/// # Errors
+/// * [`MethodError::InvalidInput`] on shape mismatches.
+/// * [`MethodError::DidNotConverge`] if the residual does not drop below
+///   `tolerance · ‖b‖` within `max_iterations`.
+pub fn conjugate_gradient_solve(
+    a: &DenseMatrix,
+    b: &DenseVector,
+    tolerance: f64,
+    max_iterations: usize,
+) -> Result<CgResult> {
+    if !a.is_square() || a.rows() != b.len() {
+        return Err(MethodError::invalid_input(format!(
+            "conjugate gradient needs a square system; got {}x{} and rhs of length {}",
+            a.rows(),
+            a.cols(),
+            b.len()
+        )));
+    }
+    let n = b.len();
+    let mut x = DenseVector::zeros(n);
+    let mut r = b.clone();
+    let mut p = r.clone();
+    let b_norm = b.norm().max(1e-300);
+    let mut rs_old = r.dot(&r)?;
+
+    if rs_old.sqrt() <= tolerance * b_norm {
+        return Ok(CgResult {
+            x,
+            iterations: 0,
+            residual_norm: rs_old.sqrt(),
+            converged: true,
+        });
+    }
+
+    let mut iterations = 0;
+    while iterations < max_iterations.max(1) {
+        iterations += 1;
+        let ap = a.matvec(&p)?;
+        let p_ap = p.dot(&ap)?;
+        if p_ap <= 0.0 {
+            return Err(MethodError::invalid_input(
+                "matrix is not positive definite (non-positive curvature encountered)",
+            ));
+        }
+        let alpha = rs_old / p_ap;
+        x.axpy(alpha, &p)?;
+        r.axpy(-alpha, &ap)?;
+        let rs_new = r.dot(&r)?;
+        if rs_new.sqrt() <= tolerance * b_norm {
+            return Ok(CgResult {
+                x,
+                iterations,
+                residual_norm: rs_new.sqrt(),
+                converged: true,
+            });
+        }
+        let beta = rs_new / rs_old;
+        // p = r + beta * p
+        let mut new_p = r.clone();
+        new_p.axpy(beta, &p)?;
+        p = new_p;
+        rs_old = rs_new;
+    }
+    Err(MethodError::DidNotConverge {
+        iterations,
+        last_change: rs_old.sqrt(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd() -> DenseMatrix {
+        DenseMatrix::from_rows(&[
+            vec![4.0, 1.0, 0.0],
+            vec![1.0, 3.0, 0.5],
+            vec![0.0, 0.5, 2.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn solves_spd_system() {
+        let a = spd();
+        let b = DenseVector::from_vec(vec![1.0, 2.0, 3.0]);
+        let result = conjugate_gradient_solve(&a, &b, 1e-10, 100).unwrap();
+        assert!(result.converged);
+        assert!(result.iterations <= 3 + 1, "CG must converge in ≤ n iterations");
+        let ax = a.matvec(&result.x).unwrap();
+        for i in 0..3 {
+            assert!((ax[i] - b[i]).abs() < 1e-8);
+        }
+        assert!(result.residual_norm < 1e-8);
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero_immediately() {
+        let a = spd();
+        let b = DenseVector::zeros(3);
+        let result = conjugate_gradient_solve(&a, &b, 1e-10, 10).unwrap();
+        assert_eq!(result.iterations, 0);
+        assert_eq!(result.x.as_slice(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn agrees_with_cholesky() {
+        let a = spd();
+        let b = DenseVector::from_vec(vec![0.3, -1.2, 2.5]);
+        let cg = conjugate_gradient_solve(&a, &b, 1e-12, 50).unwrap();
+        let chol = madlib_linalg::decomposition::Cholesky::new(&a)
+            .unwrap()
+            .solve(&b)
+            .unwrap();
+        for i in 0..3 {
+            assert!((cg.x[i] - chol[i]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_shapes_and_indefinite_matrices() {
+        let rect = DenseMatrix::zeros(2, 3);
+        let b = DenseVector::zeros(2);
+        assert!(conjugate_gradient_solve(&rect, &b, 1e-8, 10).is_err());
+
+        let square = DenseMatrix::zeros(3, 3);
+        assert!(conjugate_gradient_solve(&square, &DenseVector::zeros(2), 1e-8, 10).is_err());
+
+        // Indefinite matrix triggers the curvature check when the right-hand
+        // side has a component along the negative eigenvector.
+        let indefinite =
+            DenseMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let b = DenseVector::from_vec(vec![1.0, -1.0]);
+        assert!(conjugate_gradient_solve(&indefinite, &b, 1e-8, 10).is_err());
+    }
+
+    #[test]
+    fn reports_non_convergence() {
+        // Very tight tolerance with a cap of one iteration on a 3-dimensional
+        // system cannot converge.
+        let a = spd();
+        let b = DenseVector::from_vec(vec![1.0, 2.0, 3.0]);
+        let err = conjugate_gradient_solve(&a, &b, 1e-15, 1);
+        assert!(matches!(err, Err(MethodError::DidNotConverge { .. })));
+    }
+}

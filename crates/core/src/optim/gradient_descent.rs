@@ -1,0 +1,229 @@
+//! Batch gradient descent over an engine table.
+//!
+//! Section 5.1 of the paper introduces gradient methods with the pseudocode
+//! `x ← x − α · G(x)`: a full gradient pass per iteration with a decaying
+//! step size.  This module provides that *batch* driver (the stochastic
+//! variant lives in the `madlib-convex` crate).  Each iteration computes the
+//! gradient with one parallel pass over the table via a caller-provided
+//! per-row gradient function, aggregated element-wise — the UDA pattern
+//! again — and the driver loop stages the (small) parameter vector between
+//! iterations.
+
+use crate::error::{MethodError, Result};
+use madlib_engine::iteration::{l2_relative_convergence, IterationConfig, IterationController};
+use madlib_engine::{Database, Executor, Row, Schema, Table};
+
+/// Result of a gradient-descent run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradientDescentResult {
+    /// Final parameter vector.
+    pub parameters: Vec<f64>,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Whether the convergence criterion was met.
+    pub converged: bool,
+}
+
+/// Batch gradient-descent driver.
+#[derive(Debug, Clone)]
+pub struct GradientDescent {
+    step_size: f64,
+    decay: f64,
+    max_iterations: usize,
+    tolerance: f64,
+}
+
+impl Default for GradientDescent {
+    fn default() -> Self {
+        Self {
+            step_size: 0.1,
+            decay: 1.0,
+            max_iterations: 200,
+            tolerance: 1e-7,
+        }
+    }
+}
+
+impl GradientDescent {
+    /// Creates a driver with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the initial step size α₀.
+    ///
+    /// # Errors
+    /// Returns [`MethodError::InvalidParameter`] for a non-positive step.
+    pub fn with_step_size(mut self, step_size: f64) -> Result<Self> {
+        if step_size <= 0.0 {
+            return Err(MethodError::invalid_parameter(
+                "step_size",
+                "must be positive",
+            ));
+        }
+        self.step_size = step_size;
+        Ok(self)
+    }
+
+    /// Sets the per-iteration decay exponent: the step at iteration `k` is
+    /// `α₀ / k^decay` (the paper's `α = 1/k` example corresponds to
+    /// `decay = 1`).
+    pub fn with_decay(mut self, decay: f64) -> Self {
+        self.decay = decay;
+        self
+    }
+
+    /// Sets the iteration cap.
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Sets the convergence tolerance on parameter movement.
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Minimizes `Σ_rows f_row(parameters)` where `per_row_gradient` returns
+    /// each row's gradient contribution.
+    ///
+    /// # Errors
+    /// Propagates engine errors and gradient-evaluation failures.
+    pub fn minimize<G>(
+        &self,
+        executor: &Executor,
+        database: &Database,
+        table: &Table,
+        initial: Vec<f64>,
+        per_row_gradient: G,
+    ) -> Result<GradientDescentResult>
+    where
+        G: Fn(&Row, &Schema, &[f64]) -> madlib_engine::Result<Vec<f64>> + Sync,
+    {
+        executor
+            .validate_input(table, true)
+            .map_err(MethodError::from)?;
+        let width = initial.len();
+        let config = IterationConfig {
+            max_iterations: self.max_iterations,
+            tolerance: self.tolerance,
+            fail_on_max_iterations: false,
+            state_table_name: "gradient_descent_state".to_owned(),
+        };
+        let controller = IterationController::new(database.clone(), config);
+        let outcome = controller
+            .run(
+                initial,
+                |params, iteration| {
+                    // One parallel pass computes all per-row gradients, which
+                    // are then reduced element-wise.
+                    let contributions = executor.parallel_map(table, |row, schema| {
+                        per_row_gradient(row, schema, params)
+                    })?;
+                    let mut gradient = vec![0.0; width];
+                    for c in &contributions {
+                        if c.len() != width {
+                            return Err(madlib_engine::EngineError::aggregate(format!(
+                                "gradient contribution has length {}, expected {width}",
+                                c.len()
+                            )));
+                        }
+                        for (g, v) in gradient.iter_mut().zip(c) {
+                            *g += v;
+                        }
+                    }
+                    let alpha = self.step_size / (iteration as f64).powf(self.decay);
+                    Ok(params
+                        .iter()
+                        .zip(&gradient)
+                        .map(|(p, g)| p - alpha * g)
+                        .collect())
+                },
+                l2_relative_convergence,
+            )
+            .map_err(MethodError::from)?;
+        Ok(GradientDescentResult {
+            parameters: outcome.final_state,
+            iterations: outcome.iterations,
+            converged: outcome.converged,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{labeled_point_schema, linear_regression_data};
+    use madlib_engine::aggregate::extract_labeled_point;
+
+    #[test]
+    fn minimizes_least_squares_to_ols_solution() {
+        let data = linear_regression_data(400, 3, 0.05, 2, 77).unwrap();
+        let db = Database::new(2).unwrap();
+        let n = data.table.row_count() as f64;
+        let result = GradientDescent::new()
+            .with_step_size(0.5)
+            .unwrap()
+            .with_decay(0.0)
+            .with_max_iterations(500)
+            .with_tolerance(1e-9)
+            .minimize(
+                &Executor::new(),
+                &db,
+                &data.table,
+                vec![0.0; 3],
+                move |row, schema, params| {
+                    let (y, x) = extract_labeled_point(row, schema, "y", "x")?;
+                    let pred: f64 = x.iter().zip(params).map(|(a, b)| a * b).sum();
+                    // Per-row gradient of the *mean* squared error.
+                    Ok(x.iter().map(|xi| 2.0 * (pred - y) * xi / n).collect())
+                },
+            )
+            .unwrap();
+        assert!(result.converged);
+        for (fitted, truth) in result.parameters.iter().zip(&data.true_coefficients) {
+            assert!((fitted - truth).abs() < 0.05, "{fitted} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn quadratic_in_one_dimension() {
+        // Minimize (w − 5)² using a single-row "table" carrying no data.
+        let mut table =
+            Table::new(labeled_point_schema(), 1).unwrap();
+        table
+            .insert(madlib_engine::row![0.0, vec![0.0]])
+            .unwrap();
+        let db = Database::new(1).unwrap();
+        let result = GradientDescent::new()
+            .with_step_size(0.4)
+            .unwrap()
+            .with_decay(0.0)
+            .with_max_iterations(200)
+            .minimize(&Executor::new(), &db, &table, vec![0.0], |_, _, params| {
+                Ok(vec![2.0 * (params[0] - 5.0)])
+            })
+            .unwrap();
+        assert!((result.parameters[0] - 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn parameter_validation_and_error_paths() {
+        assert!(GradientDescent::new().with_step_size(0.0).is_err());
+        assert!(GradientDescent::new().with_step_size(-1.0).is_err());
+
+        let db = Database::new(1).unwrap();
+        let empty = Table::new(labeled_point_schema(), 1).unwrap();
+        assert!(GradientDescent::new()
+            .minimize(&Executor::new(), &db, &empty, vec![0.0], |_, _, _| Ok(vec![0.0]))
+            .is_err());
+
+        // Wrong gradient width is reported.
+        let mut table = Table::new(labeled_point_schema(), 1).unwrap();
+        table.insert(madlib_engine::row![0.0, vec![0.0]]).unwrap();
+        assert!(GradientDescent::new()
+            .minimize(&Executor::new(), &db, &table, vec![0.0], |_, _, _| Ok(vec![0.0, 1.0]))
+            .is_err());
+    }
+}

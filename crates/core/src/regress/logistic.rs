@@ -1,0 +1,480 @@
+//! Binary logistic regression (paper Section 4.2).
+//!
+//! Fitted by iteratively reweighted least squares (IRLS, i.e. Newton's method
+//! on the log-likelihood), following the paper's Figure 3 control flow: a
+//! driver loop (the [`madlib_engine::iteration::IterationController`])
+//! repeatedly invokes a user-defined aggregate (`logregr_irls_step`) that
+//! computes one Newton update in a single parallel pass over the data, staging
+//! only the (small) coefficient state between iterations.
+//!
+//! An SGD-based solver for the same model lives in the `madlib-convex` crate
+//! (the paper's Section 5.1 framework); the two are cross-checked in the
+//! integration tests.
+
+use crate::error::{MethodError, Result};
+use madlib_engine::aggregate::extract_labeled_point;
+use madlib_engine::iteration::{IterationConfig, IterationController};
+use madlib_engine::{Aggregate, Database, Executor, Row, Schema, Table};
+use madlib_linalg::decomposition::SymmetricEigen;
+use madlib_linalg::{DenseMatrix, DenseVector};
+use madlib_stats::Normal;
+use serde::{Deserialize, Serialize};
+
+/// The logistic function σ(z) = 1 / (1 + e^{−z}).
+pub fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+/// Fitted binary logistic-regression model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogisticRegressionModel {
+    /// Fitted coefficients.
+    pub coef: Vec<f64>,
+    /// Standard error of each coefficient (from the inverse Fisher
+    /// information at the optimum).
+    pub std_err: Vec<f64>,
+    /// Wald z statistics.
+    pub z_stats: Vec<f64>,
+    /// Two-sided p-values of the Wald tests.
+    pub p_values: Vec<f64>,
+    /// Log-likelihood at the optimum.
+    pub log_likelihood: f64,
+    /// Number of IRLS iterations performed.
+    pub num_iterations: usize,
+    /// Whether the convergence criterion was met.
+    pub converged: bool,
+    /// Number of observations.
+    pub num_rows: u64,
+}
+
+impl LogisticRegressionModel {
+    /// Predicted probability `P(y = 1 | x)`.
+    ///
+    /// # Errors
+    /// Returns [`MethodError::InvalidInput`] on a feature-length mismatch.
+    pub fn predict_probability(&self, x: &[f64]) -> Result<f64> {
+        if x.len() != self.coef.len() {
+            return Err(MethodError::invalid_input(format!(
+                "feature length {} does not match coefficient length {}",
+                x.len(),
+                self.coef.len()
+            )));
+        }
+        Ok(sigmoid(self.coef.iter().zip(x).map(|(c, v)| c * v).sum()))
+    }
+
+    /// Predicted class label with a 0.5 threshold.
+    ///
+    /// # Errors
+    /// Returns [`MethodError::InvalidInput`] on a feature-length mismatch.
+    pub fn predict(&self, x: &[f64]) -> Result<bool> {
+        Ok(self.predict_probability(x)? >= 0.5)
+    }
+}
+
+/// One IRLS step as a user-defined aggregate: given the previous coefficient
+/// vector β, accumulate the Hessian `XᵀDX`, the gradient `Xᵀ(y − p)` and the
+/// log-likelihood in one pass.
+#[derive(Debug, Clone)]
+struct IrlsStep<'a> {
+    y_column: &'a str,
+    x_column: &'a str,
+    beta: &'a [f64],
+}
+
+/// Transition state for [`IrlsStep`].
+#[derive(Debug, Clone)]
+struct IrlsState {
+    num_rows: u64,
+    width: usize,
+    hessian: DenseMatrix,
+    gradient: DenseVector,
+    log_likelihood: f64,
+}
+
+impl IrlsState {
+    fn empty() -> Self {
+        Self {
+            num_rows: 0,
+            width: 0,
+            hessian: DenseMatrix::zeros(0, 0),
+            gradient: DenseVector::zeros(0),
+            log_likelihood: 0.0,
+        }
+    }
+}
+
+impl Aggregate for IrlsStep<'_> {
+    type State = IrlsState;
+    type Output = (DenseMatrix, DenseVector, f64, u64);
+
+    fn initial_state(&self) -> IrlsState {
+        IrlsState::empty()
+    }
+
+    fn transition(
+        &self,
+        state: &mut IrlsState,
+        row: &Row,
+        schema: &Schema,
+    ) -> madlib_engine::Result<()> {
+        let (y, x) = extract_labeled_point(row, schema, self.y_column, self.x_column)?;
+        if !(y == 0.0 || y == 1.0) {
+            return Err(madlib_engine::EngineError::aggregate(format!(
+                "logistic regression labels must be 0 or 1, found {y}"
+            )));
+        }
+        if state.num_rows == 0 {
+            state.width = x.len();
+            state.hessian = DenseMatrix::zeros(x.len(), x.len());
+            state.gradient = DenseVector::zeros(x.len());
+        } else if x.len() != state.width {
+            return Err(madlib_engine::EngineError::aggregate(format!(
+                "inconsistent feature width: expected {}, found {}",
+                state.width,
+                x.len()
+            )));
+        }
+        if x.len() != self.beta.len() {
+            return Err(madlib_engine::EngineError::aggregate(format!(
+                "feature width {} does not match coefficient width {}",
+                x.len(),
+                self.beta.len()
+            )));
+        }
+        state.num_rows += 1;
+        let eta: f64 = x.iter().zip(self.beta).map(|(a, b)| a * b).sum();
+        let p = sigmoid(eta);
+        let w = (p * (1.0 - p)).max(1e-12);
+        // Gradient of the log-likelihood: Σ (y − p) x.
+        for (g, xi) in state.gradient.as_mut_slice().iter_mut().zip(x) {
+            *g += (y - p) * xi;
+        }
+        // Hessian (negated): Σ w x xᵀ — only the lower triangle, symmetrized
+        // in finalize (same trick as linear regression).
+        for i in 0..x.len() {
+            for j in 0..=i {
+                state.hessian.add_to(i, j, w * x[i] * x[j]);
+            }
+        }
+        // Log-likelihood contribution.
+        state.log_likelihood += if y > 0.5 {
+            p.max(1e-300).ln()
+        } else {
+            (1.0 - p).max(1e-300).ln()
+        };
+        Ok(())
+    }
+
+    fn merge(&self, left: IrlsState, right: IrlsState) -> IrlsState {
+        if left.num_rows == 0 {
+            return right;
+        }
+        if right.num_rows == 0 {
+            return left;
+        }
+        let mut out = left;
+        out.num_rows += right.num_rows;
+        out.log_likelihood += right.log_likelihood;
+        out.gradient
+            .add_assign(&right.gradient)
+            .expect("equal widths");
+        out.hessian
+            .add_assign(&right.hessian)
+            .expect("equal widths");
+        out
+    }
+
+    fn finalize(
+        &self,
+        mut state: IrlsState,
+    ) -> madlib_engine::Result<(DenseMatrix, DenseVector, f64, u64)> {
+        if state.num_rows == 0 {
+            return Err(madlib_engine::EngineError::aggregate(
+                "logistic regression over empty input",
+            ));
+        }
+        state
+            .hessian
+            .symmetrize_from_lower()
+            .map_err(madlib_engine::EngineError::aggregate)?;
+        Ok((
+            state.hessian,
+            state.gradient,
+            state.log_likelihood,
+            state.num_rows,
+        ))
+    }
+}
+
+/// Binary logistic regression via an IRLS driver function.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    y_column: String,
+    x_column: String,
+    max_iterations: usize,
+    tolerance: f64,
+    ridge: f64,
+}
+
+impl LogisticRegression {
+    /// Creates the estimator with default settings (at most 50 IRLS
+    /// iterations, tolerance 1e-8, tiny ridge jitter for separable data).
+    pub fn new(y_column: impl Into<String>, x_column: impl Into<String>) -> Self {
+        Self {
+            y_column: y_column.into(),
+            x_column: x_column.into(),
+            max_iterations: 50,
+            tolerance: 1e-8,
+            ridge: 1e-8,
+        }
+    }
+
+    /// Sets the maximum number of IRLS iterations.
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Sets the convergence tolerance on relative coefficient movement.
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Sets the ridge term added to the Hessian diagonal (stabilizes
+    /// separable or collinear data).
+    pub fn with_ridge(mut self, ridge: f64) -> Self {
+        self.ridge = ridge;
+        self
+    }
+
+    /// Fits the model.  The `database` is used only to stage the (small)
+    /// inter-iteration coefficient state, exactly as in the paper's Figure 3;
+    /// the heavy per-iteration scan runs through `executor` over `table`.
+    ///
+    /// # Errors
+    /// Propagates engine errors; returns [`MethodError::InvalidInput`] for an
+    /// empty table or labels outside {0, 1}.
+    pub fn fit(
+        &self,
+        executor: &Executor,
+        database: &Database,
+        table: &Table,
+    ) -> Result<LogisticRegressionModel> {
+        executor
+            .validate_input(table, true)
+            .map_err(MethodError::from)?;
+        // Determine the feature width from the first row.
+        let first = table
+            .iter()
+            .next()
+            .ok_or_else(|| MethodError::invalid_input("empty input table"))?;
+        let width = first
+            .get_named(table.schema(), &self.x_column)
+            .map_err(MethodError::from)?
+            .as_double_array()
+            .map_err(MethodError::from)?
+            .len();
+
+        let config = IterationConfig {
+            max_iterations: self.max_iterations,
+            tolerance: self.tolerance,
+            fail_on_max_iterations: false,
+            state_table_name: "logregr_irls_state".to_owned(),
+        };
+        let controller = IterationController::new(database.clone(), config);
+
+        let outcome = controller
+            .run(
+                vec![0.0; width],
+                |beta, _iteration| {
+                    let step = IrlsStep {
+                        y_column: &self.y_column,
+                        x_column: &self.x_column,
+                        beta,
+                    };
+                    let (mut hessian, gradient, _ll, _n) = executor.aggregate(table, &step)?;
+                    for i in 0..width {
+                        hessian.add_to(i, i, self.ridge);
+                    }
+                    let eig = SymmetricEigen::new(&hessian)
+                        .map_err(madlib_engine::EngineError::aggregate)?;
+                    let delta = eig
+                        .pseudo_inverse(1e-12)
+                        .matvec(&gradient)
+                        .map_err(madlib_engine::EngineError::aggregate)?;
+                    Ok(beta
+                        .iter()
+                        .zip(delta.as_slice())
+                        .map(|(b, d)| b + d)
+                        .collect())
+                },
+                madlib_engine::iteration::l2_relative_convergence,
+            )
+            .map_err(MethodError::from)?;
+
+        // One more pass at the optimum for the Fisher information (standard
+        // errors) and the final log-likelihood.
+        let step = IrlsStep {
+            y_column: &self.y_column,
+            x_column: &self.x_column,
+            beta: &outcome.final_state,
+        };
+        let (mut hessian, _gradient, log_likelihood, num_rows) = executor
+            .aggregate(table, &step)
+            .map_err(MethodError::from)?;
+        for i in 0..width {
+            hessian.add_to(i, i, self.ridge);
+        }
+        let eig = SymmetricEigen::new(&hessian)?;
+        let covariance = eig.pseudo_inverse(1e-12);
+
+        let normal = Normal::standard();
+        let coef = outcome.final_state.clone();
+        let mut std_err = Vec::with_capacity(width);
+        let mut z_stats = Vec::with_capacity(width);
+        let mut p_values = Vec::with_capacity(width);
+        for (i, c) in coef.iter().enumerate() {
+            let se = covariance.get(i, i).max(0.0).sqrt();
+            std_err.push(se);
+            let z = if se > 0.0 { c / se } else { f64::INFINITY };
+            z_stats.push(z);
+            p_values.push(if z.is_finite() {
+                normal.two_sided_p_value(z)
+            } else {
+                0.0
+            });
+        }
+
+        Ok(LogisticRegressionModel {
+            coef,
+            std_err,
+            z_stats,
+            p_values,
+            log_likelihood,
+            num_iterations: outcome.iterations,
+            converged: outcome.converged,
+            num_rows,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{labeled_point_schema, logistic_regression_data};
+    use madlib_engine::row;
+
+    fn fit_on(table: &Table) -> LogisticRegressionModel {
+        let db = Database::new(table.num_segments()).unwrap();
+        LogisticRegression::new("y", "x")
+            .fit(&Executor::new(), &db, table)
+            .unwrap()
+    }
+
+    #[test]
+    fn sigmoid_basics() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(10.0) > 0.999);
+        assert!(sigmoid(-10.0) < 0.001);
+    }
+
+    #[test]
+    fn recovers_generator_coefficients() {
+        let data = logistic_regression_data(4000, 3, 4, 17).unwrap();
+        let model = fit_on(&data.table);
+        assert!(model.converged);
+        assert!(model.num_iterations <= 50);
+        assert_eq!(model.num_rows, 4000);
+        for (fitted, truth) in model.coef.iter().zip(&data.true_coefficients) {
+            assert!(
+                (fitted - truth).abs() < 0.4,
+                "fitted {fitted} vs truth {truth}"
+            );
+        }
+        // Log-likelihood of a fitted model must beat the null model.
+        let null_ll = 4000.0 * (0.5_f64).ln();
+        assert!(model.log_likelihood > null_ll);
+    }
+
+    #[test]
+    fn partition_invariance() {
+        let data = logistic_regression_data(800, 2, 1, 5).unwrap();
+        let reference = fit_on(&data.table);
+        for segs in [2, 5] {
+            let t = data.table.repartition(segs).unwrap();
+            let model = fit_on(&t);
+            for (a, b) in model.coef.iter().zip(&reference.coef) {
+                assert!((a - b).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn prediction_and_significance() {
+        let data = logistic_regression_data(3000, 2, 2, 23).unwrap();
+        let model = fit_on(&data.table);
+        // Predictions agree with the sign of the linear score under the true
+        // model for confident points.
+        let strongly_positive: Vec<f64> = data
+            .true_coefficients
+            .iter()
+            .map(|c| c.signum() * 1.0)
+            .collect();
+        assert!(model.predict_probability(&strongly_positive).unwrap() > 0.5);
+        assert!(model.predict(&strongly_positive).unwrap());
+        assert!(model.predict_probability(&[0.0]).is_err());
+        // Real features should be significant on 3000 rows.
+        assert!(model.p_values.iter().all(|&p| p < 0.05));
+        assert!(model.std_err.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn rejects_bad_labels_and_empty_input() {
+        let db = Database::new(2).unwrap();
+        let mut bad = Table::new(labeled_point_schema(), 2).unwrap();
+        bad.insert(row![2.0, vec![1.0]]).unwrap();
+        assert!(LogisticRegression::new("y", "x")
+            .fit(&Executor::new(), &db, &bad)
+            .is_err());
+
+        let empty = Table::new(labeled_point_schema(), 2).unwrap();
+        assert!(LogisticRegression::new("y", "x")
+            .fit(&Executor::new(), &db, &empty)
+            .is_err());
+    }
+
+    #[test]
+    fn separable_data_is_stabilized_by_ridge() {
+        // Perfectly separable single feature.
+        let mut t = Table::new(labeled_point_schema(), 2).unwrap();
+        for i in 0..40 {
+            let x = i as f64 - 20.0;
+            let y = if x > 0.0 { 1.0 } else { 0.0 };
+            t.insert(row![y, vec![1.0, x]]).unwrap();
+        }
+        let db = Database::new(2).unwrap();
+        let model = LogisticRegression::new("y", "x")
+            .with_ridge(1e-3)
+            .with_max_iterations(30)
+            .fit(&Executor::new(), &db, &t)
+            .unwrap();
+        assert!(model.coef[1] > 0.0);
+        assert!(model.coef.iter().all(|c| c.is_finite()));
+        // Temp state tables are cleaned up.
+        assert!(db.list_tables().is_empty());
+    }
+
+    #[test]
+    fn builder_options() {
+        let lr = LogisticRegression::new("y", "x")
+            .with_max_iterations(5)
+            .with_tolerance(1e-3)
+            .with_ridge(0.1);
+        let data = logistic_regression_data(200, 2, 2, 3).unwrap();
+        let db = Database::new(2).unwrap();
+        let model = lr.fit(&Executor::new(), &db, &data.table).unwrap();
+        assert!(model.num_iterations <= 5);
+    }
+}

@@ -1,0 +1,7 @@
+//! Regression methods: ordinary least squares and binary logistic regression.
+
+pub mod linear;
+pub mod logistic;
+
+pub use linear::{LinearRegression, LinearRegressionModel};
+pub use logistic::{LogisticRegression, LogisticRegressionModel};

@@ -1,0 +1,5 @@
+//! Topic models.
+
+pub mod lda;
+
+pub use lda::{Lda, LdaModel};

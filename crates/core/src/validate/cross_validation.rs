@@ -1,0 +1,96 @@
+//! k-fold cross-validation splits.
+//!
+//! MADlib ships a cross-validation harness around its estimators; here the
+//! split generation is provided as a reusable primitive (deterministic, seeded
+//! shuffling) that examples and tests combine with any of the method
+//! estimators.
+
+use crate::error::{MethodError, Result};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One train/test split of row indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fold {
+    /// Indices of training rows.
+    pub train: Vec<usize>,
+    /// Indices of held-out test rows.
+    pub test: Vec<usize>,
+}
+
+/// Produces `k` folds over `n` row indices after a seeded shuffle.
+///
+/// Every index appears in exactly one test fold; fold sizes differ by at most
+/// one.
+///
+/// # Errors
+/// Returns [`MethodError::InvalidParameter`] when `k < 2` or `k > n`.
+pub fn kfold_indices(n: usize, k: usize, seed: u64) -> Result<Vec<Fold>> {
+    if k < 2 {
+        return Err(MethodError::invalid_parameter("k", "must be at least 2"));
+    }
+    if k > n {
+        return Err(MethodError::invalid_parameter(
+            "k",
+            format!("cannot exceed the number of rows ({n})"),
+        ));
+    }
+    let mut indices: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    indices.shuffle(&mut rng);
+
+    let mut folds = Vec::with_capacity(k);
+    let base = n / k;
+    let remainder = n % k;
+    let mut start = 0;
+    for fold_idx in 0..k {
+        let size = base + usize::from(fold_idx < remainder);
+        let test: Vec<usize> = indices[start..start + size].to_vec();
+        let train: Vec<usize> = indices[..start]
+            .iter()
+            .chain(&indices[start + size..])
+            .copied()
+            .collect();
+        folds.push(Fold { train, test });
+        start += size;
+    }
+    Ok(folds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn folds_partition_all_indices() {
+        let folds = kfold_indices(103, 5, 42).unwrap();
+        assert_eq!(folds.len(), 5);
+        let mut seen = BTreeSet::new();
+        for fold in &folds {
+            assert_eq!(fold.train.len() + fold.test.len(), 103);
+            for &i in &fold.test {
+                assert!(seen.insert(i), "index {i} appears in two test folds");
+                assert!(!fold.train.contains(&i));
+            }
+        }
+        assert_eq!(seen.len(), 103);
+        // Fold sizes differ by at most one.
+        let sizes: Vec<usize> = folds.iter().map(|f| f.test.len()).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(kfold_indices(50, 4, 7).unwrap(), kfold_indices(50, 4, 7).unwrap());
+        assert_ne!(kfold_indices(50, 4, 7).unwrap(), kfold_indices(50, 4, 8).unwrap());
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(kfold_indices(10, 1, 0).is_err());
+        assert!(kfold_indices(3, 5, 0).is_err());
+        assert!(kfold_indices(5, 5, 0).is_ok());
+    }
+}

@@ -1,0 +1,153 @@
+//! Evaluation metrics for classification and regression.
+
+use crate::error::{MethodError, Result};
+
+/// Fraction of positions where `predicted == actual`.
+///
+/// # Errors
+/// Returns [`MethodError::InvalidInput`] for mismatched or empty inputs.
+pub fn accuracy<T: PartialEq>(predicted: &[T], actual: &[T]) -> Result<f64> {
+    check(predicted.len(), actual.len())?;
+    let correct = predicted
+        .iter()
+        .zip(actual)
+        .filter(|(p, a)| p == a)
+        .count();
+    Ok(correct as f64 / predicted.len() as f64)
+}
+
+/// Binary confusion counts `(true_positives, false_positives, true_negatives,
+/// false_negatives)` where `true` is the positive class.
+///
+/// # Errors
+/// Returns [`MethodError::InvalidInput`] for mismatched or empty inputs.
+pub fn confusion_counts(predicted: &[bool], actual: &[bool]) -> Result<(u64, u64, u64, u64)> {
+    check(predicted.len(), actual.len())?;
+    let mut tp = 0;
+    let mut fp = 0;
+    let mut tn = 0;
+    let mut fn_ = 0;
+    for (&p, &a) in predicted.iter().zip(actual) {
+        match (p, a) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, false) => tn += 1,
+            (false, true) => fn_ += 1,
+        }
+    }
+    Ok((tp, fp, tn, fn_))
+}
+
+/// Precision, recall and F1 for the positive class.  Undefined ratios
+/// (zero denominators) are reported as 0.
+///
+/// # Errors
+/// Returns [`MethodError::InvalidInput`] for mismatched or empty inputs.
+pub fn precision_recall_f1(predicted: &[bool], actual: &[bool]) -> Result<(f64, f64, f64)> {
+    let (tp, fp, _tn, fn_) = confusion_counts(predicted, actual)?;
+    let precision = if tp + fp > 0 {
+        tp as f64 / (tp + fp) as f64
+    } else {
+        0.0
+    };
+    let recall = if tp + fn_ > 0 {
+        tp as f64 / (tp + fn_) as f64
+    } else {
+        0.0
+    };
+    let f1 = if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    };
+    Ok((precision, recall, f1))
+}
+
+/// Mean squared error.
+///
+/// # Errors
+/// Returns [`MethodError::InvalidInput`] for mismatched or empty inputs.
+pub fn mean_squared_error(predicted: &[f64], actual: &[f64]) -> Result<f64> {
+    check(predicted.len(), actual.len())?;
+    Ok(predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a) * (p - a))
+        .sum::<f64>()
+        / predicted.len() as f64)
+}
+
+/// Coefficient of determination R².
+///
+/// # Errors
+/// Returns [`MethodError::InvalidInput`] for mismatched or empty inputs.
+pub fn r_squared(predicted: &[f64], actual: &[f64]) -> Result<f64> {
+    check(predicted.len(), actual.len())?;
+    let mean = actual.iter().sum::<f64>() / actual.len() as f64;
+    let ss_res: f64 = predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (a - p) * (a - p))
+        .sum();
+    let ss_tot: f64 = actual.iter().map(|a| (a - mean) * (a - mean)).sum();
+    if ss_tot <= 0.0 {
+        return Ok(1.0);
+    }
+    Ok(1.0 - ss_res / ss_tot)
+}
+
+fn check(p: usize, a: usize) -> Result<()> {
+    if p == 0 || p != a {
+        return Err(MethodError::invalid_input(format!(
+            "metric inputs must be non-empty and equal length (got {p} and {a})"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_and_confusion() {
+        let predicted = [true, true, false, false];
+        let actual = [true, false, false, true];
+        assert_eq!(accuracy(&predicted, &actual).unwrap(), 0.5);
+        let (tp, fp, tn, fn_) = confusion_counts(&predicted, &actual).unwrap();
+        assert_eq!((tp, fp, tn, fn_), (1, 1, 1, 1));
+        let (precision, recall, f1) = precision_recall_f1(&predicted, &actual).unwrap();
+        assert_eq!(precision, 0.5);
+        assert_eq!(recall, 0.5);
+        assert_eq!(f1, 0.5);
+    }
+
+    #[test]
+    fn degenerate_precision_recall() {
+        // No positive predictions, no positive actuals.
+        let (p, r, f1) = precision_recall_f1(&[false, false], &[false, false]).unwrap();
+        assert_eq!((p, r, f1), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn regression_metrics() {
+        let actual = [1.0, 2.0, 3.0, 4.0];
+        let perfect = actual;
+        assert_eq!(mean_squared_error(&perfect, &actual).unwrap(), 0.0);
+        assert_eq!(r_squared(&perfect, &actual).unwrap(), 1.0);
+        let off_by_one = [2.0, 3.0, 4.0, 5.0];
+        assert_eq!(mean_squared_error(&off_by_one, &actual).unwrap(), 1.0);
+        assert!(r_squared(&off_by_one, &actual).unwrap() < 1.0);
+        // Constant actuals: R² defined as 1 for an exact fit.
+        assert_eq!(r_squared(&[2.0, 2.0], &[2.0, 2.0]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(accuracy::<i32>(&[], &[]).is_err());
+        assert!(accuracy(&[1], &[1, 2]).is_err());
+        assert!(mean_squared_error(&[1.0], &[]).is_err());
+        assert!(r_squared(&[], &[]).is_err());
+        assert!(confusion_counts(&[true], &[]).is_err());
+    }
+}

@@ -1,0 +1,8 @@
+//! Model-evaluation utilities: classification/regression metrics and k-fold
+//! cross-validation splits.
+
+pub mod cross_validation;
+pub mod metrics;
+
+pub use cross_validation::kfold_indices;
+pub use metrics::{accuracy, confusion_counts, mean_squared_error, precision_recall_f1, r_squared};

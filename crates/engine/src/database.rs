@@ -1,0 +1,312 @@
+//! The database: a catalog of named tables plus temp-table support.
+//!
+//! The driver-function pattern from the paper (Section 3.1.2, Figure 3)
+//! stages inter-iteration state in temporary tables created with
+//! `CREATE TEMP TABLE ... AS SELECT ...` so that "all large-data movement is
+//! done within the database engine".  [`Database`] provides that catalog:
+//! regular tables, temp tables (dropped on [`Database::drop_temp_tables`]),
+//! and a default segment count that new tables inherit (the analogue of the
+//! cluster's segment configuration).
+
+use crate::error::{EngineError, Result};
+use crate::schema::Schema;
+use crate::table::{Distribution, Table};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+#[derive(Debug)]
+struct CatalogEntry {
+    table: Table,
+    is_temp: bool,
+}
+
+/// An in-memory database: named tables partitioned across a configurable
+/// number of segments.
+#[derive(Debug, Clone)]
+pub struct Database {
+    inner: Arc<RwLock<HashMap<String, CatalogEntry>>>,
+    num_segments: usize,
+}
+
+impl Database {
+    /// Creates a database whose tables default to `num_segments` partitions.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::InvalidSegmentCount`] when `num_segments == 0`.
+    pub fn new(num_segments: usize) -> Result<Self> {
+        if num_segments == 0 {
+            return Err(EngineError::InvalidSegmentCount { requested: 0 });
+        }
+        Ok(Self {
+            inner: Arc::new(RwLock::new(HashMap::new())),
+            num_segments,
+        })
+    }
+
+    /// Default segment count for new tables.
+    pub fn num_segments(&self) -> usize {
+        self.num_segments
+    }
+
+    /// Creates an empty (regular) table.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::TableAlreadyExists`] on a name collision.
+    pub fn create_table(&self, name: &str, schema: Schema) -> Result<()> {
+        self.create_internal(name, schema, Distribution::RoundRobin, false)
+    }
+
+    /// Creates an empty table with an explicit distribution policy.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::TableAlreadyExists`] on a name collision or a
+    /// distribution error.
+    pub fn create_table_distributed(
+        &self,
+        name: &str,
+        schema: Schema,
+        distribution: Distribution,
+    ) -> Result<()> {
+        self.create_internal(name, schema, distribution, false)
+    }
+
+    /// Creates an empty temp table (`CREATE TEMP TABLE`).  Temp tables behave
+    /// exactly like regular tables but are dropped by
+    /// [`Database::drop_temp_tables`], which method drivers call when an
+    /// iteration completes.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::TableAlreadyExists`] on a name collision.
+    pub fn create_temp_table(&self, name: &str, schema: Schema) -> Result<()> {
+        self.create_internal(name, schema, Distribution::RoundRobin, true)
+    }
+
+    fn create_internal(
+        &self,
+        name: &str,
+        schema: Schema,
+        distribution: Distribution,
+        is_temp: bool,
+    ) -> Result<()> {
+        let mut catalog = self.inner.write();
+        if catalog.contains_key(name) {
+            return Err(EngineError::TableAlreadyExists {
+                name: name.to_owned(),
+            });
+        }
+        let table = Table::with_distribution(schema, self.num_segments, distribution)?;
+        catalog.insert(name.to_owned(), CatalogEntry { table, is_temp });
+        Ok(())
+    }
+
+    /// Registers an already-populated table under `name` (the programmatic
+    /// equivalent of `CREATE TABLE ... AS SELECT`).
+    ///
+    /// # Errors
+    /// Returns [`EngineError::TableAlreadyExists`] on a name collision.
+    pub fn register_table(&self, name: &str, table: Table) -> Result<()> {
+        let mut catalog = self.inner.write();
+        if catalog.contains_key(name) {
+            return Err(EngineError::TableAlreadyExists {
+                name: name.to_owned(),
+            });
+        }
+        catalog.insert(
+            name.to_owned(),
+            CatalogEntry {
+                table,
+                is_temp: false,
+            },
+        );
+        Ok(())
+    }
+
+    /// Returns a clone of the named table.
+    ///
+    /// Cloning keeps the API simple and mirrors a snapshot read; method
+    /// drivers operate on the snapshot and write results back under a new
+    /// name.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::TableNotFound`] for an unknown name.
+    pub fn table(&self, name: &str) -> Result<Table> {
+        self.inner
+            .read()
+            .get(name)
+            .map(|e| e.table.clone())
+            .ok_or_else(|| EngineError::TableNotFound {
+                name: name.to_owned(),
+            })
+    }
+
+    /// Whether the named table exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.inner.read().contains_key(name)
+    }
+
+    /// Lists table names (sorted) together with their temp status.
+    pub fn list_tables(&self) -> Vec<(String, bool)> {
+        let mut names: Vec<(String, bool)> = self
+            .inner
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.is_temp))
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Applies a mutation to the named table in place (insert rows, truncate,
+    /// etc.).
+    ///
+    /// # Errors
+    /// Returns [`EngineError::TableNotFound`] for an unknown name and
+    /// propagates errors from the mutation closure.
+    pub fn with_table_mut<T>(
+        &self,
+        name: &str,
+        mutate: impl FnOnce(&mut Table) -> Result<T>,
+    ) -> Result<T> {
+        let mut catalog = self.inner.write();
+        let entry = catalog
+            .get_mut(name)
+            .ok_or_else(|| EngineError::TableNotFound {
+                name: name.to_owned(),
+            })?;
+        mutate(&mut entry.table)
+    }
+
+    /// Replaces the contents of the named table with `table` (the
+    /// `CREATE TABLE AS SELECT` + `DROP TABLE` pattern the paper recommends
+    /// over large `UPDATE`s in PostgreSQL, Section 4.3).
+    ///
+    /// # Errors
+    /// Returns [`EngineError::TableNotFound`] for an unknown name.
+    pub fn replace_table(&self, name: &str, table: Table) -> Result<()> {
+        let mut catalog = self.inner.write();
+        let entry = catalog
+            .get_mut(name)
+            .ok_or_else(|| EngineError::TableNotFound {
+                name: name.to_owned(),
+            })?;
+        entry.table = table;
+        Ok(())
+    }
+
+    /// Drops the named table.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::TableNotFound`] for an unknown name.
+    pub fn drop_table(&self, name: &str) -> Result<()> {
+        let mut catalog = self.inner.write();
+        catalog
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| EngineError::TableNotFound {
+                name: name.to_owned(),
+            })
+    }
+
+    /// Drops all temp tables, returning how many were removed.
+    pub fn drop_temp_tables(&self) -> usize {
+        let mut catalog = self.inner.write();
+        let before = catalog.len();
+        catalog.retain(|_, e| !e.is_temp);
+        before - catalog.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::schema::{Column, ColumnType};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("id", ColumnType::Int),
+            Column::new("v", ColumnType::Double),
+        ])
+    }
+
+    #[test]
+    fn create_insert_read() {
+        let db = Database::new(4).unwrap();
+        db.create_table("data", schema()).unwrap();
+        assert!(db.has_table("data"));
+        db.with_table_mut("data", |t| {
+            t.insert(row![1i64, 2.0])?;
+            t.insert(row![2i64, 3.0])
+        })
+        .unwrap();
+        let t = db.table("data").unwrap();
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.num_segments(), 4);
+        assert_eq!(db.num_segments(), 4);
+    }
+
+    #[test]
+    fn duplicate_and_missing_names() {
+        let db = Database::new(2).unwrap();
+        db.create_table("t", schema()).unwrap();
+        assert!(matches!(
+            db.create_table("t", schema()),
+            Err(EngineError::TableAlreadyExists { .. })
+        ));
+        assert!(matches!(
+            db.table("missing"),
+            Err(EngineError::TableNotFound { .. })
+        ));
+        assert!(db.drop_table("missing").is_err());
+        assert!(db.with_table_mut("missing", |_| Ok(())).is_err());
+        assert!(db.replace_table("missing", Table::new(schema(), 1).unwrap()).is_err());
+        assert!(Database::new(0).is_err());
+    }
+
+    #[test]
+    fn temp_tables_are_dropped_together() {
+        let db = Database::new(2).unwrap();
+        db.create_table("keep", schema()).unwrap();
+        db.create_temp_table("iter_state_1", schema()).unwrap();
+        db.create_temp_table("iter_state_2", schema()).unwrap();
+        assert_eq!(db.list_tables().len(), 3);
+        assert_eq!(db.drop_temp_tables(), 2);
+        assert!(db.has_table("keep"));
+        assert!(!db.has_table("iter_state_1"));
+    }
+
+    #[test]
+    fn register_and_replace() {
+        let db = Database::new(3).unwrap();
+        let mut t = Table::new(schema(), 3).unwrap();
+        t.insert(row![1i64, 1.0]).unwrap();
+        db.register_table("snapshot", t.clone()).unwrap();
+        assert!(db.register_table("snapshot", t).is_err());
+        assert_eq!(db.table("snapshot").unwrap().row_count(), 1);
+
+        let replacement = Table::new(schema(), 3).unwrap();
+        db.replace_table("snapshot", replacement).unwrap();
+        assert_eq!(db.table("snapshot").unwrap().row_count(), 0);
+    }
+
+    #[test]
+    fn list_tables_sorted_with_temp_flag() {
+        let db = Database::new(1).unwrap();
+        db.create_table("zeta", schema()).unwrap();
+        db.create_temp_table("alpha", schema()).unwrap();
+        let listing = db.list_tables();
+        assert_eq!(listing[0], ("alpha".to_owned(), true));
+        assert_eq!(listing[1], ("zeta".to_owned(), false));
+    }
+
+    #[test]
+    fn database_is_cheaply_cloneable_and_shared() {
+        let db = Database::new(2).unwrap();
+        db.create_table("shared", schema()).unwrap();
+        let db2 = db.clone();
+        db2.with_table_mut("shared", |t| t.insert(row![1i64, 1.0]))
+            .unwrap();
+        assert_eq!(db.table("shared").unwrap().row_count(), 1);
+    }
+}

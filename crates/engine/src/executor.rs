@@ -1,0 +1,374 @@
+//! Parallel segment executor.
+//!
+//! Runs user-defined aggregates over a partitioned [`Table`] with one worker
+//! per segment, mirroring Greenplum's "one query process per segment"
+//! execution model that the paper's Figure 4/5 evaluation sweeps over.
+//! The transition function streams over each segment locally; the resulting
+//! per-segment states are merged on the coordinating thread; and the final
+//! function produces the output.  Only the (small) transition states ever
+//! cross segment boundaries — the property the paper credits for its
+//! near-linear parallel speedup.
+
+use crate::aggregate::Aggregate;
+use crate::error::{EngineError, Result};
+use crate::expr::Predicate;
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::table::Table;
+
+/// Statistics describing one aggregate execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecutionStats {
+    /// Rows scanned across all segments.
+    pub rows_scanned: u64,
+    /// Rows that passed the filter (equals `rows_scanned` when no filter).
+    pub rows_aggregated: u64,
+    /// Number of segment workers used.
+    pub segments: usize,
+}
+
+/// Executes aggregates over partitioned tables.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Executor {
+    /// When true (default), segments are processed by parallel worker
+    /// threads; when false everything runs on the calling thread, which is
+    /// occasionally useful for debugging and for measuring parallel speedup.
+    parallel: bool,
+}
+
+impl Executor {
+    /// Creates a parallel executor (one worker per segment).
+    pub fn new() -> Self {
+        Self { parallel: true }
+    }
+
+    /// Creates an executor that processes segments serially on the calling
+    /// thread.  The per-segment transition/merge structure is identical, so
+    /// results match the parallel path exactly.
+    pub fn serial() -> Self {
+        Self { parallel: false }
+    }
+
+    /// Whether this executor runs segments in parallel.
+    pub fn is_parallel(&self) -> bool {
+        self.parallel
+    }
+
+    /// Runs `aggregate` over every row of `table`, returning the finalized
+    /// output.
+    ///
+    /// # Errors
+    /// Propagates transition/final errors from the aggregate.
+    pub fn aggregate<A: Aggregate>(&self, table: &Table, aggregate: &A) -> Result<A::Output> {
+        self.aggregate_filtered(table, aggregate, None)
+    }
+
+    /// Runs `aggregate` over the rows of `table` accepted by `filter`,
+    /// returning the finalized output together with execution statistics.
+    ///
+    /// # Errors
+    /// Propagates transition/final errors from the aggregate and predicate
+    /// evaluation errors from the filter.
+    pub fn aggregate_with_stats<A: Aggregate>(
+        &self,
+        table: &Table,
+        aggregate: &A,
+        filter: Option<&Predicate>,
+    ) -> Result<(A::Output, ExecutionStats)> {
+        let schema = table.schema();
+        let num_segments = table.num_segments();
+
+        let segment_results: Vec<Result<(A::State, u64, u64)>> = if self.parallel
+            && num_segments > 1
+        {
+            let mut results: Vec<Option<Result<(A::State, u64, u64)>>> =
+                (0..num_segments).map(|_| None).collect();
+            crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(num_segments);
+                for seg in 0..num_segments {
+                    let rows = table.segment(seg);
+                    handles.push(scope.spawn(move |_| {
+                        Self::run_segment(aggregate, rows, schema, filter)
+                    }));
+                }
+                for (seg, handle) in handles.into_iter().enumerate() {
+                    results[seg] = Some(handle.join().expect("segment worker panicked"));
+                }
+            })
+            .expect("crossbeam scope failed");
+            results.into_iter().map(|r| r.expect("segment result missing")).collect()
+        } else {
+            (0..num_segments)
+                .map(|seg| Self::run_segment(aggregate, table.segment(seg), schema, filter))
+                .collect()
+        };
+
+        let mut merged: Option<A::State> = None;
+        let mut stats = ExecutionStats {
+            rows_scanned: 0,
+            rows_aggregated: 0,
+            segments: num_segments,
+        };
+        for res in segment_results {
+            let (state, scanned, aggregated) = res?;
+            stats.rows_scanned += scanned;
+            stats.rows_aggregated += aggregated;
+            merged = Some(match merged {
+                None => state,
+                Some(prev) => aggregate.merge(prev, state),
+            });
+        }
+        let state = merged.unwrap_or_else(|| aggregate.initial_state());
+        Ok((aggregate.finalize(state)?, stats))
+    }
+
+    /// Like [`Executor::aggregate`] but with an optional row filter.
+    ///
+    /// # Errors
+    /// Propagates aggregate and predicate errors.
+    pub fn aggregate_filtered<A: Aggregate>(
+        &self,
+        table: &Table,
+        aggregate: &A,
+        filter: Option<&Predicate>,
+    ) -> Result<A::Output> {
+        Ok(self.aggregate_with_stats(table, aggregate, filter)?.0)
+    }
+
+    fn run_segment<A: Aggregate>(
+        aggregate: &A,
+        rows: &[Row],
+        schema: &Schema,
+        filter: Option<&Predicate>,
+    ) -> Result<(A::State, u64, u64)> {
+        let mut state = aggregate.initial_state();
+        let mut scanned = 0u64;
+        let mut aggregated = 0u64;
+        for row in rows {
+            scanned += 1;
+            if let Some(pred) = filter {
+                if !pred.evaluate(row, schema)? {
+                    continue;
+                }
+            }
+            aggregated += 1;
+            aggregate.transition(&mut state, row, schema)?;
+        }
+        Ok((state, scanned, aggregated))
+    }
+
+    /// Runs a grouped aggregation: rows are grouped by the value of
+    /// `group_column` and `aggregate` is evaluated independently per group.
+    /// Groups are returned sorted by their key's display form for
+    /// determinism.
+    ///
+    /// The grouping is evaluated per segment and the per-segment group states
+    /// merged, so the data-parallel structure is identical to the ungrouped
+    /// path (this is what lets MADlib run e.g. one regression per group in a
+    /// single pass, as discussed for grouping constructs in Section 4.2).
+    ///
+    /// # Errors
+    /// Propagates aggregate and column-lookup errors.
+    pub fn aggregate_grouped<A: Aggregate>(
+        &self,
+        table: &Table,
+        group_column: &str,
+        aggregate: &A,
+    ) -> Result<Vec<(crate::value::Value, A::Output)>> {
+        use std::collections::HashMap;
+        let schema = table.schema();
+        let group_idx = schema.index_of(group_column)?;
+        // Keyed by the stable display string of the group value (f64 is not
+        // Eq/Hash); the representative Value is kept alongside.
+        let mut groups: HashMap<String, (crate::value::Value, A::State)> = HashMap::new();
+        for seg in 0..table.num_segments() {
+            for row in table.segment(seg) {
+                let key_value = row.get(group_idx).clone();
+                let key = key_value.to_string();
+                let entry = groups
+                    .entry(key)
+                    .or_insert_with(|| (key_value.clone(), aggregate.initial_state()));
+                aggregate.transition(&mut entry.1, row, schema)?;
+            }
+        }
+        let mut out: Vec<(crate::value::Value, A::Output)> = Vec::with_capacity(groups.len());
+        let mut entries: Vec<(String, (crate::value::Value, A::State))> =
+            groups.into_iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        for (_, (value, state)) in entries {
+            out.push((value, aggregate.finalize(state)?));
+        }
+        Ok(out)
+    }
+
+    /// Applies `map` to every row in parallel per segment and collects the
+    /// outputs (segment order preserved).  This is the engine's equivalent of
+    /// a parallel projection / per-row UDF scan.
+    ///
+    /// # Errors
+    /// Propagates errors returned by `map`.
+    pub fn parallel_map<T, F>(&self, table: &Table, map: F) -> Result<Vec<T>>
+    where
+        T: Send,
+        F: Fn(&Row, &Schema) -> Result<T> + Sync,
+    {
+        let schema = table.schema();
+        let num_segments = table.num_segments();
+        let map_ref = &map;
+        if self.parallel && num_segments > 1 {
+            let mut per_segment: Vec<Option<Result<Vec<T>>>> =
+                (0..num_segments).map(|_| None).collect();
+            crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(num_segments);
+                for seg in 0..num_segments {
+                    let rows = table.segment(seg);
+                    handles.push(scope.spawn(move |_| {
+                        rows.iter().map(|r| map_ref(r, schema)).collect::<Result<Vec<T>>>()
+                    }));
+                }
+                for (seg, handle) in handles.into_iter().enumerate() {
+                    per_segment[seg] = Some(handle.join().expect("segment worker panicked"));
+                }
+            })
+            .expect("crossbeam scope failed");
+            let mut out = Vec::new();
+            for res in per_segment {
+                out.extend(res.expect("segment result missing")?);
+            }
+            Ok(out)
+        } else {
+            let mut out = Vec::with_capacity(table.row_count());
+            for seg in 0..num_segments {
+                for row in table.segment(seg) {
+                    out.push(map(row, schema)?);
+                }
+            }
+            Ok(out)
+        }
+    }
+
+    /// Validates that the executor can run against the table (non-empty when
+    /// `require_rows` is set).  Utility used by method drivers to produce a
+    /// friendlier error than an empty-aggregate failure.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::InvalidArgument`] for an empty table when rows
+    /// are required.
+    pub fn validate_input(&self, table: &Table, require_rows: bool) -> Result<()> {
+        if require_rows && table.is_empty() {
+            return Err(EngineError::invalid("input table has no rows"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::{ArraySumAggregate, AvgAggregate, CountAggregate, SumAggregate};
+    use crate::expr::Predicate;
+    use crate::row;
+    use crate::schema::{Column, ColumnType, Schema};
+    use crate::value::Value;
+
+    fn make_table(segments: usize, rows: usize) -> Table {
+        let schema = Schema::new(vec![
+            Column::new("grp", ColumnType::Text),
+            Column::new("y", ColumnType::Double),
+            Column::new("x", ColumnType::DoubleArray),
+        ]);
+        let mut t = Table::new(schema, segments).unwrap();
+        for i in 0..rows {
+            let grp = if i % 2 == 0 { "even" } else { "odd" };
+            t.insert(row![grp, i as f64, vec![i as f64, 1.0]]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let t = make_table(4, 100);
+        let parallel = Executor::new();
+        let serial = Executor::serial();
+        assert!(parallel.is_parallel());
+        assert!(!serial.is_parallel());
+        let sum_par = parallel.aggregate(&t, &SumAggregate::new("y")).unwrap();
+        let sum_ser = serial.aggregate(&t, &SumAggregate::new("y")).unwrap();
+        assert_eq!(sum_par, sum_ser);
+        assert_eq!(sum_par, (0..100).map(|i| i as f64).sum::<f64>());
+    }
+
+    #[test]
+    fn results_invariant_to_partitioning() {
+        let base = make_table(1, 60);
+        let expected = Executor::new()
+            .aggregate(&base, &ArraySumAggregate::new("x"))
+            .unwrap();
+        for segs in [2, 3, 5, 8] {
+            let t = base.repartition(segs).unwrap();
+            let got = Executor::new()
+                .aggregate(&t, &ArraySumAggregate::new("x"))
+                .unwrap();
+            assert_eq!(got, expected, "mismatch at {segs} segments");
+        }
+    }
+
+    #[test]
+    fn filtered_aggregation_and_stats() {
+        let t = make_table(3, 10);
+        let exec = Executor::new();
+        let pred = Predicate::column_gt("y", 4.5);
+        let (count, stats) = exec
+            .aggregate_with_stats(&t, &CountAggregate, Some(&pred))
+            .unwrap();
+        assert_eq!(count, 5); // y in {5..9}
+        assert_eq!(stats.rows_scanned, 10);
+        assert_eq!(stats.rows_aggregated, 5);
+        assert_eq!(stats.segments, 3);
+    }
+
+    #[test]
+    fn empty_table_aggregates() {
+        let t = make_table(2, 0);
+        let exec = Executor::new();
+        assert_eq!(exec.aggregate(&t, &CountAggregate).unwrap(), 0);
+        assert_eq!(exec.aggregate(&t, &AvgAggregate::new("y")).unwrap(), None);
+        assert!(exec.aggregate(&t, &ArraySumAggregate::new("x")).is_err());
+        assert!(exec.validate_input(&t, true).is_err());
+        assert!(exec.validate_input(&t, false).is_ok());
+    }
+
+    #[test]
+    fn grouped_aggregation() {
+        let t = make_table(4, 10);
+        let exec = Executor::new();
+        let groups = exec
+            .aggregate_grouped(&t, "grp", &CountAggregate)
+            .unwrap();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].0, Value::Text("even".into()));
+        assert_eq!(groups[0].1, 5);
+        assert_eq!(groups[1].0, Value::Text("odd".into()));
+        assert_eq!(groups[1].1, 5);
+        assert!(exec.aggregate_grouped(&t, "missing", &CountAggregate).is_err());
+    }
+
+    #[test]
+    fn parallel_map_preserves_all_rows() {
+        let t = make_table(4, 20);
+        let exec = Executor::new();
+        let doubled: Vec<f64> = exec
+            .parallel_map(&t, |row, schema| {
+                Ok(row.get_named(schema, "y")?.as_double()? * 2.0)
+            })
+            .unwrap();
+        assert_eq!(doubled.len(), 20);
+        let sum: f64 = doubled.iter().sum();
+        assert_eq!(sum, 2.0 * (0..20).map(|i| i as f64).sum::<f64>());
+        // Errors propagate.
+        let err = exec.parallel_map(&t, |row, schema| {
+            row.get_named(schema, "grp")?.as_double().map(|_| ())
+        });
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,188 @@
+//! Simple row predicates.
+//!
+//! The engine does not ship a SQL parser — MADlib's macro-programming layer
+//! only needs scans, filters, aggregates and temp tables, all of which have
+//! programmatic equivalents here.  [`Predicate`] covers the `WHERE` clauses
+//! the method drivers actually issue (equality / comparison on a column,
+//! conjunction, negation).
+
+use crate::error::Result;
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// A boolean-valued expression over a row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Always true (scan everything).
+    True,
+    /// Named column equals the given value (SQL `=`; NULL never matches).
+    ColumnEquals {
+        /// Column name.
+        column: String,
+        /// Comparison value.
+        value: Value,
+    },
+    /// Named numeric column is strictly greater than the threshold.
+    ColumnGreaterThan {
+        /// Column name.
+        column: String,
+        /// Threshold.
+        threshold: f64,
+    },
+    /// Named numeric column is strictly less than the threshold.
+    ColumnLessThan {
+        /// Column name.
+        column: String,
+        /// Threshold.
+        threshold: f64,
+    },
+    /// Named column is NULL.
+    ColumnIsNull {
+        /// Column name.
+        column: String,
+    },
+    /// Both sub-predicates hold.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Either sub-predicate holds.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// The sub-predicate does not hold.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Convenience constructor for [`Predicate::ColumnEquals`].
+    pub fn column_eq(column: impl Into<String>, value: impl Into<Value>) -> Self {
+        Predicate::ColumnEquals {
+            column: column.into(),
+            value: value.into(),
+        }
+    }
+
+    /// Convenience constructor for [`Predicate::ColumnGreaterThan`].
+    pub fn column_gt(column: impl Into<String>, threshold: f64) -> Self {
+        Predicate::ColumnGreaterThan {
+            column: column.into(),
+            threshold,
+        }
+    }
+
+    /// Convenience constructor for [`Predicate::ColumnLessThan`].
+    pub fn column_lt(column: impl Into<String>, threshold: f64) -> Self {
+        Predicate::ColumnLessThan {
+            column: column.into(),
+            threshold,
+        }
+    }
+
+    /// Conjunction.
+    pub fn and(self, other: Predicate) -> Self {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction.
+    pub fn or(self, other: Predicate) -> Self {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        Predicate::Not(Box::new(self))
+    }
+
+    /// Evaluates the predicate against a row.
+    ///
+    /// # Errors
+    /// Propagates column-lookup and numeric-coercion errors.
+    pub fn evaluate(&self, row: &Row, schema: &Schema) -> Result<bool> {
+        match self {
+            Predicate::True => Ok(true),
+            Predicate::ColumnEquals { column, value } => {
+                let v = row.get_named(schema, column)?;
+                if v.is_null() || value.is_null() {
+                    return Ok(false);
+                }
+                Ok(v == value)
+            }
+            Predicate::ColumnGreaterThan { column, threshold } => {
+                let v = row.get_named(schema, column)?;
+                if v.is_null() {
+                    return Ok(false);
+                }
+                Ok(v.as_double()? > *threshold)
+            }
+            Predicate::ColumnLessThan { column, threshold } => {
+                let v = row.get_named(schema, column)?;
+                if v.is_null() {
+                    return Ok(false);
+                }
+                Ok(v.as_double()? < *threshold)
+            }
+            Predicate::ColumnIsNull { column } => {
+                Ok(row.get_named(schema, column)?.is_null())
+            }
+            Predicate::And(a, b) => Ok(a.evaluate(row, schema)? && b.evaluate(row, schema)?),
+            Predicate::Or(a, b) => Ok(a.evaluate(row, schema)? || b.evaluate(row, schema)?),
+            Predicate::Not(p) => Ok(!p.evaluate(row, schema)?),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::schema::{Column, ColumnType};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("label", ColumnType::Text),
+            Column::new("score", ColumnType::Double),
+        ])
+    }
+
+    #[test]
+    fn comparison_predicates() {
+        let s = schema();
+        let r = row!["spam", 0.8];
+        assert!(Predicate::column_eq("label", "spam").evaluate(&r, &s).unwrap());
+        assert!(!Predicate::column_eq("label", "ham").evaluate(&r, &s).unwrap());
+        assert!(Predicate::column_gt("score", 0.5).evaluate(&r, &s).unwrap());
+        assert!(Predicate::column_lt("score", 0.9).evaluate(&r, &s).unwrap());
+        assert!(!Predicate::column_lt("score", 0.8).evaluate(&r, &s).unwrap());
+        assert!(Predicate::True.evaluate(&r, &s).unwrap());
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let s = schema();
+        let r = row!["spam", 0.8];
+        let p = Predicate::column_eq("label", "spam").and(Predicate::column_gt("score", 0.5));
+        assert!(p.evaluate(&r, &s).unwrap());
+        let q = Predicate::column_eq("label", "ham").or(Predicate::column_gt("score", 0.5));
+        assert!(q.evaluate(&r, &s).unwrap());
+        assert!(!q.not().evaluate(&r, &s).unwrap());
+    }
+
+    #[test]
+    fn null_handling() {
+        let s = schema();
+        let r = Row::new(vec![Value::Null, Value::Null]);
+        assert!(!Predicate::column_eq("label", "spam").evaluate(&r, &s).unwrap());
+        assert!(!Predicate::column_gt("score", 0.0).evaluate(&r, &s).unwrap());
+        assert!(!Predicate::column_lt("score", 0.0).evaluate(&r, &s).unwrap());
+        assert!(Predicate::ColumnIsNull {
+            column: "score".into()
+        }
+        .evaluate(&r, &s)
+        .unwrap());
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let s = schema();
+        let r = row!["x", 1.0];
+        assert!(Predicate::column_eq("nope", 1.0).evaluate(&r, &s).is_err());
+    }
+}

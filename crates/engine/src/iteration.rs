@@ -1,0 +1,324 @@
+//! Driver-function iteration harness.
+//!
+//! Many MADlib methods are iterative (Section 3.1.2): logistic regression
+//! via iteratively reweighted least squares, k-means, gradient descent, and
+//! the MCMC methods of Section 5.2.  The paper's solution is a *driver UDF*
+//! that controls the iteration from a scripting language while all heavy
+//! lifting stays inside the database engine; inter-iteration state is staged
+//! in a temporary table keyed by iteration number (Figure 3).
+//!
+//! [`IterationController`] reproduces that control flow:
+//!
+//! 1. create a temp state table (`iteration`, `state`);
+//! 2. repeatedly run one data-parallel step (a UDA over the source table,
+//!    parameterized by the previous state), appending the new state;
+//! 3. test convergence on the (small) states only;
+//! 4. return the last state and drop the temp table.
+
+use crate::database::Database;
+use crate::error::{EngineError, Result};
+use crate::row::Row;
+use crate::schema::{Column, ColumnType, Schema};
+use crate::value::Value;
+
+/// Outcome of a completed iterative driver run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationOutcome {
+    /// Number of iterations executed (at least 1 unless `max_iterations` is 0).
+    pub iterations: usize,
+    /// Whether the convergence test was satisfied (as opposed to stopping at
+    /// the iteration cap).
+    pub converged: bool,
+    /// The final inter-iteration state.
+    pub final_state: Vec<f64>,
+    /// The full state history, one entry per completed iteration.
+    pub history: Vec<Vec<f64>>,
+}
+
+/// Configuration for an iterative driver.
+#[derive(Debug, Clone)]
+pub struct IterationConfig {
+    /// Maximum number of iterations before giving up.
+    pub max_iterations: usize,
+    /// Convergence tolerance, interpreted by the convergence test.
+    pub tolerance: f64,
+    /// When true, reaching `max_iterations` without converging is an error
+    /// ([`EngineError::DidNotConverge`]); when false the last state is
+    /// returned with `converged == false`.
+    pub fail_on_max_iterations: bool,
+    /// Name of the temp table used to stage inter-iteration state.
+    pub state_table_name: String,
+}
+
+impl Default for IterationConfig {
+    fn default() -> Self {
+        Self {
+            max_iterations: 100,
+            tolerance: 1e-6,
+            fail_on_max_iterations: false,
+            state_table_name: "iterative_algorithm".to_owned(),
+        }
+    }
+}
+
+/// Drives a multi-pass algorithm in the paper's driver-UDF style.
+#[derive(Debug)]
+pub struct IterationController {
+    db: Database,
+    config: IterationConfig,
+}
+
+impl IterationController {
+    /// Creates a controller that stages state in `db`.
+    pub fn new(db: Database, config: IterationConfig) -> Self {
+        Self { db, config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &IterationConfig {
+        &self.config
+    }
+
+    /// Runs the iteration.
+    ///
+    /// * `initial_state` — the iteration-0 inter-iteration state (e.g. the
+    ///   zero coefficient vector for logistic regression, or the seeded
+    ///   centroids for k-means, flattened to `Vec<f64>`).
+    /// * `step` — executes one data-parallel pass given the previous state
+    ///   and returns the next state.  This is where the UDA over the source
+    ///   table runs; the controller itself never touches the large data.
+    /// * `converged` — given (previous, next, tolerance), decides whether to
+    ///   stop.  Typical implementations compare coefficient movement or the
+    ///   number of reassigned points.
+    ///
+    /// # Errors
+    /// Propagates step errors; returns [`EngineError::DidNotConverge`] when
+    /// configured to fail at the iteration cap.
+    pub fn run<S, C>(
+        &self,
+        initial_state: Vec<f64>,
+        mut step: S,
+        mut converged: C,
+    ) -> Result<IterationOutcome>
+    where
+        S: FnMut(&[f64], usize) -> Result<Vec<f64>>,
+        C: FnMut(&[f64], &[f64], f64) -> bool,
+    {
+        // CREATE TEMP TABLE iterative_algorithm AS SELECT 0 AS iteration, ...
+        let state_schema = Schema::new(vec![
+            Column::new("iteration", ColumnType::Int),
+            Column::new("state", ColumnType::DoubleArray),
+        ]);
+        let table_name = self.unique_state_table_name();
+        self.db.create_temp_table(&table_name, state_schema)?;
+        self.db.with_table_mut(&table_name, |t| {
+            t.insert(Row::new(vec![
+                Value::Int(0),
+                Value::DoubleArray(initial_state.clone()),
+            ]))
+        })?;
+
+        let mut previous = initial_state;
+        let mut history = Vec::new();
+        let mut iterations = 0;
+        let mut did_converge = false;
+
+        while iterations < self.config.max_iterations {
+            let current_iteration = iterations + 1;
+            let next = step(&previous, current_iteration)?;
+            // INSERT INTO iterative_algorithm SELECT iteration + 1, <UDA>.
+            self.db.with_table_mut(&table_name, |t| {
+                t.insert(Row::new(vec![
+                    Value::Int(current_iteration as i64),
+                    Value::DoubleArray(next.clone()),
+                ]))
+            })?;
+            history.push(next.clone());
+            iterations = current_iteration;
+            if converged(&previous, &next, self.config.tolerance) {
+                previous = next;
+                did_converge = true;
+                break;
+            }
+            previous = next;
+        }
+
+        // SELECT internal_..._result(state) ... then drop the temp table.
+        self.db.drop_table(&table_name)?;
+
+        if !did_converge && self.config.fail_on_max_iterations {
+            return Err(EngineError::DidNotConverge { iterations });
+        }
+        Ok(IterationOutcome {
+            iterations,
+            converged: did_converge,
+            final_state: previous,
+            history,
+        })
+    }
+
+    fn unique_state_table_name(&self) -> String {
+        // Suffix with a counter if the preferred name is taken, so nested
+        // drivers (e.g. cross-validation around logistic regression) work.
+        let base = &self.config.state_table_name;
+        if !self.db.has_table(base) {
+            return base.clone();
+        }
+        let mut i = 1;
+        loop {
+            let candidate = format!("{base}_{i}");
+            if !self.db.has_table(&candidate) {
+                return candidate;
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Standard convergence test: relative L2 movement of the state vector.
+///
+/// Returns true when `‖next − previous‖ ≤ tolerance · (1 + ‖previous‖)`.
+pub fn l2_relative_convergence(previous: &[f64], next: &[f64], tolerance: f64) -> bool {
+    if previous.len() != next.len() {
+        return false;
+    }
+    let mut diff = 0.0;
+    let mut base = 0.0;
+    for (p, n) in previous.iter().zip(next) {
+        diff += (p - n) * (p - n);
+        base += p * p;
+    }
+    diff.sqrt() <= tolerance * (1.0 + base.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn database() -> Database {
+        Database::new(2).unwrap()
+    }
+
+    #[test]
+    fn converges_on_fixed_point() {
+        let db = database();
+        let controller = IterationController::new(db.clone(), IterationConfig::default());
+        // x_{k+1} = (x_k + 2/x_k)/2 converges to sqrt(2).
+        let outcome = controller
+            .run(
+                vec![1.0],
+                |state, _| Ok(vec![(state[0] + 2.0 / state[0]) / 2.0]),
+                l2_relative_convergence,
+            )
+            .unwrap();
+        assert!(outcome.converged);
+        assert!((outcome.final_state[0] - 2.0_f64.sqrt()).abs() < 1e-6);
+        assert!(outcome.iterations < 20);
+        assert_eq!(outcome.history.len(), outcome.iterations);
+        // Temp table is cleaned up.
+        assert!(db.list_tables().is_empty());
+    }
+
+    #[test]
+    fn stops_at_iteration_cap_without_error_by_default() {
+        let db = database();
+        let config = IterationConfig {
+            max_iterations: 5,
+            ..IterationConfig::default()
+        };
+        let controller = IterationController::new(db, config);
+        let outcome = controller
+            .run(
+                vec![0.0],
+                |state, _| Ok(vec![state[0] + 1.0]), // never converges
+                |_, _, _| false,
+            )
+            .unwrap();
+        assert!(!outcome.converged);
+        assert_eq!(outcome.iterations, 5);
+        assert_eq!(outcome.final_state, vec![5.0]);
+    }
+
+    #[test]
+    fn fails_at_cap_when_configured() {
+        let db = database();
+        let config = IterationConfig {
+            max_iterations: 3,
+            fail_on_max_iterations: true,
+            ..IterationConfig::default()
+        };
+        let controller = IterationController::new(db, config);
+        let result = controller.run(vec![0.0], |s, _| Ok(vec![s[0] + 1.0]), |_, _, _| false);
+        assert!(matches!(result, Err(EngineError::DidNotConverge { .. })));
+    }
+
+    #[test]
+    fn step_errors_propagate() {
+        let db = database();
+        let controller = IterationController::new(db, IterationConfig::default());
+        let result = controller.run(
+            vec![0.0],
+            |_, iteration| {
+                if iteration >= 2 {
+                    Err(EngineError::aggregate("numerical failure"))
+                } else {
+                    Ok(vec![1.0])
+                }
+            },
+            |_, _, _| false,
+        );
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn nested_drivers_get_distinct_state_tables() {
+        let db = database();
+        let outer = IterationController::new(db.clone(), IterationConfig::default());
+        let outcome = outer
+            .run(
+                vec![0.0],
+                |state, _| {
+                    // Run a nested driver inside the outer step.
+                    let inner =
+                        IterationController::new(db.clone(), IterationConfig::default());
+                    let inner_outcome = inner
+                        .run(
+                            vec![1.0],
+                            |s, _| Ok(vec![s[0] * 0.5]),
+                            |p, n, _| (p[0] - n[0]).abs() < 1e-3,
+                        )
+                        .unwrap();
+                    Ok(vec![state[0] + inner_outcome.final_state[0]])
+                },
+                |_, _, _| true, // one outer iteration
+            )
+            .unwrap();
+        assert_eq!(outcome.iterations, 1);
+        assert!(db.list_tables().is_empty());
+    }
+
+    #[test]
+    fn l2_relative_convergence_behaviour() {
+        assert!(l2_relative_convergence(&[1.0, 1.0], &[1.0, 1.0], 1e-9));
+        assert!(!l2_relative_convergence(&[1.0, 1.0], &[2.0, 1.0], 1e-3));
+        assert!(!l2_relative_convergence(&[1.0], &[1.0, 2.0], 1.0));
+        // Scale invariance: large states tolerate proportionally large moves.
+        assert!(l2_relative_convergence(&[1e9], &[1e9 + 1.0], 1e-6));
+    }
+
+    #[test]
+    fn zero_max_iterations_returns_initial_state() {
+        let db = database();
+        let config = IterationConfig {
+            max_iterations: 0,
+            ..IterationConfig::default()
+        };
+        let controller = IterationController::new(db, config);
+        let outcome = controller
+            .run(vec![7.0], |_, _| unreachable!("no iterations expected"), |_, _, _| true)
+            .unwrap();
+        assert_eq!(outcome.iterations, 0);
+        assert_eq!(outcome.final_state, vec![7.0]);
+        assert!(!outcome.converged);
+    }
+}

@@ -1,0 +1,44 @@
+//! # madlib-engine
+//!
+//! A small in-memory, shared-nothing parallel database engine that plays the
+//! role PostgreSQL/Greenplum plays for the original MADlib library.
+//!
+//! The MADlib paper is not about a new DBMS — it is about a *pattern* for
+//! layering scalable analytics on top of one.  The pattern has three parts
+//! (Section 3.1 of the paper), and each has a direct equivalent here:
+//!
+//! | Paper construct                         | This crate                      |
+//! |-----------------------------------------|---------------------------------|
+//! | Shared-nothing segments (Greenplum)     | [`Table`] partitions + [`executor`] worker threads |
+//! | User-defined aggregate (transition / merge / final) | the [`aggregate::Aggregate`] trait |
+//! | Driver UDF + temp tables for iteration  | [`iteration::IterationController`] + [`Database`] temp tables |
+//! | Templated queries over arbitrary schemas| [`template`] schema introspection |
+//!
+//! Data flows exactly as in the paper: large data lives in partitioned
+//! tables, transition functions stream over each partition locally and in
+//! parallel, per-segment states are merged, and only small model states ever
+//! cross the "driver" boundary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod database;
+pub mod error;
+pub mod executor;
+pub mod expr;
+pub mod iteration;
+pub mod row;
+pub mod schema;
+pub mod table;
+pub mod template;
+pub mod value;
+
+pub use aggregate::Aggregate;
+pub use database::Database;
+pub use error::{EngineError, Result};
+pub use executor::Executor;
+pub use row::Row;
+pub use schema::{Column, ColumnType, Schema};
+pub use table::Table;
+pub use value::Value;

@@ -1,0 +1,103 @@
+//! Rows: ordered tuples of values.
+
+use crate::error::Result;
+use crate::schema::Schema;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// A tuple of values, positionally matching some [`Schema`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    values: Vec<Value>,
+}
+
+impl Row {
+    /// Creates a row from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Self { values }
+    }
+
+    /// Number of values in the row.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The values, in column order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Value at position `idx`.
+    pub fn get(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+
+    /// Convenience accessor: value of the named column, resolved via `schema`.
+    ///
+    /// # Errors
+    /// Returns [`crate::EngineError::ColumnNotFound`] for an unknown column.
+    pub fn get_named(&self, schema: &Schema, name: &str) -> Result<&Value> {
+        Ok(&self.values[schema.index_of(name)?])
+    }
+
+    /// Consumes the row and returns its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(values: Vec<Value>) -> Self {
+        Self::new(values)
+    }
+}
+
+/// Builds a row from anything convertible to [`Value`]s.
+///
+/// ```
+/// use madlib_engine::{row, Value};
+/// let r = row![1i64, 2.5, "label"];
+/// assert_eq!(r.get(0), &Value::Int(1));
+/// assert_eq!(r.get(1), &Value::Double(2.5));
+/// ```
+#[macro_export]
+macro_rules! row {
+    ($($value:expr),* $(,)?) => {
+        $crate::Row::new(vec![$($crate::Value::from($value)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, ColumnType};
+
+    #[test]
+    fn construction_and_access() {
+        let r = Row::new(vec![Value::Int(1), Value::Double(2.0)]);
+        assert_eq!(r.arity(), 2);
+        assert_eq!(r.get(1), &Value::Double(2.0));
+        assert_eq!(r.values().len(), 2);
+        assert_eq!(r.clone().into_values().len(), 2);
+    }
+
+    #[test]
+    fn named_access_via_schema() {
+        let schema = Schema::new(vec![
+            Column::new("a", ColumnType::Int),
+            Column::new("b", ColumnType::Double),
+        ]);
+        let r = Row::new(vec![Value::Int(7), Value::Double(1.5)]);
+        assert_eq!(r.get_named(&schema, "b").unwrap(), &Value::Double(1.5));
+        assert!(r.get_named(&schema, "zzz").is_err());
+    }
+
+    #[test]
+    fn row_macro_converts_types() {
+        let r = row![42i64, 3.25, true, "text"];
+        assert_eq!(r.get(0), &Value::Int(42));
+        assert_eq!(r.get(1), &Value::Double(3.25));
+        assert_eq!(r.get(2), &Value::Bool(true));
+        assert_eq!(r.get(3), &Value::Text("text".into()));
+    }
+}

@@ -1,0 +1,292 @@
+//! Partitioned tables.
+//!
+//! A [`Table`] is the engine's unit of storage: a schema plus rows spread
+//! across a fixed number of *segments* (partitions).  Each segment models one
+//! Greenplum segment process from the paper's evaluation cluster; the
+//! executor runs one worker thread per segment so that aggregate transition
+//! functions stream over their local partition exactly as a parallel DBMS
+//! would.
+//!
+//! Rows are distributed either round-robin (the default, giving balanced
+//! partitions for the dense numeric workloads in the paper's Section 4.4
+//! experiments) or by hashing a distribution column (`DISTRIBUTED BY` in
+//! Greenplum DDL).
+
+use crate::error::{EngineError, Result};
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// How rows are assigned to segments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Distribution {
+    /// Round-robin assignment (balanced, no locality guarantee).
+    RoundRobin,
+    /// Hash of the named column (co-locates equal keys).
+    HashColumn(String),
+}
+
+/// A schema-validated, segment-partitioned, in-memory table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: Schema,
+    segments: Vec<Vec<Row>>,
+    distribution: Distribution,
+    next_round_robin: usize,
+}
+
+impl Table {
+    /// Creates an empty table with the given schema, segment count and
+    /// round-robin distribution.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::InvalidSegmentCount`] when `num_segments == 0`.
+    pub fn new(schema: Schema, num_segments: usize) -> Result<Self> {
+        Self::with_distribution(schema, num_segments, Distribution::RoundRobin)
+    }
+
+    /// Creates an empty table with an explicit distribution policy.
+    ///
+    /// # Errors
+    /// * [`EngineError::InvalidSegmentCount`] when `num_segments == 0`.
+    /// * [`EngineError::ColumnNotFound`] when hashing on an unknown column.
+    pub fn with_distribution(
+        schema: Schema,
+        num_segments: usize,
+        distribution: Distribution,
+    ) -> Result<Self> {
+        if num_segments == 0 {
+            return Err(EngineError::InvalidSegmentCount { requested: 0 });
+        }
+        if let Distribution::HashColumn(ref name) = distribution {
+            schema.index_of(name)?;
+        }
+        Ok(Self {
+            schema,
+            segments: vec![Vec::new(); num_segments],
+            distribution,
+            next_round_robin: 0,
+        })
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of segments (partitions).
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Total number of rows across all segments.
+    pub fn row_count(&self) -> usize {
+        self.segments.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.row_count() == 0
+    }
+
+    /// Rows stored in a single segment.
+    pub fn segment(&self, idx: usize) -> &[Row] {
+        &self.segments[idx]
+    }
+
+    /// The distribution policy.
+    pub fn distribution(&self) -> &Distribution {
+        &self.distribution
+    }
+
+    /// Inserts a row, validating it against the schema and routing it to a
+    /// segment according to the distribution policy.
+    ///
+    /// # Errors
+    /// Propagates schema-validation errors.
+    pub fn insert(&mut self, row: Row) -> Result<()> {
+        self.schema.validate(row.values())?;
+        let seg = match &self.distribution {
+            Distribution::RoundRobin => {
+                let seg = self.next_round_robin;
+                self.next_round_robin = (self.next_round_robin + 1) % self.segments.len();
+                seg
+            }
+            Distribution::HashColumn(name) => {
+                let idx = self.schema.index_of(name)?;
+                (row.get(idx).stable_hash() % self.segments.len() as u64) as usize
+            }
+        };
+        self.segments[seg].push(row);
+        Ok(())
+    }
+
+    /// Inserts many rows.
+    ///
+    /// # Errors
+    /// Stops at and reports the first invalid row.
+    pub fn insert_all<I: IntoIterator<Item = Row>>(&mut self, rows: I) -> Result<()> {
+        for row in rows {
+            self.insert(row)?;
+        }
+        Ok(())
+    }
+
+    /// Iterates over all rows in segment order.  Large scans inside methods
+    /// should instead go through the parallel [`crate::Executor`]; this
+    /// serial iterator exists for small result tables and tests.
+    pub fn iter(&self) -> impl Iterator<Item = &Row> {
+        self.segments.iter().flat_map(|s| s.iter())
+    }
+
+    /// Collects all rows into a vector (serial; for small tables).
+    pub fn collect_rows(&self) -> Vec<Row> {
+        self.iter().cloned().collect()
+    }
+
+    /// Returns a new table with identical content but repartitioned across a
+    /// different number of segments.  Used by the benchmark harness to sweep
+    /// the "# segments" axis of Figure 4 over the same logical data.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::InvalidSegmentCount`] when `num_segments == 0`.
+    pub fn repartition(&self, num_segments: usize) -> Result<Table> {
+        let mut out = Table::with_distribution(
+            self.schema.clone(),
+            num_segments,
+            self.distribution.clone(),
+        )?;
+        for row in self.iter() {
+            out.insert(row.clone())?;
+        }
+        Ok(out)
+    }
+
+    /// Extracts a single column as values, in segment order.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::ColumnNotFound`] for an unknown column.
+    pub fn column_values(&self, name: &str) -> Result<Vec<Value>> {
+        let idx = self.schema.index_of(name)?;
+        Ok(self.iter().map(|r| r.get(idx).clone()).collect())
+    }
+
+    /// Truncates the table, keeping schema and partitioning.
+    pub fn truncate(&mut self) {
+        for seg in &mut self.segments {
+            seg.clear();
+        }
+        self.next_round_robin = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::schema::{Column, ColumnType};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("id", ColumnType::Int),
+            Column::new("v", ColumnType::Double),
+        ])
+    }
+
+    #[test]
+    fn round_robin_balances_rows() {
+        let mut t = Table::new(schema(), 4).unwrap();
+        for i in 0..100 {
+            t.insert(row![i as i64, i as f64]).unwrap();
+        }
+        assert_eq!(t.row_count(), 100);
+        for s in 0..4 {
+            assert_eq!(t.segment(s).len(), 25);
+        }
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn hash_distribution_colocates_keys() {
+        let mut t = Table::with_distribution(
+            schema(),
+            4,
+            Distribution::HashColumn("id".into()),
+        )
+        .unwrap();
+        for i in 0..40 {
+            t.insert(row![(i % 4) as i64, i as f64]).unwrap();
+        }
+        // Every row with the same id must be in the same segment.
+        for key in 0..4i64 {
+            let segments_containing: Vec<usize> = (0..4)
+                .filter(|&s| {
+                    t.segment(s)
+                        .iter()
+                        .any(|r| r.get(0) == &Value::Int(key))
+                })
+                .collect();
+            assert_eq!(segments_containing.len(), 1, "key {key} split across segments");
+        }
+    }
+
+    #[test]
+    fn schema_violations_rejected() {
+        let mut t = Table::new(schema(), 2).unwrap();
+        assert!(t.insert(row!["not an int", 1.0]).is_err());
+        assert!(t.insert(Row::new(vec![Value::Int(1)])).is_err());
+        assert_eq!(t.row_count(), 0);
+    }
+
+    #[test]
+    fn zero_segments_rejected() {
+        assert!(Table::new(schema(), 0).is_err());
+        assert!(Table::with_distribution(
+            schema(),
+            2,
+            Distribution::HashColumn("missing".into())
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn repartition_preserves_rows() {
+        let mut t = Table::new(schema(), 3).unwrap();
+        for i in 0..10 {
+            t.insert(row![i as i64, (i * 2) as f64]).unwrap();
+        }
+        let r = t.repartition(7).unwrap();
+        assert_eq!(r.num_segments(), 7);
+        assert_eq!(r.row_count(), 10);
+        let mut ids: Vec<i64> = r
+            .column_values("id")
+            .unwrap()
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..10).collect::<Vec<_>>());
+        assert!(t.repartition(0).is_err());
+    }
+
+    #[test]
+    fn truncate_and_column_values() {
+        let mut t = Table::new(schema(), 2).unwrap();
+        t.insert(row![1i64, 5.0]).unwrap();
+        t.insert(row![2i64, 6.0]).unwrap();
+        let vals = t.column_values("v").unwrap();
+        assert_eq!(vals.len(), 2);
+        assert!(t.column_values("nope").is_err());
+        t.truncate();
+        assert!(t.is_empty());
+        assert_eq!(t.num_segments(), 2);
+    }
+
+    #[test]
+    fn insert_all_and_collect() {
+        let mut t = Table::new(schema(), 2).unwrap();
+        t.insert_all((0..6).map(|i| row![i as i64, 0.0])).unwrap();
+        assert_eq!(t.collect_rows().len(), 6);
+        assert_eq!(t.iter().count(), 6);
+    }
+}

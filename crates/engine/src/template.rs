@@ -1,0 +1,161 @@
+//! Templated-query support: schema introspection.
+//!
+//! The paper (Section 3.1.3) describes "templated queries" that must work
+//! over arbitrary input schemas — the `profile` module takes any table and
+//! produces per-column summary statistics, so its output schema is a function
+//! of its input schema.  MADlib implements this by interrogating the database
+//! catalog from Python and synthesizing SQL.  The equivalent here is a small
+//! introspection API: given a table, enumerate its columns with their types
+//! and classify them, so library code can generate the per-column plan
+//! programmatically, with validation errors raised *before* execution (the
+//! paper calls out that late syntax errors from generated SQL hurt
+//! usability).
+
+use crate::error::{EngineError, Result};
+use crate::schema::{ColumnType, Schema};
+use crate::table::Table;
+
+/// How a templated module should treat a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnRole {
+    /// Numeric scalar: gets mean / variance / min / max style summaries.
+    Numeric,
+    /// Categorical (text): gets distinct counts and most-common values.
+    Categorical,
+    /// Array-valued: treated as a feature vector.
+    FeatureVector,
+    /// Other array types (text[]/bigint[]).
+    OtherArray,
+}
+
+/// A column description produced by introspection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnInfo {
+    /// Column name.
+    pub name: String,
+    /// Declared type.
+    pub column_type: ColumnType,
+    /// Role assigned by [`classify_column`].
+    pub role: ColumnRole,
+}
+
+/// Classifies a column type into the role a templated module should use.
+pub fn classify_column(column_type: ColumnType) -> ColumnRole {
+    match column_type {
+        ColumnType::Int | ColumnType::Double | ColumnType::Bool => ColumnRole::Numeric,
+        ColumnType::Text => ColumnRole::Categorical,
+        ColumnType::DoubleArray => ColumnRole::FeatureVector,
+        ColumnType::TextArray | ColumnType::IntArray => ColumnRole::OtherArray,
+    }
+}
+
+/// Introspects a table, returning one [`ColumnInfo`] per column in schema
+/// order.
+pub fn describe_table(table: &Table) -> Vec<ColumnInfo> {
+    describe_schema(table.schema())
+}
+
+/// Introspects a schema (catalog-only version of [`describe_table`]).
+pub fn describe_schema(schema: &Schema) -> Vec<ColumnInfo> {
+    schema
+        .columns()
+        .iter()
+        .map(|c| ColumnInfo {
+            name: c.name.clone(),
+            column_type: c.column_type,
+            role: classify_column(c.column_type),
+        })
+        .collect()
+}
+
+/// Validates, up front, that every column named in `required` exists in the
+/// schema and (when a type is given) has that type.  Method drivers call this
+/// before doing any work so that user errors surface immediately with a clear
+/// message, rather than deep inside a generated plan.
+///
+/// # Errors
+/// * [`EngineError::ColumnNotFound`] for a missing column.
+/// * [`EngineError::TypeMismatch`] when an expected type is violated.
+pub fn validate_columns(
+    schema: &Schema,
+    required: &[(&str, Option<ColumnType>)],
+) -> Result<()> {
+    for (name, expected_type) in required {
+        let column = schema.column(name)?;
+        if let Some(expected) = expected_type {
+            if column.column_type != *expected {
+                return Err(EngineError::TypeMismatch {
+                    expected: expected.sql_name(),
+                    found: format!("{} (column {})", column.column_type.sql_name(), name),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("id", ColumnType::Int),
+            Column::new("name", ColumnType::Text),
+            Column::new("features", ColumnType::DoubleArray),
+            Column::new("tokens", ColumnType::TextArray),
+            Column::new("score", ColumnType::Double),
+        ])
+    }
+
+    #[test]
+    fn classification_covers_all_types() {
+        assert_eq!(classify_column(ColumnType::Int), ColumnRole::Numeric);
+        assert_eq!(classify_column(ColumnType::Double), ColumnRole::Numeric);
+        assert_eq!(classify_column(ColumnType::Bool), ColumnRole::Numeric);
+        assert_eq!(classify_column(ColumnType::Text), ColumnRole::Categorical);
+        assert_eq!(
+            classify_column(ColumnType::DoubleArray),
+            ColumnRole::FeatureVector
+        );
+        assert_eq!(classify_column(ColumnType::TextArray), ColumnRole::OtherArray);
+        assert_eq!(classify_column(ColumnType::IntArray), ColumnRole::OtherArray);
+    }
+
+    #[test]
+    fn describe_preserves_order_and_roles() {
+        let infos = describe_schema(&schema());
+        assert_eq!(infos.len(), 5);
+        assert_eq!(infos[0].name, "id");
+        assert_eq!(infos[0].role, ColumnRole::Numeric);
+        assert_eq!(infos[1].role, ColumnRole::Categorical);
+        assert_eq!(infos[2].role, ColumnRole::FeatureVector);
+        assert_eq!(infos[3].role, ColumnRole::OtherArray);
+
+        let table = Table::new(schema(), 2).unwrap();
+        assert_eq!(describe_table(&table), infos);
+    }
+
+    #[test]
+    fn validate_columns_reports_problems_up_front() {
+        let s = schema();
+        assert!(validate_columns(
+            &s,
+            &[
+                ("score", Some(ColumnType::Double)),
+                ("features", Some(ColumnType::DoubleArray)),
+                ("name", None),
+            ]
+        )
+        .is_ok());
+        assert!(matches!(
+            validate_columns(&s, &[("missing", None)]),
+            Err(EngineError::ColumnNotFound { .. })
+        ));
+        assert!(matches!(
+            validate_columns(&s, &[("name", Some(ColumnType::Double))]),
+            Err(EngineError::TypeMismatch { .. })
+        ));
+    }
+}

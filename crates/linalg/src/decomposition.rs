@@ -1,0 +1,552 @@
+//! Matrix decompositions and solvers.
+//!
+//! The MADlib linear-regression final function (paper Listing 2) computes the
+//! Moore–Penrose pseudo-inverse of the symmetric positive semi-definite matrix
+//! `XᵀX` via an eigendecomposition, and reports the condition number.  This
+//! module provides the equivalent building blocks: Cholesky and LU
+//! factorizations for well-conditioned systems, and a cyclic Jacobi symmetric
+//! eigendecomposition for the pseudo-inverse / condition-number path.
+
+use crate::dense::{DenseMatrix, DenseVector};
+use crate::error::{LinalgError, Result};
+
+/// Cholesky factorization `A = L Lᵀ` of a symmetric positive-definite matrix.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: DenseMatrix,
+}
+
+impl Cholesky {
+    /// Computes the factorization.
+    ///
+    /// # Errors
+    /// * [`LinalgError::NotSquare`] if `a` is not square.
+    /// * [`LinalgError::NotPositiveDefinite`] if a non-positive pivot appears.
+    pub fn new(a: &DenseMatrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        let mut l = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a.get(i, j);
+                for k in 0..j {
+                    sum -= l.get(i, k) * l.get(j, k);
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(LinalgError::NotPositiveDefinite { minor: i });
+                    }
+                    l.set(i, j, sum.sqrt());
+                } else {
+                    l.set(i, j, sum / l.get(j, j));
+                }
+            }
+        }
+        Ok(Self { l })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &DenseMatrix {
+        &self.l
+    }
+
+    /// Solves `A x = b` using the factorization.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::DimensionMismatch`] if `b` has the wrong length.
+    pub fn solve(&self, b: &DenseVector) -> Result<DenseVector> {
+        let n = self.l.rows();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "cholesky solve",
+                left: (n, n),
+                right: (b.len(), 1),
+            });
+        }
+        // Forward substitution L y = b
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l.get(i, k) * y[k];
+            }
+            y[i] = sum / self.l.get(i, i);
+        }
+        // Back substitution Lᵀ x = y
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= self.l.get(k, i) * x[k];
+            }
+            x[i] = sum / self.l.get(i, i);
+        }
+        Ok(DenseVector::from_vec(x))
+    }
+
+    /// Reconstructs `A = L Lᵀ` (mainly for testing).
+    pub fn reconstruct(&self) -> DenseMatrix {
+        let lt = self.l.transpose();
+        self.l.matmul(&lt).expect("shapes agree by construction")
+    }
+}
+
+/// LU factorization with partial pivoting, `P A = L U`.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    lu: DenseMatrix,
+    perm: Vec<usize>,
+    sign: f64,
+}
+
+impl Lu {
+    /// Computes the factorization.
+    ///
+    /// # Errors
+    /// * [`LinalgError::NotSquare`] if `a` is not square.
+    /// * [`LinalgError::Singular`] if a pivot is (numerically) zero.
+    pub fn new(a: &DenseMatrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+
+        for col in 0..n {
+            // Find pivot.
+            let mut pivot_row = col;
+            let mut pivot_val = lu.get(col, col).abs();
+            for r in (col + 1)..n {
+                let v = lu.get(r, col).abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < 1e-300 {
+                return Err(LinalgError::Singular { pivot: pivot_val });
+            }
+            if pivot_row != col {
+                for c in 0..n {
+                    let a = lu.get(col, c);
+                    let b = lu.get(pivot_row, c);
+                    lu.set(col, c, b);
+                    lu.set(pivot_row, c, a);
+                }
+                perm.swap(col, pivot_row);
+                sign = -sign;
+            }
+            let pivot = lu.get(col, col);
+            for r in (col + 1)..n {
+                let factor = lu.get(r, col) / pivot;
+                lu.set(r, col, factor);
+                for c in (col + 1)..n {
+                    let v = lu.get(r, c) - factor * lu.get(col, c);
+                    lu.set(r, c, v);
+                }
+            }
+        }
+        Ok(Self { lu, perm, sign })
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::DimensionMismatch`] if `b` has the wrong length.
+    pub fn solve(&self, b: &DenseVector) -> Result<DenseVector> {
+        let n = self.lu.rows();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "lu solve",
+                left: (n, n),
+                right: (b.len(), 1),
+            });
+        }
+        // Apply permutation.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            y[i] = b[self.perm[i]];
+        }
+        // Forward substitution (unit lower triangular).
+        for i in 0..n {
+            for k in 0..i {
+                y[i] -= self.lu.get(i, k) * y[k];
+            }
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                y[i] -= self.lu.get(i, k) * y[k];
+            }
+            y[i] /= self.lu.get(i, i);
+        }
+        Ok(DenseVector::from_vec(y))
+    }
+
+    /// Determinant of the original matrix.
+    pub fn determinant(&self) -> f64 {
+        let mut det = self.sign;
+        for i in 0..self.lu.rows() {
+            det *= self.lu.get(i, i);
+        }
+        det
+    }
+
+    /// Inverse of the original matrix.
+    ///
+    /// # Errors
+    /// Propagates solver errors (cannot normally fail once factorized).
+    pub fn inverse(&self) -> Result<DenseMatrix> {
+        let n = self.lu.rows();
+        let mut inv = DenseMatrix::zeros(n, n);
+        for c in 0..n {
+            let mut e = DenseVector::zeros(n);
+            e[c] = 1.0;
+            let col = self.solve(&e)?;
+            for r in 0..n {
+                inv.set(r, c, col[r]);
+            }
+        }
+        Ok(inv)
+    }
+}
+
+/// Symmetric eigendecomposition computed with the cyclic Jacobi method.
+///
+/// Eigenvalues are returned in descending order with matching eigenvectors as
+/// columns of [`SymmetricEigen::vectors`].
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    values: Vec<f64>,
+    vectors: DenseMatrix,
+}
+
+impl SymmetricEigen {
+    /// Maximum number of Jacobi sweeps before giving up.
+    const MAX_SWEEPS: usize = 100;
+
+    /// Computes the decomposition of a symmetric matrix.
+    ///
+    /// Only the lower triangle of `a` is read; symmetry is assumed.
+    ///
+    /// # Errors
+    /// * [`LinalgError::NotSquare`] if `a` is not square.
+    /// * [`LinalgError::DidNotConverge`] if the Jacobi sweeps do not converge.
+    pub fn new(a: &DenseMatrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(LinalgError::EmptyInput {
+                operation: "symmetric eigendecomposition",
+            });
+        }
+        // Work on a symmetrized copy.
+        let mut m = a.clone();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                m.set(i, j, m.get(j, i));
+            }
+        }
+        let mut v = DenseMatrix::identity(n);
+
+        for _sweep in 0..Self::MAX_SWEEPS {
+            let mut off = 0.0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    off += m.get(i, j) * m.get(i, j);
+                }
+            }
+            if off.sqrt() < 1e-14 * (1.0 + m.frobenius_norm()) {
+                return Ok(Self::finish(m, v));
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = m.get(p, q);
+                    if apq.abs() < 1e-300 {
+                        continue;
+                    }
+                    let app = m.get(p, p);
+                    let aqq = m.get(q, q);
+                    let theta = (aqq - app) / (2.0 * apq);
+                    let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                    let c = 1.0 / (t * t + 1.0).sqrt();
+                    let s = t * c;
+
+                    // Apply rotation to m (both sides).
+                    for k in 0..n {
+                        let mkp = m.get(k, p);
+                        let mkq = m.get(k, q);
+                        m.set(k, p, c * mkp - s * mkq);
+                        m.set(k, q, s * mkp + c * mkq);
+                    }
+                    for k in 0..n {
+                        let mpk = m.get(p, k);
+                        let mqk = m.get(q, k);
+                        m.set(p, k, c * mpk - s * mqk);
+                        m.set(q, k, s * mpk + c * mqk);
+                    }
+                    // Accumulate eigenvectors.
+                    for k in 0..n {
+                        let vkp = v.get(k, p);
+                        let vkq = v.get(k, q);
+                        v.set(k, p, c * vkp - s * vkq);
+                        v.set(k, q, s * vkp + c * vkq);
+                    }
+                }
+            }
+        }
+        Err(LinalgError::DidNotConverge {
+            iterations: Self::MAX_SWEEPS,
+        })
+    }
+
+    fn finish(m: DenseMatrix, v: DenseMatrix) -> Self {
+        let n = m.rows();
+        let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m.get(i, i), i)).collect();
+        pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        let values: Vec<f64> = pairs.iter().map(|(val, _)| *val).collect();
+        let mut vectors = DenseMatrix::zeros(n, n);
+        for (new_col, (_, old_col)) in pairs.iter().enumerate() {
+            for r in 0..n {
+                vectors.set(r, new_col, v.get(r, *old_col));
+            }
+        }
+        Self { values, vectors }
+    }
+
+    /// Eigenvalues in descending order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Eigenvectors as matrix columns (column `i` pairs with `values()[i]`).
+    pub fn vectors(&self) -> &DenseMatrix {
+        &self.vectors
+    }
+
+    /// Condition number: ratio of largest to smallest *absolute* eigenvalue.
+    ///
+    /// Returns `f64::INFINITY` when the smallest eigenvalue is (numerically)
+    /// zero, matching the semantics MADlib reports in the `condition_no`
+    /// output column.
+    pub fn condition_number(&self) -> f64 {
+        let max = self
+            .values
+            .iter()
+            .map(|v| v.abs())
+            .fold(0.0_f64, f64::max);
+        let min = self
+            .values
+            .iter()
+            .map(|v| v.abs())
+            .fold(f64::INFINITY, f64::min);
+        if min < 1e-300 {
+            f64::INFINITY
+        } else {
+            max / min
+        }
+    }
+
+    /// Moore–Penrose pseudo-inverse built from the decomposition.
+    ///
+    /// Eigenvalues whose magnitude is below `tolerance * max|λ|` are treated
+    /// as zero (their reciprocal contribution is dropped), which is how the
+    /// paper's `SymmetricPositiveDefiniteEigenDecomposition` handles the
+    /// rank-deficient case.
+    pub fn pseudo_inverse(&self, tolerance: f64) -> DenseMatrix {
+        let n = self.values.len();
+        let max_abs = self
+            .values
+            .iter()
+            .map(|v| v.abs())
+            .fold(0.0_f64, f64::max);
+        let cutoff = tolerance * max_abs.max(1e-300);
+        let mut out = DenseMatrix::zeros(n, n);
+        for k in 0..n {
+            let lambda = self.values[k];
+            if lambda.abs() <= cutoff {
+                continue;
+            }
+            let inv_lambda = 1.0 / lambda;
+            for i in 0..n {
+                let vik = self.vectors.get(i, k);
+                if vik == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    out.add_to(i, j, inv_lambda * vik * self.vectors.get(j, k));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Convenience: pseudo-inverse of a symmetric matrix with the default
+/// tolerance of `1e-10`, plus its condition number.
+///
+/// This is the exact operation the MADlib linear-regression final function
+/// performs on `XᵀX`.
+///
+/// # Errors
+/// Propagates eigendecomposition errors.
+pub fn symmetric_pseudo_inverse(a: &DenseMatrix) -> Result<(DenseMatrix, f64)> {
+    let eig = SymmetricEigen::new(a)?;
+    Ok((eig.pseudo_inverse(1e-10), eig.condition_number()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd_matrix() -> DenseMatrix {
+        DenseMatrix::from_rows(&[
+            vec![4.0, 2.0, 0.6],
+            vec![2.0, 5.0, 1.5],
+            vec![0.6, 1.5, 3.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = spd_matrix();
+        let chol = Cholesky::new(&a).unwrap();
+        assert!(chol.reconstruct().max_abs_diff(&a).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn cholesky_solve_matches_direct() {
+        let a = spd_matrix();
+        let b = DenseVector::from_vec(vec![1.0, 2.0, 3.0]);
+        let x = Cholesky::new(&a).unwrap().solve(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for i in 0..3 {
+            assert!((ax[i] - b[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]).unwrap();
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+        let rect = DenseMatrix::zeros(2, 3);
+        assert!(Cholesky::new(&rect).is_err());
+    }
+
+    #[test]
+    fn lu_solve_and_determinant() {
+        let a = DenseMatrix::from_rows(&[
+            vec![2.0, 1.0, 1.0],
+            vec![4.0, -6.0, 0.0],
+            vec![-2.0, 7.0, 2.0],
+        ])
+        .unwrap();
+        let lu = Lu::new(&a).unwrap();
+        assert!((lu.determinant() - (-16.0)).abs() < 1e-9);
+
+        let b = DenseVector::from_vec(vec![5.0, -2.0, 9.0]);
+        let x = lu.solve(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for i in 0..3 {
+            assert!((ax[i] - b[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lu_inverse_is_inverse() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let inv = Lu::new(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.max_abs_diff(&DenseMatrix::identity(2)).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn lu_rejects_singular() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert!(matches!(Lu::new(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn eigen_recovers_known_values() {
+        // Diagonal matrix: eigenvalues are the diagonal.
+        let a = DenseMatrix::from_rows(&[
+            vec![3.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 2.0],
+        ])
+        .unwrap();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        assert!((eig.values()[0] - 3.0).abs() < 1e-10);
+        assert!((eig.values()[1] - 2.0).abs() < 1e-10);
+        assert!((eig.values()[2] - 1.0).abs() < 1e-10);
+        assert!((eig.condition_number() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eigen_reconstruction() {
+        let a = spd_matrix();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        // Reconstruct V diag(λ) Vᵀ.
+        let n = 3;
+        let mut recon = DenseMatrix::zeros(n, n);
+        for k in 0..n {
+            for i in 0..n {
+                for j in 0..n {
+                    recon.add_to(
+                        i,
+                        j,
+                        eig.values()[k] * eig.vectors().get(i, k) * eig.vectors().get(j, k),
+                    );
+                }
+            }
+        }
+        assert!(recon.max_abs_diff(&a).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn pseudo_inverse_inverts_full_rank() {
+        let a = spd_matrix();
+        let (pinv, cond) = symmetric_pseudo_inverse(&a).unwrap();
+        let prod = a.matmul(&pinv).unwrap();
+        assert!(prod.max_abs_diff(&DenseMatrix::identity(3)).unwrap() < 1e-8);
+        assert!(cond.is_finite());
+        assert!(cond >= 1.0);
+    }
+
+    #[test]
+    fn pseudo_inverse_handles_rank_deficiency() {
+        // Rank-1 matrix v vᵀ with v = [1, 2].
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        assert_eq!(eig.condition_number(), f64::INFINITY);
+        let pinv = eig.pseudo_inverse(1e-10);
+        // A A⁺ A = A is the defining Moore–Penrose property.
+        let prod = a.matmul(&pinv).unwrap().matmul(&a).unwrap();
+        assert!(prod.max_abs_diff(&a).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn eigen_rejects_bad_shapes() {
+        assert!(SymmetricEigen::new(&DenseMatrix::zeros(2, 3)).is_err());
+        assert!(SymmetricEigen::new(&DenseMatrix::zeros(0, 0)).is_err());
+    }
+}

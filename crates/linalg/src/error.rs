@@ -1,0 +1,130 @@
+//! Error types for linear-algebra operations.
+
+use std::fmt;
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;
+
+/// Errors produced by linear-algebra routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible (e.g. multiplying a 3×2 by a 4×4).
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        operation: &'static str,
+        /// Shape of the left/first operand as (rows, cols).
+        left: (usize, usize),
+        /// Shape of the right/second operand as (rows, cols).
+        right: (usize, usize),
+    },
+    /// The matrix must be square for this operation.
+    NotSquare {
+        /// Number of rows of the offending matrix.
+        rows: usize,
+        /// Number of columns of the offending matrix.
+        cols: usize,
+    },
+    /// The matrix is singular (or numerically singular) and cannot be
+    /// factorized/inverted.
+    Singular {
+        /// Pivot or eigenvalue magnitude that triggered the failure.
+        pivot: f64,
+    },
+    /// The matrix is not positive definite (Cholesky requirement).
+    NotPositiveDefinite {
+        /// Index of the leading minor that failed.
+        minor: usize,
+    },
+    /// An iterative routine failed to converge within its iteration budget.
+    DidNotConverge {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+    /// Input contained NaN or infinity where finite values are required.
+    NonFiniteInput {
+        /// Description of where the non-finite value was found.
+        context: &'static str,
+    },
+    /// An index was out of bounds.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The length/size of the container.
+        len: usize,
+    },
+    /// Empty input where at least one element is required.
+    EmptyInput {
+        /// Description of the operation requiring non-empty input.
+        operation: &'static str,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch {
+                operation,
+                left,
+                right,
+            } => write!(
+                f,
+                "dimension mismatch in {operation}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "matrix must be square, got {rows}x{cols}")
+            }
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular (pivot magnitude {pivot:e})")
+            }
+            LinalgError::NotPositiveDefinite { minor } => {
+                write!(f, "matrix is not positive definite (leading minor {minor})")
+            }
+            LinalgError::DidNotConverge { iterations } => {
+                write!(f, "iterative routine did not converge after {iterations} iterations")
+            }
+            LinalgError::NonFiniteInput { context } => {
+                write!(f, "non-finite value encountered in {context}")
+            }
+            LinalgError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+            LinalgError::EmptyInput { operation } => {
+                write!(f, "empty input to {operation}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = LinalgError::DimensionMismatch {
+            operation: "matmul",
+            left: (3, 2),
+            right: (4, 4),
+        };
+        assert!(e.to_string().contains("matmul"));
+        assert!(e.to_string().contains("3x2"));
+
+        let e = LinalgError::NotSquare { rows: 2, cols: 5 };
+        assert!(e.to_string().contains("2x5"));
+
+        let e = LinalgError::Singular { pivot: 1e-20 };
+        assert!(e.to_string().contains("singular"));
+
+        let e = LinalgError::DidNotConverge { iterations: 100 };
+        assert!(e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        fn takes_error<E: std::error::Error>(_e: E) {}
+        takes_error(LinalgError::EmptyInput { operation: "mean" });
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use madlib_linalg::decomposition::{Cholesky, SymmetricEigen};
+use madlib_linalg::kernels::{needs_symmetrize, rank1_update, KernelGeneration};
+use madlib_linalg::{DenseMatrix, DenseVector, SparseVector};
+use proptest::prelude::*;
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0..100.0f64, len)
+}
+
+proptest! {
+    #[test]
+    fn dot_is_commutative(a in finite_vec(8), b in finite_vec(8)) {
+        let va = DenseVector::from_vec(a);
+        let vb = DenseVector::from_vec(b);
+        let ab = va.dot(&vb).unwrap();
+        let ba = vb.dot(&va).unwrap();
+        prop_assert!((ab - ba).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sparse_round_trip(dense in prop::collection::vec(prop_oneof![Just(0.0f64), -10.0..10.0f64], 0..64)) {
+        let sv = SparseVector::from_dense(&dense);
+        prop_assert_eq!(sv.to_dense(), dense.clone());
+        prop_assert_eq!(sv.len(), dense.len());
+        prop_assert!(sv.run_count() <= dense.len().max(1));
+    }
+
+    #[test]
+    fn sparse_dot_matches_dense(
+        a in prop::collection::vec(prop_oneof![Just(0.0f64), -5.0..5.0f64], 32),
+        b in prop::collection::vec(prop_oneof![Just(0.0f64), -5.0..5.0f64], 32),
+    ) {
+        let sa = SparseVector::from_dense(&a);
+        let sb = SparseVector::from_dense(&b);
+        let expected: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        prop_assert!((sa.dot(&sb).unwrap() - expected).abs() < 1e-8);
+        prop_assert!((sa.dot_dense(&b).unwrap() - expected).abs() < 1e-8);
+    }
+
+    #[test]
+    fn kernel_generations_agree(x in finite_vec(6)) {
+        let k = x.len();
+        let mut reference = DenseMatrix::zeros(k, k);
+        rank1_update(KernelGeneration::V01Alpha, &mut reference, &x);
+        for gen in [KernelGeneration::V021Beta, KernelGeneration::V03] {
+            let mut m = DenseMatrix::zeros(k, k);
+            rank1_update(gen, &mut m, &x);
+            if needs_symmetrize(gen) {
+                m.symmetrize_from_lower().unwrap();
+            }
+            prop_assert!(m.max_abs_diff(&reference).unwrap() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cholesky_solve_recovers_rhs(diag in prop::collection::vec(0.5..10.0f64, 4), b in finite_vec(4)) {
+        // Build an SPD matrix as D + small symmetric perturbation.
+        let n = diag.len();
+        let mut a = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            a.set(i, i, diag[i] + n as f64);
+            for j in 0..i {
+                a.set(i, j, 0.1);
+                a.set(j, i, 0.1);
+            }
+        }
+        let rhs = DenseVector::from_vec(b);
+        let x = Cholesky::new(&a).unwrap().solve(&rhs).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for i in 0..n {
+            prop_assert!((ax[i] - rhs[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn eigen_trace_is_preserved(diag in prop::collection::vec(-5.0..5.0f64, 5)) {
+        // Symmetric matrix: diagonal plus symmetric off-diagonal pattern.
+        let n = diag.len();
+        let mut a = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            a.set(i, i, diag[i]);
+            for j in 0..i {
+                let v = ((i * 7 + j * 3) % 5) as f64 * 0.1;
+                a.set(i, j, v);
+                a.set(j, i, v);
+            }
+        }
+        let trace: f64 = diag.iter().sum();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        let eig_sum: f64 = eig.values().iter().sum();
+        prop_assert!((trace - eig_sum).abs() < 1e-7);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop(rows in finite_vec(9)) {
+        let a = DenseMatrix::from_row_major(3, 3, rows).unwrap();
+        let id = DenseMatrix::identity(3);
+        prop_assert!(a.matmul(&id).unwrap().max_abs_diff(&a).unwrap() < 1e-12);
+        prop_assert!(id.matmul(&a).unwrap().max_abs_diff(&a).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn transpose_is_involution(data in finite_vec(12)) {
+        let a = DenseMatrix::from_row_major(3, 4, data).unwrap();
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+}

@@ -1,0 +1,183 @@
+//! Count–Min sketch for approximate frequency counting.
+//!
+//! The Count–Min sketch (Cormode & Muthukrishnan) estimates item frequencies
+//! in a stream using a `depth × width` counter matrix and `depth` pairwise-
+//! independent hash functions.  Estimates never under-count; the
+//! over-count is bounded by `ε·N` with probability `1 − δ` when
+//! `width = ⌈e/ε⌉` and `depth = ⌈ln(1/δ)⌉`.
+
+use serde::{Deserialize, Serialize};
+
+/// A Count–Min sketch over string (byte) keys.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CountMinSketch {
+    depth: usize,
+    width: usize,
+    counters: Vec<u64>,
+    total: u64,
+}
+
+impl CountMinSketch {
+    /// Creates a sketch with explicit dimensions.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(depth: usize, width: usize) -> Self {
+        assert!(depth > 0 && width > 0, "sketch dimensions must be positive");
+        Self {
+            depth,
+            width,
+            counters: vec![0; depth * width],
+            total: 0,
+        }
+    }
+
+    /// Creates a sketch sized for additive error `epsilon·N` with failure
+    /// probability `delta`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < epsilon < 1` and `0 < delta < 1`.
+    pub fn with_error_bounds(epsilon: f64, delta: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+        let width = (std::f64::consts::E / epsilon).ceil() as usize;
+        let depth = (1.0 / delta).ln().ceil().max(1.0) as usize;
+        Self::new(depth, width)
+    }
+
+    /// Sketch depth (number of hash rows).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Sketch width (counters per row).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Total count of all updates.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    fn bucket(&self, row: usize, item: &[u8]) -> usize {
+        // Row-seeded FNV-1a; rows use different offsets so the hash functions
+        // are effectively independent for sketching purposes.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325 ^ (row as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        for &b in item {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+        (hash % self.width as u64) as usize
+    }
+
+    /// Adds `count` occurrences of `item`.
+    pub fn update(&mut self, item: &str, count: u64) {
+        let bytes = item.as_bytes();
+        for row in 0..self.depth {
+            let idx = row * self.width + self.bucket(row, bytes);
+            self.counters[idx] += count;
+        }
+        self.total += count;
+    }
+
+    /// Point estimate of the frequency of `item` (never an under-estimate).
+    pub fn estimate(&self, item: &str) -> u64 {
+        let bytes = item.as_bytes();
+        (0..self.depth)
+            .map(|row| self.counters[row * self.width + self.bucket(row, bytes)])
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Merges another sketch into this one.  Both sketches must have the same
+    /// dimensions.
+    ///
+    /// # Panics
+    /// Panics on a dimension mismatch (sketches from the same aggregate
+    /// always agree by construction).
+    pub fn merge(&mut self, other: &CountMinSketch) {
+        assert_eq!(self.depth, other.depth, "sketch depth mismatch");
+        assert_eq!(self.width, other.width, "sketch width mismatch");
+        for (a, b) in self.counters.iter_mut().zip(&other.counters) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_on_small_streams() {
+        let mut sketch = CountMinSketch::new(5, 272);
+        for i in 0..50 {
+            sketch.update(&format!("item_{i}"), (i + 1) as u64);
+        }
+        for i in 0..50 {
+            let est = sketch.estimate(&format!("item_{i}"));
+            assert!(est >= (i + 1) as u64, "CM sketch must never under-count");
+            assert!(est <= (i + 1) as u64 + 25, "over-count too large: {est}");
+        }
+        assert_eq!(sketch.total(), (1..=50).sum::<u64>());
+        assert_eq!(sketch.estimate("never_seen"), 0);
+    }
+
+    #[test]
+    fn error_bound_holds_on_heavy_hitters() {
+        let mut sketch = CountMinSketch::with_error_bounds(0.01, 0.01);
+        // One heavy hitter among uniform noise.
+        sketch.update("heavy", 10_000);
+        for i in 0..1_000 {
+            sketch.update(&format!("noise_{i}"), 10);
+        }
+        let n = sketch.total();
+        let est = sketch.estimate("heavy");
+        assert!(est >= 10_000);
+        assert!(est as f64 <= 10_000.0 + 0.01 * n as f64 * 2.0);
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut left = CountMinSketch::new(4, 64);
+        let mut right = CountMinSketch::new(4, 64);
+        let mut whole = CountMinSketch::new(4, 64);
+        for i in 0..200 {
+            let item = format!("k{}", i % 17);
+            if i % 2 == 0 {
+                left.update(&item, 1);
+            } else {
+                right.update(&item, 1);
+            }
+            whole.update(&item, 1);
+        }
+        left.merge(&right);
+        assert_eq!(left.total(), whole.total());
+        for i in 0..17 {
+            assert_eq!(left.estimate(&format!("k{i}")), whole.estimate(&format!("k{i}")));
+        }
+    }
+
+    #[test]
+    fn bound_based_constructor_sizes_reasonably() {
+        let sketch = CountMinSketch::with_error_bounds(0.001, 0.01);
+        assert!(sketch.width() >= 2718);
+        assert!(sketch.depth() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_dimensions_rejected() {
+        CountMinSketch::new(0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth mismatch")]
+    fn merge_rejects_mismatched_shapes() {
+        let mut a = CountMinSketch::new(2, 8);
+        let b = CountMinSketch::new(3, 8);
+        a.merge(&b);
+    }
+}

@@ -1,0 +1,250 @@
+//! Approximate streaming quantiles (Greenwald–Khanna).
+//!
+//! The paper's Table 1 lists a Quantile module.  This is the Greenwald–Khanna
+//! ε-approximate quantile summary: a sorted list of tuples `(value, g, Δ)`
+//! maintained so that any φ-quantile query is answered with rank error at
+//! most ε·n.  Summaries can be merged (with additive error), which is what
+//! lets the engine compute quantiles per segment and combine them.
+
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Tuple {
+    value: f64,
+    /// Difference between the minimum rank of this tuple and the previous.
+    g: u64,
+    /// Uncertainty of the rank of this tuple.
+    delta: u64,
+}
+
+/// Greenwald–Khanna ε-approximate quantile summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantileSummary {
+    epsilon: f64,
+    tuples: Vec<Tuple>,
+    count: u64,
+}
+
+impl QuantileSummary {
+    /// Creates a summary with rank-error tolerance `epsilon`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < epsilon < 1`.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+        Self {
+            epsilon,
+            tuples: Vec::new(),
+            count: 0,
+        }
+    }
+
+    /// Number of observations inserted.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The error tolerance this summary was built with.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Number of stored tuples (the compressed size).
+    pub fn tuple_count(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Inserts an observation.  NaN values are ignored.
+    pub fn insert(&mut self, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        self.count += 1;
+        let delta = if self.count < (1.0 / (2.0 * self.epsilon)) as u64 + 1 {
+            0
+        } else {
+            ((2.0 * self.epsilon * self.count as f64).floor() as u64).saturating_sub(1)
+        };
+        // Find insertion position (first tuple with a larger value).
+        let pos = self
+            .tuples
+            .iter()
+            .position(|t| t.value > value)
+            .unwrap_or(self.tuples.len());
+        let tuple = if pos == 0 || pos == self.tuples.len() {
+            // New minimum or maximum is known exactly.
+            Tuple {
+                value,
+                g: 1,
+                delta: 0,
+            }
+        } else {
+            Tuple {
+                value,
+                g: 1,
+                delta,
+            }
+        };
+        self.tuples.insert(pos, tuple);
+        // Periodic compression keeps the summary small.
+        if self.count % ((1.0 / (2.0 * self.epsilon)) as u64 + 1) == 0 {
+            self.compress();
+        }
+    }
+
+    fn compress(&mut self) {
+        if self.tuples.len() < 3 {
+            return;
+        }
+        let threshold = (2.0 * self.epsilon * self.count as f64).floor() as u64;
+        let mut i = self.tuples.len() - 2;
+        while i >= 1 {
+            let merged_g = self.tuples[i].g + self.tuples[i + 1].g;
+            if merged_g + self.tuples[i + 1].delta <= threshold {
+                self.tuples[i + 1].g = merged_g;
+                self.tuples.remove(i);
+            }
+            if i == 1 {
+                break;
+            }
+            i -= 1;
+        }
+    }
+
+    /// Returns an ε-approximate φ-quantile (`phi` in `[0, 1]`); `None` when
+    /// the summary is empty.
+    ///
+    /// # Panics
+    /// Panics if `phi` is outside `[0, 1]`.
+    pub fn quantile(&self, phi: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&phi), "phi must be in [0, 1]");
+        if self.tuples.is_empty() {
+            return None;
+        }
+        let target_rank = (phi * self.count as f64).ceil().max(1.0) as u64;
+        let allowed = (self.epsilon * self.count as f64) as u64;
+        let mut min_rank = 0u64;
+        for tuple in &self.tuples {
+            min_rank += tuple.g;
+            let max_rank = min_rank + tuple.delta;
+            if max_rank >= target_rank.saturating_sub(allowed)
+                && min_rank >= target_rank.saturating_sub(allowed)
+            {
+                return Some(tuple.value);
+            }
+        }
+        self.tuples.last().map(|t| t.value)
+    }
+
+    /// Median shortcut.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Merges another summary into this one.  The result's rank error is at
+    /// most the sum of the two errors, which is why per-segment summaries use
+    /// ε/2 when an ε-accurate global answer is needed.
+    pub fn merge(&mut self, other: &QuantileSummary) {
+        // Re-inserting the other summary's tuples value-by-value with their
+        // weights preserves both summaries' rank information.
+        for tuple in &other.tuples {
+            // Insert a representative value `g` times to carry its weight.
+            for _ in 0..tuple.g {
+                self.insert(tuple.value);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rank_error(summary: &QuantileSummary, sorted: &[f64], phi: f64) -> f64 {
+        let answer = summary.quantile(phi).unwrap();
+        // True rank of the returned value in the sorted data.
+        let rank = sorted.iter().filter(|&&v| v <= answer).count() as f64;
+        let target = phi * sorted.len() as f64;
+        (rank - target).abs() / sorted.len() as f64
+    }
+
+    #[test]
+    fn quantiles_within_epsilon_on_shuffled_input() {
+        let epsilon = 0.01;
+        let mut summary = QuantileSummary::new(epsilon);
+        let n = 10_000;
+        // Deterministic shuffle-ish order: stride through the range.
+        let mut data: Vec<f64> = Vec::with_capacity(n);
+        let mut v = 0usize;
+        for _ in 0..n {
+            v = (v + 7_919) % n;
+            data.push(v as f64);
+        }
+        for &x in &data {
+            summary.insert(x);
+        }
+        let mut sorted = data.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for &phi in &[0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let err = rank_error(&summary, &sorted, phi);
+            assert!(err <= 3.0 * epsilon, "phi={phi}: rank error {err}");
+        }
+        // Compression keeps the summary far smaller than the input.
+        assert!(summary.tuple_count() < n / 4);
+        assert_eq!(summary.count(), n as u64);
+    }
+
+    #[test]
+    fn exact_on_tiny_inputs() {
+        let mut summary = QuantileSummary::new(0.1);
+        for x in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            summary.insert(x);
+        }
+        assert_eq!(summary.quantile(0.0), Some(1.0));
+        assert_eq!(summary.quantile(1.0), Some(5.0));
+        let median = summary.median().unwrap();
+        assert!((2.0..=4.0).contains(&median));
+    }
+
+    #[test]
+    fn empty_and_nan_handling() {
+        let mut summary = QuantileSummary::new(0.05);
+        assert_eq!(summary.quantile(0.5), None);
+        summary.insert(f64::NAN);
+        assert_eq!(summary.count(), 0);
+        summary.insert(1.0);
+        assert_eq!(summary.median(), Some(1.0));
+        assert_eq!(summary.epsilon(), 0.05);
+    }
+
+    #[test]
+    fn merge_approximates_union() {
+        let mut left = QuantileSummary::new(0.02);
+        let mut right = QuantileSummary::new(0.02);
+        for i in 0..2_000 {
+            if i % 2 == 0 {
+                left.insert(i as f64);
+            } else {
+                right.insert(i as f64);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), 2_000);
+        let median = left.median().unwrap();
+        assert!((850.0..=1150.0).contains(&median), "median {median}");
+        let p90 = left.quantile(0.9).unwrap();
+        assert!((1700.0..=1900.0).contains(&p90), "p90 {p90}");
+    }
+
+    #[test]
+    #[should_panic(expected = "phi must be in")]
+    fn quantile_rejects_bad_phi() {
+        QuantileSummary::new(0.1).quantile(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be in")]
+    fn constructor_rejects_bad_epsilon() {
+        QuantileSummary::new(0.0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Property-based tests for the sketch invariants the engine relies on:
+//! never-under-counting, mergeability, and rank-error bounds.
+
+use madlib_sketch::{CountMinSketch, FlajoletMartin, QuantileSummary};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    /// Count–Min estimates never under-count, and merging two sketches gives
+    /// the same counters as sketching the union stream.
+    #[test]
+    fn countmin_never_undercounts_and_merges(
+        stream in prop::collection::vec(0u32..50, 1..400),
+    ) {
+        let mut sketch = CountMinSketch::new(4, 128);
+        let mut left = CountMinSketch::new(4, 128);
+        let mut right = CountMinSketch::new(4, 128);
+        let mut exact: HashMap<u32, u64> = HashMap::new();
+        for (i, key) in stream.iter().enumerate() {
+            let item = format!("k{key}");
+            sketch.update(&item, 1);
+            if i % 2 == 0 {
+                left.update(&item, 1);
+            } else {
+                right.update(&item, 1);
+            }
+            *exact.entry(*key).or_insert(0) += 1;
+        }
+        for (key, count) in &exact {
+            let item = format!("k{key}");
+            prop_assert!(sketch.estimate(&item) >= *count);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left, sketch);
+    }
+
+    /// Flajolet–Martin merge is exactly the sketch of the union, and the
+    /// estimate never collapses to zero once something was inserted.
+    #[test]
+    fn fm_merge_is_union(keys in prop::collection::vec(0u32..10_000, 1..500)) {
+        let mut whole = FlajoletMartin::new(32);
+        let mut left = FlajoletMartin::new(32);
+        let mut right = FlajoletMartin::new(32);
+        for (i, key) in keys.iter().enumerate() {
+            let item = format!("user{key}");
+            whole.update(&item);
+            if i % 2 == 0 { left.update(&item); } else { right.update(&item); }
+        }
+        left.merge(&right);
+        prop_assert!(whole.estimate() > 0.0);
+        prop_assert_eq!(left, whole);
+    }
+
+    /// Greenwald–Khanna quantile answers respect a (loose) rank-error bound
+    /// and the extremes are exact on sorted insertion order.
+    #[test]
+    fn quantile_rank_error_bounded(values in prop::collection::vec(-1_000.0..1_000.0f64, 20..400)) {
+        let epsilon = 0.05;
+        let mut summary = QuantileSummary::new(epsilon);
+        for &v in &values {
+            summary.insert(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for &phi in &[0.1, 0.5, 0.9] {
+            let answer = summary.quantile(phi).unwrap();
+            let rank = sorted.iter().filter(|&&v| v <= answer).count() as f64;
+            let target = phi * sorted.len() as f64;
+            prop_assert!(
+                (rank - target).abs() <= (4.0 * epsilon * sorted.len() as f64) + 1.0,
+                "phi {phi}: rank {rank} target {target}"
+            );
+        }
+        prop_assert_eq!(summary.count(), values.len() as u64);
+    }
+}

@@ -1,0 +1,281 @@
+//! Probability distributions.
+//!
+//! CDFs and tail probabilities for the distributions the method library
+//! needs: Normal (logistic-regression Wald tests), Student-t (linear
+//! regression coefficient p-values, exactly the `p_values` column in the
+//! paper's Section 4.1 example output), chi-square (C4.5 splits, goodness of
+//! fit), and Fisher's F (regression ANOVA).
+
+use crate::special::{erf, incomplete_beta_regularized, lower_incomplete_gamma_regularized};
+
+/// Standard or general Normal distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Standard normal (mean 0, standard deviation 1).
+    pub fn standard() -> Self {
+        Self {
+            mean: 0.0,
+            std_dev: 1.0,
+        }
+    }
+
+    /// General normal distribution.
+    ///
+    /// # Panics
+    /// Panics if `std_dev <= 0`.
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(std_dev > 0.0, "standard deviation must be positive");
+        Self { mean, std_dev }
+    }
+
+    /// Probability density function.
+    pub fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / self.std_dev;
+        (-0.5 * z * z).exp() / (self.std_dev * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    /// Cumulative distribution function.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / (self.std_dev * std::f64::consts::SQRT_2);
+        0.5 * (1.0 + erf(z))
+    }
+
+    /// Two-sided tail probability of observing |Z| at least as large as `|z|`.
+    pub fn two_sided_p_value(&self, z: f64) -> f64 {
+        let standardized = (z - self.mean) / self.std_dev;
+        2.0 * (1.0 - Self::standard().cdf(standardized.abs()))
+    }
+
+    /// Quantile function (inverse CDF) via bisection on the CDF.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `(0, 1)`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "probability must be in (0, 1)");
+        // Bisection over a generous bracket of ±10 standard deviations.
+        let mut lo = self.mean - 10.0 * self.std_dev;
+        let mut hi = self.mean + 10.0 * self.std_dev;
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.cdf(mid) < p {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+}
+
+/// Student's t distribution with `df` degrees of freedom.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StudentT {
+    df: f64,
+}
+
+impl StudentT {
+    /// Creates the distribution.
+    ///
+    /// # Panics
+    /// Panics if `df <= 0`.
+    pub fn new(df: f64) -> Self {
+        assert!(df > 0.0, "degrees of freedom must be positive");
+        Self { df }
+    }
+
+    /// Degrees of freedom.
+    pub fn df(&self) -> f64 {
+        self.df
+    }
+
+    /// Cumulative distribution function.
+    pub fn cdf(&self, t: f64) -> f64 {
+        if t == 0.0 {
+            return 0.5;
+        }
+        let x = self.df / (self.df + t * t);
+        let tail = 0.5 * incomplete_beta_regularized(0.5 * self.df, 0.5, x);
+        if t > 0.0 {
+            1.0 - tail
+        } else {
+            tail
+        }
+    }
+
+    /// Two-sided p-value for a t statistic: `P(|T| >= |t|)`.
+    ///
+    /// This is exactly the quantity reported in the `p_values` column of the
+    /// paper's `linregr` example output.
+    pub fn two_sided_p_value(&self, t: f64) -> f64 {
+        let x = self.df / (self.df + t * t);
+        incomplete_beta_regularized(0.5 * self.df, 0.5, x)
+    }
+}
+
+/// Chi-square distribution with `df` degrees of freedom.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquare {
+    df: f64,
+}
+
+impl ChiSquare {
+    /// Creates the distribution.
+    ///
+    /// # Panics
+    /// Panics if `df <= 0`.
+    pub fn new(df: f64) -> Self {
+        assert!(df > 0.0, "degrees of freedom must be positive");
+        Self { df }
+    }
+
+    /// Cumulative distribution function.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        lower_incomplete_gamma_regularized(0.5 * self.df, 0.5 * x)
+    }
+
+    /// Upper-tail probability `P(X >= x)`, used as a split-significance test
+    /// by the decision-tree module.
+    pub fn p_value(&self, x: f64) -> f64 {
+        1.0 - self.cdf(x)
+    }
+}
+
+/// Fisher's F distribution with `d1` and `d2` degrees of freedom.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FisherF {
+    d1: f64,
+    d2: f64,
+}
+
+impl FisherF {
+    /// Creates the distribution.
+    ///
+    /// # Panics
+    /// Panics if either degrees-of-freedom parameter is non-positive.
+    pub fn new(d1: f64, d2: f64) -> Self {
+        assert!(d1 > 0.0 && d2 > 0.0, "degrees of freedom must be positive");
+        Self { d1, d2 }
+    }
+
+    /// Cumulative distribution function.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let z = self.d1 * x / (self.d1 * x + self.d2);
+        incomplete_beta_regularized(0.5 * self.d1, 0.5 * self.d2, z)
+    }
+
+    /// Upper-tail probability `P(F >= x)` (regression overall-significance
+    /// p-value).
+    pub fn p_value(&self, x: f64) -> f64 {
+        1.0 - self.cdf(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn normal_cdf_known_values() {
+        let n = Normal::standard();
+        assert!(close(n.cdf(0.0), 0.5, 1e-12));
+        assert!(close(n.cdf(1.959_963_985), 0.975, 1e-6));
+        assert!(close(n.cdf(-1.959_963_985), 0.025, 1e-6));
+        assert!(close(n.cdf(1.0), 0.841_344_746_068_543, 1e-8));
+    }
+
+    #[test]
+    fn normal_pdf_and_two_sided() {
+        let n = Normal::standard();
+        assert!(close(n.pdf(0.0), 0.398_942_280_401_432_7, 1e-12));
+        assert!(close(n.two_sided_p_value(1.96), 0.05, 1e-3));
+        let shifted = Normal::new(5.0, 2.0);
+        assert!(close(shifted.cdf(5.0), 0.5, 1e-12));
+        assert!(close(shifted.pdf(5.0), 0.199_471_140_200_716_35, 1e-12));
+    }
+
+    #[test]
+    fn normal_quantile_inverts_cdf() {
+        let n = Normal::standard();
+        for &p in &[0.025, 0.1, 0.5, 0.9, 0.975] {
+            let q = n.quantile(p);
+            assert!(close(n.cdf(q), p, 1e-9));
+        }
+        assert!(close(n.quantile(0.975), 1.959_963_985, 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "standard deviation")]
+    fn normal_rejects_bad_sigma() {
+        Normal::new(0.0, 0.0);
+    }
+
+    #[test]
+    fn student_t_cdf_known_values() {
+        // With df = 1 (Cauchy), CDF(1) = 0.75.
+        let t1 = StudentT::new(1.0);
+        assert!(close(t1.cdf(1.0), 0.75, 1e-9));
+        assert!(close(t1.cdf(0.0), 0.5, 1e-12));
+        // With df = 10, CDF(2.228) ≈ 0.975 (the classic t-table value).
+        let t10 = StudentT::new(10.0);
+        assert!(close(t10.cdf(2.228_138_852), 0.975, 1e-6));
+        assert_eq!(t10.df(), 10.0);
+    }
+
+    #[test]
+    fn student_t_two_sided_p_value() {
+        let t10 = StudentT::new(10.0);
+        assert!(close(t10.two_sided_p_value(2.228_138_852), 0.05, 1e-6));
+        // Large |t| gives tiny p-values, as in the paper's example output.
+        assert!(t10.two_sided_p_value(42.0) < 1e-10);
+        // Symmetry in the sign of t.
+        assert!(close(
+            t10.two_sided_p_value(-1.5),
+            t10.two_sided_p_value(1.5),
+            1e-12
+        ));
+    }
+
+    #[test]
+    fn chi_square_known_values() {
+        let c1 = ChiSquare::new(1.0);
+        // P(X <= 3.841) ≈ 0.95 for df=1.
+        assert!(close(c1.cdf(3.841_458_821), 0.95, 1e-6));
+        assert_eq!(c1.cdf(-1.0), 0.0);
+        let c5 = ChiSquare::new(5.0);
+        assert!(close(c5.cdf(11.070_497_69), 0.95, 1e-6));
+        assert!(close(c5.p_value(11.070_497_69), 0.05, 1e-6));
+    }
+
+    #[test]
+    fn fisher_f_known_values() {
+        // F(1, 1): CDF(1) = 0.5.
+        let f11 = FisherF::new(1.0, 1.0);
+        assert!(close(f11.cdf(1.0), 0.5, 1e-9));
+        assert_eq!(f11.cdf(0.0), 0.0);
+        // F(2, 10): 95th percentile is ≈ 4.1028.
+        let f = FisherF::new(2.0, 10.0);
+        assert!(close(f.cdf(4.102_821), 0.95, 1e-5));
+        assert!(close(f.p_value(4.102_821), 0.05, 1e-5));
+    }
+
+    #[test]
+    #[should_panic(expected = "degrees of freedom")]
+    fn chi_square_rejects_bad_df() {
+        ChiSquare::new(0.0);
+    }
+}

@@ -1,0 +1,22 @@
+//! # madlib-stats
+//!
+//! Special functions, probability distributions, and descriptive statistics
+//! for the MADlib-rs analytics library.
+//!
+//! The MADlib linear-regression module (paper Section 4.1) reports standard
+//! errors, t-statistics and p-values alongside the coefficients; the decision
+//! tree (C4.5) module needs chi-square tail probabilities; logistic regression
+//! reports Wald z-statistics.  PostgreSQL provides none of these, so the
+//! original library carried its own numerical routines.  This crate is the
+//! Rust equivalent, implemented from scratch with no external numerical
+//! dependencies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod descriptive;
+pub mod dist;
+pub mod special;
+
+pub use descriptive::Summary;
+pub use dist::{ChiSquare, FisherF, Normal, StudentT};

@@ -1,0 +1,296 @@
+//! Special mathematical functions.
+//!
+//! Log-gamma, regularized incomplete gamma and beta functions, and the error
+//! function.  These are the primitives the distribution CDFs in [`crate::dist`]
+//! are built from.  Implementations follow the classical Lanczos / continued
+//! fraction / series formulations (Numerical Recipes style) and are accurate
+//! to roughly 1e-10 over the parameter ranges the method library uses.
+
+/// Natural log of the gamma function, via the Lanczos approximation.
+///
+/// Accurate to ~1e-10 for `x > 0`.  Returns `f64::INFINITY` for `x <= 0`
+/// at the poles of the gamma function (non-positive integers) and uses the
+/// reflection formula elsewhere.
+pub fn ln_gamma(x: f64) -> f64 {
+    // Lanczos coefficients (g = 7, n = 9).
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection: Γ(x)Γ(1-x) = π / sin(πx)
+        let sin_pi_x = (std::f64::consts::PI * x).sin();
+        if sin_pi_x.abs() < 1e-300 {
+            return f64::INFINITY;
+        }
+        return std::f64::consts::PI.ln() - sin_pi_x.abs().ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + 7.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// The error function `erf(x)`, accurate to ~1.2e-7 (Abramowitz & Stegun 7.1.26
+/// refined with a higher-order rational approximation).
+pub fn erf(x: f64) -> f64 {
+    // Use the relation erf(x) = sign(x) * P(χ²) via the incomplete gamma for
+    // high accuracy: erf(x) = sign(x) * γ(1/2, x²)/Γ(1/2).
+    if x == 0.0 {
+        return 0.0;
+    }
+    let sign = x.signum();
+    sign * lower_incomplete_gamma_regularized(0.5, x * x)
+}
+
+/// Complementary error function `erfc(x) = 1 - erf(x)`.
+pub fn erfc(x: f64) -> f64 {
+    1.0 - erf(x)
+}
+
+/// Regularized lower incomplete gamma function `P(a, x) = γ(a, x) / Γ(a)`.
+///
+/// Uses the series expansion for `x < a + 1` and the continued fraction for
+/// the complement otherwise.  Returns 0 for `x <= 0` and panics on `a <= 0`.
+pub fn lower_incomplete_gamma_regularized(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "shape parameter must be positive");
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_series(a, x)
+    } else {
+        1.0 - gamma_continued_fraction(a, x)
+    }
+}
+
+/// Regularized upper incomplete gamma function `Q(a, x) = 1 - P(a, x)`.
+pub fn upper_incomplete_gamma_regularized(a: f64, x: f64) -> f64 {
+    1.0 - lower_incomplete_gamma_regularized(a, x)
+}
+
+fn gamma_series(a: f64, x: f64) -> f64 {
+    let mut sum = 1.0 / a;
+    let mut term = sum;
+    let mut ap = a;
+    for _ in 0..500 {
+        ap += 1.0;
+        term *= x / ap;
+        sum += term;
+        if term.abs() < sum.abs() * 1e-16 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+fn gamma_continued_fraction(a: f64, x: f64) -> f64 {
+    const FPMIN: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / FPMIN;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = b + an / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-16 {
+            break;
+        }
+    }
+    (-x + a * x.ln() - ln_gamma(a)).exp() * h
+}
+
+/// Natural log of the beta function `B(a, b)`.
+pub fn ln_beta(a: f64, b: f64) -> f64 {
+    ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b)
+}
+
+/// Regularized incomplete beta function `I_x(a, b)`.
+///
+/// Computed via the continued-fraction expansion with the standard symmetry
+/// transformation for numerical stability.  Accurate to ~1e-12.
+///
+/// # Panics
+/// Panics if `a <= 0`, `b <= 0`, or `x` outside `[0, 1]`.
+pub fn incomplete_beta_regularized(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "shape parameters must be positive");
+    assert!((0.0..=1.0).contains(&x), "x must be within [0, 1]");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let front = ((a * x.ln()) + (b * (1.0 - x).ln()) - ln_beta(a, b)).exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_continued_fraction(a, b, x) / a
+    } else {
+        // Complementary evaluation, computed directly (no recursion) to avoid
+        // ping-ponging at the symmetry point x == (a+1)/(a+b+2).
+        1.0 - front * beta_continued_fraction(b, a, 1.0 - x) / b
+    }
+}
+
+fn beta_continued_fraction(a: f64, b: f64, x: f64) -> f64 {
+    const FPMIN: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..500 {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-14 {
+            break;
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(5) = 24, Γ(0.5) = sqrt(pi)
+        assert!(close(ln_gamma(1.0), 0.0, 1e-10));
+        assert!(close(ln_gamma(2.0), 0.0, 1e-10));
+        assert!(close(ln_gamma(5.0), 24.0_f64.ln(), 1e-10));
+        assert!(close(
+            ln_gamma(0.5),
+            std::f64::consts::PI.sqrt().ln(),
+            1e-10
+        ));
+        // Γ(10) = 362880
+        assert!(close(ln_gamma(10.0), 362_880.0_f64.ln(), 1e-9));
+    }
+
+    #[test]
+    fn ln_gamma_reflection_branch() {
+        // Γ(0.25) ≈ 3.625609908
+        assert!(close(ln_gamma(0.25), 3.625_609_908_2_f64.ln(), 1e-8));
+        assert!(ln_gamma(0.0).is_infinite());
+    }
+
+    #[test]
+    fn erf_known_values() {
+        assert!(close(erf(0.0), 0.0, 1e-15));
+        assert!(close(erf(1.0), 0.842_700_792_949_714_9, 1e-9));
+        assert!(close(erf(-1.0), -0.842_700_792_949_714_9, 1e-9));
+        assert!(close(erf(2.0), 0.995_322_265_018_952_7, 1e-9));
+        assert!(close(erfc(0.5), 1.0 - 0.520_499_877_813_046_5, 1e-9));
+    }
+
+    #[test]
+    fn incomplete_gamma_boundaries_and_values() {
+        assert_eq!(lower_incomplete_gamma_regularized(2.0, 0.0), 0.0);
+        // P(1, x) = 1 - e^{-x}
+        for &x in &[0.1, 1.0, 3.0, 10.0] {
+            assert!(close(
+                lower_incomplete_gamma_regularized(1.0, x),
+                1.0 - (-x as f64).exp(),
+                1e-10
+            ));
+        }
+        assert!(close(
+            upper_incomplete_gamma_regularized(1.0, 2.0),
+            (-2.0_f64).exp(),
+            1e-10
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape parameter")]
+    fn incomplete_gamma_rejects_bad_shape() {
+        lower_incomplete_gamma_regularized(0.0, 1.0);
+    }
+
+    #[test]
+    fn incomplete_beta_known_values() {
+        // I_x(1, 1) = x  (uniform CDF)
+        for &x in &[0.0, 0.25, 0.5, 0.75, 1.0] {
+            assert!(close(incomplete_beta_regularized(1.0, 1.0, x), x, 1e-12));
+        }
+        // I_x(2, 2) = 3x² - 2x³
+        for &x in &[0.1, 0.5, 0.9] {
+            assert!(close(
+                incomplete_beta_regularized(2.0, 2.0, x),
+                3.0 * x * x - 2.0 * x * x * x,
+                1e-10
+            ));
+        }
+        // Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a)
+        let v = incomplete_beta_regularized(2.5, 4.0, 0.3);
+        let w = 1.0 - incomplete_beta_regularized(4.0, 2.5, 0.7);
+        assert!(close(v, w, 1e-10));
+    }
+
+    #[test]
+    fn ln_beta_consistency() {
+        // B(2, 3) = 1/12
+        assert!(close(ln_beta(2.0, 3.0), (1.0_f64 / 12.0).ln(), 1e-10));
+    }
+
+    #[test]
+    #[should_panic(expected = "x must be within")]
+    fn incomplete_beta_rejects_out_of_range() {
+        incomplete_beta_regularized(1.0, 1.0, 1.5);
+    }
+}

@@ -1,0 +1,217 @@
+//! Text feature extraction (paper Section 5.2, "Text Feature Extraction").
+//!
+//! CRF methods "often assign hundreds of features to each token"; the paper
+//! enumerates five families, all implemented here: dictionary features, regex
+//! features, edge features (handled by the CRF's transition weights), word
+//! features and position features.  The extractor maps each token of a
+//! sentence to a sparse set of named features, and maintains a feature
+//! dictionary so the same extraction can be replayed at inference time.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Features extracted for one token.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TokenFeatures {
+    /// Names of the active (binary) features, sorted and de-duplicated.
+    pub active: Vec<String>,
+}
+
+/// Configurable token feature extractor.
+#[derive(Debug, Clone, Default)]
+pub struct FeatureExtractor {
+    dictionaries: BTreeMap<String, BTreeSet<String>>,
+    /// Lightweight "regex" features expressed as predicates over the token
+    /// (full regular expressions would need an external crate; these cover
+    /// the patterns the paper lists: capitalization, digits, punctuation).
+    enable_shape_features: bool,
+    enable_position_features: bool,
+    enable_word_features: bool,
+    known_words: BTreeSet<String>,
+}
+
+impl FeatureExtractor {
+    /// Creates an extractor with word, shape and position features enabled.
+    pub fn new() -> Self {
+        Self {
+            dictionaries: BTreeMap::new(),
+            enable_shape_features: true,
+            enable_position_features: true,
+            enable_word_features: true,
+            known_words: BTreeSet::new(),
+        }
+    }
+
+    /// Registers a named dictionary; tokens found in it produce a
+    /// `dict:<name>` feature (the paper's "does this token exist in a
+    /// provided dictionary?").
+    pub fn with_dictionary<I, S>(mut self, name: &str, entries: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.dictionaries.insert(
+            name.to_owned(),
+            entries.into_iter().map(|e| e.into().to_lowercase()).collect(),
+        );
+        self
+    }
+
+    /// Disables the token-identity ("word") features.
+    pub fn without_word_features(mut self) -> Self {
+        self.enable_word_features = false;
+        self
+    }
+
+    /// Disables the shape (capitalization/digit) features.
+    pub fn without_shape_features(mut self) -> Self {
+        self.enable_shape_features = false;
+        self
+    }
+
+    /// Disables the position features.
+    pub fn without_position_features(mut self) -> Self {
+        self.enable_position_features = false;
+        self
+    }
+
+    /// Records the training vocabulary so the "does the token appear in the
+    /// training data?" feature can fire at inference time.
+    pub fn fit_vocabulary<'a, I: IntoIterator<Item = &'a str>>(&mut self, tokens: I) {
+        for token in tokens {
+            self.known_words.insert(token.to_lowercase());
+        }
+    }
+
+    /// Extracts features for every token of a sentence.
+    pub fn extract(&self, tokens: &[String]) -> Vec<TokenFeatures> {
+        tokens
+            .iter()
+            .enumerate()
+            .map(|(position, token)| {
+                let lower = token.to_lowercase();
+                let mut active = BTreeSet::new();
+                if self.enable_word_features {
+                    active.insert(format!("word:{lower}"));
+                    if self.known_words.contains(&lower) {
+                        active.insert("in_training_vocab".to_owned());
+                    }
+                }
+                if self.enable_shape_features {
+                    if token.chars().next().is_some_and(|c| c.is_uppercase()) {
+                        active.insert("shape:init_cap".to_owned());
+                    }
+                    if token.chars().all(|c| c.is_uppercase()) && !token.is_empty() {
+                        active.insert("shape:all_caps".to_owned());
+                    }
+                    if token.chars().any(|c| c.is_ascii_digit()) {
+                        active.insert("shape:has_digit".to_owned());
+                    }
+                    if token.chars().all(|c| c.is_ascii_digit()) && !token.is_empty() {
+                        active.insert("shape:all_digits".to_owned());
+                    }
+                }
+                if self.enable_position_features {
+                    if position == 0 {
+                        active.insert("position:first".to_owned());
+                    }
+                    if position + 1 == tokens.len() {
+                        active.insert("position:last".to_owned());
+                    }
+                }
+                for (name, entries) in &self.dictionaries {
+                    if entries.contains(&lower) {
+                        active.insert(format!("dict:{name}"));
+                    }
+                }
+                TokenFeatures {
+                    active: active.into_iter().collect(),
+                }
+            })
+            .collect()
+    }
+
+    /// Builds (and returns) a feature index mapping feature names to dense
+    /// ids over a corpus — the bridge between the sparse named features and
+    /// the dense observation symbols the CRF objective consumes.
+    pub fn build_feature_index(corpus_features: &[Vec<TokenFeatures>]) -> BTreeMap<String, usize> {
+        let mut index = BTreeMap::new();
+        for sentence in corpus_features {
+            for token in sentence {
+                for feature in &token.active {
+                    let next = index.len();
+                    index.entry(feature.clone()).or_insert(next);
+                }
+            }
+        }
+        index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::tokenize;
+
+    fn as_strings(tokens: &[&str]) -> Vec<String> {
+        tokens.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn word_shape_and_position_features() {
+        let extractor = FeatureExtractor::new();
+        let tokens = as_strings(&["Tim", "scored", "42", "POINTS"]);
+        let features = extractor.extract(&tokens);
+        assert_eq!(features.len(), 4);
+        assert!(features[0].active.contains(&"word:tim".to_owned()));
+        assert!(features[0].active.contains(&"shape:init_cap".to_owned()));
+        assert!(features[0].active.contains(&"position:first".to_owned()));
+        assert!(features[2].active.contains(&"shape:all_digits".to_owned()));
+        assert!(features[2].active.contains(&"shape:has_digit".to_owned()));
+        assert!(features[3].active.contains(&"shape:all_caps".to_owned()));
+        assert!(features[3].active.contains(&"position:last".to_owned()));
+    }
+
+    #[test]
+    fn dictionary_features() {
+        let extractor = FeatureExtractor::new()
+            .with_dictionary("person", ["tim", "alice"])
+            .with_dictionary("team", ["broncos"]);
+        let tokens = as_strings(&["Tim", "joined", "Broncos"]);
+        let features = extractor.extract(&tokens);
+        assert!(features[0].active.contains(&"dict:person".to_owned()));
+        assert!(!features[1].active.iter().any(|f| f.starts_with("dict:")));
+        assert!(features[2].active.contains(&"dict:team".to_owned()));
+    }
+
+    #[test]
+    fn vocabulary_feature_and_toggles() {
+        let mut extractor = FeatureExtractor::new()
+            .without_shape_features()
+            .without_position_features();
+        extractor.fit_vocabulary(["seen"]);
+        let features = extractor.extract(&as_strings(&["seen", "unseen"]));
+        assert!(features[0].active.contains(&"in_training_vocab".to_owned()));
+        assert!(!features[1].active.contains(&"in_training_vocab".to_owned()));
+        assert!(!features[0].active.iter().any(|f| f.starts_with("shape:")));
+        assert!(!features[0].active.iter().any(|f| f.starts_with("position:")));
+
+        let bare = FeatureExtractor::new().without_word_features();
+        let f = bare.extract(&as_strings(&["Word"]));
+        assert!(!f[0].active.iter().any(|x| x.starts_with("word:")));
+    }
+
+    #[test]
+    fn feature_index_is_dense_and_stable() {
+        let extractor = FeatureExtractor::new();
+        let sentences = vec![
+            extractor.extract(&tokenize("Alice met Bob")),
+            extractor.extract(&tokenize("Bob met Carol")),
+        ];
+        let index = FeatureExtractor::build_feature_index(&sentences);
+        assert!(!index.is_empty());
+        let mut ids: Vec<usize> = index.values().copied().collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..index.len()).collect::<Vec<_>>());
+        assert!(index.contains_key("word:bob"));
+    }
+}

@@ -1,0 +1,31 @@
+//! # madlib-text
+//!
+//! Statistical text analytics for MADlib-rs (the Florida/Berkeley
+//! contribution of the paper's Section 5.2): the four key methods of Table 3.
+//!
+//! | Table 3 method               | Module |
+//! |------------------------------|--------|
+//! | Text Feature Extraction      | [`features`] |
+//! | Viterbi Inference            | [`viterbi`] |
+//! | MCMC Inference (Gibbs, MH)   | [`mcmc`] |
+//! | Approximate String Matching  | [`strmatch`] |
+//!
+//! The linear-chain CRF model these operate on lives in [`crf`]; its training
+//! goes through the SGD framework of the `madlib-convex` crate (the same CRF
+//! objective appears in the paper's Table 2), so "train in the convex
+//! framework, infer with Viterbi or MCMC" is exactly the paper's pipeline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crf;
+pub mod features;
+pub mod mcmc;
+pub mod strmatch;
+pub mod token;
+pub mod viterbi;
+
+pub use crf::ChainCrf;
+pub use features::{FeatureExtractor, TokenFeatures};
+pub use strmatch::TrigramIndex;
+pub use token::tokenize;

@@ -1,0 +1,318 @@
+//! MCMC inference over a linear-chain CRF (paper Section 5.2, "MCMC
+//! Inference").
+//!
+//! Two samplers are provided, matching the paper: a Gibbs sampler that
+//! resamples one token's label at a time from its full conditional, and a
+//! Metropolis–Hastings sampler with a uniform single-site proposal.  Both
+//! return marginal label probabilities ("when we want the probabilities or
+//! confidence of an answer as well"), which is the capability Viterbi's
+//! single best labeling cannot give.
+
+use crate::crf::ChainCrf;
+use madlib_engine::{EngineError, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of an MCMC inference run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct McmcResult {
+    /// Marginal probability of each label at each position:
+    /// `marginals[t][label]`.
+    pub marginals: Vec<Vec<f64>>,
+    /// The most frequent label at each position (the MAP estimate under the
+    /// sampled marginals).
+    pub map_labels: Vec<usize>,
+    /// Number of samples retained (after burn-in).
+    pub samples: usize,
+    /// Acceptance rate (1.0 for Gibbs, which always accepts).
+    pub acceptance_rate: f64,
+}
+
+/// Configuration shared by both samplers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McmcConfig {
+    /// Total sweeps (Gibbs) or proposals (MH) after burn-in.
+    pub samples: usize,
+    /// Burn-in sweeps/proposals discarded before collecting statistics.
+    pub burn_in: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for McmcConfig {
+    fn default() -> Self {
+        Self {
+            samples: 500,
+            burn_in: 100,
+            seed: 0,
+        }
+    }
+}
+
+fn validate(crf: &ChainCrf, observations: &[usize], config: &McmcConfig) -> Result<()> {
+    if observations.is_empty() {
+        return Err(EngineError::invalid("cannot run MCMC on an empty sequence"));
+    }
+    if observations.iter().any(|&o| o >= crf.num_observations()) {
+        return Err(EngineError::invalid("observation symbol out of range"));
+    }
+    if config.samples == 0 {
+        return Err(EngineError::invalid("sample count must be positive"));
+    }
+    Ok(())
+}
+
+/// Log of the full conditional (up to a constant) of `label` at position `t`.
+fn local_log_score(
+    crf: &ChainCrf,
+    observations: &[usize],
+    labels: &[usize],
+    t: usize,
+    label: usize,
+) -> f64 {
+    let mut score = crf.emission(label, observations[t]);
+    if t > 0 {
+        score += crf.transition(labels[t - 1], label);
+    }
+    if t + 1 < labels.len() {
+        score += crf.transition(label, labels[t + 1]);
+    }
+    score
+}
+
+fn collect(counts: &[Vec<u64>], samples: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+    let marginals: Vec<Vec<f64>> = counts
+        .iter()
+        .map(|c| c.iter().map(|&n| n as f64 / samples as f64).collect())
+        .collect();
+    let map_labels = counts
+        .iter()
+        .map(|c| {
+            c.iter()
+                .enumerate()
+                .max_by_key(|(_, &n)| n)
+                .map(|(label, _)| label)
+                .unwrap_or(0)
+        })
+        .collect();
+    (marginals, map_labels)
+}
+
+/// Gibbs sampling: each sweep resamples every position from its full
+/// conditional distribution.
+///
+/// # Errors
+/// Returns engine errors for empty/out-of-range inputs.
+pub fn gibbs_sample(
+    crf: &ChainCrf,
+    observations: &[usize],
+    config: &McmcConfig,
+) -> Result<McmcResult> {
+    validate(crf, observations, config)?;
+    let n = observations.len();
+    let k = crf.num_labels();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut labels: Vec<usize> = (0..n).map(|_| rng.gen_range(0..k)).collect();
+    let mut counts = vec![vec![0u64; k]; n];
+
+    for sweep in 0..(config.burn_in + config.samples) {
+        for t in 0..n {
+            let scores: Vec<f64> = (0..k)
+                .map(|label| local_log_score(crf, observations, &labels, t, label))
+                .collect();
+            let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let weights: Vec<f64> = scores.iter().map(|s| (s - max).exp()).collect();
+            let total: f64 = weights.iter().sum();
+            let mut target = rng.gen_range(0.0..total);
+            let mut chosen = k - 1;
+            for (label, w) in weights.iter().enumerate() {
+                if target < *w {
+                    chosen = label;
+                    break;
+                }
+                target -= w;
+            }
+            labels[t] = chosen;
+        }
+        if sweep >= config.burn_in {
+            for (t, &label) in labels.iter().enumerate() {
+                counts[t][label] += 1;
+            }
+        }
+    }
+    let (marginals, map_labels) = collect(&counts, config.samples);
+    Ok(McmcResult {
+        marginals,
+        map_labels,
+        samples: config.samples,
+        acceptance_rate: 1.0,
+    })
+}
+
+/// Metropolis–Hastings sampling with a uniform single-site proposal.
+///
+/// # Errors
+/// Returns engine errors for empty/out-of-range inputs.
+pub fn metropolis_hastings_sample(
+    crf: &ChainCrf,
+    observations: &[usize],
+    config: &McmcConfig,
+) -> Result<McmcResult> {
+    validate(crf, observations, config)?;
+    let n = observations.len();
+    let k = crf.num_labels();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut labels: Vec<usize> = (0..n).map(|_| rng.gen_range(0..k)).collect();
+    let mut counts = vec![vec![0u64; k]; n];
+    let mut accepted = 0u64;
+    let mut proposed = 0u64;
+
+    // One "iteration" proposes n single-site flips so the mixing per sample
+    // is comparable to a Gibbs sweep.
+    for iteration in 0..(config.burn_in + config.samples) {
+        for _ in 0..n {
+            let t = rng.gen_range(0..n);
+            let proposal = rng.gen_range(0..k);
+            let current = labels[t];
+            if proposal != current {
+                proposed += 1;
+                let delta = local_log_score(crf, observations, &labels, t, proposal)
+                    - local_log_score(crf, observations, &labels, t, current);
+                if delta >= 0.0 || rng.gen::<f64>() < delta.exp() {
+                    labels[t] = proposal;
+                    accepted += 1;
+                }
+            }
+        }
+        if iteration >= config.burn_in {
+            for (t, &label) in labels.iter().enumerate() {
+                counts[t][label] += 1;
+            }
+        }
+    }
+    let (marginals, map_labels) = collect(&counts, config.samples);
+    Ok(McmcResult {
+        marginals,
+        map_labels,
+        samples: config.samples,
+        acceptance_rate: if proposed == 0 {
+            1.0
+        } else {
+            accepted as f64 / proposed as f64
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::viterbi::viterbi_decode;
+
+    fn toy_crf() -> ChainCrf {
+        // Observation i prefers label i % 2 strongly; sticky transitions.
+        let num_labels = 2;
+        let num_observations = 4;
+        let mut weights = vec![0.0; num_labels * num_observations + num_labels * num_labels];
+        for obs in 0..num_observations {
+            weights[(obs % 2) * num_observations + obs] = 3.0;
+        }
+        let base = num_labels * num_observations;
+        weights[base] = 0.5;
+        weights[base + 3] = 0.5;
+        ChainCrf::from_weights(num_labels, num_observations, weights).unwrap()
+    }
+
+    #[test]
+    fn gibbs_marginals_concentrate_on_the_map_labeling() {
+        let crf = toy_crf();
+        let observations = [0usize, 2, 1, 3, 0];
+        let config = McmcConfig {
+            samples: 800,
+            burn_in: 200,
+            seed: 7,
+        };
+        let result = gibbs_sample(&crf, &observations, &config).unwrap();
+        let (viterbi_labels, _) = viterbi_decode(&crf, &observations).unwrap();
+        assert_eq!(result.map_labels, viterbi_labels);
+        assert_eq!(result.samples, 800);
+        assert_eq!(result.acceptance_rate, 1.0);
+        for (t, marginal) in result.marginals.iter().enumerate() {
+            let total: f64 = marginal.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9);
+            assert!(
+                marginal[viterbi_labels[t]] > 0.8,
+                "position {t} marginal {marginal:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn metropolis_hastings_agrees_with_gibbs() {
+        let crf = toy_crf();
+        let observations = [3usize, 1, 2, 0];
+        let config = McmcConfig {
+            samples: 1_500,
+            burn_in: 300,
+            seed: 11,
+        };
+        let gibbs = gibbs_sample(&crf, &observations, &config).unwrap();
+        let mh = metropolis_hastings_sample(&crf, &observations, &config).unwrap();
+        assert_eq!(gibbs.map_labels, mh.map_labels);
+        assert!(mh.acceptance_rate > 0.0 && mh.acceptance_rate < 1.0);
+        for (gm, mm) in gibbs.marginals.iter().zip(&mh.marginals) {
+            for (a, b) in gm.iter().zip(mm) {
+                assert!((a - b).abs() < 0.12, "marginals diverge: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn uncertain_positions_have_soft_marginals() {
+        // An observation symbol with no emission preference: its marginal is
+        // governed by the sticky transitions and stays well away from 0/1.
+        let num_labels = 2;
+        let num_observations = 2;
+        let mut weights = vec![0.0; num_labels * num_observations + num_labels * num_labels];
+        weights[0] = 2.0; // obs 0 prefers label 0
+                          // obs 1 has no preference.
+        let crf = ChainCrf::from_weights(num_labels, num_observations, weights).unwrap();
+        let result = gibbs_sample(
+            &crf,
+            &[0, 1],
+            &McmcConfig {
+                samples: 2_000,
+                burn_in: 200,
+                seed: 3,
+            },
+        )
+        .unwrap();
+        let uncertain = &result.marginals[1];
+        assert!(uncertain[0] > 0.2 && uncertain[0] < 0.8, "{uncertain:?}");
+    }
+
+    #[test]
+    fn input_validation() {
+        let crf = toy_crf();
+        let config = McmcConfig::default();
+        assert!(gibbs_sample(&crf, &[], &config).is_err());
+        assert!(metropolis_hastings_sample(&crf, &[99], &config).is_err());
+        let bad = McmcConfig {
+            samples: 0,
+            ..McmcConfig::default()
+        };
+        assert!(gibbs_sample(&crf, &[0], &bad).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let crf = toy_crf();
+        let config = McmcConfig {
+            samples: 200,
+            burn_in: 50,
+            seed: 42,
+        };
+        let a = gibbs_sample(&crf, &[0, 1, 2], &config).unwrap();
+        let b = gibbs_sample(&crf, &[0, 1, 2], &config).unwrap();
+        assert_eq!(a, b);
+    }
+}

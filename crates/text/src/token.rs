@@ -1,0 +1,46 @@
+//! Tokenization.
+
+/// Splits text into lowercase word tokens.  Punctuation separates tokens;
+/// digits are kept so that numeric mentions survive (useful for NER-style
+/// tasks).
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() || ch == '\'' {
+            current.extend(ch.to_lowercase());
+        } else if !current.is_empty() {
+            tokens.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_punctuation_and_whitespace() {
+        assert_eq!(
+            tokenize("The quick, brown fox!"),
+            vec!["the", "quick", "brown", "fox"]
+        );
+        assert_eq!(tokenize("don't stop"), vec!["don't", "stop"]);
+        assert_eq!(tokenize("v0.3 release"), vec!["v0", "3", "release"]);
+    }
+
+    #[test]
+    fn empty_and_symbol_only_inputs() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("!!! --- ???").is_empty());
+    }
+
+    #[test]
+    fn lowercases_unicode() {
+        assert_eq!(tokenize("Istanbul Köln"), vec!["istanbul", "köln"]);
+    }
+}

@@ -1,0 +1,96 @@
+//! Customer-churn modeling: the "deep analytics inside the warehouse"
+//! scenario from the paper's introduction.
+//!
+//! A synthetic customer table is loaded into the engine, three classifiers
+//! from the method library (logistic regression, C4.5 decision tree, naive
+//! Bayes) are trained on it, and their holdout accuracy is compared using the
+//! cross-validation and metrics utilities.
+
+use madlib::engine::{row, Column, ColumnType, Database, Executor, Schema, Table};
+use madlib::methods::classify::{DecisionTree, NaiveBayes};
+use madlib::methods::regress::LogisticRegression;
+use madlib::methods::validate::{accuracy, kfold_indices};
+
+/// Deterministic synthetic customer base: churn depends on support tickets
+/// and monthly spend with a noisy threshold.
+fn customer_rows(n: usize) -> Vec<(f64, Vec<f64>, &'static str)> {
+    (0..n)
+        .map(|i| {
+            let tickets = (i % 9) as f64;
+            let spend = 20.0 + ((i * 13) % 80) as f64;
+            let tenure = ((i * 7) % 60) as f64;
+            let score = 0.8 * tickets - 0.05 * spend - 0.02 * tenure + 1.0;
+            let noise = ((i * 31) % 7) as f64 / 7.0 - 0.5;
+            let churned = if score + noise > 0.0 { 1.0 } else { 0.0 };
+            let label = if churned > 0.5 { "churn" } else { "stay" };
+            (churned, vec![1.0, tickets, spend, tenure], label)
+        })
+        .collect()
+}
+
+fn main() {
+    let executor = Executor::new();
+    let db = Database::new(4).expect("segment count is positive");
+    let rows = customer_rows(2_000);
+
+    let numeric_schema = Schema::new(vec![
+        Column::new("y", ColumnType::Double),
+        Column::new("x", ColumnType::DoubleArray),
+    ]);
+    let labeled_schema = Schema::new(vec![
+        Column::new("label", ColumnType::Text),
+        Column::new("features", ColumnType::DoubleArray),
+    ]);
+
+    // 5-fold cross-validation of logistic regression.
+    let folds = kfold_indices(rows.len(), 5, 42).expect("valid fold spec");
+    let mut fold_accuracies = Vec::new();
+    for fold in &folds {
+        let mut train = Table::new(numeric_schema.clone(), 4).expect("table");
+        for &i in &fold.train {
+            let (y, x, _) = &rows[i];
+            train.insert(row![*y, x.clone()]).expect("insert");
+        }
+        let model = LogisticRegression::new("y", "x")
+            .fit(&executor, &db, &train)
+            .expect("fit");
+        let predicted: Vec<bool> = fold
+            .test
+            .iter()
+            .map(|&i| model.predict(&rows[i].1).expect("predict"))
+            .collect();
+        let actual: Vec<bool> = fold.test.iter().map(|&i| rows[i].0 > 0.5).collect();
+        fold_accuracies.push(accuracy(&predicted, &actual).expect("accuracy"));
+    }
+    let mean_accuracy: f64 = fold_accuracies.iter().sum::<f64>() / fold_accuracies.len() as f64;
+    println!("logistic regression, 5-fold CV accuracy: {mean_accuracy:.3}");
+
+    // Decision tree and naive Bayes on a single split for comparison.
+    let mut labeled = Table::new(labeled_schema, 4).expect("table");
+    for (_, x, label) in rows.iter().take(1_500) {
+        labeled.insert(row![*label, x.clone()]).expect("insert");
+    }
+    let tree = DecisionTree::new("label", "features")
+        .with_max_depth(6)
+        .fit(&executor, &labeled)
+        .expect("tree fit");
+    let bayes = NaiveBayes::new("label", "features")
+        .fit(&executor, &labeled)
+        .expect("bayes fit");
+
+    let holdout = &rows[1_500..];
+    let tree_predictions: Vec<&str> = holdout
+        .iter()
+        .map(|(_, x, _)| tree.predict(x).expect("predict"))
+        .collect();
+    let bayes_predictions: Vec<String> = holdout
+        .iter()
+        .map(|(_, x, _)| bayes.predict(x).expect("predict"))
+        .collect();
+    let truth: Vec<&str> = holdout.iter().map(|(_, _, label)| *label).collect();
+    let tree_accuracy = accuracy(&tree_predictions, &truth).expect("accuracy");
+    let bayes_refs: Vec<&str> = bayes_predictions.iter().map(String::as_str).collect();
+    let bayes_accuracy = accuracy(&bayes_refs, &truth).expect("accuracy");
+    println!("decision tree (C4.5) holdout accuracy:    {tree_accuracy:.3} ({} leaves)", tree.leaf_count());
+    println!("naive Bayes holdout accuracy:             {bayes_accuracy:.3}");
+}

@@ -1,0 +1,81 @@
+//! Quickstart: the paper's Section 4.1 worked example.
+//!
+//! Builds a small `data(y, x)` table, runs the single-pass linear-regression
+//! aggregate, and prints the same composite record the paper shows for
+//! `SELECT (linregr(y, x)).* FROM data;`.
+
+use madlib::engine::{row, Column, ColumnType, Database, Executor, Schema};
+use madlib::methods::regress::LinearRegression;
+
+fn main() {
+    // A database with 4 "segments" (parallel workers).
+    let db = Database::new(4).expect("segment count is positive");
+    let schema = Schema::new(vec![
+        Column::new("y", ColumnType::Double),
+        Column::new("x", ColumnType::DoubleArray),
+    ]);
+    db.create_table("data", schema).expect("fresh catalog");
+
+    // y ≈ 1.73 + 2.24·x plus a little deterministic noise, echoing the
+    // coefficients in the paper's example output.
+    db.with_table_mut("data", |table| {
+        for i in 0..1_000 {
+            let x = i as f64 / 100.0;
+            let noise = ((i * 37) % 11) as f64 / 11.0 - 0.5;
+            table.insert(row![1.7307 + 2.2428 * x + 0.3 * noise, vec![1.0, x]])?;
+        }
+        Ok(())
+    })
+    .expect("insert succeeds");
+
+    let table = db.table("data").expect("table exists");
+    let model = LinearRegression::new("y", "x")
+        .fit(&Executor::new(), &table)
+        .expect("fit succeeds");
+
+    println!("psql# SELECT (linregr(y, x)).* FROM data;");
+    println!("-[ RECORD 1 ]+--------------------------------------------");
+    println!(
+        "coef         | {{{}}}",
+        model
+            .coef
+            .iter()
+            .map(|c| format!("{c:.4}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    println!("r2           | {:.4}", model.r2);
+    println!(
+        "std_err      | {{{}}}",
+        model
+            .std_err
+            .iter()
+            .map(|c| format!("{c:.4}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    println!(
+        "t_stats      | {{{}}}",
+        model
+            .t_stats
+            .iter()
+            .map(|c| format!("{c:.4}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    println!(
+        "p_values     | {{{}}}",
+        model
+            .p_values
+            .iter()
+            .map(|c| format!("{c:.3e}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    println!("condition_no | {:.4}", model.condition_no);
+    println!();
+    println!(
+        "prediction for x = 5.0: {:.4}",
+        model.predict(&[1.0, 5.0]).expect("width matches")
+    );
+}

@@ -1,0 +1,86 @@
+//! Statistical text analytics end to end (paper Section 5.2): feature
+//! extraction, CRF training through the convex framework, Viterbi and MCMC
+//! inference, and approximate string matching for entity resolution.
+
+use madlib::engine::{Column, ColumnType, Database, Executor, Row, Schema, Table, Value};
+use madlib::text::mcmc::{gibbs_sample, McmcConfig};
+use madlib::text::viterbi::viterbi_decode;
+use madlib::text::{tokenize, ChainCrf, FeatureExtractor, TrigramIndex};
+
+fn main() {
+    let executor = Executor::new();
+    let db = Database::new(4).expect("segment count is positive");
+
+    // --- Feature extraction ------------------------------------------------
+    let extractor = FeatureExtractor::new().with_dictionary("city", ["denver", "istanbul"]);
+    let sentence = tokenize("Tim Tebow visited Denver in August 2012");
+    let features = extractor.extract(&sentence);
+    println!("token features:");
+    for (token, feats) in sentence.iter().zip(&features) {
+        println!("  {token:<10} {:?}", feats.active);
+    }
+
+    // --- CRF training (labels: 0 = other, 1 = entity) ----------------------
+    // Observation symbols: 0/1 → ordinary words, 2/3 → entity-like words.
+    let schema = Schema::new(vec![
+        Column::new("observations", ColumnType::IntArray),
+        Column::new("labels", ColumnType::IntArray),
+    ]);
+    let mut corpus = Table::new(schema, 4).expect("table");
+    for s in 0..80usize {
+        let length = 6 + s % 5;
+        let mut observations = Vec::new();
+        let mut labels = Vec::new();
+        for t in 0..length {
+            let label = usize::from((t + s) % 3 == 0);
+            observations.push((label * 2 + s % 2) as i64);
+            labels.push(label as i64);
+        }
+        corpus
+            .insert(Row::new(vec![
+                Value::IntArray(observations),
+                Value::IntArray(labels),
+            ]))
+            .expect("insert");
+    }
+    let crf = ChainCrf::train(&executor, &db, &corpus, "observations", "labels", 2, 4, 40)
+        .expect("CRF training succeeds");
+
+    // --- Inference ----------------------------------------------------------
+    let observations = [2usize, 0, 1, 3, 0, 2];
+    let (viterbi_labels, score) = viterbi_decode(&crf, &observations).expect("decode");
+    println!("\nViterbi labeling of {observations:?}: {viterbi_labels:?} (score {score:.2})");
+    let mcmc = gibbs_sample(
+        &crf,
+        &observations,
+        &McmcConfig {
+            samples: 500,
+            burn_in: 100,
+            seed: 3,
+        },
+    )
+    .expect("sampling succeeds");
+    println!("Gibbs marginal P(entity) per token:");
+    for (t, marginal) in mcmc.marginals.iter().enumerate() {
+        println!("  position {t}: {:.2}", marginal[1]);
+    }
+
+    // --- Entity resolution via trigram matching -----------------------------
+    let mut index = TrigramIndex::new();
+    for mention in [
+        "Tim Tebow threw for 300 yards",
+        "T. Tebow was seen at practice",
+        "Peyton Manning led the drive",
+        "tim tebo signs autographs",
+    ] {
+        index.insert(mention);
+    }
+    println!("\napproximate mentions of 'Tim Tebow':");
+    for (id, similarity) in index.search("Tim Tebow", 0.5) {
+        println!(
+            "  {:.2}  {}",
+            similarity,
+            index.document(id).expect("document exists")
+        );
+    }
+}

@@ -1,0 +1,9 @@
+//! Facade crate re-exporting the MADlib-rs workspace public API.
+#![forbid(unsafe_code)]
+pub use madlib_convex as convex;
+pub use madlib_core as methods;
+pub use madlib_engine as engine;
+pub use madlib_linalg as linalg;
+pub use madlib_sketch as sketch;
+pub use madlib_stats as stats;
+pub use madlib_text as text;
