@@ -1,25 +1,35 @@
 //! Section 4.3: k-means Lloyd iterations over the engine (large-state
-//! iteration pattern).
+//! iteration pattern), swept over row-at-a-time vs. chunk-at-a-time
+//! execution of the assignment aggregate.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use madlib_core::cluster::KMeans;
 use madlib_core::datasets::gaussian_blobs;
-use madlib_engine::{Database, Executor};
+use madlib_engine::{Database, ExecutionMode, Executor};
 
 fn bench_kmeans(c: &mut Criterion) {
     let mut group = c.benchmark_group("kmeans");
     group.sample_size(10);
     let data = gaussian_blobs(5_000, 4, 4, 1.0, 4, 5).unwrap();
-    group.bench_function("fit_5000x4_k4", |b| {
-        b.iter(|| {
-            let db = Database::new(4).unwrap();
-            KMeans::new("coords", 4)
-                .unwrap()
-                .with_max_iterations(10)
-                .fit(&Executor::new(), &db, &data.table)
-                .unwrap()
-        })
-    });
+    for (label, mode) in [
+        ("chunk", ExecutionMode::Chunked),
+        ("row", ExecutionMode::RowAtATime),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("fit_5000x4_k4", label),
+            &mode,
+            |b, &mode| {
+                b.iter(|| {
+                    let db = Database::new(4).unwrap();
+                    KMeans::new("coords", 4)
+                        .unwrap()
+                        .with_max_iterations(10)
+                        .fit(&Executor::new().with_mode(mode), &db, &data.table)
+                        .unwrap()
+                })
+            },
+        );
+    }
     group.finish();
 }
 

@@ -54,6 +54,7 @@ fn main() {
         "logistic" => logistic(),
         "kmeans" => kmeans(),
         "overhead" => overhead(),
+        "rowchunk" => rowchunk(full),
         "all" => {
             figure4(full);
             figure5(full);
@@ -63,13 +64,50 @@ fn main() {
             logistic();
             kmeans();
             overhead();
+            rowchunk(full);
         }
         other => {
             eprintln!("unknown experiment: {other}");
-            eprintln!("expected one of: figure4 figure5 table1 table2 table3 logistic kmeans overhead all");
+            eprintln!("expected one of: figure4 figure5 table1 table2 table3 logistic kmeans overhead rowchunk all");
             std::process::exit(2);
         }
     }
+}
+
+/// Row-path vs. chunk-path baseline: the engine's own Figure 4-style
+/// inner-loop comparison.  Sweeps feature widths up to the 1 000-wide
+/// acceptance shape and prints the measured chunk-path speedup per cell.
+fn rowchunk(full: bool) {
+    println!("== Row-at-a-time vs. chunk-at-a-time execution (linregr, v0.3 kernel) ==\n");
+    let sweep: &[(usize, usize, usize, usize)] = if full {
+        &[
+            (100_000, 40, 4, 5),
+            (40_000, 100, 4, 5),
+            (10_000, 400, 4, 3),
+            (10_000, 1000, 4, 3),
+        ]
+    } else {
+        &[
+            (20_000, 40, 4, 5),
+            (8_000, 100, 4, 5),
+            (2_000, 400, 4, 3),
+            (2_000, 1000, 4, 3),
+        ]
+    };
+    println!(
+        "{:>8}  {:>11}  {:>12}  {:>12}  {:>8}",
+        "# rows", "# variables", "row (s)", "chunk (s)", "speedup"
+    );
+    for &(rows, variables, segments, samples) in sweep {
+        let (row, chunk) = madlib_bench::measure_row_vs_chunk(rows, variables, segments, samples);
+        println!(
+            "{rows:>8}  {variables:>11}  {:>12.4}  {:>12.4}  {:>7.2}x",
+            row.as_secs_f64(),
+            chunk.as_secs_f64(),
+            row.as_secs_f64() / chunk.as_secs_f64(),
+        );
+    }
+    println!();
 }
 
 fn sweep_parameters(full: bool) -> (Vec<usize>, Vec<usize>, usize) {
@@ -106,7 +144,12 @@ fn figure5(full: bool) {
 }
 
 fn check(name: &str, passed: bool, detail: String) {
-    println!("  [{}] {:<28} {}", if passed { "ok" } else { "FAIL" }, name, detail);
+    println!(
+        "  [{}] {:<28} {}",
+        if passed { "ok" } else { "FAIL" },
+        name,
+        detail
+    );
 }
 
 #[allow(clippy::too_many_lines)]
@@ -117,7 +160,9 @@ fn table1() {
 
     // Supervised learning.
     let lin = datasets::linear_regression_data(2_000, 5, 0.1, 4, 1).unwrap();
-    let lin_model = LinearRegression::new("y", "x").fit(&executor, &lin.table).unwrap();
+    let lin_model = LinearRegression::new("y", "x")
+        .fit(&executor, &lin.table)
+        .unwrap();
     check(
         "Linear Regression",
         lin_model.r2 > 0.9,
@@ -145,7 +190,9 @@ fn table1() {
             .insert(row![label, vec![center + (i % 7) as f64 * 0.1]])
             .unwrap();
     }
-    let nb = NaiveBayes::new("label", "features").fit(&executor, &nb_table).unwrap();
+    let nb = NaiveBayes::new("label", "features")
+        .fit(&executor, &nb_table)
+        .unwrap();
     check(
         "Naive Bayes Classification",
         nb.predict(&[0.1]).unwrap() == "a" && nb.predict(&[5.1]).unwrap() == "b",
@@ -158,7 +205,9 @@ fn table1() {
         let label = if x > 5.0 { "high" } else { "low" };
         dt_table.insert(row![label, vec![x]]).unwrap();
     }
-    let dt = DecisionTree::new("label", "features").fit(&executor, &dt_table).unwrap();
+    let dt = DecisionTree::new("label", "features")
+        .fit(&executor, &dt_table)
+        .unwrap();
     check(
         "Decision Trees (C4.5)",
         dt.predict(&[9.0]).unwrap() == "high" && dt.predict(&[1.0]).unwrap() == "low",
@@ -166,7 +215,10 @@ fn table1() {
     );
 
     let svm_data = datasets::logistic_regression_data(1_000, 3, 4, 5).unwrap();
-    let svm = LinearSvm::new("y", "x").with_epochs(15).fit(&executor, &svm_data.table).unwrap();
+    let svm = LinearSvm::new("y", "x")
+        .with_epochs(15)
+        .fit(&executor, &svm_data.table)
+        .unwrap();
     check(
         "Support Vector Machines",
         svm.final_objective.is_finite(),
@@ -207,7 +259,11 @@ fn table1() {
     check(
         "Latent Dirichlet Allocation",
         lda.top_words(0, 5).unwrap().len() == 5,
-        format!("{} topics over {} words", lda.num_topics, lda.vocabulary.len()),
+        format!(
+            "{} topics over {} words",
+            lda.num_topics,
+            lda.vocabulary.len()
+        ),
     );
 
     let baskets = datasets::market_basket_data(800, 25, 4, 13).unwrap();
@@ -272,8 +328,8 @@ fn table1() {
         "dot([1,2],[3,4]) = 11".to_owned(),
     );
     let spd = DenseMatrix::from_rows(&[vec![4.0, 1.0], vec![1.0, 3.0]]).unwrap();
-    let cg = conjugate_gradient_solve(&spd, &DenseVector::from_vec(vec![1.0, 2.0]), 1e-10, 50)
-        .unwrap();
+    let cg =
+        conjugate_gradient_solve(&spd, &DenseVector::from_vec(vec![1.0, 2.0]), 1e-10, 50).unwrap();
     check(
         "Conjugate Gradient",
         cg.converged,
@@ -312,7 +368,13 @@ fn table2() {
     let lasso = LassoObjective::new("y", "x", 6, 0.01);
     run("Lasso", &lasso, &reg.table, vec![0.0; 6], 40);
     let logistic = LogisticObjective::new("y", "x", 6);
-    run("Logistic Regression", &logistic, &cls.table, vec![0.0; 6], 40);
+    run(
+        "Logistic Regression",
+        &logistic,
+        &cls.table,
+        vec![0.0; 6],
+        40,
+    );
     let svm = SvmHingeObjective::new("y", "x", 6, 1e-3);
     run("Classification (SVM)", &svm, &cls.table, vec![0.0; 6], 40);
 
@@ -397,13 +459,16 @@ fn table3() {
     check(
         "Text Feature Extraction",
         features[0].active.iter().any(|f| f == "dict:person"),
-        format!("{} tokens, {} features on token 0", tokens.len(), features[0].active.len()),
+        format!(
+            "{} tokens, {} features on token 0",
+            tokens.len(),
+            features[0].active.len()
+        ),
     );
 
     // CRF training + Viterbi inference.
     let corpus = crf_corpus(60, 4);
-    let crf = ChainCrf::train(&executor, &db, &corpus, "observations", "labels", 2, 4, 40)
-        .unwrap();
+    let crf = ChainCrf::train(&executor, &db, &corpus, "observations", "labels", 2, 4, 40).unwrap();
     let observations = [0usize, 3, 0, 3, 0];
     let (labels, score) = viterbi_decode(&crf, &observations).unwrap();
     check(

@@ -13,7 +13,7 @@
 use crate::objective::ConvexObjective;
 use crate::schedule::StepSchedule;
 use madlib_engine::iteration::{l2_relative_convergence, IterationConfig, IterationController};
-use madlib_engine::{Aggregate, Database, EngineError, Executor, Row, Schema, Table};
+use madlib_engine::{Aggregate, Database, EngineError, Executor, Row, RowChunk, Schema, Table};
 
 /// Configuration for an IGD run.
 #[derive(Debug, Clone)]
@@ -145,9 +145,8 @@ impl IgdRunner {
         objective: &O,
         model: &[f64],
     ) -> madlib_engine::Result<f64> {
-        let losses = executor.parallel_map(table, |row, schema| {
-            objective.row_loss(row, schema, model)
-        })?;
+        let losses =
+            executor.parallel_map(table, |row, schema| objective.row_loss(row, schema, model))?;
         Ok(losses.iter().sum::<f64>() + objective.regularization(model))
     }
 }
@@ -196,6 +195,27 @@ impl<O: ConvexObjective> Aggregate for IgdEpoch<'_, O> {
         }
         self.objective.proximal(&mut state.model, self.step);
         state.rows += 1;
+        Ok(())
+    }
+
+    /// Chunk-at-a-time epoch transition: hands the whole chunk to the
+    /// objective's [`ConvexObjective::sgd_epoch_chunk`], which runs the same
+    /// sequential per-row SGD updates over the chunk's contiguous column
+    /// buffers (or falls back to materialized rows).  Bit-identical to the
+    /// per-row path by contract.
+    fn transition_chunk(
+        &self,
+        state: &mut IgdEpochState,
+        chunk: &RowChunk,
+        schema: &Schema,
+    ) -> madlib_engine::Result<()> {
+        state.rows += self.objective.sgd_epoch_chunk(
+            chunk,
+            schema,
+            &mut state.model,
+            &mut state.scratch_gradient,
+            self.step,
+        )?;
         Ok(())
     }
 

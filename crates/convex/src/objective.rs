@@ -1,6 +1,6 @@
 //! The convex-objective abstraction.
 
-use madlib_engine::{Result, Row, Schema};
+use madlib_engine::{Result, Row, RowChunk, Schema};
 
 /// A decomposable convex objective `f(w) = Σ_rows f_row(w)`.
 ///
@@ -43,6 +43,61 @@ pub trait ConvexObjective: Sync {
     fn regularization(&self, _model: &[f64]) -> f64 {
         0.0
     }
+
+    /// Runs the sequential SGD inner loop of one IGD epoch over a
+    /// column-major chunk of rows: for each row in order, zero
+    /// `scratch_gradient`, accumulate the row's gradient at the current
+    /// `model`, take the step `model ← model − step·gradient`, and apply
+    /// [`ConvexObjective::proximal`].  Returns the number of rows processed.
+    ///
+    /// The default delegates to [`sgd_epoch_chunk_by_rows`] (materialized
+    /// rows through [`ConvexObjective::accumulate_gradient`]).  Objectives
+    /// over dense labeled points override this to read the chunk's contiguous
+    /// `(y, x)` buffers directly; overrides must be bit-identical to the
+    /// fallback, which the cross-crate property tests enforce.
+    ///
+    /// # Errors
+    /// Propagates malformed-row errors.
+    fn sgd_epoch_chunk(
+        &self,
+        chunk: &RowChunk,
+        schema: &Schema,
+        model: &mut [f64],
+        scratch_gradient: &mut [f64],
+        step: f64,
+    ) -> Result<u64> {
+        sgd_epoch_chunk_by_rows(self, chunk, schema, model, scratch_gradient, step)
+    }
+}
+
+/// The row-at-a-time fallback behind [`ConvexObjective::sgd_epoch_chunk`]:
+/// materializes each row of the chunk and performs exactly the per-row SGD
+/// update of the original epoch aggregate.  Public so chunk-aware objectives
+/// can reuse it for inputs their vectorized path cannot represent.
+///
+/// # Errors
+/// Propagates malformed-row errors.
+pub fn sgd_epoch_chunk_by_rows<O: ConvexObjective + ?Sized>(
+    objective: &O,
+    chunk: &RowChunk,
+    schema: &Schema,
+    model: &mut [f64],
+    scratch_gradient: &mut [f64],
+    step: f64,
+) -> Result<u64> {
+    let mut values = Vec::with_capacity(chunk.arity());
+    for i in 0..chunk.len() {
+        chunk.read_row_into(i, &mut values);
+        let row = Row::new(std::mem::take(&mut values));
+        scratch_gradient.iter_mut().for_each(|g| *g = 0.0);
+        objective.accumulate_gradient(&row, schema, model, scratch_gradient)?;
+        for (w, g) in model.iter_mut().zip(scratch_gradient.iter()) {
+            *w -= step * g;
+        }
+        objective.proximal(model, step);
+        values = row.into_values();
+    }
+    Ok(chunk.len() as u64)
 }
 
 #[cfg(test)]

@@ -5,8 +5,8 @@
 //! labels are remapped on the fly), matching the `Σ log(1 + exp(−y xᵀw))`
 //! and `Σ (1 − y xᵀw)₊` forms printed in the paper's Table 2.
 
-use crate::objective::ConvexObjective;
-use madlib_engine::{Result, Row, Schema};
+use crate::objective::{sgd_epoch_chunk_by_rows, ConvexObjective};
+use madlib_engine::{Result, Row, RowChunk, Schema};
 
 fn signed_label(raw: f64) -> f64 {
     if raw == 0.0 {
@@ -76,6 +76,51 @@ impl ConvexObjective for LogisticObjective {
             *g += -y * sigma * xi;
         }
         Ok(())
+    }
+
+    /// Vectorized epoch inner loop over the chunk's contiguous `(y, x)`
+    /// buffers; sequential per-row updates with the exact per-row arithmetic
+    /// (same scratch zero/accumulate/step sequence), so bit-identical to the
+    /// fallback.  Unrepresentable chunks fall back to
+    /// [`sgd_epoch_chunk_by_rows`].
+    fn sgd_epoch_chunk(
+        &self,
+        chunk: &RowChunk,
+        schema: &Schema,
+        model: &mut [f64],
+        scratch_gradient: &mut [f64],
+        step: f64,
+    ) -> Result<u64> {
+        let y_idx = schema.index_of(&self.y_column)?;
+        let x_idx = schema.index_of(&self.x_column)?;
+        let (y, x) = match (chunk.doubles(y_idx), chunk.double_arrays(x_idx)) {
+            (Ok(y), Ok(x)) if !y.nulls.any_null() && !x.nulls().any_null() => (y, x),
+            _ => {
+                return sgd_epoch_chunk_by_rows(self, chunk, schema, model, scratch_gradient, step)
+            }
+        };
+        if x.uniform_width() != Some(model.len()) || model.is_empty() {
+            return sgd_epoch_chunk_by_rows(self, chunk, schema, model, scratch_gradient, step);
+        }
+        let width = model.len();
+        for (point, &raw) in x.flat_values().chunks_exact(width).zip(y.values) {
+            let yv = signed_label(raw);
+            let mut dot = 0.0;
+            for (xi, wi) in point.iter().zip(model.iter()) {
+                dot += xi * wi;
+            }
+            let margin = dot * yv;
+            let sigma = 1.0 / (1.0 + margin.exp());
+            scratch_gradient.iter_mut().for_each(|g| *g = 0.0);
+            for (g, xi) in scratch_gradient.iter_mut().zip(point) {
+                *g += -yv * sigma * xi;
+            }
+            for (w, g) in model.iter_mut().zip(scratch_gradient.iter()) {
+                *w -= step * g;
+            }
+            self.proximal(model, step);
+        }
+        Ok(chunk.len() as u64)
     }
 }
 

@@ -77,7 +77,9 @@ impl CrfObjective {
             .iter()
             .map(|&o| {
                 if o < 0 || o as usize >= self.num_observations {
-                    Err(EngineError::aggregate(format!("observation {o} out of range")))
+                    Err(EngineError::aggregate(format!(
+                        "observation {o} out of range"
+                    )))
                 } else {
                     Ok(o as usize)
                 }
@@ -255,7 +257,10 @@ mod tests {
     fn log_sum_exp_is_stable() {
         assert!((log_sum_exp(&[0.0, 0.0]) - 2.0_f64.ln()).abs() < 1e-12);
         assert!((log_sum_exp(&[1000.0, 1000.0]) - (1000.0 + 2.0_f64.ln())).abs() < 1e-9);
-        assert_eq!(log_sum_exp(&[f64::NEG_INFINITY, f64::NEG_INFINITY]), f64::NEG_INFINITY);
+        assert_eq!(
+            log_sum_exp(&[f64::NEG_INFINITY, f64::NEG_INFINITY]),
+            f64::NEG_INFINITY
+        );
     }
 
     #[test]
@@ -335,20 +340,11 @@ mod tests {
         let objective = CrfObjective::new("observations", "labels", 2, 4);
         let schema = sequence_schema();
         let model = vec![0.0; objective.dimension()];
-        let mismatched = Row::new(vec![
-            Value::IntArray(vec![0, 1]),
-            Value::IntArray(vec![0]),
-        ]);
+        let mismatched = Row::new(vec![Value::IntArray(vec![0, 1]), Value::IntArray(vec![0])]);
         assert!(objective.row_loss(&mismatched, &schema, &model).is_err());
-        let bad_label = Row::new(vec![
-            Value::IntArray(vec![0]),
-            Value::IntArray(vec![7]),
-        ]);
+        let bad_label = Row::new(vec![Value::IntArray(vec![0]), Value::IntArray(vec![7])]);
         assert!(objective.row_loss(&bad_label, &schema, &model).is_err());
-        let bad_obs = Row::new(vec![
-            Value::IntArray(vec![9]),
-            Value::IntArray(vec![0]),
-        ]);
+        let bad_obs = Row::new(vec![Value::IntArray(vec![9]), Value::IntArray(vec![0])]);
         let mut g = vec![0.0; objective.dimension()];
         assert!(objective
             .accumulate_gradient(&bad_obs, &schema, &model, &mut g)

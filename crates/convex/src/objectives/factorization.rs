@@ -75,10 +75,14 @@ impl MatrixFactorizationObjective {
         let item = row.get_named(schema, &self.item_column)?.as_int()?;
         let rating = row.get_named(schema, &self.rating_column)?.as_double()?;
         if user < 0 || user as usize >= self.num_users {
-            return Err(EngineError::aggregate(format!("user id {user} out of range")));
+            return Err(EngineError::aggregate(format!(
+                "user id {user} out of range"
+            )));
         }
         if item < 0 || item as usize >= self.num_items {
-            return Err(EngineError::aggregate(format!("item id {item} out of range")));
+            return Err(EngineError::aggregate(format!(
+                "item id {item} out of range"
+            )));
         }
         Ok((user as usize, item as usize, rating))
     }
@@ -189,8 +193,7 @@ mod tests {
 
     #[test]
     fn layout_offsets_are_disjoint() {
-        let objective =
-            MatrixFactorizationObjective::new("u", "i", "r", 4, 5, 3, 0.0);
+        let objective = MatrixFactorizationObjective::new("u", "i", "r", 4, 5, 3, 0.0);
         assert_eq!(objective.dimension(), (4 + 5) * 3);
         assert_eq!(objective.user_offset(0), 0);
         assert_eq!(objective.user_offset(3), 9);

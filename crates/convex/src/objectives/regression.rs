@@ -1,8 +1,8 @@
 //! Regression objectives: least squares, ridge, and lasso (Table 2 rows
 //! "Least Squares" and "Lasso").
 
-use crate::objective::ConvexObjective;
-use madlib_engine::{Result, Row, Schema};
+use crate::objective::{sgd_epoch_chunk_by_rows, ConvexObjective};
+use madlib_engine::{Result, Row, RowChunk, Schema};
 
 fn labeled_point<'a>(
     row: &'a Row,
@@ -59,6 +59,51 @@ impl ConvexObjective for LeastSquaresObjective {
         }
         Ok(())
     }
+
+    /// Vectorized epoch inner loop: reads the chunk's `(y, x)` buffers
+    /// directly, skipping per-row `Value` unpacking.  The model update is
+    /// still sequential per row (that is the definition of IGD) and repeats
+    /// the per-row arithmetic exactly — the scratch gradient is zeroed and
+    /// filled the same way — so the result is bit-identical to the fallback.
+    /// Chunks with NULLs, wrong column types, or widths the per-row `zip`s
+    /// would truncate fall back to [`sgd_epoch_chunk_by_rows`].
+    fn sgd_epoch_chunk(
+        &self,
+        chunk: &RowChunk,
+        schema: &Schema,
+        model: &mut [f64],
+        scratch_gradient: &mut [f64],
+        step: f64,
+    ) -> Result<u64> {
+        let y_idx = schema.index_of(&self.y_column)?;
+        let x_idx = schema.index_of(&self.x_column)?;
+        let (y, x) = match (chunk.doubles(y_idx), chunk.double_arrays(x_idx)) {
+            (Ok(y), Ok(x)) if !y.nulls.any_null() && !x.nulls().any_null() => (y, x),
+            _ => {
+                return sgd_epoch_chunk_by_rows(self, chunk, schema, model, scratch_gradient, step)
+            }
+        };
+        if x.uniform_width() != Some(model.len()) || model.is_empty() {
+            return sgd_epoch_chunk_by_rows(self, chunk, schema, model, scratch_gradient, step);
+        }
+        let width = model.len();
+        for (point, &yv) in x.flat_values().chunks_exact(width).zip(y.values) {
+            let mut dot = 0.0;
+            for (xi, wi) in point.iter().zip(model.iter()) {
+                dot += xi * wi;
+            }
+            let residual = dot - yv;
+            scratch_gradient.iter_mut().for_each(|g| *g = 0.0);
+            for (g, xi) in scratch_gradient.iter_mut().zip(point) {
+                *g += 2.0 * residual * xi;
+            }
+            for (w, g) in model.iter_mut().zip(scratch_gradient.iter()) {
+                *w -= step * g;
+            }
+            self.proximal(model, step);
+        }
+        Ok(chunk.len() as u64)
+    }
 }
 
 /// Ridge regression: least squares plus `µ‖w‖₂²`.
@@ -99,7 +144,8 @@ impl ConvexObjective for RidgeObjective {
         model: &[f64],
         gradient: &mut [f64],
     ) -> Result<()> {
-        self.inner.accumulate_gradient(row, schema, model, gradient)?;
+        self.inner
+            .accumulate_gradient(row, schema, model, gradient)?;
         // The L2 term is spread across rows by the per-row update; adding the
         // full gradient of µ‖w‖² at every row would over-regularize, so it is
         // scaled into the per-row step via the proximal hook instead.
@@ -228,7 +274,8 @@ mod tests {
         // residual = 0.5 + 1.5 - 2 = 0; gradient = 0.
         assert_eq!(obj.row_loss(&r, &schema, &model).unwrap(), 0.0);
         let mut g = vec![0.0, 0.0];
-        obj.accumulate_gradient(&r, &schema, &model, &mut g).unwrap();
+        obj.accumulate_gradient(&r, &schema, &model, &mut g)
+            .unwrap();
         assert_eq!(g, vec![0.0, 0.0]);
         // With model 0: residual = -2, loss 4, gradient = 2*(-2)*x.
         assert_eq!(obj.row_loss(&r, &schema, &[0.0, 0.0]).unwrap(), 4.0);
@@ -243,7 +290,10 @@ mod tests {
         let table = table_with_sparse_truth(3);
         let lasso = LassoObjective::new("y", "x", 4, 0.05);
         let model = run(&lasso, &table, 200);
-        assert!((model[0] - 3.0).abs() < 0.5, "relevant coefficient {model:?}");
+        assert!(
+            (model[0] - 3.0).abs() < 0.5,
+            "relevant coefficient {model:?}"
+        );
         for irrelevant in &model[1..] {
             assert!(
                 irrelevant.abs() < 0.15,

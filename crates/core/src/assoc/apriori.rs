@@ -179,11 +179,7 @@ impl Apriori {
     ///
     /// # Errors
     /// Propagates the itemset-mining errors.
-    pub fn mine_rules(
-        &self,
-        executor: &Executor,
-        table: &Table,
-    ) -> Result<Vec<AssociationRule>> {
+    pub fn mine_rules(&self, executor: &Executor, table: &Table) -> Result<Vec<AssociationRule>> {
         let itemsets = self.frequent_itemsets(executor, table)?;
         let support_of: BTreeMap<Vec<String>, f64> = itemsets
             .iter()

@@ -2,4 +2,4 @@
 
 pub mod apriori;
 
-pub use apriori::{AssociationRule, Apriori, FrequentItemset};
+pub use apriori::{Apriori, AssociationRule, FrequentItemset};

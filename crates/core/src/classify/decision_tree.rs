@@ -81,7 +81,11 @@ impl DecisionTreeModel {
                     right,
                     ..
                 } => {
-                    node = if x[*feature] <= *threshold { left } else { right };
+                    node = if x[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -195,12 +199,7 @@ impl DecisionTree {
         })
     }
 
-    fn build_node(
-        &self,
-        rows: &[(String, Vec<f64>)],
-        indices: &[usize],
-        depth: usize,
-    ) -> TreeNode {
+    fn build_node(&self, rows: &[(String, Vec<f64>)], indices: &[usize], depth: usize) -> TreeNode {
         let (majority, majority_count) = majority_label(rows, indices);
         let purity = majority_count as f64 / indices.len() as f64;
         if purity >= 1.0 - 1e-12
@@ -238,10 +237,8 @@ impl DecisionTree {
         let parent_entropy = entropy(rows, indices);
         let mut best: Option<SplitChoice> = None;
         for feature in 0..num_features {
-            let mut values: Vec<(f64, usize)> = indices
-                .iter()
-                .map(|&i| (rows[i].1[feature], i))
-                .collect();
+            let mut values: Vec<(f64, usize)> =
+                indices.iter().map(|&i| (rows[i].1[feature], i)).collect();
             values.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
             for w in 1..values.len() {
                 let (prev, cur) = (values[w - 1].0, values[w].0);
@@ -249,10 +246,8 @@ impl DecisionTree {
                     continue;
                 }
                 let threshold = 0.5 * (prev + cur);
-                let left_indices: Vec<usize> =
-                    values[..w].iter().map(|&(_, i)| i).collect();
-                let right_indices: Vec<usize> =
-                    values[w..].iter().map(|&(_, i)| i).collect();
+                let left_indices: Vec<usize> = values[..w].iter().map(|&(_, i)| i).collect();
+                let right_indices: Vec<usize> = values[w..].iter().map(|&(_, i)| i).collect();
                 let n = indices.len() as f64;
                 let p_left = left_indices.len() as f64 / n;
                 let p_right = right_indices.len() as f64 / n;
@@ -414,7 +409,9 @@ mod tests {
         assert_eq!(model.depth(), 0);
         assert_eq!(model.predict(&[100.0]).unwrap(), "only");
         match &model.root {
-            TreeNode::Leaf { purity, samples, .. } => {
+            TreeNode::Leaf {
+                purity, samples, ..
+            } => {
                 assert_eq!(*samples, 20);
                 assert!((purity - 1.0).abs() < 1e-12);
             }

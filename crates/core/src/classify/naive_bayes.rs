@@ -189,10 +189,7 @@ impl Aggregate for NaiveBayes {
         for (label, summaries) in state.classes {
             let count = summaries.first().map(|s| s.count()).unwrap_or(0);
             total_rows += count;
-            let means = summaries
-                .iter()
-                .map(|s| s.mean().unwrap_or(0.0))
-                .collect();
+            let means = summaries.iter().map(|s| s.mean().unwrap_or(0.0)).collect();
             let variances = summaries
                 .iter()
                 .map(|s| s.variance_population().unwrap_or(0.0).max(1e-9))
@@ -231,8 +228,10 @@ mod tests {
         // Class A around (0, 0); class B around (10, 10).
         for i in 0..50 {
             let jitter = (i % 5) as f64 * 0.1;
-            t.insert(row!["A", vec![0.0 + jitter, 0.5 - jitter]]).unwrap();
-            t.insert(row!["B", vec![10.0 - jitter, 9.5 + jitter]]).unwrap();
+            t.insert(row!["A", vec![0.0 + jitter, 0.5 - jitter]])
+                .unwrap();
+            t.insert(row!["B", vec![10.0 - jitter, 9.5 + jitter]])
+                .unwrap();
         }
         t
     }

@@ -49,7 +49,11 @@ impl SvmModel {
     /// # Errors
     /// Returns [`MethodError::InvalidInput`] on a feature-length mismatch.
     pub fn predict(&self, x: &[f64]) -> Result<f64> {
-        Ok(if self.decision_value(x)? >= 0.0 { 1.0 } else { -1.0 })
+        Ok(if self.decision_value(x)? >= 0.0 {
+            1.0
+        } else {
+            -1.0
+        })
     }
 }
 
@@ -112,7 +116,10 @@ impl LinearSvm {
         let rows: Vec<(f64, Vec<f64>)> = executor
             .parallel_map(table, move |row, schema| {
                 let y = row.get_named(schema, &label_col)?.as_double()?;
-                let x = row.get_named(schema, &feat_col)?.as_double_array()?.to_vec();
+                let x = row
+                    .get_named(schema, &feat_col)?
+                    .as_double_array()?
+                    .to_vec();
                 Ok((y, x))
             })
             .map_err(MethodError::from)?;
@@ -194,11 +201,17 @@ mod tests {
             let offset = 1.0 + (i % 10) as f64 * 0.2;
             let along = (i % 7) as f64 - 3.0;
             // Positive side.
-            t.insert(row![1.0, vec![1.0, offset + along * 0.1, offset - along * 0.1]])
-                .unwrap();
+            t.insert(row![
+                1.0,
+                vec![1.0, offset + along * 0.1, offset - along * 0.1]
+            ])
+            .unwrap();
             // Negative side.
-            t.insert(row![-1.0, vec![1.0, -offset + along * 0.1, -offset - along * 0.1]])
-                .unwrap();
+            t.insert(row![
+                -1.0,
+                vec![1.0, -offset + along * 0.1, -offset - along * 0.1]
+            ])
+            .unwrap();
         }
         t
     }
@@ -219,7 +232,10 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(correct >= 195, "expected near-perfect separation, got {correct}/200");
+        assert!(
+            correct >= 195,
+            "expected near-perfect separation, got {correct}/200"
+        );
         assert!(model.final_objective < 0.5);
     }
 
@@ -242,8 +258,14 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let t = separable_table(2);
-        let a = LinearSvm::new("y", "x").with_seed(7).fit(&Executor::new(), &t).unwrap();
-        let b = LinearSvm::new("y", "x").with_seed(7).fit(&Executor::new(), &t).unwrap();
+        let a = LinearSvm::new("y", "x")
+            .with_seed(7)
+            .fit(&Executor::new(), &t)
+            .unwrap();
+        let b = LinearSvm::new("y", "x")
+            .with_seed(7)
+            .fit(&Executor::new(), &t)
+            .unwrap();
         assert_eq!(a.weights, b.weights);
     }
 
@@ -252,12 +274,16 @@ mod tests {
         assert!(LinearSvm::new("y", "x").with_lambda(0.0).is_err());
         assert!(LinearSvm::new("y", "x").with_lambda(0.1).is_ok());
         let empty = Table::new(schema(), 2).unwrap();
-        assert!(LinearSvm::new("y", "x").fit(&Executor::new(), &empty).is_err());
+        assert!(LinearSvm::new("y", "x")
+            .fit(&Executor::new(), &empty)
+            .is_err());
 
         let mut ragged = Table::new(schema(), 1).unwrap();
         ragged.insert(row![1.0, vec![1.0, 2.0]]).unwrap();
         ragged.insert(row![-1.0, vec![1.0]]).unwrap();
-        assert!(LinearSvm::new("y", "x").fit(&Executor::new(), &ragged).is_err());
+        assert!(LinearSvm::new("y", "x")
+            .fit(&Executor::new(), &ragged)
+            .is_err());
 
         let t = separable_table(1);
         let model = LinearSvm::new("y", "x").fit(&Executor::new(), &t).unwrap();

@@ -17,9 +17,10 @@
 
 use crate::cluster::seeding::{seed_centroids, SeedingMethod};
 use crate::error::{MethodError, Result};
+use madlib_engine::aggregate::transition_chunk_by_rows;
 use madlib_engine::iteration::{IterationConfig, IterationController};
-use madlib_engine::{Aggregate, Database, Executor, Row, Schema, Table};
-use madlib_linalg::array_ops::closest_column;
+use madlib_engine::{Aggregate, Database, Executor, Row, RowChunk, Schema, Table};
+use madlib_linalg::array_ops::{batch_closest_column, closest_column};
 use serde::{Deserialize, Serialize};
 
 /// A fitted k-means model.
@@ -288,12 +289,54 @@ impl Aggregate for KMeansStep<'_> {
         let point = row
             .get_named(schema, self.coords_column)?
             .as_double_array()?;
-        let (closest, _) = closest_column(self.centroids, point)
-            .map_err(madlib_engine::EngineError::aggregate)?;
+        let (closest, _) =
+            closest_column(self.centroids, point).map_err(madlib_engine::EngineError::aggregate)?;
         for (s, p) in state.sums[closest].iter_mut().zip(point) {
             *s += p;
         }
         state.counts[closest] += 1;
+        Ok(())
+    }
+
+    /// Chunk-at-a-time Lloyd assignment: the chunk's points arrive as one
+    /// contiguous row-major block, so every distance computation of the
+    /// `closest_column` UDF runs over dense memory with no per-row `Value`
+    /// unpacking.  Assignment comparisons and barycenter accumulation happen
+    /// in the same order as the per-row path, so the step result is
+    /// bit-identical.  Chunks with NULLs, a non-array column, or ragged
+    /// widths fall back to per-row transitions (reproducing per-row errors).
+    fn transition_chunk(
+        &self,
+        state: &mut KMeansIntraState,
+        chunk: &RowChunk,
+        schema: &Schema,
+    ) -> madlib_engine::Result<()> {
+        if chunk.is_empty() {
+            return Ok(());
+        }
+        let idx = schema.index_of(self.coords_column)?;
+        let points = match chunk.double_arrays(idx) {
+            Ok(p) if !p.nulls().any_null() => p,
+            _ => return transition_chunk_by_rows(self, state, chunk, schema),
+        };
+        let Some(width) = points.uniform_width() else {
+            return transition_chunk_by_rows(self, state, chunk, schema);
+        };
+        let mut assignments = vec![0usize; chunk.len()];
+        batch_closest_column(
+            self.centroids,
+            points.flat_values(),
+            width,
+            &mut assignments,
+        )
+        .map_err(madlib_engine::EngineError::aggregate)?;
+        for (r, &closest) in assignments.iter().enumerate() {
+            let point = points.row(r);
+            for (s, p) in state.sums[closest].iter_mut().zip(point) {
+                *s += p;
+            }
+            state.counts[closest] += 1;
+        }
         Ok(())
     }
 

@@ -124,8 +124,7 @@ mod tests {
     #[test]
     fn kmeans_plus_plus_spreads_centroids() {
         let points = grid_points();
-        let centroids =
-            seed_centroids(&points, 3, SeedingMethod::KMeansPlusPlus, 1).unwrap();
+        let centroids = seed_centroids(&points, 3, SeedingMethod::KMeansPlusPlus, 1).unwrap();
         // With three well-separated clumps, k-means++ should pick one point
         // from each clump (each clump spans < 1 unit, clumps are 100 apart).
         let mut clumps: Vec<usize> = centroids
@@ -155,8 +154,7 @@ mod tests {
     #[test]
     fn handles_duplicate_points() {
         let points = vec![vec![1.0, 1.0]; 10];
-        let centroids =
-            seed_centroids(&points, 3, SeedingMethod::KMeansPlusPlus, 5).unwrap();
+        let centroids = seed_centroids(&points, 3, SeedingMethod::KMeansPlusPlus, 5).unwrap();
         assert_eq!(centroids.len(), 3);
     }
 }

@@ -77,12 +77,10 @@ pub fn linear_regression_data(
         .collect();
     let mut table = Table::new(labeled_point_schema(), segments).map_err(MethodError::from)?;
     for _ in 0..rows {
-        let x: Vec<f64> = (0..num_variables).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        let mut y: f64 = x
-            .iter()
-            .zip(&true_coefficients)
-            .map(|(a, b)| a * b)
-            .sum();
+        let x: Vec<f64> = (0..num_variables)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        let mut y: f64 = x.iter().zip(&true_coefficients).map(|(a, b)| a * b).sum();
         y += noise_std * standard_normal(&mut rng);
         table
             .insert(Row::new(vec![Value::Double(y), Value::DoubleArray(x)]))
@@ -126,12 +124,10 @@ pub fn logistic_regression_data(
         .collect();
     let mut table = Table::new(labeled_point_schema(), segments).map_err(MethodError::from)?;
     for _ in 0..rows {
-        let x: Vec<f64> = (0..num_variables).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        let z: f64 = x
-            .iter()
-            .zip(&true_coefficients)
-            .map(|(a, b)| a * b)
-            .sum();
+        let x: Vec<f64> = (0..num_variables)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        let z: f64 = x.iter().zip(&true_coefficients).map(|(a, b)| a * b).sum();
         let p = 1.0 / (1.0 + (-z).exp());
         let y = if rng.gen::<f64>() < p { 1.0 } else { 0.0 };
         table

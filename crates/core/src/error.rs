@@ -99,7 +99,9 @@ mod tests {
         assert!(e.to_string().contains("engine error"));
         let e: MethodError = LinalgError::EmptyInput { operation: "x" }.into();
         assert!(e.to_string().contains("linear algebra"));
-        assert!(MethodError::invalid_input("no rows").to_string().contains("no rows"));
+        assert!(MethodError::invalid_input("no rows")
+            .to_string()
+            .contains("no rows"));
         assert!(MethodError::invalid_parameter("k", "must be positive")
             .to_string()
             .contains("k"));

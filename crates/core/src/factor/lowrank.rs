@@ -149,10 +149,18 @@ impl LowRankFactorization {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let scale = 1.0 / (self.rank as f64).sqrt();
         let mut user_factors: Vec<Vec<f64>> = (0..num_users)
-            .map(|_| (0..self.rank).map(|_| rng.gen_range(-scale..scale)).collect())
+            .map(|_| {
+                (0..self.rank)
+                    .map(|_| rng.gen_range(-scale..scale))
+                    .collect()
+            })
             .collect();
         let mut item_factors: Vec<Vec<f64>> = (0..num_items)
-            .map(|_| (0..self.rank).map(|_| rng.gen_range(-scale..scale)).collect())
+            .map(|_| {
+                (0..self.rank)
+                    .map(|_| rng.gen_range(-scale..scale))
+                    .collect()
+            })
             .collect();
 
         let mut order: Vec<usize> = (0..triples.len()).collect();

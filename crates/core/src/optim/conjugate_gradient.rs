@@ -114,7 +114,10 @@ mod tests {
         let b = DenseVector::from_vec(vec![1.0, 2.0, 3.0]);
         let result = conjugate_gradient_solve(&a, &b, 1e-10, 100).unwrap();
         assert!(result.converged);
-        assert!(result.iterations <= 3 + 1, "CG must converge in ≤ n iterations");
+        assert!(
+            result.iterations <= 3 + 1,
+            "CG must converge in ≤ n iterations"
+        );
         let ax = a.matvec(&result.x).unwrap();
         for i in 0..3 {
             assert!((ax[i] - b[i]).abs() < 1e-8);
@@ -156,8 +159,7 @@ mod tests {
 
         // Indefinite matrix triggers the curvature check when the right-hand
         // side has a component along the negative eigenvector.
-        let indefinite =
-            DenseMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let indefinite = DenseMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
         let b = DenseVector::from_vec(vec![1.0, -1.0]);
         assert!(conjugate_gradient_solve(&indefinite, &b, 1e-8, 10).is_err());
     }

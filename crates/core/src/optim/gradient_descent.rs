@@ -118,9 +118,8 @@ impl GradientDescent {
                 |params, iteration| {
                     // One parallel pass computes all per-row gradients, which
                     // are then reduced element-wise.
-                    let contributions = executor.parallel_map(table, |row, schema| {
-                        per_row_gradient(row, schema, params)
-                    })?;
+                    let contributions = executor
+                        .parallel_map(table, |row, schema| per_row_gradient(row, schema, params))?;
                     let mut gradient = vec![0.0; width];
                     for c in &contributions {
                         if c.len() != width {
@@ -190,11 +189,8 @@ mod tests {
     #[test]
     fn quadratic_in_one_dimension() {
         // Minimize (w − 5)² using a single-row "table" carrying no data.
-        let mut table =
-            Table::new(labeled_point_schema(), 1).unwrap();
-        table
-            .insert(madlib_engine::row![0.0, vec![0.0]])
-            .unwrap();
+        let mut table = Table::new(labeled_point_schema(), 1).unwrap();
+        table.insert(madlib_engine::row![0.0, vec![0.0]]).unwrap();
         let db = Database::new(1).unwrap();
         let result = GradientDescent::new()
             .with_step_size(0.4)
@@ -216,14 +212,18 @@ mod tests {
         let db = Database::new(1).unwrap();
         let empty = Table::new(labeled_point_schema(), 1).unwrap();
         assert!(GradientDescent::new()
-            .minimize(&Executor::new(), &db, &empty, vec![0.0], |_, _, _| Ok(vec![0.0]))
+            .minimize(&Executor::new(), &db, &empty, vec![0.0], |_, _, _| Ok(
+                vec![0.0]
+            ))
             .is_err());
 
         // Wrong gradient width is reported.
         let mut table = Table::new(labeled_point_schema(), 1).unwrap();
         table.insert(madlib_engine::row![0.0, vec![0.0]]).unwrap();
         assert!(GradientDescent::new()
-            .minimize(&Executor::new(), &db, &table, vec![0.0], |_, _, _| Ok(vec![0.0, 1.0]))
+            .minimize(&Executor::new(), &db, &table, vec![0.0], |_, _, _| Ok(
+                vec![0.0, 1.0]
+            ))
             .is_err());
     }
 }

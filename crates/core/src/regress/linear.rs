@@ -12,10 +12,12 @@
 //! Figure 4 version comparison.
 
 use crate::error::{MethodError, Result};
-use madlib_engine::aggregate::extract_labeled_point;
-use madlib_engine::{Aggregate, Executor, Row, Schema, Table};
+use madlib_engine::aggregate::{extract_labeled_point, transition_chunk_by_rows};
+use madlib_engine::{Aggregate, Executor, Row, RowChunk, Schema, Table};
 use madlib_linalg::decomposition::SymmetricEigen;
-use madlib_linalg::kernels::{needs_symmetrize, rank1_update, KernelGeneration};
+use madlib_linalg::kernels::{
+    needs_symmetrize, rank1_update, rank_k_update_lower, xty_update, KernelGeneration,
+};
 use madlib_linalg::{DenseMatrix, DenseVector};
 use madlib_stats::StudentT;
 use serde::{Deserialize, Serialize};
@@ -180,6 +182,57 @@ impl Aggregate for LinearRegression {
         Ok(())
     }
 
+    /// Chunk-at-a-time transition: the whole chunk's feature vectors arrive
+    /// as one contiguous row-major block, so the `XᵀX` accumulation runs
+    /// through the tiled rank-k kernel (touching the accumulator once per
+    /// row-block instead of once per row) and `Xᵀy` / `Σy` / `Σy²` become
+    /// straight slice loops.  Bit-identical to the per-row path by kernel
+    /// contract.  Inputs the vectorized path cannot represent (NULLs,
+    /// non-double columns, ragged widths) and the legacy kernel generations
+    /// fall back to per-row transitions, which also reproduces the per-row
+    /// error behaviour exactly.
+    fn transition_chunk(
+        &self,
+        state: &mut LinRegrState,
+        chunk: &RowChunk,
+        schema: &Schema,
+    ) -> madlib_engine::Result<()> {
+        if self.generation != KernelGeneration::V03 || chunk.is_empty() {
+            return transition_chunk_by_rows(self, state, chunk, schema);
+        }
+        let y_idx = schema.index_of(&self.y_column)?;
+        let x_idx = schema.index_of(&self.x_column)?;
+        let (y, x) = match (chunk.doubles(y_idx), chunk.double_arrays(x_idx)) {
+            (Ok(y), Ok(x)) if !y.nulls.any_null() && !x.nulls().any_null() => (y, x),
+            _ => return transition_chunk_by_rows(self, state, chunk, schema),
+        };
+        let Some(width) = x.uniform_width() else {
+            return transition_chunk_by_rows(self, state, chunk, schema);
+        };
+        if state.num_rows == 0 {
+            state.initialize(width);
+        } else if width != state.width_of_x {
+            return Err(madlib_engine::EngineError::aggregate(format!(
+                "inconsistent feature width: expected {}, found {}",
+                state.width_of_x, width
+            )));
+        }
+        let xs = x.flat_values();
+        if y.values.iter().any(|v| !v.is_finite()) || xs.iter().any(|v| !v.is_finite()) {
+            return Err(madlib_engine::EngineError::aggregate(
+                "non-finite value in regression input",
+            ));
+        }
+        state.num_rows += chunk.len() as u64;
+        for yv in y.values {
+            state.y_sum += yv;
+            state.y_square_sum += yv * yv;
+        }
+        xty_update(state.x_transp_y.as_mut_slice(), xs, y.values, width);
+        rank_k_update_lower(&mut state.x_transp_x, xs, width);
+        Ok(())
+    }
+
     fn merge(&self, left: LinRegrState, right: LinRegrState) -> LinRegrState {
         if left.num_rows == 0 {
             return right;
@@ -242,10 +295,15 @@ fn finalize_state(state: &LinRegrState) -> Result<LinearRegressionModel> {
     let mut t_stats = Vec::with_capacity(k);
     let mut p_values = Vec::with_capacity(k);
     let t_dist = (df > 0.0).then(|| StudentT::new(df));
+    #[allow(clippy::needless_range_loop)] // i indexes the matrix diagonal and coef together
     for i in 0..k {
         let se = (sigma2 * inverse_of_x_transp_x.get(i, i)).max(0.0).sqrt();
         std_err.push(se);
-        let t = if se > 0.0 { coef[i] / se } else { f64::INFINITY };
+        let t = if se > 0.0 {
+            coef[i] / se
+        } else {
+            f64::INFINITY
+        };
         t_stats.push(t);
         let p = match &t_dist {
             Some(dist) if t.is_finite() => dist.two_sided_p_value(t),
@@ -380,8 +438,14 @@ mod tests {
         let model = LinearRegression::new("y", "x")
             .fit(&Executor::new(), &t)
             .unwrap();
-        assert!(model.p_values[1] < 1e-6, "real feature should be significant");
-        assert!(model.p_values[2] > 0.01, "junk feature should not be strongly significant");
+        assert!(
+            model.p_values[1] < 1e-6,
+            "real feature should be significant"
+        );
+        assert!(
+            model.p_values[2] > 0.01,
+            "junk feature should not be strongly significant"
+        );
         assert!(model.std_err.iter().all(|&s| s >= 0.0));
     }
 

@@ -3,5 +3,5 @@
 pub mod linear;
 pub mod logistic;
 
-pub use linear::{LinearRegression, LinearRegressionModel};
+pub use linear::{LinRegrState, LinearRegression, LinearRegressionModel};
 pub use logistic::{LogisticRegression, LogisticRegressionModel};

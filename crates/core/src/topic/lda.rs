@@ -143,7 +143,10 @@ impl Lda {
         let tokens_col = self.tokens_column.clone();
         let documents: Vec<Vec<String>> = executor
             .parallel_map(table, move |row, schema| {
-                Ok(row.get_named(schema, &tokens_col)?.as_text_array()?.to_vec())
+                Ok(row
+                    .get_named(schema, &tokens_col)?
+                    .as_text_array()?
+                    .to_vec())
             })
             .map_err(MethodError::from)?;
         if documents.iter().all(|d| d.is_empty()) {
@@ -264,10 +267,8 @@ mod tests {
                 let prefix = word.split('_').next().unwrap_or("").to_owned();
                 *prefix_counts.entry(prefix).or_insert(0) += 1;
             }
-            let (best_prefix, best_count) = prefix_counts
-                .into_iter()
-                .max_by_key(|(_, c)| *c)
-                .unwrap();
+            let (best_prefix, best_count) =
+                prefix_counts.into_iter().max_by_key(|(_, c)| *c).unwrap();
             assert!(
                 best_count >= 8,
                 "topic {t} not dominated by one generator topic: {top:?}"
@@ -276,7 +277,11 @@ mod tests {
         }
         seen_prefixes.sort();
         seen_prefixes.dedup();
-        assert_eq!(seen_prefixes.len(), 3, "each topic maps to a distinct generator topic");
+        assert_eq!(
+            seen_prefixes.len(),
+            3,
+            "each topic maps to a distinct generator topic"
+        );
     }
 
     #[test]

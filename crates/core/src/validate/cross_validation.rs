@@ -83,8 +83,14 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        assert_eq!(kfold_indices(50, 4, 7).unwrap(), kfold_indices(50, 4, 7).unwrap());
-        assert_ne!(kfold_indices(50, 4, 7).unwrap(), kfold_indices(50, 4, 8).unwrap());
+        assert_eq!(
+            kfold_indices(50, 4, 7).unwrap(),
+            kfold_indices(50, 4, 7).unwrap()
+        );
+        assert_ne!(
+            kfold_indices(50, 4, 7).unwrap(),
+            kfold_indices(50, 4, 8).unwrap()
+        );
     }
 
     #[test]

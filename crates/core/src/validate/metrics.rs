@@ -8,11 +8,7 @@ use crate::error::{MethodError, Result};
 /// Returns [`MethodError::InvalidInput`] for mismatched or empty inputs.
 pub fn accuracy<T: PartialEq>(predicted: &[T], actual: &[T]) -> Result<f64> {
     check(predicted.len(), actual.len())?;
-    let correct = predicted
-        .iter()
-        .zip(actual)
-        .filter(|(p, a)| p == a)
-        .count();
+    let correct = predicted.iter().zip(actual).filter(|(p, a)| p == a).count();
     Ok(correct as f64 / predicted.len() as f64)
 }
 

@@ -11,6 +11,7 @@
 //! The [`Aggregate`] trait captures that contract; [`crate::Executor`] runs
 //! implementations in parallel across table segments.
 
+use crate::chunk::{ColumnChunk, RowChunk};
 use crate::error::Result;
 use crate::row::Row;
 use crate::schema::Schema;
@@ -24,6 +25,16 @@ use crate::value::Value;
 /// stream into one state.  The engine test-suite contains property tests
 /// enforcing this for the built-in aggregates, and methods in the library
 /// crates are tested the same way.
+///
+/// # Vectorized execution
+///
+/// The executor's default path streams column-major [`RowChunk`]s and calls
+/// [`Aggregate::transition_chunk`] once per chunk.  The provided
+/// implementation falls back to per-row [`Aggregate::transition`] calls over
+/// materialized rows, so every aggregate works unchanged; hot aggregates
+/// override it to read whole column slices and must then produce **exactly**
+/// the state the per-row path would (same values, same floating-point
+/// accumulation order), keeping results independent of the execution mode.
 pub trait Aggregate: Sync {
     /// Per-segment running state.
     type State: Send;
@@ -40,6 +51,23 @@ pub trait Aggregate: Sync {
     /// [`crate::EngineError`] values rather than panicking.
     fn transition(&self, state: &mut Self::State, row: &Row, schema: &Schema) -> Result<()>;
 
+    /// Folds one column-major chunk of rows into the state.
+    ///
+    /// The default delegates to [`transition_chunk_by_rows`], i.e. per-row
+    /// [`Aggregate::transition`] over materialized rows.  Overrides must be
+    /// observationally identical to that fallback.
+    ///
+    /// # Errors
+    /// Same contract as [`Aggregate::transition`].
+    fn transition_chunk(
+        &self,
+        state: &mut Self::State,
+        chunk: &RowChunk,
+        schema: &Schema,
+    ) -> Result<()> {
+        transition_chunk_by_rows(self, state, chunk, schema)
+    }
+
     /// Combines two states produced on different segments.
     fn merge(&self, left: Self::State, right: Self::State) -> Self::State;
 
@@ -49,6 +77,46 @@ pub trait Aggregate: Sync {
     /// Implementations may fail, e.g. when the input was empty and the
     /// aggregate has no identity output.
     fn finalize(&self, state: Self::State) -> Result<Self::Output>;
+}
+
+/// The row-at-a-time fallback behind [`Aggregate::transition_chunk`]:
+/// materializes each row of `chunk` and feeds it to
+/// [`Aggregate::transition`] in order.
+///
+/// Public so that chunk-aware aggregates can reuse it for configurations
+/// their vectorized path does not cover (e.g. the legacy kernel generations
+/// of linear regression).
+///
+/// # Errors
+/// Propagates transition errors.
+pub fn transition_chunk_by_rows<A: Aggregate + ?Sized>(
+    aggregate: &A,
+    state: &mut A::State,
+    chunk: &RowChunk,
+    schema: &Schema,
+) -> Result<()> {
+    let mut values = Vec::with_capacity(chunk.arity());
+    for i in 0..chunk.len() {
+        chunk.read_row_into(i, &mut values);
+        let row = Row::new(std::mem::take(&mut values));
+        aggregate.transition(state, &row, schema)?;
+        values = row.into_values();
+    }
+    Ok(())
+}
+
+/// Whether a chunk column contains at least one non-NULL value.  The SQL
+/// aggregates only raise type errors for values they actually read, so the
+/// chunk paths must stay silent on columns that are entirely NULL.
+fn has_non_null(chunk: &RowChunk, idx: usize) -> bool {
+    chunk.column(idx).nulls().null_count() < chunk.len()
+}
+
+fn numeric_type_mismatch(column: &ColumnChunk) -> crate::error::EngineError {
+    crate::error::EngineError::TypeMismatch {
+        expected: "double precision",
+        found: column.type_name().to_owned(),
+    }
 }
 
 /// `count(*)`.
@@ -68,12 +136,72 @@ impl Aggregate for CountAggregate {
         Ok(())
     }
 
+    fn transition_chunk(&self, state: &mut u64, chunk: &RowChunk, _schema: &Schema) -> Result<()> {
+        *state += chunk.len() as u64;
+        Ok(())
+    }
+
     fn merge(&self, left: u64, right: u64) -> u64 {
         left + right
     }
 
     fn finalize(&self, state: u64) -> Result<u64> {
         Ok(state)
+    }
+}
+
+/// Shared vectorized inner loop of [`SumAggregate`] and [`AvgAggregate`]:
+/// adds every non-NULL value of a numeric column into `sum`, in row order
+/// (identical floating-point accumulation order to the per-row path), and
+/// returns how many values were added.
+fn sum_numeric_column(chunk: &RowChunk, idx: usize, sum: &mut f64) -> Result<u64> {
+    match chunk.column(idx) {
+        ColumnChunk::Double { values, nulls } => {
+            if nulls.any_null() {
+                let mut added = 0;
+                for (i, v) in values.iter().enumerate() {
+                    if !nulls.is_null(i) {
+                        *sum += v;
+                        added += 1;
+                    }
+                }
+                Ok(added)
+            } else {
+                for v in values {
+                    *sum += v;
+                }
+                Ok(values.len() as u64)
+            }
+        }
+        ColumnChunk::Int { values, nulls } => {
+            let mut added = 0;
+            for (i, v) in values.iter().enumerate() {
+                if !nulls.is_null(i) {
+                    *sum += *v as f64;
+                    added += 1;
+                }
+            }
+            Ok(added)
+        }
+        ColumnChunk::Bool { values, nulls } => {
+            let mut added = 0;
+            for (i, v) in values.iter().enumerate() {
+                if !nulls.is_null(i) {
+                    *sum += if *v { 1.0 } else { 0.0 };
+                    added += 1;
+                }
+            }
+            Ok(added)
+        }
+        other => {
+            // The per-row path only fails on values it actually reads, so an
+            // entirely-NULL column of the wrong type stays silent.
+            if has_non_null(chunk, idx) {
+                Err(numeric_type_mismatch(other))
+            } else {
+                Ok(0)
+            }
+        }
     }
 }
 
@@ -105,6 +233,12 @@ impl Aggregate for SumAggregate {
         if !value.is_null() {
             *state += value.as_double()?;
         }
+        Ok(())
+    }
+
+    fn transition_chunk(&self, state: &mut f64, chunk: &RowChunk, schema: &Schema) -> Result<()> {
+        let idx = schema.index_of(&self.column)?;
+        sum_numeric_column(chunk, idx, state)?;
         Ok(())
     }
 
@@ -149,6 +283,17 @@ impl Aggregate for AvgAggregate {
         Ok(())
     }
 
+    fn transition_chunk(
+        &self,
+        state: &mut (f64, u64),
+        chunk: &RowChunk,
+        schema: &Schema,
+    ) -> Result<()> {
+        let idx = schema.index_of(&self.column)?;
+        state.1 += sum_numeric_column(chunk, idx, &mut state.0)?;
+        Ok(())
+    }
+
     fn merge(&self, left: (f64, u64), right: (f64, u64)) -> (f64, u64) {
         (left.0 + right.0, left.1 + right.1)
     }
@@ -183,12 +328,7 @@ impl Aggregate for ArraySumAggregate {
         None
     }
 
-    fn transition(
-        &self,
-        state: &mut Option<Vec<f64>>,
-        row: &Row,
-        schema: &Schema,
-    ) -> Result<()> {
+    fn transition(&self, state: &mut Option<Vec<f64>>, row: &Row, schema: &Schema) -> Result<()> {
         let value = row.get_named(schema, &self.column)?;
         if value.is_null() {
             return Ok(());
@@ -206,6 +346,50 @@ impl Aggregate for ArraySumAggregate {
                 }
                 for (a, b) in acc.iter_mut().zip(arr) {
                     *a += b;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn transition_chunk(
+        &self,
+        state: &mut Option<Vec<f64>>,
+        chunk: &RowChunk,
+        schema: &Schema,
+    ) -> Result<()> {
+        let idx = schema.index_of(&self.column)?;
+        let column = match chunk.column(idx) {
+            ColumnChunk::DoubleArray { .. } => chunk.double_arrays(idx)?,
+            other => {
+                if has_non_null(chunk, idx) {
+                    return Err(crate::error::EngineError::TypeMismatch {
+                        expected: "double precision[]",
+                        found: other.type_name().to_owned(),
+                    });
+                }
+                return Ok(());
+            }
+        };
+        let nulls = column.nulls();
+        for i in 0..column.len() {
+            if nulls.is_null(i) {
+                continue;
+            }
+            let arr = column.row(i);
+            match state {
+                None => *state = Some(arr.to_vec()),
+                Some(acc) => {
+                    if acc.len() != arr.len() {
+                        return Err(crate::error::EngineError::aggregate(format!(
+                            "array_sum: length mismatch {} vs {}",
+                            acc.len(),
+                            arr.len()
+                        )));
+                    }
+                    for (a, b) in acc.iter_mut().zip(arr) {
+                        *a += b;
+                    }
                 }
             }
         }
@@ -414,7 +598,10 @@ mod tests {
     #[test]
     fn numeric_column_skips_nulls() {
         let s = schema();
-        let rs = vec![row![1.0, vec![0.0]], Row::new(vec![Value::Null, Value::Null])];
+        let rs = vec![
+            row![1.0, vec![0.0]],
+            Row::new(vec![Value::Null, Value::Null]),
+        ];
         assert_eq!(numeric_column(&rs, &s, "y").unwrap(), vec![1.0]);
     }
 

@@ -11,9 +11,8 @@
 use crate::error::{EngineError, Result};
 use crate::schema::Schema;
 use crate::table::{Distribution, Table};
-use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 #[derive(Debug)]
 struct CatalogEntry {
@@ -30,6 +29,16 @@ pub struct Database {
 }
 
 impl Database {
+    fn read(&self) -> RwLockReadGuard<'_, HashMap<String, CatalogEntry>> {
+        // Catalog mutations cannot leave the map in a half-written state, so
+        // recover from poisoning instead of propagating the panic.
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, HashMap<String, CatalogEntry>> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Creates a database whose tables default to `num_segments` partitions.
     ///
     /// # Errors
@@ -89,7 +98,7 @@ impl Database {
         distribution: Distribution,
         is_temp: bool,
     ) -> Result<()> {
-        let mut catalog = self.inner.write();
+        let mut catalog = self.write();
         if catalog.contains_key(name) {
             return Err(EngineError::TableAlreadyExists {
                 name: name.to_owned(),
@@ -106,7 +115,7 @@ impl Database {
     /// # Errors
     /// Returns [`EngineError::TableAlreadyExists`] on a name collision.
     pub fn register_table(&self, name: &str, table: Table) -> Result<()> {
-        let mut catalog = self.inner.write();
+        let mut catalog = self.write();
         if catalog.contains_key(name) {
             return Err(EngineError::TableAlreadyExists {
                 name: name.to_owned(),
@@ -131,8 +140,7 @@ impl Database {
     /// # Errors
     /// Returns [`EngineError::TableNotFound`] for an unknown name.
     pub fn table(&self, name: &str) -> Result<Table> {
-        self.inner
-            .read()
+        self.read()
             .get(name)
             .map(|e| e.table.clone())
             .ok_or_else(|| EngineError::TableNotFound {
@@ -142,13 +150,12 @@ impl Database {
 
     /// Whether the named table exists.
     pub fn has_table(&self, name: &str) -> bool {
-        self.inner.read().contains_key(name)
+        self.read().contains_key(name)
     }
 
     /// Lists table names (sorted) together with their temp status.
     pub fn list_tables(&self) -> Vec<(String, bool)> {
         let mut names: Vec<(String, bool)> = self
-            .inner
             .read()
             .iter()
             .map(|(k, v)| (k.clone(), v.is_temp))
@@ -168,7 +175,7 @@ impl Database {
         name: &str,
         mutate: impl FnOnce(&mut Table) -> Result<T>,
     ) -> Result<T> {
-        let mut catalog = self.inner.write();
+        let mut catalog = self.write();
         let entry = catalog
             .get_mut(name)
             .ok_or_else(|| EngineError::TableNotFound {
@@ -184,7 +191,7 @@ impl Database {
     /// # Errors
     /// Returns [`EngineError::TableNotFound`] for an unknown name.
     pub fn replace_table(&self, name: &str, table: Table) -> Result<()> {
-        let mut catalog = self.inner.write();
+        let mut catalog = self.write();
         let entry = catalog
             .get_mut(name)
             .ok_or_else(|| EngineError::TableNotFound {
@@ -199,7 +206,7 @@ impl Database {
     /// # Errors
     /// Returns [`EngineError::TableNotFound`] for an unknown name.
     pub fn drop_table(&self, name: &str) -> Result<()> {
-        let mut catalog = self.inner.write();
+        let mut catalog = self.write();
         catalog
             .remove(name)
             .map(|_| ())
@@ -210,7 +217,7 @@ impl Database {
 
     /// Drops all temp tables, returning how many were removed.
     pub fn drop_temp_tables(&self) -> usize {
-        let mut catalog = self.inner.write();
+        let mut catalog = self.write();
         let before = catalog.len();
         catalog.retain(|_, e| !e.is_temp);
         before - catalog.len()
@@ -260,7 +267,9 @@ mod tests {
         ));
         assert!(db.drop_table("missing").is_err());
         assert!(db.with_table_mut("missing", |_| Ok(())).is_err());
-        assert!(db.replace_table("missing", Table::new(schema(), 1).unwrap()).is_err());
+        assert!(db
+            .replace_table("missing", Table::new(schema(), 1).unwrap())
+            .is_err());
         assert!(Database::new(0).is_err());
     }
 

@@ -88,7 +88,10 @@ impl fmt::Display for EngineError {
                 write!(f, "type mismatch: expected {expected}, found {found}")
             }
             EngineError::ArityMismatch { expected, found } => {
-                write!(f, "arity mismatch: schema has {expected} columns, row has {found}")
+                write!(
+                    f,
+                    "arity mismatch: schema has {expected} columns, row has {found}"
+                )
             }
             EngineError::InvalidSegmentCount { requested } => {
                 write!(f, "invalid segment count: {requested}")
@@ -121,7 +124,11 @@ mod tests {
         }
         .to_string()
         .contains('3'));
-        assert!(EngineError::aggregate("bad state").to_string().contains("bad state"));
-        assert!(EngineError::invalid("k must be > 0").to_string().contains("k must be"));
+        assert!(EngineError::aggregate("bad state")
+            .to_string()
+            .contains("bad state"));
+        assert!(EngineError::invalid("k must be > 0")
+            .to_string()
+            .contains("k must be"));
     }
 }

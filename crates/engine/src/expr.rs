@@ -6,7 +6,8 @@
 //! the method drivers actually issue (equality / comparison on a column,
 //! conjunction, negation).
 
-use crate::error::Result;
+use crate::chunk::{ColumnChunk, RowChunk, SelectionMask};
+use crate::error::{EngineError, Result};
 use crate::row::Row;
 use crate::schema::Schema;
 use crate::value::Value;
@@ -119,14 +120,159 @@ impl Predicate {
                 }
                 Ok(v.as_double()? < *threshold)
             }
-            Predicate::ColumnIsNull { column } => {
-                Ok(row.get_named(schema, column)?.is_null())
-            }
+            Predicate::ColumnIsNull { column } => Ok(row.get_named(schema, column)?.is_null()),
             Predicate::And(a, b) => Ok(a.evaluate(row, schema)? && b.evaluate(row, schema)?),
             Predicate::Or(a, b) => Ok(a.evaluate(row, schema)? || b.evaluate(row, schema)?),
             Predicate::Not(p) => Ok(!p.evaluate(row, schema)?),
         }
     }
+
+    /// Evaluates the predicate over a whole column-major chunk at once,
+    /// returning one selection bit per row.
+    ///
+    /// This is the filter hoisted out of the per-row transition loop: scalar
+    /// comparisons run over contiguous column slices and boolean combinators
+    /// become bitmask operations.  Results match [`Predicate::evaluate`] row
+    /// for row, with one deliberate difference: `And`/`Or` evaluate both
+    /// sides over the full chunk (no per-row short-circuiting), so a
+    /// type-error in the right-hand side surfaces even for rows where the
+    /// left-hand side already decided the outcome.
+    ///
+    /// # Errors
+    /// Propagates column-lookup and numeric-coercion errors.
+    pub fn evaluate_chunk(&self, chunk: &RowChunk, schema: &Schema) -> Result<SelectionMask> {
+        let rows = chunk.len();
+        match self {
+            Predicate::True => Ok(SelectionMask::all(rows)),
+            Predicate::ColumnEquals { column, value } => {
+                let idx = schema.index_of(column)?;
+                if value.is_null() {
+                    return Ok(SelectionMask::none(rows));
+                }
+                let mut mask = SelectionMask::none(rows);
+                match (chunk.column(idx), value) {
+                    (ColumnChunk::Double { values, nulls }, Value::Double(t)) => {
+                        for (i, v) in values.iter().enumerate() {
+                            if !nulls.is_null(i) && v == t {
+                                mask.set(i, true);
+                            }
+                        }
+                    }
+                    (ColumnChunk::Int { values, nulls }, Value::Int(t)) => {
+                        for (i, v) in values.iter().enumerate() {
+                            if !nulls.is_null(i) && v == t {
+                                mask.set(i, true);
+                            }
+                        }
+                    }
+                    (ColumnChunk::Bool { values, nulls }, Value::Bool(t)) => {
+                        for (i, v) in values.iter().enumerate() {
+                            if !nulls.is_null(i) && v == t {
+                                mask.set(i, true);
+                            }
+                        }
+                    }
+                    (ColumnChunk::Text { values, nulls }, Value::Text(t)) => {
+                        for (i, v) in values.iter().enumerate() {
+                            if !nulls.is_null(i) && v == t {
+                                mask.set(i, true);
+                            }
+                        }
+                    }
+                    (other, _) => {
+                        // Cross-type comparison or array column: materialize
+                        // per row (rare in practice).
+                        let nulls = other.nulls();
+                        for i in 0..rows {
+                            if !nulls.is_null(i) && &other.value(i) == value {
+                                mask.set(i, true);
+                            }
+                        }
+                    }
+                }
+                Ok(mask)
+            }
+            Predicate::ColumnGreaterThan { column, threshold } => {
+                numeric_comparison_mask(chunk, schema, column, |v| v > *threshold)
+            }
+            Predicate::ColumnLessThan { column, threshold } => {
+                numeric_comparison_mask(chunk, schema, column, |v| v < *threshold)
+            }
+            Predicate::ColumnIsNull { column } => {
+                let idx = schema.index_of(column)?;
+                let nulls = chunk.column(idx).nulls();
+                let mut mask = SelectionMask::none(rows);
+                for i in 0..rows {
+                    if nulls.is_null(i) {
+                        mask.set(i, true);
+                    }
+                }
+                Ok(mask)
+            }
+            Predicate::And(a, b) => {
+                let mut mask = a.evaluate_chunk(chunk, schema)?;
+                mask.and_with(&b.evaluate_chunk(chunk, schema)?);
+                Ok(mask)
+            }
+            Predicate::Or(a, b) => {
+                let mut mask = a.evaluate_chunk(chunk, schema)?;
+                mask.or_with(&b.evaluate_chunk(chunk, schema)?);
+                Ok(mask)
+            }
+            Predicate::Not(p) => {
+                let mut mask = p.evaluate_chunk(chunk, schema)?;
+                mask.negate();
+                Ok(mask)
+            }
+        }
+    }
+}
+
+/// Vectorized `column <op> threshold` over a numeric column.  NULL rows never
+/// match; non-numeric columns raise the same type error the per-row path
+/// raises when it reads a non-null value (and stay silent when the column is
+/// entirely NULL, again matching the per-row path).
+fn numeric_comparison_mask(
+    chunk: &RowChunk,
+    schema: &Schema,
+    column: &str,
+    accept: impl Fn(f64) -> bool,
+) -> Result<SelectionMask> {
+    let idx = schema.index_of(column)?;
+    let rows = chunk.len();
+    let mut mask = SelectionMask::none(rows);
+    match chunk.column(idx) {
+        ColumnChunk::Double { values, nulls } => {
+            for (i, v) in values.iter().enumerate() {
+                if !nulls.is_null(i) && accept(*v) {
+                    mask.set(i, true);
+                }
+            }
+        }
+        ColumnChunk::Int { values, nulls } => {
+            for (i, v) in values.iter().enumerate() {
+                if !nulls.is_null(i) && accept(*v as f64) {
+                    mask.set(i, true);
+                }
+            }
+        }
+        ColumnChunk::Bool { values, nulls } => {
+            for (i, v) in values.iter().enumerate() {
+                if !nulls.is_null(i) && accept(if *v { 1.0 } else { 0.0 }) {
+                    mask.set(i, true);
+                }
+            }
+        }
+        other => {
+            if other.nulls().null_count() < rows {
+                return Err(EngineError::TypeMismatch {
+                    expected: "double precision",
+                    found: other.type_name().to_owned(),
+                });
+            }
+        }
+    }
+    Ok(mask)
 }
 
 #[cfg(test)]
@@ -146,8 +292,12 @@ mod tests {
     fn comparison_predicates() {
         let s = schema();
         let r = row!["spam", 0.8];
-        assert!(Predicate::column_eq("label", "spam").evaluate(&r, &s).unwrap());
-        assert!(!Predicate::column_eq("label", "ham").evaluate(&r, &s).unwrap());
+        assert!(Predicate::column_eq("label", "spam")
+            .evaluate(&r, &s)
+            .unwrap());
+        assert!(!Predicate::column_eq("label", "ham")
+            .evaluate(&r, &s)
+            .unwrap());
         assert!(Predicate::column_gt("score", 0.5).evaluate(&r, &s).unwrap());
         assert!(Predicate::column_lt("score", 0.9).evaluate(&r, &s).unwrap());
         assert!(!Predicate::column_lt("score", 0.8).evaluate(&r, &s).unwrap());
@@ -169,7 +319,9 @@ mod tests {
     fn null_handling() {
         let s = schema();
         let r = Row::new(vec![Value::Null, Value::Null]);
-        assert!(!Predicate::column_eq("label", "spam").evaluate(&r, &s).unwrap());
+        assert!(!Predicate::column_eq("label", "spam")
+            .evaluate(&r, &s)
+            .unwrap());
         assert!(!Predicate::column_gt("score", 0.0).evaluate(&r, &s).unwrap());
         assert!(!Predicate::column_lt("score", 0.0).evaluate(&r, &s).unwrap());
         assert!(Predicate::ColumnIsNull {

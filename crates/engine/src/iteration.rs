@@ -279,8 +279,7 @@ mod tests {
                 vec![0.0],
                 |state, _| {
                     // Run a nested driver inside the outer step.
-                    let inner =
-                        IterationController::new(db.clone(), IterationConfig::default());
+                    let inner = IterationController::new(db.clone(), IterationConfig::default());
                     let inner_outcome = inner
                         .run(
                             vec![1.0],
@@ -315,7 +314,11 @@ mod tests {
         };
         let controller = IterationController::new(db, config);
         let outcome = controller
-            .run(vec![7.0], |_, _| unreachable!("no iterations expected"), |_, _, _| true)
+            .run(
+                vec![7.0],
+                |_, _| unreachable!("no iterations expected"),
+                |_, _, _| true,
+            )
             .unwrap();
         assert_eq!(outcome.iterations, 0);
         assert_eq!(outcome.final_state, vec![7.0]);

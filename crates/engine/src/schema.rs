@@ -57,7 +57,10 @@ impl ColumnType {
     /// Whether the type is numeric (usable by the profile module's numeric
     /// summary path).
     pub fn is_numeric(&self) -> bool {
-        matches!(self, ColumnType::Int | ColumnType::Double | ColumnType::Bool)
+        matches!(
+            self,
+            ColumnType::Int | ColumnType::Double | ColumnType::Bool
+        )
     }
 }
 

@@ -1,4 +1,4 @@
-//! Partitioned tables.
+//! Partitioned tables with chunked, column-major segment storage.
 //!
 //! A [`Table`] is the engine's unit of storage: a schema plus rows spread
 //! across a fixed number of *segments* (partitions).  Each segment models one
@@ -11,11 +11,22 @@
 //! partitions for the dense numeric workloads in the paper's Section 4.4
 //! experiments) or by hashing a distribution column (`DISTRIBUTED BY` in
 //! Greenplum DDL).
+//!
+//! Within a segment, rows live in fixed-capacity column-major
+//! [`RowChunk`]s (see [`crate::chunk`]): each column of a chunk is one
+//! contiguous buffer, so the executor's vectorized path can hand whole
+//! columns to batched kernels instead of unpacking [`Value`]s row by row.
+//! Row-shaped access ([`Table::iter`], [`Segment::iter`]) materializes rows
+//! on demand and is intended for small results and tests; large scans should
+//! go through [`crate::Executor`].
 
+use crate::chunk::{Segment, CHUNK_CAPACITY};
 use crate::error::{EngineError, Result};
 use crate::row::Row;
 use crate::schema::Schema;
 use crate::value::Value;
+
+pub use crate::chunk::RowChunk;
 
 /// How rows are assigned to segments.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,13 +37,15 @@ pub enum Distribution {
     HashColumn(String),
 }
 
-/// A schema-validated, segment-partitioned, in-memory table.
+/// A schema-validated, segment-partitioned, in-memory table with column-major
+/// chunked storage.
 #[derive(Debug, Clone)]
 pub struct Table {
     schema: Schema,
-    segments: Vec<Vec<Row>>,
+    segments: Vec<Segment>,
     distribution: Distribution,
     next_round_robin: usize,
+    chunk_capacity: usize,
 }
 
 impl Table {
@@ -63,10 +76,36 @@ impl Table {
         }
         Ok(Self {
             schema,
-            segments: vec![Vec::new(); num_segments],
+            segments: (0..num_segments).map(|_| Segment::new()).collect(),
             distribution,
             next_round_robin: 0,
+            chunk_capacity: CHUNK_CAPACITY,
         })
+    }
+
+    /// Overrides the number of rows per chunk (default
+    /// [`CHUNK_CAPACITY`]).  Must be called on an empty table; used by tests
+    /// and benchmarks to exercise chunk-boundary behaviour.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::InvalidArgument`] when the capacity is zero or
+    /// the table already has rows.
+    pub fn with_chunk_capacity(mut self, chunk_capacity: usize) -> Result<Self> {
+        if chunk_capacity == 0 {
+            return Err(EngineError::invalid("chunk capacity must be positive"));
+        }
+        if !self.is_empty() {
+            return Err(EngineError::invalid(
+                "chunk capacity can only be set on an empty table",
+            ));
+        }
+        self.chunk_capacity = chunk_capacity;
+        Ok(self)
+    }
+
+    /// Rows per chunk in segment storage.
+    pub fn chunk_capacity(&self) -> usize {
+        self.chunk_capacity
     }
 
     /// The table schema.
@@ -81,7 +120,7 @@ impl Table {
 
     /// Total number of rows across all segments.
     pub fn row_count(&self) -> usize {
-        self.segments.iter().map(Vec::len).sum()
+        self.segments.iter().map(Segment::len).sum()
     }
 
     /// Whether the table has no rows.
@@ -89,8 +128,8 @@ impl Table {
         self.row_count() == 0
     }
 
-    /// Rows stored in a single segment.
-    pub fn segment(&self, idx: usize) -> &[Row] {
+    /// A single segment's chunked storage.
+    pub fn segment(&self, idx: usize) -> &Segment {
         &self.segments[idx]
     }
 
@@ -101,6 +140,13 @@ impl Table {
 
     /// Inserts a row, validating it against the schema and routing it to a
     /// segment according to the distribution policy.
+    ///
+    /// Values are stored in the column's physical type: a `bigint` value
+    /// inserted into a `double precision` column is coerced to `f64` once at
+    /// insert (rather than on every scan), so it reads back as
+    /// [`Value::Double`] — e.g. from [`Table::iter`], [`Table::column_values`]
+    /// and in [`crate::expr::Predicate::ColumnEquals`] comparisons, which
+    /// follow SQL in comparing against the column's declared type.
     ///
     /// # Errors
     /// Propagates schema-validation errors.
@@ -117,8 +163,7 @@ impl Table {
                 (row.get(idx).stable_hash() % self.segments.len() as u64) as usize
             }
         };
-        self.segments[seg].push(row);
-        Ok(())
+        self.segments[seg].push(&self.schema, row.values(), self.chunk_capacity)
     }
 
     /// Inserts many rows.
@@ -132,16 +177,17 @@ impl Table {
         Ok(())
     }
 
-    /// Iterates over all rows in segment order.  Large scans inside methods
-    /// should instead go through the parallel [`crate::Executor`]; this
-    /// serial iterator exists for small result tables and tests.
-    pub fn iter(&self) -> impl Iterator<Item = &Row> {
+    /// Iterates over all rows in segment order, materializing each row from
+    /// the column-major chunks.  Large scans inside methods should instead go
+    /// through the parallel [`crate::Executor`]; this serial iterator exists
+    /// for small result tables and tests.
+    pub fn iter(&self) -> impl Iterator<Item = Row> + '_ {
         self.segments.iter().flat_map(|s| s.iter())
     }
 
     /// Collects all rows into a vector (serial; for small tables).
     pub fn collect_rows(&self) -> Vec<Row> {
-        self.iter().cloned().collect()
+        self.iter().collect()
     }
 
     /// Returns a new table with identical content but repartitioned across a
@@ -151,13 +197,11 @@ impl Table {
     /// # Errors
     /// Returns [`EngineError::InvalidSegmentCount`] when `num_segments == 0`.
     pub fn repartition(&self, num_segments: usize) -> Result<Table> {
-        let mut out = Table::with_distribution(
-            self.schema.clone(),
-            num_segments,
-            self.distribution.clone(),
-        )?;
+        let mut out =
+            Table::with_distribution(self.schema.clone(), num_segments, self.distribution.clone())?;
+        out.chunk_capacity = self.chunk_capacity;
         for row in self.iter() {
-            out.insert(row.clone())?;
+            out.insert(row)?;
         }
         Ok(out)
     }
@@ -168,7 +212,15 @@ impl Table {
     /// Returns [`EngineError::ColumnNotFound`] for an unknown column.
     pub fn column_values(&self, name: &str) -> Result<Vec<Value>> {
         let idx = self.schema.index_of(name)?;
-        Ok(self.iter().map(|r| r.get(idx).clone()).collect())
+        let mut out = Vec::with_capacity(self.row_count());
+        for segment in &self.segments {
+            for chunk in segment.chunks() {
+                for i in 0..chunk.len() {
+                    out.push(chunk.value(i, idx));
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// Truncates the table, keeping schema and partitioning.
@@ -208,25 +260,21 @@ mod tests {
 
     #[test]
     fn hash_distribution_colocates_keys() {
-        let mut t = Table::with_distribution(
-            schema(),
-            4,
-            Distribution::HashColumn("id".into()),
-        )
-        .unwrap();
+        let mut t =
+            Table::with_distribution(schema(), 4, Distribution::HashColumn("id".into())).unwrap();
         for i in 0..40 {
             t.insert(row![(i % 4) as i64, i as f64]).unwrap();
         }
         // Every row with the same id must be in the same segment.
         for key in 0..4i64 {
             let segments_containing: Vec<usize> = (0..4)
-                .filter(|&s| {
-                    t.segment(s)
-                        .iter()
-                        .any(|r| r.get(0) == &Value::Int(key))
-                })
+                .filter(|&s| t.segment(s).iter().any(|r| r.get(0) == &Value::Int(key)))
                 .collect();
-            assert_eq!(segments_containing.len(), 1, "key {key} split across segments");
+            assert_eq!(
+                segments_containing.len(),
+                1,
+                "key {key} split across segments"
+            );
         }
     }
 
@@ -241,12 +289,10 @@ mod tests {
     #[test]
     fn zero_segments_rejected() {
         assert!(Table::new(schema(), 0).is_err());
-        assert!(Table::with_distribution(
-            schema(),
-            2,
-            Distribution::HashColumn("missing".into())
-        )
-        .is_err());
+        assert!(
+            Table::with_distribution(schema(), 2, Distribution::HashColumn("missing".into()))
+                .is_err()
+        );
     }
 
     #[test]
@@ -288,5 +334,38 @@ mod tests {
         t.insert_all((0..6).map(|i| row![i as i64, 0.0])).unwrap();
         assert_eq!(t.collect_rows().len(), 6);
         assert_eq!(t.iter().count(), 6);
+    }
+
+    #[test]
+    fn storage_is_chunked_column_major() {
+        let mut t = Table::new(schema(), 2)
+            .unwrap()
+            .with_chunk_capacity(3)
+            .unwrap();
+        assert_eq!(t.chunk_capacity(), 3);
+        for i in 0..14 {
+            t.insert(row![i as i64, i as f64]).unwrap();
+        }
+        // 7 rows per segment at capacity 3 -> chunks of 3, 3, 1.
+        for s in 0..2 {
+            let chunks = t.segment(s).chunks();
+            assert_eq!(chunks.len(), 3);
+            assert_eq!(chunks[0].len(), 3);
+            assert_eq!(chunks[2].len(), 1);
+            // The double column of a chunk is one contiguous slice.
+            let v = chunks[0].doubles(1).unwrap();
+            assert_eq!(v.values.len(), 3);
+        }
+        // Repartition keeps the overridden capacity.
+        assert_eq!(t.repartition(3).unwrap().chunk_capacity(), 3);
+    }
+
+    #[test]
+    fn chunk_capacity_guard_rails() {
+        let t = Table::new(schema(), 1).unwrap();
+        assert!(t.clone().with_chunk_capacity(0).is_err());
+        let mut populated = Table::new(schema(), 1).unwrap();
+        populated.insert(row![1i64, 1.0]).unwrap();
+        assert!(populated.with_chunk_capacity(8).is_err());
     }
 }

@@ -76,10 +76,7 @@ pub fn describe_schema(schema: &Schema) -> Vec<ColumnInfo> {
 /// # Errors
 /// * [`EngineError::ColumnNotFound`] for a missing column.
 /// * [`EngineError::TypeMismatch`] when an expected type is violated.
-pub fn validate_columns(
-    schema: &Schema,
-    required: &[(&str, Option<ColumnType>)],
-) -> Result<()> {
+pub fn validate_columns(schema: &Schema, required: &[(&str, Option<ColumnType>)]) -> Result<()> {
     for (name, expected_type) in required {
         let column = schema.column(name)?;
         if let Some(expected) = expected_type {
@@ -119,8 +116,14 @@ mod tests {
             classify_column(ColumnType::DoubleArray),
             ColumnRole::FeatureVector
         );
-        assert_eq!(classify_column(ColumnType::TextArray), ColumnRole::OtherArray);
-        assert_eq!(classify_column(ColumnType::IntArray), ColumnRole::OtherArray);
+        assert_eq!(
+            classify_column(ColumnType::TextArray),
+            ColumnRole::OtherArray
+        );
+        assert_eq!(
+            classify_column(ColumnType::IntArray),
+            ColumnRole::OtherArray
+        );
     }
 
     #[test]

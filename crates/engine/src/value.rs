@@ -264,10 +264,12 @@ mod tests {
         assert_eq!(Value::Bool(true).as_double().unwrap(), 1.0);
         assert_eq!(Value::Int(7).as_int().unwrap(), 7);
         assert_eq!(Value::Bool(true).as_int().unwrap(), 1);
-        assert_eq!(Value::Bool(false).as_bool().unwrap(), false);
+        assert!(!Value::Bool(false).as_bool().unwrap());
         assert_eq!(Value::Text("hi".into()).as_text().unwrap(), "hi");
         assert_eq!(
-            Value::DoubleArray(vec![1.0, 2.0]).as_double_array().unwrap(),
+            Value::DoubleArray(vec![1.0, 2.0])
+                .as_double_array()
+                .unwrap(),
             &[1.0, 2.0]
         );
         assert_eq!(
@@ -302,7 +304,10 @@ mod tests {
         let a = Value::Text("alpha".into());
         assert_eq!(a.stable_hash(), Value::Text("alpha".into()).stable_hash());
         assert_ne!(a.stable_hash(), Value::Text("beta".into()).stable_hash());
-        assert_ne!(Value::Int(1).stable_hash(), Value::Double(1.0).stable_hash());
+        assert_ne!(
+            Value::Int(1).stable_hash(),
+            Value::Double(1.0).stable_hash()
+        );
         assert_ne!(Value::Null.stable_hash(), Value::Int(0).stable_hash());
     }
 

@@ -143,6 +143,70 @@ pub fn closest_column(columns: &[Vec<f64>], point: &[f64]) -> Result<(usize, f64
     Ok(best)
 }
 
+/// Batched [`closest_column`]: assigns every row of a contiguous row-major
+/// block of points (`xs`, `out.len()` rows of `width` values) to its nearest
+/// candidate column, writing the winning index per row into `out`.
+///
+/// Semantically identical to calling [`closest_column`] once per row (same
+/// comparison order, same strict-`<` tie-breaking), but the points arrive as
+/// one dense buffer straight out of a column-major chunk, so the inner loop
+/// runs over contiguous memory with no per-row `Value` unpacking.  This is
+/// the k-means assignment kernel of the chunk-at-a-time execution path.
+///
+/// # Errors
+/// * [`LinalgError::EmptyInput`] when no candidate columns are given.
+/// * [`LinalgError::DimensionMismatch`] when a column length differs from
+///   `width` or `xs` is not `out.len() × width`.
+pub fn batch_closest_column(
+    columns: &[Vec<f64>],
+    xs: &[f64],
+    width: usize,
+    out: &mut [usize],
+) -> Result<()> {
+    if columns.is_empty() {
+        return Err(LinalgError::EmptyInput {
+            operation: "batch_closest_column",
+        });
+    }
+    if xs.len() != out.len() * width {
+        return Err(LinalgError::DimensionMismatch {
+            operation: "batch_closest_column",
+            left: (xs.len(), 1),
+            right: (out.len() * width, 1),
+        });
+    }
+    for col in columns {
+        if col.len() != width {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "batch_closest_column",
+                left: (col.len(), 1),
+                right: (width, 1),
+            });
+        }
+    }
+    if width == 0 {
+        // Zero-dimensional points: every distance is 0, the first candidate
+        // wins (strict-< keeps the first minimum, as in `closest_column`).
+        out.fill(0);
+        return Ok(());
+    }
+    for (point, slot) in xs.chunks_exact(width).zip(out.iter_mut()) {
+        let mut best = (0usize, f64::INFINITY);
+        for (idx, col) in columns.iter().enumerate() {
+            let mut d = 0.0;
+            for (x, c) in point.iter().zip(col) {
+                let diff = x - c;
+                d += diff * diff;
+            }
+            if d < best.1 {
+                best = (idx, d);
+            }
+        }
+        *slot = best.0;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,6 +258,22 @@ mod tests {
         assert_eq!(dist, 1.0);
         assert!(closest_column(&[], &[1.0]).is_err());
         assert!(closest_column(&[vec![1.0, 2.0]], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn batch_closest_column_matches_per_row() {
+        let centroids = vec![vec![0.0, 0.0], vec![10.0, 10.0], vec![5.0, 5.0]];
+        let points: Vec<f64> = (0..40).map(|i| (i % 13) as f64).collect(); // 20 rows × 2
+        let mut batch = vec![0usize; 20];
+        batch_closest_column(&centroids, &points, 2, &mut batch).unwrap();
+        for (i, point) in points.chunks_exact(2).enumerate() {
+            let (expected, _) = closest_column(&centroids, point).unwrap();
+            assert_eq!(batch[i], expected, "row {i}");
+        }
+        // Error cases mirror closest_column.
+        assert!(batch_closest_column(&[], &points, 2, &mut batch).is_err());
+        assert!(batch_closest_column(&centroids, &points, 3, &mut batch).is_err());
+        assert!(batch_closest_column(&[vec![1.0]], &points, 2, &mut [0; 20]).is_err());
     }
 
     #[test]

@@ -72,6 +72,7 @@ impl Cholesky {
         let mut y = vec![0.0; n];
         for i in 0..n {
             let mut sum = b[i];
+            #[allow(clippy::needless_range_loop)] // triangular access below the diagonal
             for k in 0..i {
                 sum -= self.l.get(i, k) * y[k];
             }
@@ -81,6 +82,7 @@ impl Cholesky {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut sum = y[i];
+            #[allow(clippy::needless_range_loop)] // triangular access above the diagonal
             for k in (i + 1)..n {
                 sum -= self.l.get(k, i) * x[k];
             }
@@ -345,11 +347,7 @@ impl SymmetricEigen {
     /// zero, matching the semantics MADlib reports in the `condition_no`
     /// output column.
     pub fn condition_number(&self) -> f64 {
-        let max = self
-            .values
-            .iter()
-            .map(|v| v.abs())
-            .fold(0.0_f64, f64::max);
+        let max = self.values.iter().map(|v| v.abs()).fold(0.0_f64, f64::max);
         let min = self
             .values
             .iter()
@@ -370,11 +368,7 @@ impl SymmetricEigen {
     /// rank-deficient case.
     pub fn pseudo_inverse(&self, tolerance: f64) -> DenseMatrix {
         let n = self.values.len();
-        let max_abs = self
-            .values
-            .iter()
-            .map(|v| v.abs())
-            .fold(0.0_f64, f64::max);
+        let max_abs = self.values.iter().map(|v| v.abs()).fold(0.0_f64, f64::max);
         let cutoff = tolerance * max_abs.max(1e-300);
         let mut out = DenseMatrix::zeros(n, n);
         for k in 0..n {

@@ -399,13 +399,13 @@ impl DenseMatrix {
             });
         }
         let mut out = vec![0.0; self.rows];
-        for r in 0..self.rows {
+        for (r, slot) in out.iter_mut().enumerate() {
             let row = self.row_slice(r);
             let mut acc = 0.0;
             for (a, b) in row.iter().zip(x.as_slice()) {
                 acc += a * b;
             }
-            out[r] = acc;
+            *slot = acc;
         }
         Ok(DenseVector::from_vec(out))
     }

@@ -81,7 +81,10 @@ impl fmt::Display for LinalgError {
                 write!(f, "matrix is not positive definite (leading minor {minor})")
             }
             LinalgError::DidNotConverge { iterations } => {
-                write!(f, "iterative routine did not converge after {iterations} iterations")
+                write!(
+                    f,
+                    "iterative routine did not converge after {iterations} iterations"
+                )
             }
             LinalgError::NonFiniteInput { context } => {
                 write!(f, "non-finite value encountered in {context}")

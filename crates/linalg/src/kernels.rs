@@ -25,13 +25,14 @@ use crate::dense::DenseMatrix;
 ///
 /// The enum names follow the MADlib version numbers used in the paper's
 /// Figure 4 so that benchmark output lines up with the original table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum KernelGeneration {
     /// v0.1alpha: naive nested-loop outer product over the full matrix.
     V01Alpha,
     /// v0.2.1beta: untuned, wrong-orientation update with per-call overhead.
     V021Beta,
     /// v0.3: symmetric triangular update (default; fastest).
+    #[default]
     V03,
 }
 
@@ -50,12 +51,6 @@ impl KernelGeneration {
             KernelGeneration::V021Beta => "v0.2.1beta",
             KernelGeneration::V03 => "v0.3",
         }
-    }
-}
-
-impl Default for KernelGeneration {
-    fn default() -> Self {
-        KernelGeneration::V03
     }
 }
 
@@ -100,6 +95,7 @@ fn rank1_full(m: &mut DenseMatrix, x: &[f64]) {
 /// (the "row-vector `yᵀy`" orientation the paper found 3–4× slower) and
 /// performs redundant temporary work emulating untuned-BLAS + abstraction
 /// overhead observed in that release.
+#[allow(clippy::needless_range_loop)] // the strided, index-heavy shape is the point
 fn rank1_column_strided(m: &mut DenseMatrix, x: &[f64]) {
     let k = x.len();
     // Emulated marshalling overhead: the v0.2.1beta abstraction layer copied
@@ -124,6 +120,173 @@ fn rank1_lower_triangular(m: &mut DenseMatrix, x: &[f64]) {
         for j in 0..=i {
             row[j] += xi * x[j];
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batched (chunk-at-a-time) kernels
+//
+// The engine's vectorized execution path hands transition functions a whole
+// chunk of rows as one contiguous row-major block (`rows × width` values).
+// These kernels are the chunk-granularity counterparts of the rank-1 updates
+// above.  They are written to be *bit-identical* to folding the rows through
+// the per-row kernels one at a time: for every accumulator element the
+// per-row contributions are added in row order, so only the memory access
+// pattern changes, never the floating-point result.  The engine's
+// row/chunk-equivalence property tests rely on this.
+// ---------------------------------------------------------------------------
+
+/// Row-block size for [`rank_k_update_lower`]: 64 rows of a ~1 000-wide chunk
+/// stay L2-resident while the accumulator tile streams through L1.
+const ROW_BLOCK: usize = 64;
+
+/// Accumulator tile edge for [`rank_k_update_lower`]: a 64×64 `f64` tile is
+/// 32 KiB, half a typical L1d cache.
+const TILE: usize = 64;
+
+/// Accumulates `m += Σ_r x_r x_rᵀ` (lower triangle only) over a chunk of rows
+/// stored contiguously row-major in `xs` — the chunk-granularity version of
+/// the v0.3 rank-1 kernel.
+///
+/// Per-row rank-1 updates walk the entire `width²/2` accumulator once per
+/// row; once the matrix outgrows cache that traffic dominates.  This kernel
+/// tiles the accumulator and blocks the rows so each tile is touched once per
+/// row-block instead of once per row, cutting accumulator memory traffic by
+/// ~`ROW_BLOCK`× while keeping per-element additions in row order
+/// (bit-identical to the per-row kernel).
+///
+/// Callers must symmetrize afterwards, exactly as with the per-row v0.3
+/// kernel.
+///
+/// # Panics
+/// Panics in debug builds when `xs.len()` is not a multiple of `width` or `m`
+/// is not `width × width`.
+pub fn rank_k_update_lower(m: &mut DenseMatrix, xs: &[f64], width: usize) {
+    debug_assert_eq!(m.rows(), width);
+    debug_assert_eq!(m.cols(), width);
+    debug_assert_eq!(xs.len() % width.max(1), 0);
+    if width == 0 {
+        return;
+    }
+    for row_block in xs.chunks(ROW_BLOCK * width) {
+        for i0 in (0..width).step_by(TILE) {
+            let i_end = (i0 + TILE).min(width);
+            for j0 in (0..=i0).step_by(TILE) {
+                for x in row_block.chunks_exact(width) {
+                    for i in i0..i_end {
+                        let xi = x[i];
+                        let j_end = (j0 + TILE).min(i + 1);
+                        let row = m.row_slice_mut(i);
+                        for (acc, xj) in row[j0..j_end].iter_mut().zip(&x[j0..j_end]) {
+                            *acc += xi * xj;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Accumulates `m += Σ_r w_r · x_r x_rᵀ` (lower triangle only) over a chunk —
+/// the weighted rank-k update behind the IRLS Hessian `XᵀDX`.  Same tiling
+/// and same per-element accumulation order as [`rank_k_update_lower`]; each
+/// contribution is computed as `(w_r · x_r[i]) · x_r[j]`, matching the
+/// per-row formulation bit for bit.
+///
+/// # Panics
+/// Panics in debug builds on shape mismatch.
+pub fn weighted_rank_k_update_lower(
+    m: &mut DenseMatrix,
+    xs: &[f64],
+    weights: &[f64],
+    width: usize,
+) {
+    debug_assert_eq!(m.rows(), width);
+    debug_assert_eq!(m.cols(), width);
+    debug_assert_eq!(xs.len(), weights.len() * width);
+    if width == 0 {
+        return;
+    }
+    for (block_idx, row_block) in xs.chunks(ROW_BLOCK * width).enumerate() {
+        let block_weights = &weights[block_idx * ROW_BLOCK..];
+        for i0 in (0..width).step_by(TILE) {
+            let i_end = (i0 + TILE).min(width);
+            for j0 in (0..=i0).step_by(TILE) {
+                for (x, w) in row_block.chunks_exact(width).zip(block_weights) {
+                    for i in i0..i_end {
+                        let wxi = w * x[i];
+                        let j_end = (j0 + TILE).min(i + 1);
+                        let row = m.row_slice_mut(i);
+                        for (acc, xj) in row[j0..j_end].iter_mut().zip(&x[j0..j_end]) {
+                            *acc += wxi * xj;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Accumulates `acc += Σ_r y_r · x_r` over a chunk: the `Xᵀy` update of the
+/// regression transition state at chunk granularity.
+///
+/// # Panics
+/// Panics in debug builds on shape mismatch.
+pub fn xty_update(acc: &mut [f64], xs: &[f64], ys: &[f64], width: usize) {
+    debug_assert_eq!(xs.len(), ys.len() * width);
+    if width == 0 {
+        return;
+    }
+    for (x, y) in xs.chunks_exact(width).zip(ys) {
+        for (a, xi) in acc.iter_mut().zip(x) {
+            *a += xi * y;
+        }
+    }
+}
+
+/// Computes `out[r] = x_r · w` for every row of a contiguous row-major chunk
+/// — the batched linear-score (dot-product) kernel used by logistic and SGD
+/// transitions.  Each dot product accumulates left-to-right, matching the
+/// scalar `iter().zip().map().sum()` formulation bit for bit.
+///
+/// # Panics
+/// Panics in debug builds on shape mismatch.
+pub fn batch_dot(xs: &[f64], w: &[f64], out: &mut [f64]) {
+    let width = w.len();
+    debug_assert_eq!(xs.len(), out.len() * width);
+    if width == 0 {
+        out.fill(0.0);
+        return;
+    }
+    for (x, o) in xs.chunks_exact(width).zip(out.iter_mut()) {
+        let mut acc = 0.0;
+        for (xi, wi) in x.iter().zip(w) {
+            acc += xi * wi;
+        }
+        *o = acc;
+    }
+}
+
+/// Computes the squared Euclidean distance from every row of a contiguous
+/// row-major chunk to a single `center` — the batched form of
+/// `array_squared_distance`, accumulating element-wise in order.
+///
+/// # Panics
+/// Panics in debug builds on shape mismatch.
+pub fn batch_squared_distances(xs: &[f64], center: &[f64], out: &mut [f64]) {
+    let width = center.len();
+    debug_assert_eq!(xs.len(), out.len() * width);
+    if width == 0 {
+        out.fill(0.0);
+        return;
+    }
+    for (x, o) in xs.chunks_exact(width).zip(out.iter_mut()) {
+        let mut acc = 0.0;
+        for (xi, ci) in x.iter().zip(center) {
+            let d = xi - ci;
+            acc += d * d;
+        }
+        *o = acc;
     }
 }
 
@@ -208,13 +371,137 @@ mod tests {
         assert_eq!(KernelGeneration::default(), KernelGeneration::V03);
     }
 
+    /// Deterministic pseudo-random chunk of `rows × width` values.
+    fn chunk_data(rows: usize, width: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.max(1);
+        (0..rows * width)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 1000) as f64 / 250.0 - 2.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rank_k_update_is_bit_identical_to_per_row_v03() {
+        // Widths straddling the tile size exercise partial tiles; row counts
+        // straddling the row block exercise partial blocks.
+        for (rows, width) in [(1, 5), (7, 3), (130, 17), (70, 65), (200, 70)] {
+            let xs = chunk_data(rows, width, (rows * width) as u64);
+            let mut per_row = DenseMatrix::zeros(width, width);
+            for x in xs.chunks_exact(width) {
+                rank1_update(KernelGeneration::V03, &mut per_row, x);
+            }
+            let mut batched = DenseMatrix::zeros(width, width);
+            rank_k_update_lower(&mut batched, &xs, width);
+            for i in 0..width {
+                for j in 0..width {
+                    assert_eq!(
+                        batched.get(i, j).to_bits(),
+                        per_row.get(i, j).to_bits(),
+                        "element ({i}, {j}) differs at rows={rows} width={width}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rank_k_update_handles_empty_chunks() {
+        let mut m = DenseMatrix::zeros(4, 4);
+        rank_k_update_lower(&mut m, &[], 4);
+        assert!(m.max_abs_diff(&DenseMatrix::zeros(4, 4)).unwrap() == 0.0);
+        let mut empty = DenseMatrix::zeros(0, 0);
+        rank_k_update_lower(&mut empty, &[], 0);
+    }
+
+    #[test]
+    fn weighted_rank_k_update_is_bit_identical_to_per_row() {
+        for (rows, width) in [(1, 4), (90, 13), (130, 66)] {
+            let xs = chunk_data(rows, width, 31);
+            let weights: Vec<f64> = chunk_data(rows, 1, 77)
+                .iter()
+                .map(|w| w.abs() + 0.01)
+                .collect();
+            let mut per_row = DenseMatrix::zeros(width, width);
+            for (x, w) in xs.chunks_exact(width).zip(&weights) {
+                for i in 0..width {
+                    for j in 0..=i {
+                        let v = per_row.get(i, j) + w * x[i] * x[j];
+                        per_row.set(i, j, v);
+                    }
+                }
+            }
+            let mut batched = DenseMatrix::zeros(width, width);
+            weighted_rank_k_update_lower(&mut batched, &xs, &weights, width);
+            for i in 0..width {
+                for j in 0..=i {
+                    assert_eq!(
+                        batched.get(i, j).to_bits(),
+                        per_row.get(i, j).to_bits(),
+                        "element ({i}, {j}) differs at rows={rows} width={width}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn xty_update_is_bit_identical_to_per_row() {
+        let width = 9;
+        let rows = 83;
+        let xs = chunk_data(rows, width, 11);
+        let ys = chunk_data(rows, 1, 23);
+        let mut per_row = vec![0.25f64; width];
+        for (x, y) in xs.chunks_exact(width).zip(&ys) {
+            for (a, xi) in per_row.iter_mut().zip(x) {
+                *a += xi * y;
+            }
+        }
+        let mut batched = vec![0.25f64; width];
+        xty_update(&mut batched, &xs, &ys, width);
+        for (a, b) in batched.iter().zip(&per_row) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_dot_matches_scalar_dot() {
+        let width = 12;
+        let rows = 31;
+        let xs = chunk_data(rows, width, 5);
+        let w = chunk_data(1, width, 7);
+        let mut out = vec![0.0; rows];
+        batch_dot(&xs, &w, &mut out);
+        for (x, o) in xs.chunks_exact(width).zip(&out) {
+            let scalar: f64 = x.iter().zip(&w).map(|(a, b)| a * b).sum();
+            assert_eq!(o.to_bits(), scalar.to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_distances_match_scalar_distances() {
+        let width = 6;
+        let rows = 40;
+        let xs = chunk_data(rows, width, 3);
+        let center = chunk_data(1, width, 9);
+        let mut out = vec![0.0; rows];
+        batch_squared_distances(&xs, &center, &mut out);
+        for (x, o) in xs.chunks_exact(width).zip(&out) {
+            let scalar: f64 = x.iter().zip(&center).map(|(a, b)| (a - b) * (a - b)).sum();
+            assert_eq!(o.to_bits(), scalar.to_bits());
+        }
+    }
+
     #[test]
     fn gemv_acc_matches_matvec() {
         let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
         let x = [1.0, -1.0];
         let mut y = vec![10.0, 20.0];
         gemv_acc(2.0, &a, &x, &mut y);
-        assert_eq!(y, vec![10.0 + 2.0 * (-1.0), 20.0 + 2.0 * (-1.0)]);
+        assert_eq!(y, vec![10.0 + -2.0, 20.0 + -2.0]);
     }
 
     #[test]

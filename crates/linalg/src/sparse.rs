@@ -134,7 +134,7 @@ impl SparseVector {
     pub fn to_dense(&self) -> Vec<f64> {
         let mut out = Vec::with_capacity(self.len);
         for &(v, count) in &self.runs {
-            out.extend(std::iter::repeat(v).take(count));
+            out.extend(std::iter::repeat_n(v, count));
         }
         out
     }

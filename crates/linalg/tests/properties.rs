@@ -59,6 +59,7 @@ proptest! {
         // Build an SPD matrix as D + small symmetric perturbation.
         let n = diag.len();
         let mut a = DenseMatrix::zeros(n, n);
+        #[allow(clippy::needless_range_loop)] // i is both row and column index
         for i in 0..n {
             a.set(i, i, diag[i] + n as f64);
             for j in 0..i {
@@ -79,6 +80,7 @@ proptest! {
         // Symmetric matrix: diagonal plus symmetric off-diagonal pattern.
         let n = diag.len();
         let mut a = DenseMatrix::zeros(n, n);
+        #[allow(clippy::needless_range_loop)] // i is both row and column index
         for i in 0..n {
             a.set(i, i, diag[i]);
             for j in 0..i {

@@ -63,7 +63,8 @@ impl CountMinSketch {
     fn bucket(&self, row: usize, item: &[u8]) -> usize {
         // Row-seeded FNV-1a; rows use different offsets so the hash functions
         // are effectively independent for sketching purposes.
-        let mut hash: u64 = 0xcbf2_9ce4_8422_2325 ^ (row as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut hash: u64 =
+            0xcbf2_9ce4_8422_2325 ^ (row as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
         for &b in item {
             hash ^= b as u64;
             hash = hash.wrapping_mul(0x1000_0000_01b3);
@@ -156,7 +157,10 @@ mod tests {
         left.merge(&right);
         assert_eq!(left.total(), whole.total());
         for i in 0..17 {
-            assert_eq!(left.estimate(&format!("k{i}")), whole.estimate(&format!("k{i}")));
+            assert_eq!(
+                left.estimate(&format!("k{i}")),
+                whole.estimate(&format!("k{i}"))
+            );
         }
     }
 

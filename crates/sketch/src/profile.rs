@@ -271,7 +271,9 @@ mod tests {
         let profile = profile_table(&Executor::new(), &t).unwrap();
         assert_eq!(profile.row_count, 0);
         match &profile.columns[0] {
-            ColumnProfile::Numeric { summary, median, .. } => {
+            ColumnProfile::Numeric {
+                summary, median, ..
+            } => {
                 assert_eq!(summary.count(), 0);
                 assert_eq!(*median, None);
             }

@@ -79,15 +79,14 @@ impl QuantileSummary {
                 delta: 0,
             }
         } else {
-            Tuple {
-                value,
-                g: 1,
-                delta,
-            }
+            Tuple { value, g: 1, delta }
         };
         self.tuples.insert(pos, tuple);
         // Periodic compression keeps the summary small.
-        if self.count % ((1.0 / (2.0 * self.epsilon)) as u64 + 1) == 0 {
+        if self
+            .count
+            .is_multiple_of((1.0 / (2.0 * self.epsilon)) as u64 + 1)
+        {
             self.compress();
         }
     }

@@ -255,9 +255,7 @@ mod tests {
         left.merge(&right);
         assert_eq!(left.count(), whole.count());
         assert!((left.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-10);
-        assert!(
-            (left.variance_sample().unwrap() - whole.variance_sample().unwrap()).abs() < 1e-9
-        );
+        assert!((left.variance_sample().unwrap() - whole.variance_sample().unwrap()).abs() < 1e-9);
         assert_eq!(left.min(), whole.min());
         assert_eq!(left.max(), whole.max());
     }

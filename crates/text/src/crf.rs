@@ -27,7 +27,10 @@ impl ChainCrf {
     /// # Panics
     /// Panics if either dimension is zero.
     pub fn zeros(num_labels: usize, num_observations: usize) -> Self {
-        assert!(num_labels > 0 && num_observations > 0, "dimensions must be positive");
+        assert!(
+            num_labels > 0 && num_observations > 0,
+            "dimensions must be positive"
+        );
         Self {
             num_labels,
             num_observations,

@@ -51,7 +51,10 @@ impl FeatureExtractor {
     {
         self.dictionaries.insert(
             name.to_owned(),
-            entries.into_iter().map(|e| e.into().to_lowercase()).collect(),
+            entries
+                .into_iter()
+                .map(|e| e.into().to_lowercase())
+                .collect(),
         );
         self
     }
@@ -193,7 +196,10 @@ mod tests {
         assert!(features[0].active.contains(&"in_training_vocab".to_owned()));
         assert!(!features[1].active.contains(&"in_training_vocab".to_owned()));
         assert!(!features[0].active.iter().any(|f| f.starts_with("shape:")));
-        assert!(!features[0].active.iter().any(|f| f.starts_with("position:")));
+        assert!(!features[0]
+            .active
+            .iter()
+            .any(|f| f.starts_with("position:")));
 
         let bare = FeatureExtractor::new().without_word_features();
         let f = bare.extract(&as_strings(&["Word"]));

@@ -10,6 +10,9 @@
 //! segments behaves.
 
 use crate::crf::ChainCrf;
+
+/// The k best `(score, path)` candidates ending in one label at one step.
+type Beam = Vec<(f64, Vec<usize>)>;
 use madlib_engine::{EngineError, Result};
 
 /// Most likely label sequence and its unnormalized log-score.
@@ -44,13 +47,15 @@ pub fn viterbi_top_k(
     let n = observations.len();
 
     // Each cell keeps the k best (score, path) candidates ending in `label`.
-    let mut beams: Vec<Vec<Vec<(f64, Vec<usize>)>>> = vec![vec![Vec::new(); num_labels]; n];
+    let mut beams: Vec<Vec<Beam>> = vec![vec![Vec::new(); num_labels]; n];
+    #[allow(clippy::needless_range_loop)] // label doubles as path content and index
     for label in 0..num_labels {
         beams[0][label].push((crf.emission(label, observations[0]), vec![label]));
     }
     for t in 1..n {
         for label in 0..num_labels {
             let mut candidates: Vec<(f64, Vec<usize>)> = Vec::new();
+            #[allow(clippy::needless_range_loop)] // previous doubles as label id and index
             for previous in 0..num_labels {
                 for (prev_score, prev_path) in &beams[t - 1][previous] {
                     let score = prev_score
@@ -61,8 +66,7 @@ pub fn viterbi_top_k(
                     candidates.push((score, path));
                 }
             }
-            candidates
-                .sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+            candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
             candidates.truncate(k);
             beams[t][label] = candidates;
         }
@@ -148,7 +152,9 @@ mod tests {
             );
             // The decoded labeling must achieve the optimal score.
             assert!(
-                (crf.sequence_log_score(&observations, &viterbi_labels).unwrap() - brute_score)
+                (crf.sequence_log_score(&observations, &viterbi_labels)
+                    .unwrap()
+                    - brute_score)
                     .abs()
                     < 1e-9
             );

@@ -91,6 +91,9 @@ fn main() {
     let tree_accuracy = accuracy(&tree_predictions, &truth).expect("accuracy");
     let bayes_refs: Vec<&str> = bayes_predictions.iter().map(String::as_str).collect();
     let bayes_accuracy = accuracy(&bayes_refs, &truth).expect("accuracy");
-    println!("decision tree (C4.5) holdout accuracy:    {tree_accuracy:.3} ({} leaves)", tree.leaf_count());
+    println!(
+        "decision tree (C4.5) holdout accuracy:    {tree_accuracy:.3} ({} leaves)",
+        tree.leaf_count()
+    );
     println!("naive Bayes holdout accuracy:             {bayes_accuracy:.3}");
 }

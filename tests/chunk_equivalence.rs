@@ -1,0 +1,217 @@
+//! Row-path / chunk-path equivalence properties.
+//!
+//! The engine's chunk-at-a-time execution path promises to be *bit-identical*
+//! to the original row-at-a-time path: every `transition_chunk` override must
+//! produce exactly the state the per-row `transition` would, including
+//! floating-point accumulation order.  These property tests enforce that for
+//! the ported hot aggregates — linear regression, the k-means Lloyd step, and
+//! the convex IGD epoch — plus the built-in SQL aggregates, over randomized
+//! data with NULL-bearing rows, ragged partitions, empty segments, and chunk
+//! capacities small enough that every scan crosses several chunk boundaries.
+
+use madlib::convex::objectives::{LeastSquaresObjective, LogisticObjective};
+use madlib::convex::{IgdConfig, IgdRunner, StepSchedule};
+use madlib::engine::aggregate::{AvgAggregate, SumAggregate};
+use madlib::engine::expr::Predicate;
+use madlib::engine::{row, Database, Executor, Row, Table, Value};
+use madlib::methods::cluster::KMeans;
+use madlib::methods::datasets::labeled_point_schema;
+use madlib::methods::regress::LinearRegression;
+use proptest::prelude::*;
+
+/// The two execution paths under comparison.
+fn executors() -> (Executor, Executor) {
+    (Executor::new(), Executor::row_at_a_time())
+}
+
+fn bits(values: &[f64]) -> Vec<u64> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Builds a labeled-point table with a deliberately tiny chunk capacity so
+/// scans cross many chunk boundaries, plus optional NULL rows.
+fn labeled_table(
+    points: &[(f64, [f64; 3])],
+    null_every: Option<usize>,
+    segments: usize,
+    chunk_capacity: usize,
+) -> Table {
+    let mut t = Table::new(labeled_point_schema(), segments)
+        .unwrap()
+        .with_chunk_capacity(chunk_capacity)
+        .unwrap();
+    for (i, (y, x)) in points.iter().enumerate() {
+        if null_every.is_some_and(|n| i % n == 0) {
+            t.insert(Row::new(vec![Value::Null, Value::Null])).unwrap();
+        } else {
+            t.insert(row![*y, x.to_vec()]).unwrap();
+        }
+    }
+    t
+}
+
+proptest! {
+    /// Linear regression: the flagship Figure 4 aggregate.  The chunked
+    /// transition (tiled rank-k XᵀX, batched Xᵀy) must reproduce the per-row
+    /// fit bit for bit, across ragged segment sizes and chunk boundaries.
+    #[test]
+    fn linregr_chunk_path_is_bit_identical(
+        points in prop::collection::vec((-10.0..10.0f64, [-5.0..5.0f64, -5.0..5.0f64, -5.0..5.0f64]), 1..120),
+        segments in 1usize..7,
+        chunk_capacity in 1usize..40,
+    ) {
+        let table = labeled_table(&points, None, segments, chunk_capacity);
+        let (chunked, row_based) = executors();
+        let a = LinearRegression::new("y", "x").fit(&chunked, &table).unwrap();
+        let b = LinearRegression::new("y", "x").fit(&row_based, &table).unwrap();
+        prop_assert_eq!(bits(&a.coef), bits(&b.coef));
+        prop_assert_eq!(a.r2.to_bits(), b.r2.to_bits());
+        prop_assert_eq!(bits(&a.std_err), bits(&b.std_err));
+        prop_assert_eq!(bits(&a.t_stats), bits(&b.t_stats));
+        prop_assert_eq!(a.num_rows, b.num_rows);
+    }
+
+    /// NULL-bearing rows: both paths must reject them with an error (the
+    /// per-row path fails on the first NULL; the chunk path falls back and
+    /// reproduces it), and the built-in NULL-skipping aggregates must agree
+    /// bit for bit.
+    #[test]
+    fn null_rows_behave_identically(
+        points in prop::collection::vec((-10.0..10.0f64, [-5.0..5.0f64, -5.0..5.0f64, -5.0..5.0f64]), 2..60),
+        null_every in 2usize..6,
+        segments in 1usize..5,
+        chunk_capacity in 1usize..20,
+    ) {
+        let table = labeled_table(&points, Some(null_every), segments, chunk_capacity);
+        let (chunked, row_based) = executors();
+
+        // Regression input with NULLs errors on both paths.
+        prop_assert!(LinearRegression::new("y", "x").fit(&chunked, &table).is_err());
+        prop_assert!(LinearRegression::new("y", "x").fit(&row_based, &table).is_err());
+
+        // SQL aggregates skip NULLs identically.
+        let sum_c = chunked.aggregate(&table, &SumAggregate::new("y")).unwrap();
+        let sum_r = row_based.aggregate(&table, &SumAggregate::new("y")).unwrap();
+        prop_assert_eq!(sum_c.to_bits(), sum_r.to_bits());
+        let avg_c = chunked.aggregate(&table, &AvgAggregate::new("y")).unwrap();
+        let avg_r = row_based.aggregate(&table, &AvgAggregate::new("y")).unwrap();
+        prop_assert_eq!(avg_c.map(f64::to_bits), avg_r.map(f64::to_bits));
+
+        // Chunk-level predicate evaluation agrees with per-row evaluation,
+        // NULLs never matching.
+        let pred = Predicate::column_gt("y", 0.0).or(Predicate::ColumnIsNull { column: "y".into() });
+        let (_, stats_c) = chunked
+            .aggregate_with_stats(&table, &madlib::engine::aggregate::CountAggregate, Some(&pred))
+            .unwrap();
+        let (_, stats_r) = row_based
+            .aggregate_with_stats(&table, &madlib::engine::aggregate::CountAggregate, Some(&pred))
+            .unwrap();
+        prop_assert_eq!(stats_c.rows_aggregated, stats_r.rows_aggregated);
+    }
+
+    /// k-means: every Lloyd step's assignment and barycenter accumulation
+    /// must match, so the whole fit (same seeding) is bit-identical.
+    #[test]
+    fn kmeans_chunk_path_is_bit_identical(
+        points in prop::collection::vec([-20.0..20.0f64, -20.0..20.0f64], 8..100),
+        k in 1usize..5,
+        segments in 1usize..5,
+        chunk_capacity in 1usize..30,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(points.len() >= k);
+        let schema = madlib::methods::datasets::points_schema();
+        let mut table = Table::new(schema, segments)
+            .unwrap()
+            .with_chunk_capacity(chunk_capacity)
+            .unwrap();
+        for (i, p) in points.iter().enumerate() {
+            table.insert(row![i as i64, p.to_vec()]).unwrap();
+        }
+        let (chunked, row_based) = executors();
+        let db = Database::new(segments).unwrap();
+        let fit = |exec: &Executor| {
+            KMeans::new("coords", k)
+                .unwrap()
+                .with_seed(seed)
+                .with_max_iterations(15)
+                .fit(exec, &db, &table)
+                .unwrap()
+        };
+        let a = fit(&chunked);
+        let b = fit(&row_based);
+        prop_assert_eq!(a.iterations, b.iterations);
+        prop_assert_eq!(a.converged, b.converged);
+        for (ca, cb) in a.centroids.iter().zip(&b.centroids) {
+            prop_assert_eq!(bits(ca), bits(cb));
+        }
+        prop_assert_eq!(a.inertia.to_bits(), b.inertia.to_bits());
+    }
+
+    /// The IGD epoch: sequential SGD over chunks must replay the exact
+    /// per-row update sequence for both the vectorized least-squares /
+    /// logistic objectives and (via fallback) any other objective.
+    #[test]
+    fn igd_chunk_path_is_bit_identical(
+        points in prop::collection::vec((-5.0..5.0f64, [-2.0..2.0f64, -2.0..2.0f64, -2.0..2.0f64]), 4..80),
+        segments in 1usize..5,
+        chunk_capacity in 1usize..25,
+        epochs in 1usize..8,
+    ) {
+        let table = labeled_table(&points, None, segments, chunk_capacity);
+        let (chunked, row_based) = executors();
+        let db = Database::new(segments).unwrap();
+        let config = IgdConfig {
+            max_epochs: epochs,
+            tolerance: 1e-12,
+            schedule: StepSchedule::Constant(0.01),
+        };
+
+        let objective = LeastSquaresObjective::new("y", "x", 3);
+        let run = |exec: &Executor| {
+            IgdRunner::new(config.clone())
+                .run(exec, &db, &table, &objective, vec![0.0; 3])
+                .unwrap()
+        };
+        let a = run(&chunked);
+        let b = run(&row_based);
+        prop_assert_eq!(bits(&a.model), bits(&b.model));
+        prop_assert_eq!(a.epochs, b.epochs);
+        prop_assert_eq!(a.objective_value.to_bits(), b.objective_value.to_bits());
+
+        // Logistic objective over ±1-ish labels.
+        let logistic = LogisticObjective::new("y", "x", 3);
+        let la = IgdRunner::new(config.clone())
+            .run(&chunked, &db, &table, &logistic, vec![0.0; 3])
+            .unwrap();
+        let lb = IgdRunner::new(config.clone())
+            .run(&row_based, &db, &table, &logistic, vec![0.0; 3])
+            .unwrap();
+        prop_assert_eq!(bits(&la.model), bits(&lb.model));
+    }
+
+    /// Empty segments (more segments than rows, including entirely empty
+    /// tables) must behave identically on both paths.
+    #[test]
+    fn empty_segments_behave_identically(
+        rows in 0usize..4,
+        segments in 5usize..9,
+    ) {
+        let points: Vec<(f64, [f64; 3])> =
+            (0..rows).map(|i| (i as f64, [1.0, i as f64, 0.5])).collect();
+        let table = labeled_table(&points, None, segments, 8);
+        let (chunked, row_based) = executors();
+
+        let sum_c = chunked.aggregate(&table, &SumAggregate::new("y")).unwrap();
+        let sum_r = row_based.aggregate(&table, &SumAggregate::new("y")).unwrap();
+        prop_assert_eq!(sum_c.to_bits(), sum_r.to_bits());
+
+        let lin_c = LinearRegression::new("y", "x").fit(&chunked, &table);
+        let lin_r = LinearRegression::new("y", "x").fit(&row_based, &table);
+        match (lin_c, lin_r) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(bits(&a.coef), bits(&b.coef)),
+            (Err(_), Err(_)) => {} // empty input errors on both paths
+            (a, b) => prop_assert!(false, "paths disagree: {:?} vs {:?}", a.is_ok(), b.is_ok()),
+        }
+    }
+}

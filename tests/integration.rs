@@ -29,7 +29,9 @@ fn paper_section_4_1_linear_regression_record() {
             .unwrap();
     }
     let executor = Executor::new();
-    let single = LinearRegression::new("y", "x").fit(&executor, &table).unwrap();
+    let single = LinearRegression::new("y", "x")
+        .fit(&executor, &table)
+        .unwrap();
     assert!((single.coef[0] - 1.7307).abs() < 0.05);
     assert!((single.coef[1] - 2.2428).abs() < 0.01);
     assert!(single.r2 > 0.99);
@@ -126,7 +128,10 @@ fn kmeans_pipeline_end_to_end() {
             .fold(f64::INFINITY, f64::min);
         assert!(nearest < 3.0);
     }
-    assert!(db.list_tables().is_empty(), "driver must drop its temp tables");
+    assert!(
+        db.list_tables().is_empty(),
+        "driver must drop its temp tables"
+    );
 }
 
 /// Section 3.1.3: the profile module handles an arbitrary schema produced by

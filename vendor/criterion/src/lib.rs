@@ -1,0 +1,252 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Benches in this workspace use `harness = false` with the classic
+//! criterion entry points (`criterion_group!` / `criterion_main!`,
+//! benchmark groups, `bench_function` / `bench_with_input`, `Bencher::iter`).
+//! This shim reproduces that API with a plain wall-clock harness: each
+//! benchmark runs a warm-up pass plus `sample_size` timed samples and prints
+//! min / mean / max per-iteration times. No statistical analysis, HTML
+//! reports, or outlier detection — enough to compare configurations (e.g.
+//! row-path vs. chunk-path execution) from `cargo bench` output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported like `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifier for a parameterized benchmark (`criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        Self { id: id.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Per-iteration timing loop handed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, once per sample after one warm-up call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std_black_box(routine()); // warm-up
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std_black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// A named group of related benchmarks (`criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark with no input parameter.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        self.criterion
+            .report(&format!("{}/{}", self.name, id.id), &bencher.samples);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher, input);
+        self.criterion
+            .report(&format!("{}/{}", self.name, id.id), &bencher.samples);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is immediate).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness (`criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<(String, Duration)>,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: 10,
+        };
+        f(&mut bencher);
+        self.report(&id.id, &bencher.samples);
+        self
+    }
+
+    fn report(&mut self, label: &str, samples: &[Duration]) {
+        if samples.is_empty() {
+            println!("{label:<52} (no samples)");
+            return;
+        }
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let max = samples.iter().max().copied().unwrap_or_default();
+        println!(
+            "{label:<52} min {:>12} mean {:>12} max {:>12} ({} samples)",
+            format_duration(min),
+            format_duration(mean),
+            format_duration(max),
+            samples.len(),
+        );
+        self.results.push((label.to_owned(), mean));
+    }
+
+    /// Mean per-iteration time of every benchmark reported so far, in run
+    /// order. Lets `harness = false` binaries post-process comparisons (e.g.
+    /// print a row-path / chunk-path speedup summary).
+    pub fn mean_times(&self) -> &[(String, Duration)] {
+        &self.results
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a function that runs a list of benchmark functions
+/// (`criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that invokes groups
+/// (`criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_benchmarks_run() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+        assert_eq!(c.mean_times().len(), 2);
+        assert!(c.mean_times()[0].0.contains("demo/noop"));
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert!(format_duration(Duration::from_nanos(10)).contains("ns"));
+        assert!(format_duration(Duration::from_micros(10)).contains("µs"));
+        assert!(format_duration(Duration::from_millis(10)).contains("ms"));
+        assert!(format_duration(Duration::from_secs(10)).contains("s"));
+    }
+}

@@ -1,0 +1,384 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the subset of the proptest API the workspace's property tests
+//! use — the [`proptest!`] macro, range/tuple/array/`vec`/`Just`/one-of
+//! strategies, `any::<T>()`, and the `prop_assert*` / `prop_assume!` macros —
+//! backed by the vendored deterministic `rand` shim. Unlike real proptest
+//! there is no shrinking: a failing case panics with the sampled inputs
+//! embedded in the assertion message. Each test function derives its RNG seed
+//! from its own name, so runs are deterministic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, RngCore, SeedableRng};
+
+/// Number of accepted cases each `proptest!` test runs.
+pub const DEFAULT_CASES: usize = 64;
+
+/// Marker returned by `prop_assume!` when a sampled case is rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rejected;
+
+/// Deterministic RNG used by the harness (re-exported for the macro).
+pub type TestRng = StdRng;
+
+/// Creates the deterministic RNG for a named test (used by [`proptest!`] so
+/// test crates don't need their own `rand` dependency).
+pub fn new_rng(name: &str) -> TestRng {
+    StdRng::seed_from_u64(seed_for(name))
+}
+
+/// Derives a stable 64-bit seed from a test name.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// A source of random values of an associated type.
+///
+/// Mirrors `proptest::strategy::Strategy` in name and role, but samples
+/// directly instead of building shrinkable value trees.
+pub trait Strategy {
+    /// Type of values produced.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Boxing helper used by [`prop_oneof!`] to unify arm types.
+pub trait IntoBoxedStrategy: Strategy + Sized + 'static {
+    /// Boxes the strategy as a trait object.
+    fn into_boxed(self) -> Box<dyn Strategy<Value = Self::Value>> {
+        Box::new(self)
+    }
+}
+
+impl<S: Strategy + Sized + 'static> IntoBoxedStrategy for S {}
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_strategy!(usize, u8, u16, u32, u64, i8, i16, i32, i64);
+
+/// Strategy that always yields a clone of one value (`proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A);
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+    (A, B, C, D, E);
+    (A, B, C, D, E, F);
+}
+
+impl<S: Strategy, const N: usize> Strategy for [S; N] {
+    type Value = [S::Value; N];
+    fn sample(&self, rng: &mut TestRng) -> [S::Value; N] {
+        core::array::from_fn(|i| self[i].sample(rng))
+    }
+}
+
+/// Length specification for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(len: usize) -> Self {
+        Self {
+            lo: len,
+            hi: len + 1,
+        }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty length range");
+        Self {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+/// Strategy for `Vec`s of values drawn from an element strategy.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = if self.len.lo + 1 == self.len.hi {
+            self.len.lo
+        } else {
+            rng.gen_range(self.len.lo..self.len.hi)
+        };
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Uniform choice between boxed alternative strategies ([`prop_oneof!`]).
+pub struct Union<T> {
+    arms: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Creates a union over the given arms (must be non-empty).
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let idx = (rng.next_u64() % self.arms.len() as u64) as usize;
+        self.arms[idx].sample(rng)
+    }
+}
+
+/// Types with a canonical "any value" strategy (`proptest::arbitrary`).
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite values only: unconstrained bit patterns (NaN/inf) break most
+        // numeric properties and real proptest also defaults to finite floats.
+        rng.gen_range(-1e9..1e9)
+    }
+}
+
+/// Strategy wrapper returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T> {
+    _marker: core::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy producing any value of `T` (`proptest::prelude::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: core::marker::PhantomData,
+    }
+}
+
+/// Namespaced strategy constructors (`proptest::prelude::prop`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{SizeRange, Strategy, VecStrategy};
+
+        /// Strategy for `Vec`s with lengths drawn from `len`.
+        pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                len: len.into(),
+            }
+        }
+    }
+}
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Just, Strategy,
+    };
+}
+
+/// Defines deterministic random-input tests (stand-in for `proptest::proptest!`).
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block)*) => {$(
+        // Callers write `#[test]` themselves (as with real proptest); the
+        // metas pass through unchanged.
+        $(#[$meta])*
+        fn $name() {
+            let mut rng: $crate::TestRng = $crate::new_rng(stringify!($name));
+            let strategies = ($(($strat),)*);
+            let mut accepted = 0usize;
+            let mut attempts = 0usize;
+            while accepted < $crate::DEFAULT_CASES {
+                attempts += 1;
+                assert!(
+                    attempts <= $crate::DEFAULT_CASES * 64,
+                    "prop_assume! rejected too many cases in {}",
+                    stringify!($name),
+                );
+                let ($($pat,)*) = $crate::Strategy::sample(&strategies, &mut rng);
+                #[allow(clippy::redundant_closure_call)] // closure enables prop_assume! early-exit
+                let outcome: ::core::result::Result<(), $crate::Rejected> =
+                    (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if outcome.is_ok() {
+                    accepted += 1;
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Rejects the current case unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($rest:tt)*)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::Rejected);
+        }
+    };
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::IntoBoxedStrategy::into_boxed($arm)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_vecs(x in -5.0..5.0f64, v in prop::collection::vec(0u32..10, 1..20)) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|&e| e < 10));
+        }
+
+        #[test]
+        fn oneof_and_assume(v in prop_oneof![Just(0.0f64), 1.0..2.0f64], n in 0usize..10) {
+            prop_assume!(n > 0);
+            prop_assert!(v == 0.0 || (1.0..2.0).contains(&v));
+            prop_assert_ne!(n, 0);
+        }
+
+        #[test]
+        fn tuples_and_arrays(pair in (0.0..1.0f64, [0i64..3, 0i64..3]), seed in any::<u64>()) {
+            let (f, arr) = pair;
+            prop_assert!((0.0..1.0).contains(&f));
+            prop_assert!(arr.iter().all(|&i| (0..3).contains(&i)));
+            let _ = seed;
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        assert_eq!(super::seed_for("abc"), super::seed_for("abc"));
+        assert_ne!(super::seed_for("abc"), super::seed_for("abd"));
+    }
+}

@@ -1,0 +1,8 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op `Serialize` / `Deserialize` derive macros so that
+//! `use serde::{Deserialize, Serialize}` plus `#[derive(...)]` in the
+//! workspace compiles without registry access. No trait machinery is needed:
+//! nothing in the workspace bounds on serde traits or serializes at runtime.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace builds in environments with no access to crates.io, so the
+//! real serde is unavailable. Nothing in the workspace serializes through
+//! serde at runtime — the derives only decorate model types for downstream
+//! users — so the derive macros here simply expand to nothing, keeping the
+//! `#[derive(Serialize, Deserialize)]` annotations compiling. Swap this
+//! vendored package for the real serde in `[patch]`-style once network access
+//! to a registry is available.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
