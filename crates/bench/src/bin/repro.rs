@@ -7,6 +7,7 @@
 //! cargo run -p madlib-bench --bin repro --release -- figure5 [--full]
 //! cargo run -p madlib-bench --bin repro --release -- table1 | table2 | table3
 //! cargo run -p madlib-bench --bin repro --release -- logistic | kmeans | overhead
+//! cargo run -p madlib-bench --bin repro --release -- rowchunk | grouped [--full]
 //! ```
 //!
 //! With `--full` the Figure 4/5 sweeps use the paper's variable counts
@@ -55,6 +56,7 @@ fn main() {
         "kmeans" => kmeans(),
         "overhead" => overhead(),
         "rowchunk" => rowchunk(full),
+        "grouped" => grouped(full),
         "all" => {
             figure4(full);
             figure5(full);
@@ -65,10 +67,11 @@ fn main() {
             kmeans();
             overhead();
             rowchunk(full);
+            grouped(full);
         }
         other => {
             eprintln!("unknown experiment: {other}");
-            eprintln!("expected one of: figure4 figure5 table1 table2 table3 logistic kmeans overhead rowchunk all");
+            eprintln!("expected one of: figure4 figure5 table1 table2 table3 logistic kmeans overhead rowchunk grouped all");
             std::process::exit(2);
         }
     }
@@ -108,6 +111,61 @@ fn rowchunk(full: bool) {
         );
     }
     println!();
+}
+
+/// Grouped row-path vs. chunk-path baseline: the PR-1 single-threaded
+/// grouped row loop (display-string keys, per-row transitions) against the
+/// segment-parallel chunked grouped scan, swept over the number of groups.
+/// Records the measurements to `BENCH_grouped.json` next to the working
+/// directory so future sessions can compare against this baseline.
+fn grouped(full: bool) {
+    println!(
+        "== Grouped aggregation: PR-1 row loop vs. segment-parallel chunked scan (linregr) ==\n"
+    );
+    let (rows, variables, segments, samples) = if full {
+        (100_000, 100, 4, 5)
+    } else {
+        (40_000, 100, 4, 3)
+    };
+    println!(
+        "{:>8}  {:>11}  {:>8}  {:>12}  {:>12}  {:>8}",
+        "# rows", "# variables", "# groups", "row (s)", "chunk (s)", "speedup"
+    );
+    let mut measurements = Vec::new();
+    for &groups in &[16usize, 256, 4096] {
+        let m =
+            madlib_bench::measure_grouped_row_vs_chunk(rows, variables, groups, segments, samples);
+        println!(
+            "{:>8}  {:>11}  {:>8}  {:>12.4}  {:>12.4}  {:>7.2}x",
+            m.rows,
+            m.variables,
+            m.groups,
+            m.row_path.as_secs_f64(),
+            m.chunk_path.as_secs_f64(),
+            m.speedup(),
+        );
+        measurements.push(m);
+    }
+    let mut json =
+        String::from("{\n  \"experiment\": \"grouped_linregr_row_vs_chunk\",\n  \"cells\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"rows\": {}, \"variables\": {}, \"groups\": {}, \"segments\": {}, \"row_s\": {:.6}, \"chunk_s\": {:.6}, \"speedup\": {:.4}}}{}\n",
+            m.rows,
+            m.variables,
+            m.groups,
+            m.segments,
+            m.row_path.as_secs_f64(),
+            m.chunk_path.as_secs_f64(),
+            m.speedup(),
+            if i + 1 < measurements.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    match std::fs::write("BENCH_grouped.json", &json) {
+        Ok(()) => println!("\nbaseline recorded to BENCH_grouped.json\n"),
+        Err(err) => println!("\ncould not write BENCH_grouped.json: {err}\n"),
+    }
 }
 
 fn sweep_parameters(full: bool) -> (Vec<usize>, Vec<usize>, usize) {

@@ -175,6 +175,165 @@ pub fn measure_row_vs_chunk(
     )
 }
 
+/// One measured cell of the grouped row-path vs. chunk-path comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupedMeasurement {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of independent variables.
+    pub variables: usize,
+    /// Number of distinct groups.
+    pub groups: usize,
+    /// Number of segments.
+    pub segments: usize,
+    /// Median wall-clock time of the PR-1-style row loop (single-threaded,
+    /// per-row transitions).
+    pub row_path: Duration,
+    /// Median wall-clock time of the segment-parallel chunked grouped scan.
+    pub chunk_path: Duration,
+}
+
+impl GroupedMeasurement {
+    /// Chunk-path speedup over the row-loop baseline.
+    pub fn speedup(&self) -> f64 {
+        self.row_path.as_secs_f64() / self.chunk_path.as_secs_f64()
+    }
+}
+
+/// Generates the grouped regression table used by the grouped sweep: the
+/// Figure 4 workload plus a leading `grp` bigint column cycling over
+/// `groups` distinct keys, so each group is its own (smaller) regression
+/// problem — the paper's Section 4.2 "one model per group in a single pass"
+/// shape.  The table is hash-distributed on `grp` (Greenplum's
+/// `DISTRIBUTED BY` for a grouped workload), which co-locates each group's
+/// rows in one segment.
+///
+/// # Panics
+/// Panics if generation fails (invalid sizes), which the callers never pass.
+pub fn grouped_regression_table(
+    rows: usize,
+    variables: usize,
+    groups: usize,
+    segments: usize,
+    seed: u64,
+) -> Table {
+    use madlib_engine::table::Distribution;
+    use madlib_engine::{Column, ColumnType, Value};
+    assert!(groups > 0, "need at least one group");
+    let base = figure4_table(rows, variables, 1, seed);
+    let schema = Schema::new(vec![
+        Column::new("grp", ColumnType::Int),
+        Column::new("y", ColumnType::Double),
+        Column::new("x", ColumnType::DoubleArray),
+    ]);
+    let mut table =
+        Table::with_distribution(schema, segments, Distribution::HashColumn("grp".into()))
+            .expect("positive segment count");
+    for (i, row) in base.iter().enumerate() {
+        let mut values = Vec::with_capacity(3);
+        values.push(Value::Int((i % groups) as i64));
+        values.extend(row.into_values());
+        table
+            .insert(Row::new(values))
+            .expect("generated rows match the schema");
+    }
+    table
+}
+
+/// Times one grouped scan (transition + merge per group, trivial finalize)
+/// of the linear-regression aggregate under the given executor.
+///
+/// # Panics
+/// Panics if the scan fails or loses rows, which cannot happen for the
+/// generated workloads.
+pub fn measure_grouped_linregr_scan(table: &Table, executor: &Executor, groups: usize) -> Duration {
+    let scan = LinregrScan(LinearRegression::new("y", "x"));
+    let start = Instant::now();
+    let result = executor
+        .aggregate_grouped(table, "grp", &scan)
+        .expect("grouped linregr scan over generated data cannot fail");
+    let elapsed = start.elapsed();
+    assert_eq!(result.len(), groups.min(table.row_count()));
+    let total: u64 = result.iter().map(|(_, rows)| rows).sum();
+    assert_eq!(total as usize, table.row_count());
+    elapsed
+}
+
+/// Times the PR-1 grouped row loop verbatim: a single coordinator thread
+/// walks every segment row by row, keys the state map by the group value's
+/// *display string* (the old `Value::to_string()` scheme, with its
+/// allocation per row), and feeds per-row transitions.  This is the
+/// baseline the chunked grouped path is measured against.
+///
+/// # Panics
+/// Panics if a transition fails, which cannot happen for generated
+/// workloads.
+pub fn measure_grouped_legacy_row_loop(table: &Table, groups: usize) -> Duration {
+    use madlib_engine::Value;
+    use std::collections::HashMap;
+    let scan = LinregrScan(LinearRegression::new("y", "x"));
+    let schema = table.schema();
+    let group_idx = schema.index_of("grp").expect("grp column exists");
+    let start = Instant::now();
+    let mut states: HashMap<String, (Value, LinRegrState)> = HashMap::new();
+    for seg in 0..table.num_segments() {
+        for row in table.segment(seg).iter() {
+            let key_value = row.get(group_idx).clone();
+            let key = key_value.to_string();
+            let entry = states
+                .entry(key)
+                .or_insert_with(|| (key_value.clone(), scan.initial_state()));
+            scan.transition(&mut entry.1, &row, schema)
+                .expect("transition over generated data cannot fail");
+        }
+    }
+    let total: u64 = states.values().map(|(_, s)| s.num_rows).sum();
+    let elapsed = start.elapsed();
+    assert_eq!(total as usize, table.row_count());
+    assert_eq!(states.len(), groups.min(table.row_count()));
+    elapsed
+}
+
+/// One cell of the grouped comparison: median-of-`samples` times for the
+/// legacy row loop vs. the segment-parallel chunked grouped scan on the same
+/// table.
+///
+/// # Panics
+/// Panics when `samples == 0` or workload generation fails.
+pub fn measure_grouped_row_vs_chunk(
+    rows: usize,
+    variables: usize,
+    groups: usize,
+    segments: usize,
+    samples: usize,
+) -> GroupedMeasurement {
+    assert!(samples > 0, "need at least one sample");
+    let table = grouped_regression_table(rows, variables, groups, segments, 42 + groups as u64);
+    let median = |mut times: Vec<Duration>| -> Duration {
+        times.sort_unstable();
+        times[times.len() / 2]
+    };
+    let row_path = median(
+        (0..samples)
+            .map(|_| measure_grouped_legacy_row_loop(&table, groups))
+            .collect(),
+    );
+    let chunked_executor = Executor::new();
+    let chunk_path = median(
+        (0..samples)
+            .map(|_| measure_grouped_linregr_scan(&table, &chunked_executor, groups))
+            .collect(),
+    );
+    GroupedMeasurement {
+        rows,
+        variables,
+        groups,
+        segments,
+        row_path,
+        chunk_path,
+    }
+}
+
 /// Runs the full Figure 4 sweep and returns one measurement per cell.
 pub fn figure4_sweep(
     segment_counts: &[usize],
@@ -371,6 +530,31 @@ mod tests {
             .unwrap();
         for (a, b) in chunked.coef.iter().zip(&row_based.coef) {
             assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn grouped_measurement_agrees_across_paths() {
+        let m = measure_grouped_row_vs_chunk(600, 6, 16, 2, 1);
+        assert!(m.row_path.as_nanos() > 0);
+        assert!(m.chunk_path.as_nanos() > 0);
+        assert!(m.speedup() > 0.0);
+
+        // The chunked grouped path and the legacy-style row loop fit the
+        // same per-group models (single segment → identical merge order).
+        let table = grouped_regression_table(300, 4, 8, 1, 3);
+        let chunked = Executor::new()
+            .aggregate_grouped(&table, "grp", &LinearRegression::new("y", "x"))
+            .unwrap();
+        let by_rows = Executor::row_at_a_time()
+            .aggregate_grouped(&table, "grp", &LinearRegression::new("y", "x"))
+            .unwrap();
+        assert_eq!(chunked.len(), 8);
+        for ((ka, ma), (kb, mb)) in chunked.iter().zip(&by_rows) {
+            assert_eq!(ka, kb);
+            for (a, b) in ma.coef.iter().zip(&mb.coef) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
         }
     }
 

@@ -14,6 +14,7 @@
 //! per-node row sets in temp tables.
 
 use crate::error::{MethodError, Result};
+use madlib_engine::chunk::ColumnChunk;
 use madlib_engine::{Executor, Table};
 use madlib_stats::ChiSquare;
 use serde::{Deserialize, Serialize};
@@ -168,17 +169,40 @@ impl DecisionTree {
         executor
             .validate_input(table, true)
             .map_err(MethodError::from)?;
-        // Materialize (label, features) pairs via a parallel projection scan.
+        // Materialize (label, features) pairs via the chunk-level parallel
+        // projection: whole-column reads per chunk instead of one row
+        // materialization per training point.
         let label_col = self.label_column.clone();
         let feat_col = self.features_column.clone();
         let rows: Vec<(String, Vec<f64>)> = executor
-            .parallel_map(table, move |row, schema| {
-                let label = row.get_named(schema, &label_col)?.as_text()?.to_owned();
-                let features = row
-                    .get_named(schema, &feat_col)?
-                    .as_double_array()?
-                    .to_vec();
-                Ok((label, features))
+            .parallel_map_chunks(table, move |chunk, schema| {
+                let label_idx = schema.index_of(&label_col)?;
+                let feat_idx = schema.index_of(&feat_col)?;
+                let mut out = Vec::with_capacity(chunk.len());
+                match chunk.column(label_idx) {
+                    ColumnChunk::Text { values, nulls }
+                        if matches!(chunk.column(feat_idx), ColumnChunk::DoubleArray { .. }) =>
+                    {
+                        let features = chunk.double_arrays(feat_idx)?;
+                        for (i, label) in values.iter().enumerate() {
+                            if nulls.is_null(i) || features.nulls().is_null(i) {
+                                // Same errors the row-level accessors raise.
+                                let row = chunk.row(i);
+                                row.get(label_idx).as_text()?;
+                                row.get(feat_idx).as_double_array()?;
+                            }
+                            out.push((label.clone(), features.row(i).to_vec()));
+                        }
+                    }
+                    _ => {
+                        for row in chunk.rows() {
+                            let label = row.get(label_idx).as_text()?.to_owned();
+                            let features = row.get(feat_idx).as_double_array()?.to_vec();
+                            out.push((label, features));
+                        }
+                    }
+                }
+                Ok(out)
             })
             .map_err(MethodError::from)?;
         let num_features = rows

@@ -8,7 +8,9 @@
 //! Chan/Welford update the `madlib-stats` summary uses.
 
 use crate::error::{MethodError, Result};
-use madlib_engine::{Aggregate, Executor, Row, Schema, Table};
+use madlib_engine::aggregate::transition_chunk_by_rows;
+use madlib_engine::chunk::ColumnChunk;
+use madlib_engine::{Aggregate, Executor, Row, RowChunk, Schema, Table};
 use madlib_stats::Summary;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -155,6 +157,67 @@ impl Aggregate for NaiveBayes {
         Ok(())
     }
 
+    /// Chunked transition: streams the contiguous label buffer and the
+    /// flattened feature buffer instead of materializing one [`Row`] (two
+    /// heap allocations) per training point.  Per-class summaries see their
+    /// rows in exactly the per-row order, so states are bit-identical to the
+    /// fallback.
+    fn transition_chunk(
+        &self,
+        state: &mut NaiveBayesState,
+        chunk: &RowChunk,
+        schema: &Schema,
+    ) -> madlib_engine::Result<()> {
+        let label_idx = schema.index_of(&self.label_column)?;
+        let features_idx = schema.index_of(&self.features_column)?;
+        let (labels, label_nulls) = match chunk.column(label_idx) {
+            ColumnChunk::Text { values, nulls } => (values, nulls),
+            _ => return transition_chunk_by_rows(self, state, chunk, schema),
+        };
+        if !matches!(chunk.column(features_idx), ColumnChunk::DoubleArray { .. }) {
+            return transition_chunk_by_rows(self, state, chunk, schema);
+        }
+        let features = chunk.double_arrays(features_idx)?;
+        for (i, label) in labels.iter().enumerate() {
+            // NULLs raise the same type errors the per-row accessors raise.
+            if label_nulls.is_null(i) {
+                return Err(madlib_engine::EngineError::TypeMismatch {
+                    expected: "text",
+                    found: "null".to_owned(),
+                });
+            }
+            if features.nulls().is_null(i) {
+                return Err(madlib_engine::EngineError::TypeMismatch {
+                    expected: "double precision[]",
+                    found: "null".to_owned(),
+                });
+            }
+            let row_features = features.row(i);
+            if state.num_features == 0 {
+                state.num_features = row_features.len();
+            } else if row_features.len() != state.num_features {
+                return Err(madlib_engine::EngineError::aggregate(format!(
+                    "inconsistent feature width: expected {}, found {}",
+                    state.num_features,
+                    row_features.len()
+                )));
+            }
+            if !state.classes.contains_key(label) {
+                state
+                    .classes
+                    .insert(label.clone(), vec![Summary::new(); row_features.len()]);
+            }
+            let summaries = state
+                .classes
+                .get_mut(label)
+                .expect("class entry just ensured");
+            for (summary, value) in summaries.iter_mut().zip(row_features) {
+                summary.update(*value);
+            }
+        }
+        Ok(())
+    }
+
     fn merge(&self, left: NaiveBayesState, right: NaiveBayesState) -> NaiveBayesState {
         if left.classes.is_empty() {
             return right;
@@ -270,6 +333,30 @@ mod tests {
             }
             for (a, b) in stats.variances.iter().zip(&other.variances) {
                 assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_and_row_paths_are_bit_identical() {
+        let base = two_blob_table(1);
+        let mut t = Table::new(base.schema().clone(), 3)
+            .unwrap()
+            .with_chunk_capacity(7)
+            .unwrap();
+        t.insert_all(base.iter()).unwrap();
+        let nb = NaiveBayes::new("label", "features");
+        let chunked = nb.fit(&Executor::new(), &t).unwrap();
+        let by_rows = nb.fit(&Executor::row_at_a_time(), &t).unwrap();
+        assert_eq!(chunked.total_rows, by_rows.total_rows);
+        for (label, stats) in &chunked.classes {
+            let other = &by_rows.classes[label];
+            assert_eq!(stats.count, other.count);
+            for (a, b) in stats.means.iter().zip(&other.means) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for (a, b) in stats.variances.iter().zip(&other.variances) {
+                assert_eq!(a.to_bits(), b.to_bits());
             }
         }
     }

@@ -164,6 +164,25 @@ impl SelectionMask {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
+    /// Iterates over the selected row indices in ascending order, skipping
+    /// whole 64-row words that select nothing.  This keeps gathers of sparse
+    /// masks (e.g. one group out of hundreds in a chunk) proportional to the
+    /// number of *selected* rows rather than the chunk length.
+    pub fn selected_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &word)| {
+            let mut remaining = word;
+            std::iter::from_fn(move || {
+                if remaining == 0 {
+                    None
+                } else {
+                    let bit = remaining.trailing_zeros() as usize;
+                    remaining &= remaining - 1;
+                    Some(w * 64 + bit)
+                }
+            })
+        })
+    }
+
     /// Whether every row is selected.
     pub fn is_all_selected(&self) -> bool {
         self.count_selected() == self.len
@@ -493,6 +512,97 @@ impl ColumnChunk {
         }
     }
 
+    /// Copies the rows at `indices` (ascending) into a compacted column.
+    fn gather_rows(&self, indices: &[u32]) -> ColumnChunk {
+        fn scalars<T: Clone>(
+            values: &[T],
+            nulls: &NullBitmap,
+            indices: &[u32],
+        ) -> (Vec<T>, NullBitmap) {
+            let mut out_values = Vec::with_capacity(indices.len());
+            let mut out_nulls = NullBitmap::new();
+            for &i in indices {
+                out_values.push(values[i as usize].clone());
+                out_nulls.push(nulls.is_null(i as usize));
+            }
+            (out_values, out_nulls)
+        }
+
+        fn arrays<T: Clone>(
+            values: &[T],
+            offsets: &[usize],
+            nulls: &NullBitmap,
+            indices: &[u32],
+        ) -> (Vec<T>, Vec<usize>, NullBitmap) {
+            let mut out_values = Vec::new();
+            let mut out_offsets = Vec::with_capacity(indices.len() + 1);
+            out_offsets.push(0);
+            let mut out_nulls = NullBitmap::new();
+            for &i in indices {
+                let i = i as usize;
+                out_values.extend_from_slice(&values[offsets[i]..offsets[i + 1]]);
+                out_offsets.push(out_values.len());
+                out_nulls.push(nulls.is_null(i));
+            }
+            (out_values, out_offsets, out_nulls)
+        }
+
+        match self {
+            ColumnChunk::Double { values, nulls } => {
+                let (values, nulls) = scalars(values, nulls, indices);
+                ColumnChunk::Double { values, nulls }
+            }
+            ColumnChunk::Int { values, nulls } => {
+                let (values, nulls) = scalars(values, nulls, indices);
+                ColumnChunk::Int { values, nulls }
+            }
+            ColumnChunk::Bool { values, nulls } => {
+                let (values, nulls) = scalars(values, nulls, indices);
+                ColumnChunk::Bool { values, nulls }
+            }
+            ColumnChunk::Text { values, nulls } => {
+                let (values, nulls) = scalars(values, nulls, indices);
+                ColumnChunk::Text { values, nulls }
+            }
+            ColumnChunk::DoubleArray {
+                values,
+                offsets,
+                nulls,
+            } => {
+                let (values, offsets, nulls) = arrays(values, offsets, nulls, indices);
+                ColumnChunk::DoubleArray {
+                    values,
+                    offsets,
+                    nulls,
+                }
+            }
+            ColumnChunk::IntArray {
+                values,
+                offsets,
+                nulls,
+            } => {
+                let (values, offsets, nulls) = arrays(values, offsets, nulls, indices);
+                ColumnChunk::IntArray {
+                    values,
+                    offsets,
+                    nulls,
+                }
+            }
+            ColumnChunk::TextArray {
+                values,
+                offsets,
+                nulls,
+            } => {
+                let (values, offsets, nulls) = arrays(values, offsets, nulls, indices);
+                ColumnChunk::TextArray {
+                    values,
+                    offsets,
+                    nulls,
+                }
+            }
+        }
+    }
+
     /// Copies the rows selected by `mask` into a compacted column.
     fn gather(&self, mask: &SelectionMask) -> ColumnChunk {
         fn scalars<T: Clone>(
@@ -502,11 +612,9 @@ impl ColumnChunk {
         ) -> (Vec<T>, NullBitmap) {
             let mut out_values = Vec::with_capacity(mask.count_selected());
             let mut out_nulls = NullBitmap::new();
-            for (i, v) in values.iter().enumerate() {
-                if mask.is_selected(i) {
-                    out_values.push(v.clone());
-                    out_nulls.push(nulls.is_null(i));
-                }
+            for i in mask.selected_indices() {
+                out_values.push(values[i].clone());
+                out_nulls.push(nulls.is_null(i));
             }
             (out_values, out_nulls)
         }
@@ -520,12 +628,10 @@ impl ColumnChunk {
             let mut out_values = Vec::new();
             let mut out_offsets = vec![0];
             let mut out_nulls = NullBitmap::new();
-            for i in 0..nulls.len() {
-                if mask.is_selected(i) {
-                    out_values.extend_from_slice(&values[offsets[i]..offsets[i + 1]]);
-                    out_offsets.push(out_values.len());
-                    out_nulls.push(nulls.is_null(i));
-                }
+            for i in mask.selected_indices() {
+                out_values.extend_from_slice(&values[offsets[i]..offsets[i + 1]]);
+                out_offsets.push(out_values.len());
+                out_nulls.push(nulls.is_null(i));
             }
             (out_values, out_offsets, out_nulls)
         }
@@ -841,6 +947,24 @@ impl RowChunk {
         }
     }
 
+    /// Copies the rows at `indices` into a new compacted chunk.  Cost is
+    /// proportional to `indices.len()` alone, which is what the grouped scan
+    /// relies on when a chunk splinters into many small groups.  Indices
+    /// must be in-bounds and ascending (row order is preserved, as the
+    /// equivalence contract requires).
+    pub fn gather_rows(&self, indices: &[u32]) -> RowChunk {
+        debug_assert!(indices.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(indices.iter().all(|&i| (i as usize) < self.len));
+        RowChunk {
+            len: indices.len(),
+            columns: self
+                .columns
+                .iter()
+                .map(|c| c.gather_rows(indices))
+                .collect(),
+        }
+    }
+
     fn clear(&mut self) {
         for c in self.columns.iter_mut() {
             c.clear();
@@ -1038,6 +1162,18 @@ mod tests {
         let mut tiny = SelectionMask::none(3);
         tiny.negate();
         assert_eq!(tiny.count_selected(), 3);
+
+        // The index iterator agrees with the bit tests, across word
+        // boundaries and for empty masks.
+        let indices: Vec<usize> = even.selected_indices().collect();
+        assert_eq!(indices.len(), 50);
+        assert!(indices.iter().all(|i| i % 2 == 0));
+        assert_eq!(indices, {
+            let mut sorted = indices.clone();
+            sorted.sort_unstable();
+            sorted
+        });
+        assert_eq!(SelectionMask::none(100).selected_indices().count(), 0);
     }
 
     #[test]
@@ -1053,6 +1189,11 @@ mod tests {
         let x = compact.double_arrays(1).unwrap();
         assert_eq!(x.uniform_width(), Some(2));
         assert_eq!(x.flat_values(), &[1.0, 2.0, 5.0, 6.0]);
+
+        // Index-based gather produces the identical chunk.
+        let by_indices = chunk.gather_rows(&[0, 2]);
+        assert_eq!(by_indices, compact);
+        assert!(chunk.gather_rows(&[]).is_empty());
     }
 
     #[test]

@@ -57,6 +57,12 @@ pub enum EngineError {
         /// Description of the problem.
         message: String,
     },
+    /// A segment worker thread panicked.  The scan fan-out catches the panic
+    /// and surfaces it as an error instead of aborting the coordinator.
+    WorkerPanicked {
+        /// The panic payload's message, when one was available.
+        message: String,
+    },
 }
 
 impl EngineError {
@@ -101,6 +107,9 @@ impl fmt::Display for EngineError {
                 write!(f, "driver did not converge after {iterations} iterations")
             }
             EngineError::InvalidArgument { message } => write!(f, "invalid argument: {message}"),
+            EngineError::WorkerPanicked { message } => {
+                write!(f, "segment worker panicked: {message}")
+            }
         }
     }
 }

@@ -1,0 +1,346 @@
+//! Typed group-by keys and per-chunk group partitioning.
+//!
+//! Grouping used to key states by `Value::to_string()`, which is both slow
+//! (one heap allocation and one formatting pass per row) and wrong at the
+//! edges: `-0.0` and `0.0` render identically but are distinct IEEE-754
+//! values, `NaN` formats as a non-comparable string, and numerically ordered
+//! keys sort lexicographically (`"10" < "9"`).  [`GroupKey`] replaces the
+//! string with a typed key: `Eq`/`Hash` compare floating-point values by bit
+//! pattern and ordering uses [`f64::total_cmp`], so every [`Value`] —
+//! including NaN and signed zero — lands in exactly one group and groups
+//! have a deterministic total order.  Keys of different runtime types order
+//! by type first (NULL < boolean < bigint < double < text < arrays), so
+//! mixed-type grouping is deterministic too.
+
+use crate::chunk::{ColumnChunk, RowChunk, SelectionMask};
+use crate::value::Value;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// An `f64` with total equality, ordering and hashing: bit-pattern equality
+/// (distinguishing `-0.0` from `0.0`, and treating identical NaNs as equal)
+/// and the IEEE-754 `totalOrder` predicate via [`f64::total_cmp`].
+#[derive(Debug, Clone, Copy)]
+pub struct TotalF64(pub f64);
+
+impl PartialEq for TotalF64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.to_bits() == other.0.to_bits()
+    }
+}
+
+impl Eq for TotalF64 {}
+
+impl Hash for TotalF64 {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state);
+    }
+}
+
+impl PartialOrd for TotalF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TotalF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// A grouping key derived from a [`Value`].
+///
+/// Unlike [`Value`] this is `Eq + Hash + Ord`, so it can key a hash map and
+/// the resulting groups can be emitted in a deterministic total order.  The
+/// variant order defines the cross-type ordering (`NULL` groups sort first).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GroupKey {
+    /// SQL NULL (all NULLs form one group, as in `GROUP BY`).
+    Null,
+    /// `boolean` key.
+    Bool(bool),
+    /// `bigint` key.
+    Int(i64),
+    /// `double precision` key (bit-pattern identity, total order).
+    Double(TotalF64),
+    /// `text` key.
+    Text(String),
+    /// `double precision[]` key.
+    DoubleArray(Vec<TotalF64>),
+    /// `bigint[]` key.
+    IntArray(Vec<i64>),
+    /// `text[]` key.
+    TextArray(Vec<String>),
+}
+
+impl GroupKey {
+    /// Derives the key for a value.
+    pub fn from_value(value: &Value) -> Self {
+        match value {
+            Value::Null => GroupKey::Null,
+            Value::Bool(b) => GroupKey::Bool(*b),
+            Value::Int(v) => GroupKey::Int(*v),
+            Value::Double(v) => GroupKey::Double(TotalF64(*v)),
+            Value::Text(s) => GroupKey::Text(s.clone()),
+            Value::DoubleArray(a) => {
+                GroupKey::DoubleArray(a.iter().map(|&v| TotalF64(v)).collect())
+            }
+            Value::IntArray(a) => GroupKey::IntArray(a.clone()),
+            Value::TextArray(a) => GroupKey::TextArray(a.clone()),
+        }
+    }
+
+    /// Reconstructs the representative [`Value`] of this key's group.  The
+    /// round trip through [`GroupKey::from_value`] is exact, including NaN
+    /// payloads and signed zeros.
+    pub fn into_value(self) -> Value {
+        match self {
+            GroupKey::Null => Value::Null,
+            GroupKey::Bool(b) => Value::Bool(b),
+            GroupKey::Int(v) => Value::Int(v),
+            GroupKey::Double(v) => Value::Double(v.0),
+            GroupKey::Text(s) => Value::Text(s),
+            GroupKey::DoubleArray(a) => Value::DoubleArray(a.into_iter().map(|v| v.0).collect()),
+            GroupKey::IntArray(a) => Value::IntArray(a),
+            GroupKey::TextArray(a) => Value::TextArray(a),
+        }
+    }
+
+    /// Whether this key equals the key of row `i` of a column chunk, checked
+    /// in place — no allocation, unlike building the row's key with
+    /// [`GroupKey::from_column`] first.  The grouped scan uses this to probe
+    /// the previous row's key, since group values cluster in practice (and
+    /// always do under hash distribution on the group column).
+    pub fn matches_column(&self, column: &ColumnChunk, i: usize) -> bool {
+        if column.nulls().is_null(i) {
+            return matches!(self, GroupKey::Null);
+        }
+        match (self, column) {
+            (GroupKey::Double(key), ColumnChunk::Double { values, .. }) => {
+                key.0.to_bits() == values[i].to_bits()
+            }
+            (GroupKey::Int(key), ColumnChunk::Int { values, .. }) => *key == values[i],
+            (GroupKey::Bool(key), ColumnChunk::Bool { values, .. }) => *key == values[i],
+            (GroupKey::Text(key), ColumnChunk::Text { values, .. }) => *key == values[i],
+            (
+                GroupKey::DoubleArray(key),
+                ColumnChunk::DoubleArray {
+                    values, offsets, ..
+                },
+            ) => {
+                let row = &values[offsets[i]..offsets[i + 1]];
+                key.len() == row.len()
+                    && key
+                        .iter()
+                        .zip(row)
+                        .all(|(a, b)| a.0.to_bits() == b.to_bits())
+            }
+            (
+                GroupKey::IntArray(key),
+                ColumnChunk::IntArray {
+                    values, offsets, ..
+                },
+            ) => key.as_slice() == &values[offsets[i]..offsets[i + 1]],
+            (
+                GroupKey::TextArray(key),
+                ColumnChunk::TextArray {
+                    values, offsets, ..
+                },
+            ) => key.as_slice() == &values[offsets[i]..offsets[i + 1]],
+            _ => false,
+        }
+    }
+
+    /// The key of row `i` of a column chunk, read straight from the column
+    /// buffer (no [`Value`] materialization for scalar columns).
+    pub fn from_column(column: &ColumnChunk, i: usize) -> Self {
+        if column.nulls().is_null(i) {
+            return GroupKey::Null;
+        }
+        match column {
+            ColumnChunk::Double { values, .. } => GroupKey::Double(TotalF64(values[i])),
+            ColumnChunk::Int { values, .. } => GroupKey::Int(values[i]),
+            ColumnChunk::Bool { values, .. } => GroupKey::Bool(values[i]),
+            ColumnChunk::Text { values, .. } => GroupKey::Text(values[i].clone()),
+            ColumnChunk::DoubleArray {
+                values, offsets, ..
+            } => GroupKey::DoubleArray(
+                values[offsets[i]..offsets[i + 1]]
+                    .iter()
+                    .map(|&v| TotalF64(v))
+                    .collect(),
+            ),
+            ColumnChunk::IntArray {
+                values, offsets, ..
+            } => GroupKey::IntArray(values[offsets[i]..offsets[i + 1]].to_vec()),
+            ColumnChunk::TextArray {
+                values, offsets, ..
+            } => GroupKey::TextArray(values[offsets[i]..offsets[i + 1]].to_vec()),
+        }
+    }
+}
+
+/// One group discovered inside a chunk: its key, the selection mask of its
+/// rows, and how many rows it has.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkGroup {
+    /// The group's key.
+    pub key: GroupKey,
+    /// Mask over the chunk's rows selecting exactly this group's rows.
+    pub mask: SelectionMask,
+    /// Number of selected rows (cached `mask.count_selected()`).
+    pub rows: usize,
+}
+
+/// Partitions a chunk's rows by the key in `column_idx`, returning one
+/// [`ChunkGroup`] per distinct key in first-appearance order.  The masks are
+/// disjoint and together cover every row of the chunk.
+pub fn partition_by_group(chunk: &RowChunk, column_idx: usize) -> Vec<ChunkGroup> {
+    let column = chunk.column(column_idx);
+    let rows = chunk.len();
+    let mut slots: HashMap<GroupKey, usize> = HashMap::new();
+    let mut groups: Vec<ChunkGroup> = Vec::new();
+    for i in 0..rows {
+        let key = GroupKey::from_column(column, i);
+        let slot = *slots.entry(key.clone()).or_insert_with(|| {
+            groups.push(ChunkGroup {
+                key,
+                mask: SelectionMask::none(rows),
+                rows: 0,
+            });
+            groups.len() - 1
+        });
+        groups[slot].mask.set(i, true);
+        groups[slot].rows += 1;
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::schema::{Column, ColumnType, Schema};
+
+    #[test]
+    fn signed_zero_and_nan_form_distinct_stable_groups() {
+        let pos = GroupKey::from_value(&Value::Double(0.0));
+        let neg = GroupKey::from_value(&Value::Double(-0.0));
+        let nan = GroupKey::from_value(&Value::Double(f64::NAN));
+        assert_ne!(pos, neg, "-0.0 and 0.0 must be distinct groups");
+        assert_eq!(nan, GroupKey::from_value(&Value::Double(f64::NAN)));
+        assert!(neg < pos, "total order puts -0.0 before 0.0");
+        assert!(nan > pos, "positive NaN sorts after all finite values");
+        // The round trip preserves the exact bit pattern.
+        match GroupKey::from_value(&Value::Double(-0.0)).into_value() {
+            Value::Double(v) => assert_eq!(v.to_bits(), (-0.0f64).to_bits()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_type_keys_have_a_deterministic_total_order() {
+        let mut keys = vec![
+            GroupKey::from_value(&Value::Text("a".into())),
+            GroupKey::from_value(&Value::Double(1.5)),
+            GroupKey::from_value(&Value::Int(10)),
+            GroupKey::from_value(&Value::Int(9)),
+            GroupKey::from_value(&Value::Null),
+            GroupKey::from_value(&Value::Bool(true)),
+        ];
+        keys.sort();
+        assert_eq!(
+            keys,
+            vec![
+                GroupKey::Null,
+                GroupKey::Bool(true),
+                GroupKey::Int(9),
+                GroupKey::Int(10), // numeric, not lexicographic, order
+                GroupKey::Double(TotalF64(1.5)),
+                GroupKey::Text("a".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn matches_column_agrees_with_from_column() {
+        let schema = Schema::new(vec![
+            Column::new("t", ColumnType::Text),
+            Column::new("d", ColumnType::Double),
+            Column::new("a", ColumnType::DoubleArray),
+        ]);
+        let mut chunk = RowChunk::new(&schema);
+        chunk
+            .push_values(row!["x", 0.0, vec![1.0, 2.0]].values())
+            .unwrap();
+        chunk
+            .push_values(row!["y", -0.0, vec![1.0]].values())
+            .unwrap();
+        chunk
+            .push_values(&[Value::Null, Value::Null, Value::Null])
+            .unwrap();
+        for col in 0..3 {
+            let column = chunk.column(col);
+            for i in 0..chunk.len() {
+                let key = GroupKey::from_column(column, i);
+                for j in 0..chunk.len() {
+                    assert_eq!(
+                        key.matches_column(column, j),
+                        key == GroupKey::from_column(column, j),
+                        "col {col}, key of row {i} probed against row {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_covers_all_rows_in_first_seen_order() {
+        let schema = Schema::new(vec![
+            Column::new("grp", ColumnType::Text),
+            Column::new("v", ColumnType::Double),
+        ]);
+        let mut chunk = RowChunk::new(&schema);
+        for (grp, v) in [("b", 1.0), ("a", 2.0), ("b", 3.0), ("a", 4.0), ("c", 5.0)] {
+            chunk.push_values(row![grp, v].values()).unwrap();
+        }
+        chunk
+            .push_values(&[Value::Null, Value::Double(6.0)])
+            .unwrap();
+
+        let groups = partition_by_group(&chunk, 0);
+        assert_eq!(groups.len(), 4);
+        assert_eq!(groups[0].key, GroupKey::Text("b".into()));
+        assert_eq!(groups[0].rows, 2);
+        assert_eq!(groups[1].key, GroupKey::Text("a".into()));
+        assert_eq!(groups[2].key, GroupKey::Text("c".into()));
+        assert_eq!(groups[3].key, GroupKey::Null);
+        let total: usize = groups.iter().map(|g| g.rows).sum();
+        assert_eq!(total, chunk.len());
+        // Masks are disjoint.
+        for i in 0..chunk.len() {
+            let owners = groups.iter().filter(|g| g.mask.is_selected(i)).count();
+            assert_eq!(owners, 1, "row {i} must belong to exactly one group");
+        }
+        // Gathering group "a" keeps its rows in order.
+        let a = &groups[1];
+        let sub = chunk.gather(&a.mask);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.value(0, 1), Value::Double(2.0));
+        assert_eq!(sub.value(1, 1), Value::Double(4.0));
+    }
+
+    #[test]
+    fn array_keys_group_by_content() {
+        let schema = Schema::new(vec![Column::new("k", ColumnType::DoubleArray)]);
+        let mut chunk = RowChunk::new(&schema);
+        chunk.push_values(row![vec![1.0, 2.0]].values()).unwrap();
+        chunk.push_values(row![vec![1.0, 2.0]].values()).unwrap();
+        chunk.push_values(row![vec![2.0]].values()).unwrap();
+        let groups = partition_by_group(&chunk, 0);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].rows, 2);
+    }
+}

@@ -9,8 +9,9 @@
 //!
 //! | Paper construct                         | This crate                      |
 //! |-----------------------------------------|---------------------------------|
-//! | Shared-nothing segments (Greenplum)     | [`Table`] partitions + [`executor`] worker threads |
+//! | Shared-nothing segments (Greenplum)     | [`Table`] partitions + the [`scan`] pipeline's per-segment fan-out |
 //! | User-defined aggregate (transition / merge / final) | the [`aggregate::Aggregate`] trait |
+//! | `GROUP BY` over an aggregate (Section 4.2) | [`Executor::aggregate_grouped`] with typed [`group::GroupKey`]s |
 //! | Driver UDF + temp tables for iteration  | [`iteration::IterationController`] + [`Database`] temp tables |
 //! | Templated queries over arbitrary schemas| [`template`] schema introspection |
 //!
@@ -42,6 +43,18 @@
 //!   [`chunk::SelectionMask`]; fully-selected chunks pass through untouched
 //!   and partially-selected chunks are gathered into a compacted chunk, so
 //!   the per-row branch disappears from transition inner loops.
+//! * **Pipeline** — the [`scan`] module packages the scan loop itself
+//!   (chunk iteration, filter → mask, compaction, panic-safe
+//!   thread-per-segment fan-out) as reusable primitives.  *Every* scan
+//!   consumer runs on it: ungrouped aggregation, grouped aggregation
+//!   ([`Executor::aggregate_grouped`], per-segment hash grouping on typed
+//!   [`group::GroupKey`]s — each chunk is bucketed by key and every group's
+//!   rows are gathered, in row order, into a compacted sub-chunk for
+//!   [`Aggregate::transition_chunk`], falling back per-row when groups are
+//!   too small to batch; [`group::partition_by_group`] exposes the same
+//!   per-group [`chunk::SelectionMask`] partitioning to standalone
+//!   consumers), and projections ([`Executor::parallel_map_chunks`] with
+//!   the row-level [`Executor::parallel_map`] layered on top).
 //! * **Modes** — [`executor::ExecutionMode::RowAtATime`] forces the legacy
 //!   per-row scan.  The benchmark harness sweeps both modes to reproduce the
 //!   paper's inner-loop comparison on the scan axis.
@@ -49,7 +62,10 @@
 //! New methods opt in by overriding `transition_chunk` (typically via
 //! [`chunk::RowChunk::doubles`] / [`chunk::RowChunk::double_arrays`] and the
 //! batched kernels in `madlib-linalg`); everything else — merge, finalize,
-//! drivers, grouping — is unchanged.
+//! drivers, grouping — is unchanged.  Consumers that are not aggregates
+//! (sketch passes, projections) build on [`scan::scan_segment_chunks`] +
+//! [`scan::run_per_segment`] directly or use the `parallel_map_chunks`
+//! projection.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -60,8 +76,10 @@ pub mod database;
 pub mod error;
 pub mod executor;
 pub mod expr;
+pub mod group;
 pub mod iteration;
 pub mod row;
+pub mod scan;
 pub mod schema;
 pub mod table;
 pub mod template;
@@ -72,7 +90,9 @@ pub use chunk::{RowChunk, SelectionMask};
 pub use database::Database;
 pub use error::{EngineError, Result};
 pub use executor::{ExecutionMode, Executor};
+pub use group::GroupKey;
 pub use row::Row;
+pub use scan::ScanBatch;
 pub use schema::{Column, ColumnType, Schema};
 pub use table::Table;
 pub use value::Value;

@@ -14,12 +14,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adapters;
 pub mod countmin;
 pub mod fm;
 pub mod profile;
 pub mod quantile;
 
+pub use adapters::{
+    CountMinAggregate, FmDistinctAggregate, MostFrequentValuesAggregate, SummaryAggregate,
+};
 pub use countmin::CountMinSketch;
 pub use fm::FlajoletMartin;
-pub use profile::{profile_table, ColumnProfile, TableProfile};
+pub use profile::{profile_table, ColumnProfile, ProfileAggregate, TableProfile};
 pub use quantile::QuantileSummary;

@@ -56,6 +56,16 @@ impl Summary {
         self.null_count += 1;
     }
 
+    /// Adds a contiguous slice of observations in order — the vectorized
+    /// transition used by chunk-at-a-time scan consumers.  Exactly equivalent
+    /// to calling [`Summary::update`] element by element (same accumulation
+    /// order, same NaN-as-null handling).
+    pub fn update_slice(&mut self, values: &[f64]) {
+        for &x in values {
+            self.update(x);
+        }
+    }
+
     /// Merges another summary into this one (the UDA merge step).
     pub fn merge(&mut self, other: &Summary) {
         if other.count == 0 {

@@ -11,17 +11,24 @@
 
 use madlib::convex::objectives::{LeastSquaresObjective, LogisticObjective};
 use madlib::convex::{IgdConfig, IgdRunner, StepSchedule};
-use madlib::engine::aggregate::{AvgAggregate, SumAggregate};
+use madlib::engine::aggregate::{Aggregate, AvgAggregate, CountAggregate, SumAggregate};
 use madlib::engine::expr::Predicate;
-use madlib::engine::{row, Database, Executor, Row, Table, Value};
+use madlib::engine::{row, Column, ColumnType, Database, Executor, Row, Schema, Table, Value};
 use madlib::methods::cluster::KMeans;
 use madlib::methods::datasets::labeled_point_schema;
 use madlib::methods::regress::LinearRegression;
+use madlib::sketch::{FmDistinctAggregate, MostFrequentValuesAggregate, SummaryAggregate};
 use proptest::prelude::*;
 
 /// The two execution paths under comparison.
 fn executors() -> (Executor, Executor) {
     (Executor::new(), Executor::row_at_a_time())
+}
+
+/// Key equality that treats NaN group keys as equal to themselves (plain
+/// [`Value`] equality follows IEEE-754 `NaN != NaN`).
+fn same_group_key(a: &Value, b: &Value) -> bool {
+    madlib::engine::GroupKey::from_value(a) == madlib::engine::GroupKey::from_value(b)
 }
 
 fn bits(values: &[f64]) -> Vec<u64> {
@@ -188,6 +195,193 @@ proptest! {
             .run(&row_based, &db, &table, &logistic, vec![0.0; 3])
             .unwrap();
         prop_assert_eq!(bits(&la.model), bits(&lb.model));
+    }
+
+    /// Grouped aggregation: the segment-parallel chunked grouped scan must be
+    /// bit-identical to the grouped row-at-a-time scan — same groups, same
+    /// key order, same per-group states — across ragged partitions, chunk
+    /// boundaries, NULL group keys, tricky float keys (-0.0 / NaN), group
+    /// counts that exercise both the gather path and the per-row fallback,
+    /// and filtered scans.
+    #[test]
+    fn grouped_chunked_equals_grouped_row_at_a_time(
+        points in prop::collection::vec((0usize..12, -10.0..10.0f64, [-5.0..5.0f64, -5.0..5.0f64, -5.0..5.0f64]), 1..150),
+        distinct_keys in 1usize..12,
+        (segments, chunk_capacity) in (1usize..6, 1usize..40),
+        key_flavor in 0usize..3,
+        null_every_raw in 0usize..6,
+        filtered in any::<bool>(),
+    ) {
+        // 0/1 mean "no NULL keys" (the vendored proptest has no option strategy).
+        let null_every = (null_every_raw >= 2).then_some(null_every_raw);
+        let schema = Schema::new(vec![
+            Column::new("grp", match key_flavor {
+                0 => ColumnType::Text,
+                1 => ColumnType::Int,
+                _ => ColumnType::Double,
+            }),
+            Column::new("y", ColumnType::Double),
+            Column::new("x", ColumnType::DoubleArray),
+        ]);
+        let mut table = Table::new(schema, segments)
+            .unwrap()
+            .with_chunk_capacity(chunk_capacity)
+            .unwrap();
+        for (i, (key, y, x)) in points.iter().enumerate() {
+            let k = key % distinct_keys;
+            let group: Value = if null_every.is_some_and(|n| i % n == 0) {
+                Value::Null
+            } else {
+                match key_flavor {
+                    0 => Value::Text(format!("g{k}")),
+                    1 => Value::Int(k as i64 - 4),
+                    // Exercise -0.0 / 0.0 / NaN as live group keys.
+                    _ => match k {
+                        0 => Value::Double(0.0),
+                        1 => Value::Double(-0.0),
+                        2 => Value::Double(f64::NAN),
+                        k => Value::Double(k as f64),
+                    },
+                }
+            };
+            table
+                .insert(Row::new(vec![group, Value::Double(*y), Value::DoubleArray(x.to_vec())]))
+                .unwrap();
+        }
+        let filter = filtered.then(|| Predicate::column_gt("y", 0.0));
+        let (chunked, row_based) = executors();
+
+        // count(*) and sum(y) per group: counts are exact, sums must match
+        // bit for bit.
+        let count_c = chunked
+            .aggregate_grouped_filtered(&table, "grp", &CountAggregate, filter.as_ref())
+            .unwrap();
+        let count_r = row_based
+            .aggregate_grouped_filtered(&table, "grp", &CountAggregate, filter.as_ref())
+            .unwrap();
+        prop_assert_eq!(count_c.len(), count_r.len());
+        for ((ka, ca), (kb, cb)) in count_c.iter().zip(&count_r) {
+            prop_assert!(same_group_key(ka, kb), "keys diverge: {:?} vs {:?}", ka, kb);
+            prop_assert_eq!(ca, cb);
+        }
+        let expected_rows: u64 = count_c.iter().map(|(_, c)| c).sum();
+        let survivors = if let Some(pred) = &filter {
+            table.iter().filter(|r| pred.evaluate(r, table.schema()).unwrap()).count() as u64
+        } else {
+            points.len() as u64
+        };
+        prop_assert_eq!(expected_rows, survivors);
+
+        let sum_c = chunked
+            .aggregate_grouped_filtered(&table, "grp", &SumAggregate::new("y"), filter.as_ref())
+            .unwrap();
+        let sum_r = row_based
+            .aggregate_grouped_filtered(&table, "grp", &SumAggregate::new("y"), filter.as_ref())
+            .unwrap();
+        prop_assert_eq!(sum_c.len(), sum_r.len());
+        for ((ka, va), (kb, vb)) in sum_c.iter().zip(&sum_r) {
+            prop_assert!(same_group_key(ka, kb), "keys diverge: {:?} vs {:?}", ka, kb);
+            prop_assert_eq!(va.to_bits(), vb.to_bits());
+        }
+
+        // One linear regression per group — the Section 4.2 flagship — runs
+        // the vectorized kernels on the gather path; states must still be
+        // bit-identical.  (Transition scan only: per-group fits of tiny
+        // groups can be singular, which is finalize's concern, not the
+        // scan's.)
+        struct Scan(LinearRegression);
+        impl Aggregate for Scan {
+            type State = <LinearRegression as Aggregate>::State;
+            type Output = (u64, Vec<u64>);
+            fn initial_state(&self) -> Self::State {
+                self.0.initial_state()
+            }
+            fn transition(
+                &self,
+                state: &mut Self::State,
+                row: &Row,
+                schema: &Schema,
+            ) -> madlib::engine::Result<()> {
+                self.0.transition(state, row, schema)
+            }
+            fn transition_chunk(
+                &self,
+                state: &mut Self::State,
+                chunk: &madlib::engine::RowChunk,
+                schema: &Schema,
+            ) -> madlib::engine::Result<()> {
+                self.0.transition_chunk(state, chunk, schema)
+            }
+            fn merge(&self, left: Self::State, right: Self::State) -> Self::State {
+                self.0.merge(left, right)
+            }
+            fn finalize(&self, state: Self::State) -> madlib::engine::Result<Self::Output> {
+                Ok((
+                    state.num_rows,
+                    state.x_transp_x.as_slice().iter().map(|v| v.to_bits()).collect(),
+                ))
+            }
+        }
+        if null_every.is_none() {
+            let scan = Scan(LinearRegression::new("y", "x"));
+            let lin_c = chunked
+                .aggregate_grouped_filtered(&table, "grp", &scan, filter.as_ref())
+                .unwrap();
+            let lin_r = row_based
+                .aggregate_grouped_filtered(&table, "grp", &scan, filter.as_ref())
+                .unwrap();
+            prop_assert_eq!(lin_c.len(), lin_r.len());
+            for ((ka, sa), (kb, sb)) in lin_c.iter().zip(&lin_r) {
+                prop_assert!(same_group_key(ka, kb), "keys diverge: {:?} vs {:?}", ka, kb);
+                prop_assert_eq!(sa, sb);
+            }
+        }
+    }
+
+    /// Sketch adapters: the chunked text-column fast paths must produce
+    /// exactly the states the per-row transitions produce, including under
+    /// filters and NULLs.
+    #[test]
+    fn sketch_adapters_chunked_equals_per_row(
+        words in prop::collection::vec(0usize..40, 1..200),
+        segments in 1usize..6,
+        chunk_capacity in 1usize..30,
+        null_every_raw in 0usize..5,
+        filtered in any::<bool>(),
+    ) {
+        let null_every = (null_every_raw >= 2).then_some(null_every_raw);
+        let schema = Schema::new(vec![
+            Column::new("word", ColumnType::Text),
+            Column::new("score", ColumnType::Double),
+        ]);
+        let mut table = Table::new(schema, segments)
+            .unwrap()
+            .with_chunk_capacity(chunk_capacity)
+            .unwrap();
+        for (i, w) in words.iter().enumerate() {
+            if null_every.is_some_and(|n| i % n == 0) {
+                table.insert(Row::new(vec![Value::Null, Value::Null])).unwrap();
+            } else {
+                table.insert(row![format!("w{w}"), i as f64]).unwrap();
+            }
+        }
+        let filter = filtered.then(|| Predicate::column_lt("score", words.len() as f64 / 2.0));
+        let (chunked, row_based) = executors();
+
+        let fm = FmDistinctAggregate::new("word");
+        let a = chunked.aggregate_filtered(&table, &fm, filter.as_ref()).unwrap();
+        let b = row_based.aggregate_filtered(&table, &fm, filter.as_ref()).unwrap();
+        prop_assert_eq!(a.to_bits(), b.to_bits());
+
+        let mfv = MostFrequentValuesAggregate::new("word", 50);
+        let a = chunked.aggregate_filtered(&table, &mfv, filter.as_ref()).unwrap();
+        let b = row_based.aggregate_filtered(&table, &mfv, filter.as_ref()).unwrap();
+        prop_assert_eq!(a, b);
+
+        let summary = SummaryAggregate::new("score");
+        let a = chunked.aggregate_filtered(&table, &summary, filter.as_ref()).unwrap();
+        let b = row_based.aggregate_filtered(&table, &summary, filter.as_ref()).unwrap();
+        prop_assert_eq!(a, b);
     }
 
     /// Empty segments (more segments than rows, including entirely empty

@@ -146,6 +146,93 @@ fn profile_module_over_generated_tables() {
     assert_eq!(profile.columns[1].name(), "x");
 }
 
+/// Section 5 + Section 3.1.3: the profile/sketch pass runs through the shared
+/// executor scan pipeline rather than a private row loop.  This is observable
+/// behaviour: [`ProfileAggregate`] works with the executor's modes, filters
+/// and grouping, and execution statistics confirm the scan was the
+/// executor's.
+#[test]
+fn profile_runs_on_the_shared_scan_pipeline() {
+    use madlib::engine::expr::Predicate;
+    use madlib::engine::{row, Value};
+    use madlib::sketch::{ColumnProfile, MostFrequentValuesAggregate, ProfileAggregate};
+
+    let schema = Schema::new(vec![
+        Column::new("amount", ColumnType::Double),
+        Column::new("category", ColumnType::Text),
+    ]);
+    let mut table = Table::new(schema, 4).unwrap();
+    for i in 0..400usize {
+        let category = if i % 3 == 0 { "a" } else { "b" };
+        table.insert(row![i as f64, category]).unwrap();
+    }
+
+    // The profile is an ordinary aggregate on the pipeline: it composes with
+    // filters and reports the executor's scan statistics.
+    let executor = Executor::new();
+    let aggregate = ProfileAggregate::new(table.schema());
+    let filter = Predicate::column_lt("amount", 100.0);
+    let (profile, stats) = executor
+        .aggregate_with_stats(&table, &aggregate, Some(&filter))
+        .unwrap();
+    assert_eq!(stats.rows_scanned, 400);
+    assert_eq!(stats.rows_aggregated, 100);
+    assert_eq!(stats.segments, 4);
+    assert_eq!(profile.row_count, 100);
+    match &profile.columns[0] {
+        ColumnProfile::Numeric { summary, .. } => {
+            assert_eq!(summary.count(), 100);
+            assert_eq!(summary.max(), Some(99.0));
+        }
+        other => panic!("expected numeric profile, got {other:?}"),
+    }
+
+    // Chunked and row-at-a-time execution agree on every exact field.
+    let chunked = profile_table(&Executor::new(), &table).unwrap();
+    let by_rows = profile_table(&Executor::row_at_a_time(), &table).unwrap();
+    assert_eq!(chunked.row_count, by_rows.row_count);
+    match (&chunked.columns[1], &by_rows.columns[1]) {
+        (
+            ColumnProfile::Categorical {
+                non_null: a,
+                distinct_exact: da,
+                most_common: ca,
+                ..
+            },
+            ColumnProfile::Categorical {
+                non_null: b,
+                distinct_exact: db,
+                most_common: cb,
+                ..
+            },
+        ) => {
+            assert_eq!((a, da, ca), (b, db, cb));
+        }
+        other => panic!("expected categorical profiles, got {other:?}"),
+    }
+
+    // Sketch adapters also compose with the pipeline's grouping — one MFV
+    // sketch per group in a single pass.
+    let grouped = executor
+        .aggregate_grouped(
+            &table,
+            "category",
+            &MostFrequentValuesAggregate::new("category", 1),
+        )
+        .unwrap();
+    assert_eq!(grouped.len(), 2);
+    assert_eq!(grouped[0].0, Value::Text("a".into()));
+    assert_eq!(grouped[0].1, vec![("a".to_owned(), 134)]);
+    assert_eq!(grouped[1].1, vec![("b".to_owned(), 266)]);
+
+    // And the profile itself can run per group through the same machinery.
+    let profiles_per_group = executor
+        .aggregate_grouped(&table, "category", &ProfileAggregate::new(table.schema()))
+        .unwrap();
+    let total: usize = profiles_per_group.iter().map(|(_, p)| p.row_count).sum();
+    assert_eq!(total, 400);
+}
+
 /// Section 5.2: CRF training via the convex framework feeds Viterbi decoding
 /// that recovers the generating labels.
 #[test]
