@@ -5,7 +5,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use madlib_core::cluster::KMeans;
 use madlib_core::datasets::gaussian_blobs;
-use madlib_engine::{Database, ExecutionMode, Executor};
+use madlib_core::train::Session;
+use madlib_engine::{Database, Dataset, ExecutionMode, Executor};
 
 fn bench_kmeans(c: &mut Criterion) {
     let mut group = c.benchmark_group("kmeans");
@@ -20,11 +21,13 @@ fn bench_kmeans(c: &mut Criterion) {
             &mode,
             |b, &mode| {
                 b.iter(|| {
-                    let db = Database::new(4).unwrap();
-                    KMeans::new("coords", 4)
-                        .unwrap()
-                        .with_max_iterations(10)
-                        .fit(&Executor::new().with_mode(mode), &db, &data.table)
+                    let session = Session::new(Database::new(4).unwrap())
+                        .with_executor(Executor::new().with_mode(mode));
+                    session
+                        .train(
+                            &KMeans::new("coords", 4).unwrap().with_max_iterations(10),
+                            &Dataset::from_table(&data.table),
+                        )
                         .unwrap()
                 })
             },

@@ -4,7 +4,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use madlib_core::datasets::logistic_regression_data;
 use madlib_core::regress::LogisticRegression;
-use madlib_engine::{Database, Executor};
+use madlib_core::train::Session;
+use madlib_engine::{Database, Dataset};
 
 fn bench_irls(c: &mut Criterion) {
     let mut group = c.benchmark_group("logistic_irls");
@@ -12,10 +13,12 @@ fn bench_irls(c: &mut Criterion) {
     let data = logistic_regression_data(5_000, 8, 4, 3).unwrap();
     group.bench_function("fit_5000x8", |b| {
         b.iter(|| {
-            let db = Database::new(4).unwrap();
-            LogisticRegression::new("y", "x")
-                .with_max_iterations(10)
-                .fit(&Executor::new(), &db, &data.table)
+            let session = Session::new(Database::new(4).unwrap());
+            session
+                .train(
+                    &LogisticRegression::new("y", "x").with_max_iterations(10),
+                    &Dataset::from_table(&data.table),
+                )
                 .unwrap()
         })
     });

@@ -28,7 +28,10 @@ use madlib_core::factor::LowRankFactorization;
 use madlib_core::optim::conjugate_gradient_solve;
 use madlib_core::regress::{LinearRegression, LogisticRegression};
 use madlib_core::topic::Lda;
-use madlib_engine::{row, Column, ColumnType, Database, Executor, Row, Schema, Table, Value};
+use madlib_core::train::Session;
+use madlib_engine::{
+    row, Column, ColumnType, Database, Dataset, Executor, Row, Schema, Table, Value,
+};
 use madlib_linalg::kernels::KernelGeneration;
 use madlib_linalg::{DenseMatrix, DenseVector, SparseVector};
 use madlib_sketch::{profile_table, CountMinSketch, FlajoletMartin, QuantileSummary};
@@ -166,6 +169,62 @@ fn grouped(full: bool) {
         Ok(()) => println!("\nbaseline recorded to BENCH_grouped.json\n"),
         Err(err) => println!("\ncould not write BENCH_grouped.json: {err}\n"),
     }
+
+    grouped_training(full);
+}
+
+/// Grouped-*training* sweep: full per-group linear-regression fits through
+/// `Session::train_grouped` (one model per group in a single grouped scan),
+/// chunked vs row-at-a-time execution.  Records the measurements to
+/// `BENCH_grouped_train.json`.
+fn grouped_training(full: bool) {
+    println!(
+        "== Grouped training: Session::train_grouped per-group linregr, row vs chunk mode ==\n"
+    );
+    let (rows, variables, segments, samples) = if full {
+        (100_000, 100, 4, 5)
+    } else {
+        (40_000, 100, 4, 3)
+    };
+    println!(
+        "{:>8}  {:>11}  {:>8}  {:>12}  {:>12}  {:>8}",
+        "# rows", "# variables", "# groups", "row (s)", "chunk (s)", "speedup"
+    );
+    let mut measurements = Vec::new();
+    for &groups in &[16usize, 256] {
+        let m = madlib_bench::measure_grouped_training(rows, variables, groups, segments, samples);
+        println!(
+            "{:>8}  {:>11}  {:>8}  {:>12.4}  {:>12.4}  {:>7.2}x",
+            m.rows,
+            m.variables,
+            m.groups,
+            m.row_path.as_secs_f64(),
+            m.chunk_path.as_secs_f64(),
+            m.speedup(),
+        );
+        measurements.push(m);
+    }
+    let mut json = String::from(
+        "{\n  \"experiment\": \"grouped_linregr_training_row_vs_chunk\",\n  \"cells\": [\n",
+    );
+    for (i, m) in measurements.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"rows\": {}, \"variables\": {}, \"groups\": {}, \"segments\": {}, \"row_s\": {:.6}, \"chunk_s\": {:.6}, \"speedup\": {:.4}}}{}\n",
+            m.rows,
+            m.variables,
+            m.groups,
+            m.segments,
+            m.row_path.as_secs_f64(),
+            m.chunk_path.as_secs_f64(),
+            m.speedup(),
+            if i + 1 < measurements.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    match std::fs::write("BENCH_grouped_train.json", &json) {
+        Ok(()) => println!("\nbaseline recorded to BENCH_grouped_train.json\n"),
+        Err(err) => println!("\ncould not write BENCH_grouped_train.json: {err}\n"),
+    }
 }
 
 fn sweep_parameters(full: bool) -> (Vec<usize>, Vec<usize>, usize) {
@@ -214,12 +273,15 @@ fn check(name: &str, passed: bool, detail: String) {
 fn table1() {
     println!("== Table 1: methods provided in MADlib v0.3 (reproduction status) ==");
     let executor = Executor::new();
-    let db = Database::new(4).unwrap();
+    let session = Session::new(Database::new(4).unwrap());
 
     // Supervised learning.
     let lin = datasets::linear_regression_data(2_000, 5, 0.1, 4, 1).unwrap();
-    let lin_model = LinearRegression::new("y", "x")
-        .fit(&executor, &lin.table)
+    let lin_model = session
+        .train(
+            &LinearRegression::new("y", "x"),
+            &Dataset::from_table(&lin.table),
+        )
         .unwrap();
     check(
         "Linear Regression",
@@ -228,8 +290,11 @@ fn table1() {
     );
 
     let logit = datasets::logistic_regression_data(2_000, 3, 4, 2).unwrap();
-    let logit_model = LogisticRegression::new("y", "x")
-        .fit(&executor, &db, &logit.table)
+    let logit_model = session
+        .train(
+            &LogisticRegression::new("y", "x"),
+            &Dataset::from_table(&logit.table),
+        )
         .unwrap();
     check(
         "Logistic Regression",
@@ -248,8 +313,11 @@ fn table1() {
             .insert(row![label, vec![center + (i % 7) as f64 * 0.1]])
             .unwrap();
     }
-    let nb = NaiveBayes::new("label", "features")
-        .fit(&executor, &nb_table)
+    let nb = session
+        .train(
+            &NaiveBayes::new("label", "features"),
+            &Dataset::from_table(&nb_table),
+        )
         .unwrap();
     check(
         "Naive Bayes Classification",
@@ -263,8 +331,11 @@ fn table1() {
         let label = if x > 5.0 { "high" } else { "low" };
         dt_table.insert(row![label, vec![x]]).unwrap();
     }
-    let dt = DecisionTree::new("label", "features")
-        .fit(&executor, &dt_table)
+    let dt = session
+        .train(
+            &DecisionTree::new("label", "features"),
+            &Dataset::from_table(&dt_table),
+        )
         .unwrap();
     check(
         "Decision Trees (C4.5)",
@@ -273,9 +344,11 @@ fn table1() {
     );
 
     let svm_data = datasets::logistic_regression_data(1_000, 3, 4, 5).unwrap();
-    let svm = LinearSvm::new("y", "x")
-        .with_epochs(15)
-        .fit(&executor, &svm_data.table)
+    let svm = session
+        .train(
+            &LinearSvm::new("y", "x").with_epochs(15),
+            &Dataset::from_table(&svm_data.table),
+        )
         .unwrap();
     check(
         "Support Vector Machines",
@@ -285,9 +358,11 @@ fn table1() {
 
     // Unsupervised learning.
     let blobs = datasets::gaussian_blobs(600, 3, 2, 0.5, 4, 7).unwrap();
-    let km = KMeans::new("coords", 3)
-        .unwrap()
-        .fit(&executor, &db, &blobs.table)
+    let km = session
+        .train(
+            &KMeans::new("coords", 3).unwrap(),
+            &Dataset::from_table(&blobs.table),
+        )
         .unwrap();
     check(
         "k-Means Clustering",
@@ -568,12 +643,14 @@ fn table3() {
 
 fn logistic() {
     println!("== Section 4.2: logistic regression via the IRLS driver (Figure 3 control flow) ==");
-    let executor = Executor::new();
-    let db = Database::new(4).unwrap();
+    let session = Session::new(Database::new(4).unwrap());
     let data = datasets::logistic_regression_data(20_000, 10, 4, 31).unwrap();
     let start = Instant::now();
-    let model = LogisticRegression::new("y", "x")
-        .fit(&executor, &db, &data.table)
+    let model = session
+        .train(
+            &LogisticRegression::new("y", "x"),
+            &Dataset::from_table(&data.table),
+        )
         .unwrap();
     println!(
         "  20k rows × 10 variables: {} iterations, converged = {}, {:.3}s total, log-likelihood {:.1}\n",
@@ -586,13 +663,14 @@ fn logistic() {
 
 fn kmeans() {
     println!("== Section 4.3: k-means large-state iteration ==");
-    let executor = Executor::new();
-    let db = Database::new(4).unwrap();
+    let session = Session::new(Database::new(4).unwrap());
     let data = datasets::gaussian_blobs(20_000, 5, 8, 1.0, 4, 37).unwrap();
     let start = Instant::now();
-    let model = KMeans::new("coords", 5)
-        .unwrap()
-        .fit(&executor, &db, &data.table)
+    let model = session
+        .train(
+            &KMeans::new("coords", 5).unwrap(),
+            &Dataset::from_table(&data.table),
+        )
         .unwrap();
     println!(
         "  20k points × 8 dims, k=5: {} iterations, converged = {}, inertia {:.0}, {:.3}s total\n",

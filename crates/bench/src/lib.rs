@@ -22,7 +22,8 @@
 use madlib_core::datasets::linear_regression_data;
 use madlib_core::regress::linear::LinRegrState;
 use madlib_core::regress::LinearRegression;
-use madlib_engine::{Aggregate, ExecutionMode, Executor, Row, RowChunk, Schema, Table};
+use madlib_core::train::{Estimator, Session};
+use madlib_engine::{Aggregate, Dataset, ExecutionMode, Executor, Row, RowChunk, Schema, Table};
 use madlib_linalg::kernels::KernelGeneration;
 use std::time::{Duration, Instant};
 
@@ -71,10 +72,14 @@ pub fn measure_linregr_mode(
     mode: ExecutionMode,
 ) -> Duration {
     let executor = Executor::new().with_mode(mode);
+    let session = Session::in_memory(1).expect("positive segment count");
     let regression = LinearRegression::new("y", "x").with_kernel(generation);
     let start = Instant::now();
     let model = regression
-        .fit(&executor, table)
+        .fit(
+            &Dataset::from_table(table).with_executor(executor),
+            &session,
+        )
         .expect("linear regression over generated data cannot fail");
     let elapsed = start.elapsed();
     // Keep the optimizer honest.
@@ -249,8 +254,10 @@ pub fn grouped_regression_table(
 pub fn measure_grouped_linregr_scan(table: &Table, executor: &Executor, groups: usize) -> Duration {
     let scan = LinregrScan(LinearRegression::new("y", "x"));
     let start = Instant::now();
-    let result = executor
-        .aggregate_grouped(table, "grp", &scan)
+    let result = Dataset::from_table(table)
+        .with_executor(*executor)
+        .group_by(["grp"])
+        .aggregate_per_group(&scan)
         .expect("grouped linregr scan over generated data cannot fail");
     let elapsed = start.elapsed();
     assert_eq!(result.len(), groups.min(table.row_count()));
@@ -325,6 +332,94 @@ pub fn measure_grouped_row_vs_chunk(
             .collect(),
     );
     GroupedMeasurement {
+        rows,
+        variables,
+        groups,
+        segments,
+        row_path,
+        chunk_path,
+    }
+}
+
+/// One measured cell of the grouped-*training* comparison: full per-group
+/// linear-regression fits (transition + merge + per-group finalize) through
+/// `Session::train_grouped`, chunked vs row-at-a-time execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupedTrainingMeasurement {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of independent variables.
+    pub variables: usize,
+    /// Number of distinct groups (= models trained per call).
+    pub groups: usize,
+    /// Number of segments.
+    pub segments: usize,
+    /// Median wall-clock time of the row-at-a-time grouped training pass.
+    pub row_path: Duration,
+    /// Median wall-clock time of the chunked grouped training pass.
+    pub chunk_path: Duration,
+}
+
+impl GroupedTrainingMeasurement {
+    /// Chunk-path speedup over the row-at-a-time baseline.
+    pub fn speedup(&self) -> f64 {
+        self.row_path.as_secs_f64() / self.chunk_path.as_secs_f64()
+    }
+}
+
+/// Times one grouped training call — `Session::train_grouped` with linear
+/// regression over a `group_by("grp")` dataset, i.e. one fitted model per
+/// group in a single grouped scan — under the given executor.
+///
+/// # Panics
+/// Panics if training fails or produces the wrong number of models, which
+/// cannot happen for the generated workloads.
+pub fn measure_grouped_training_pass(table: &Table, executor: Executor, groups: usize) -> Duration {
+    let session = Session::in_memory(table.num_segments())
+        .expect("positive segment count")
+        .with_executor(executor);
+    let dataset = Dataset::from_table(table).group_by(["grp"]);
+    let estimator = LinearRegression::new("y", "x");
+    let start = Instant::now();
+    let models = session
+        .train_grouped(&estimator, &dataset)
+        .expect("grouped training over generated data cannot fail");
+    let elapsed = start.elapsed();
+    assert_eq!(models.len(), groups.min(table.row_count()));
+    let total: u64 = models.iter().map(|(_, m)| m.num_rows).sum();
+    assert_eq!(total as usize, table.row_count());
+    elapsed
+}
+
+/// One cell of the grouped-training comparison: median-of-`samples` times
+/// for `Session::train_grouped` per-group linregr under row vs chunk mode.
+///
+/// # Panics
+/// Panics when `samples == 0` or workload generation fails.
+pub fn measure_grouped_training(
+    rows: usize,
+    variables: usize,
+    groups: usize,
+    segments: usize,
+    samples: usize,
+) -> GroupedTrainingMeasurement {
+    assert!(samples > 0, "need at least one sample");
+    let table = grouped_regression_table(rows, variables, groups, segments, 77 + groups as u64);
+    let median = |mut times: Vec<Duration>| -> Duration {
+        times.sort_unstable();
+        times[times.len() / 2]
+    };
+    let row_path = median(
+        (0..samples)
+            .map(|_| measure_grouped_training_pass(&table, Executor::row_at_a_time(), groups))
+            .collect(),
+    );
+    let chunk_path = median(
+        (0..samples)
+            .map(|_| measure_grouped_training_pass(&table, Executor::new(), groups))
+            .collect(),
+    );
+    GroupedTrainingMeasurement {
         rows,
         variables,
         groups,
@@ -519,13 +614,14 @@ mod tests {
         assert!(chunk.as_nanos() > 0);
         // Modes must agree on the fitted model (spot check).
         let table = figure4_table(300, 6, 2, 9);
+        let session = Session::in_memory(1).unwrap();
         let chunked = LinearRegression::new("y", "x")
-            .fit(&Executor::new(), &table)
+            .fit(&Dataset::from_table(&table), &session)
             .unwrap();
         let row_based = LinearRegression::new("y", "x")
             .fit(
-                &Executor::new().with_mode(ExecutionMode::RowAtATime),
-                &table,
+                &Dataset::from_table(&table).with_executor(Executor::row_at_a_time()),
+                &session,
             )
             .unwrap();
         for (a, b) in chunked.coef.iter().zip(&row_based.coef) {
@@ -543,11 +639,14 @@ mod tests {
         // The chunked grouped path and the legacy-style row loop fit the
         // same per-group models (single segment → identical merge order).
         let table = grouped_regression_table(300, 4, 8, 1, 3);
-        let chunked = Executor::new()
-            .aggregate_grouped(&table, "grp", &LinearRegression::new("y", "x"))
+        let chunked = Dataset::from_table(&table)
+            .group_by(["grp"])
+            .aggregate_per_group(&LinearRegression::new("y", "x"))
             .unwrap();
-        let by_rows = Executor::row_at_a_time()
-            .aggregate_grouped(&table, "grp", &LinearRegression::new("y", "x"))
+        let by_rows = Dataset::from_table(&table)
+            .with_executor(Executor::row_at_a_time())
+            .group_by(["grp"])
+            .aggregate_per_group(&LinearRegression::new("y", "x"))
             .unwrap();
         assert_eq!(chunked.len(), 8);
         for ((ka, ma), (kb, mb)) in chunked.iter().zip(&by_rows) {
@@ -556,6 +655,15 @@ mod tests {
                 assert_eq!(a.to_bits(), b.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn grouped_training_measurement_is_consistent() {
+        let m = measure_grouped_training(400, 5, 8, 2, 1);
+        assert!(m.row_path.as_nanos() > 0);
+        assert!(m.chunk_path.as_nanos() > 0);
+        assert!(m.speedup() > 0.0);
+        assert_eq!((m.rows, m.variables, m.groups, m.segments), (400, 5, 8, 2));
     }
 
     #[test]

@@ -12,6 +12,8 @@
 
 use crate::objective::ConvexObjective;
 use crate::schedule::StepSchedule;
+use madlib_core::train::{Estimator, Session};
+use madlib_engine::dataset::Dataset;
 use madlib_engine::iteration::{l2_relative_convergence, IterationConfig, IterationController};
 use madlib_engine::{Aggregate, Database, EngineError, Executor, Row, RowChunk, Schema, Table};
 
@@ -74,7 +76,8 @@ impl IgdRunner {
     }
 
     /// Trains `objective` over `table`, starting from `initial_model`
-    /// (typically all zeros).
+    /// (typically all zeros).  Convenience wrapper over
+    /// [`IgdRunner::run_dataset`] for callers without a dataset in hand.
     ///
     /// # Errors
     /// Propagates engine errors from the per-epoch aggregate passes; the
@@ -87,6 +90,27 @@ impl IgdRunner {
         objective: &O,
         initial_model: Vec<f64>,
     ) -> madlib_engine::Result<IgdSummary> {
+        self.run_dataset(
+            &Dataset::from_table(table).with_executor(*executor),
+            database,
+            objective,
+            initial_model,
+        )
+    }
+
+    /// Trains `objective` over a dataset's (filtered) rows, staging the
+    /// inter-epoch model state in `database`.
+    ///
+    /// # Errors
+    /// Propagates engine errors from the per-epoch aggregate passes; the
+    /// initial model length must match the objective dimension.
+    pub fn run_dataset<O: ConvexObjective>(
+        &self,
+        dataset: &Dataset<'_>,
+        database: &Database,
+        objective: &O,
+        initial_model: Vec<f64>,
+    ) -> madlib_engine::Result<IgdSummary> {
         if initial_model.len() != objective.dimension() {
             return Err(EngineError::invalid(format!(
                 "initial model has length {}, objective expects {}",
@@ -94,9 +118,8 @@ impl IgdRunner {
                 objective.dimension()
             )));
         }
-        executor.validate_input(table, true)?;
-        let initial_objective_value =
-            self.objective_value(executor, table, objective, &initial_model)?;
+        dataset.executor().validate_input(dataset.table(), true)?;
+        let initial_objective_value = objective_value_dataset(dataset, objective, &initial_model)?;
 
         let controller = IterationController::new(
             database.clone(),
@@ -117,13 +140,12 @@ impl IgdRunner {
                     start_model: model,
                     step,
                 };
-                executor.aggregate(table, &pass)
+                dataset.aggregate(&pass)
             },
             l2_relative_convergence,
         )?;
 
-        let objective_value =
-            self.objective_value(executor, table, objective, &outcome.final_state)?;
+        let objective_value = objective_value_dataset(dataset, objective, &outcome.final_state)?;
         Ok(IgdSummary {
             model: outcome.final_state,
             epochs: outcome.iterations,
@@ -145,9 +167,79 @@ impl IgdRunner {
         objective: &O,
         model: &[f64],
     ) -> madlib_engine::Result<f64> {
-        let losses =
-            executor.parallel_map(table, |row, schema| objective.row_loss(row, schema, model))?;
-        Ok(losses.iter().sum::<f64>() + objective.regularization(model))
+        objective_value_dataset(
+            &Dataset::from_table(table).with_executor(*executor),
+            objective,
+            model,
+        )
+    }
+}
+
+/// Full-objective evaluation (data loss + regularization) over a dataset's
+/// (filtered) rows.
+fn objective_value_dataset<O: ConvexObjective>(
+    dataset: &Dataset<'_>,
+    objective: &O,
+    model: &[f64],
+) -> madlib_engine::Result<f64> {
+    let losses = dataset.map_rows(|row, schema| objective.row_loss(row, schema, model))?;
+    Ok(losses.iter().sum::<f64>() + objective.regularization(model))
+}
+
+/// An IGD training run packaged as an [`Estimator`], so convex-framework
+/// objectives train through the same uniform
+/// `Session::train(&estimator, &dataset)` convention as the core methods —
+/// including per-group training via `Session::train_grouped` (the default
+/// per-group gather re-runs the full IGD driver per group).
+#[derive(Debug, Clone)]
+pub struct IgdEstimator<O: ConvexObjective> {
+    objective: O,
+    config: IgdConfig,
+    initial_model: Option<Vec<f64>>,
+}
+
+impl<O: ConvexObjective> IgdEstimator<O> {
+    /// Wraps `objective` with the default [`IgdConfig`] and a zero initial
+    /// model.
+    pub fn new(objective: O) -> Self {
+        Self {
+            objective,
+            config: IgdConfig::default(),
+            initial_model: None,
+        }
+    }
+
+    /// Replaces the IGD configuration (epochs, tolerance, schedule).
+    #[must_use]
+    pub fn with_config(mut self, config: IgdConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Starts from an explicit initial model instead of zeros.
+    #[must_use]
+    pub fn with_initial_model(mut self, initial_model: Vec<f64>) -> Self {
+        self.initial_model = Some(initial_model);
+        self
+    }
+
+    /// The wrapped objective.
+    pub fn objective(&self) -> &O {
+        &self.objective
+    }
+}
+
+impl<O: ConvexObjective> Estimator for IgdEstimator<O> {
+    type Model = IgdSummary;
+
+    fn fit(&self, dataset: &Dataset<'_>, session: &Session) -> madlib_core::Result<IgdSummary> {
+        let initial = self
+            .initial_model
+            .clone()
+            .unwrap_or_else(|| vec![0.0; self.objective.dimension()]);
+        IgdRunner::new(self.config.clone())
+            .run_dataset(dataset, session.database(), &self.objective, initial)
+            .map_err(madlib_core::MethodError::from)
     }
 }
 

@@ -14,8 +14,9 @@
 //! per-node row sets in temp tables.
 
 use crate::error::{MethodError, Result};
+use crate::train::{Estimator, Session};
 use madlib_engine::chunk::ColumnChunk;
-use madlib_engine::{Executor, Table};
+use madlib_engine::dataset::Dataset;
 use madlib_stats::ChiSquare;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -159,23 +160,24 @@ impl DecisionTree {
         self.significance_level = Some(alpha);
         self
     }
+}
 
-    /// Fits the tree over the table.
-    ///
-    /// # Errors
-    /// Propagates engine errors; requires a non-empty table with consistent
-    /// feature widths.
-    pub fn fit(&self, executor: &Executor, table: &Table) -> Result<DecisionTreeModel> {
-        executor
-            .validate_input(table, true)
+impl Estimator for DecisionTree {
+    type Model = DecisionTreeModel;
+
+    /// Fits the tree over the dataset's (filtered) rows.
+    fn fit(&self, dataset: &Dataset<'_>, _session: &Session) -> Result<DecisionTreeModel> {
+        dataset
+            .executor()
+            .validate_input(dataset.table(), true)
             .map_err(MethodError::from)?;
-        // Materialize (label, features) pairs via the chunk-level parallel
-        // projection: whole-column reads per chunk instead of one row
-        // materialization per training point.
+        // Materialize (label, features) pairs via the chunk-level projection:
+        // whole-column reads per chunk instead of one row materialization per
+        // training point (partially selected chunks arrive compacted).
         let label_col = self.label_column.clone();
         let feat_col = self.features_column.clone();
-        let rows: Vec<(String, Vec<f64>)> = executor
-            .parallel_map_chunks(table, move |chunk, schema| {
+        let rows: Vec<(String, Vec<f64>)> = dataset
+            .map_chunks(move |chunk, schema| {
                 let label_idx = schema.index_of(&label_col)?;
                 let feat_idx = schema.index_of(&feat_col)?;
                 let mut out = Vec::with_capacity(chunk.len());
@@ -222,7 +224,9 @@ impl DecisionTree {
             num_rows: rows.len(),
         })
     }
+}
 
+impl DecisionTree {
     fn build_node(&self, rows: &[(String, Vec<f64>)], indices: &[usize], depth: usize) -> TreeNode {
         let (majority, majority_count) = majority_label(rows, indices);
         let purity = majority_count as f64 / indices.len() as f64;
@@ -379,7 +383,11 @@ fn split_is_significant(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use madlib_engine::{row, Column, ColumnType, Schema};
+    use madlib_engine::{row, Column, ColumnType, Schema, Table};
+
+    fn session() -> Session {
+        Session::in_memory(1).unwrap()
+    }
 
     fn labeled_schema() -> Schema {
         Schema::new(vec![
@@ -409,7 +417,7 @@ mod tests {
         let t = quadrant_table(4);
         let model = DecisionTree::new("label", "features")
             .with_max_depth(4)
-            .fit(&Executor::new(), &t)
+            .fit(&Dataset::from_table(&t), &session())
             .unwrap();
         assert_eq!(model.num_rows, 100);
         assert_eq!(model.predict(&[3.0, 3.0]).unwrap(), "in");
@@ -427,7 +435,7 @@ mod tests {
             t.insert(row!["only", vec![i as f64]]).unwrap();
         }
         let model = DecisionTree::new("label", "features")
-            .fit(&Executor::new(), &t)
+            .fit(&Dataset::from_table(&t), &session())
             .unwrap();
         assert_eq!(model.leaf_count(), 1);
         assert_eq!(model.depth(), 0);
@@ -448,7 +456,7 @@ mod tests {
         let t = quadrant_table(2);
         let model = DecisionTree::new("label", "features")
             .with_max_depth(1)
-            .fit(&Executor::new(), &t)
+            .fit(&Dataset::from_table(&t), &session())
             .unwrap();
         assert!(model.depth() <= 1);
     }
@@ -466,7 +474,7 @@ mod tests {
         }
         let model = DecisionTree::new("label", "features")
             .with_significance_level(0.05)
-            .fit(&Executor::new(), &t)
+            .fit(&Dataset::from_table(&t), &session())
             .unwrap();
         assert_eq!(model.leaf_count(), 1, "noise split should be pruned");
     }
@@ -475,19 +483,19 @@ mod tests {
     fn error_handling() {
         let empty = Table::new(labeled_schema(), 2).unwrap();
         assert!(DecisionTree::new("label", "features")
-            .fit(&Executor::new(), &empty)
+            .fit(&Dataset::from_table(&empty), &session())
             .is_err());
 
         let mut ragged = Table::new(labeled_schema(), 1).unwrap();
         ragged.insert(row!["a", vec![1.0, 2.0]]).unwrap();
         ragged.insert(row!["b", vec![1.0]]).unwrap();
         assert!(DecisionTree::new("label", "features")
-            .fit(&Executor::new(), &ragged)
+            .fit(&Dataset::from_table(&ragged), &session())
             .is_err());
 
         let t = quadrant_table(1);
         let model = DecisionTree::new("label", "features")
-            .fit(&Executor::new(), &t)
+            .fit(&Dataset::from_table(&t), &session())
             .unwrap();
         assert!(model.predict(&[1.0]).is_err());
     }
@@ -497,7 +505,7 @@ mod tests {
         let t = quadrant_table(1);
         let model = DecisionTree::new("label", "features")
             .with_min_samples_split(1_000)
-            .fit(&Executor::new(), &t)
+            .fit(&Dataset::from_table(&t), &session())
             .unwrap();
         // Cannot split anywhere: single leaf with the majority label.
         assert_eq!(model.leaf_count(), 1);

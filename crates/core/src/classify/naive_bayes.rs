@@ -8,9 +8,11 @@
 //! Chan/Welford update the `madlib-stats` summary uses.
 
 use crate::error::{MethodError, Result};
+use crate::train::{fit_grouped_single_pass, Estimator, GroupedModels, Session};
 use madlib_engine::aggregate::transition_chunk_by_rows;
 use madlib_engine::chunk::ColumnChunk;
-use madlib_engine::{Aggregate, Executor, Row, RowChunk, Schema, Table};
+use madlib_engine::dataset::Dataset;
+use madlib_engine::{Aggregate, Row, RowChunk, Schema};
 use madlib_stats::Summary;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -104,16 +106,28 @@ impl NaiveBayes {
             features_column: features_column.into(),
         }
     }
+}
 
-    /// Fits the model over the table with the parallel executor.
-    ///
-    /// # Errors
-    /// Propagates engine errors; requires a non-empty table.
-    pub fn fit(&self, executor: &Executor, table: &Table) -> Result<NaiveBayesModel> {
-        executor
-            .validate_input(table, true)
+impl Estimator for NaiveBayes {
+    type Model = NaiveBayesModel;
+
+    /// Fits the model in one pass over the dataset's (filtered) rows.
+    fn fit(&self, dataset: &Dataset<'_>, _session: &Session) -> Result<NaiveBayesModel> {
+        dataset
+            .executor()
+            .validate_input(dataset.table(), true)
             .map_err(MethodError::from)?;
-        executor.aggregate(table, self).map_err(MethodError::from)
+        dataset.aggregate(self).map_err(MethodError::from)
+    }
+
+    /// Single-pass grouped training: one grouped scan trains every group's
+    /// per-class summaries at once.
+    fn fit_grouped(
+        &self,
+        dataset: &Dataset<'_>,
+        _session: &Session,
+    ) -> Result<GroupedModels<NaiveBayesModel>> {
+        fit_grouped_single_pass(self, dataset)
     }
 }
 
@@ -277,7 +291,11 @@ impl Aggregate for NaiveBayes {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use madlib_engine::{row, Column, ColumnType, Schema, Table};
+    use madlib_engine::{row, Column, ColumnType, Executor, Schema, Table};
+
+    fn session() -> Session {
+        Session::in_memory(1).unwrap()
+    }
 
     fn labeled_schema() -> Schema {
         Schema::new(vec![
@@ -303,7 +321,7 @@ mod tests {
     fn separates_well_separated_classes() {
         let t = two_blob_table(4);
         let model = NaiveBayes::new("label", "features")
-            .fit(&Executor::new(), &t)
+            .fit(&Dataset::from_table(&t), &session())
             .unwrap();
         assert_eq!(model.classes.len(), 2);
         assert_eq!(model.total_rows, 100);
@@ -320,10 +338,10 @@ mod tests {
         let t1 = two_blob_table(1);
         let t8 = t1.repartition(8).unwrap();
         let m1 = NaiveBayes::new("label", "features")
-            .fit(&Executor::new(), &t1)
+            .fit(&Dataset::from_table(&t1), &session())
             .unwrap();
         let m8 = NaiveBayes::new("label", "features")
-            .fit(&Executor::new(), &t8)
+            .fit(&Dataset::from_table(&t8), &session())
             .unwrap();
         for (label, stats) in &m1.classes {
             let other = &m8.classes[label];
@@ -346,8 +364,13 @@ mod tests {
             .unwrap();
         t.insert_all(base.iter()).unwrap();
         let nb = NaiveBayes::new("label", "features");
-        let chunked = nb.fit(&Executor::new(), &t).unwrap();
-        let by_rows = nb.fit(&Executor::row_at_a_time(), &t).unwrap();
+        let chunked = nb.fit(&Dataset::from_table(&t), &session()).unwrap();
+        let by_rows = nb
+            .fit(
+                &Dataset::from_table(&t).with_executor(Executor::row_at_a_time()),
+                &session(),
+            )
+            .unwrap();
         assert_eq!(chunked.total_rows, by_rows.total_rows);
         for (label, stats) in &chunked.classes {
             let other = &by_rows.classes[label];
@@ -372,7 +395,7 @@ mod tests {
             t.insert(row!["rare", vec![0.0]]).unwrap();
         }
         let model = NaiveBayes::new("label", "features")
-            .fit(&Executor::new(), &t)
+            .fit(&Dataset::from_table(&t), &session())
             .unwrap();
         assert_eq!(model.predict(&[0.0]).unwrap(), "common");
     }
@@ -381,19 +404,19 @@ mod tests {
     fn error_handling() {
         let empty = Table::new(labeled_schema(), 2).unwrap();
         assert!(NaiveBayes::new("label", "features")
-            .fit(&Executor::new(), &empty)
+            .fit(&Dataset::from_table(&empty), &session())
             .is_err());
 
         let mut ragged = Table::new(labeled_schema(), 1).unwrap();
         ragged.insert(row!["A", vec![1.0, 2.0]]).unwrap();
         ragged.insert(row!["A", vec![1.0]]).unwrap();
         assert!(NaiveBayes::new("label", "features")
-            .fit(&Executor::new(), &ragged)
+            .fit(&Dataset::from_table(&ragged), &session())
             .is_err());
 
         let t = two_blob_table(1);
         let model = NaiveBayes::new("label", "features")
-            .fit(&Executor::new(), &t)
+            .fit(&Dataset::from_table(&t), &session())
             .unwrap();
         assert!(model.predict(&[1.0]).is_err());
         assert!(model.log_scores(&[1.0, 2.0, 3.0]).is_err());

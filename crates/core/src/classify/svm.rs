@@ -7,7 +7,8 @@
 //! `sign(⟨w, x⟩)` (add a constant 1 feature for a bias term).
 
 use crate::error::{MethodError, Result};
-use madlib_engine::{Executor, Table};
+use crate::train::{Estimator, Session};
+use madlib_engine::dataset::Dataset;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -102,19 +103,22 @@ impl LinearSvm {
         self.seed = seed;
         self
     }
+}
 
-    /// Fits the model.  Labels must be −1 or +1 (0/1 labels are remapped).
-    ///
-    /// # Errors
-    /// Propagates engine errors; requires a non-empty table.
-    pub fn fit(&self, executor: &Executor, table: &Table) -> Result<SvmModel> {
-        executor
-            .validate_input(table, true)
+impl Estimator for LinearSvm {
+    type Model = SvmModel;
+
+    /// Fits the model over the dataset's (filtered) rows.  Labels must be
+    /// −1 or +1 (0/1 labels are remapped).
+    fn fit(&self, dataset: &Dataset<'_>, _session: &Session) -> Result<SvmModel> {
+        dataset
+            .executor()
+            .validate_input(dataset.table(), true)
             .map_err(MethodError::from)?;
         let label_col = self.label_column.clone();
         let feat_col = self.features_column.clone();
-        let rows: Vec<(f64, Vec<f64>)> = executor
-            .parallel_map(table, move |row, schema| {
+        let rows: Vec<(f64, Vec<f64>)> = dataset
+            .map_rows(move |row, schema| {
                 let y = row.get_named(schema, &label_col)?.as_double()?;
                 let x = row
                     .get_named(schema, &feat_col)?
@@ -185,7 +189,11 @@ impl LinearSvm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use madlib_engine::{row, Column, ColumnType, Schema};
+    use madlib_engine::{row, Column, ColumnType, Schema, Table};
+
+    fn session() -> Session {
+        Session::in_memory(1).unwrap()
+    }
 
     fn schema() -> Schema {
         Schema::new(vec![
@@ -221,7 +229,7 @@ mod tests {
         let t = separable_table(4);
         let model = LinearSvm::new("y", "x")
             .with_epochs(30)
-            .fit(&Executor::new(), &t)
+            .fit(&Dataset::from_table(&t), &session())
             .unwrap();
         assert_eq!(model.num_rows, 200);
         let mut correct = 0;
@@ -249,7 +257,7 @@ mod tests {
         }
         let model = LinearSvm::new("y", "x")
             .with_epochs(40)
-            .fit(&Executor::new(), &t)
+            .fit(&Dataset::from_table(&t), &session())
             .unwrap();
         assert_eq!(model.predict(&[1.0, 2.0]).unwrap(), 1.0);
         assert_eq!(model.predict(&[1.0, -2.0]).unwrap(), -1.0);
@@ -260,11 +268,11 @@ mod tests {
         let t = separable_table(2);
         let a = LinearSvm::new("y", "x")
             .with_seed(7)
-            .fit(&Executor::new(), &t)
+            .fit(&Dataset::from_table(&t), &session())
             .unwrap();
         let b = LinearSvm::new("y", "x")
             .with_seed(7)
-            .fit(&Executor::new(), &t)
+            .fit(&Dataset::from_table(&t), &session())
             .unwrap();
         assert_eq!(a.weights, b.weights);
     }
@@ -275,18 +283,20 @@ mod tests {
         assert!(LinearSvm::new("y", "x").with_lambda(0.1).is_ok());
         let empty = Table::new(schema(), 2).unwrap();
         assert!(LinearSvm::new("y", "x")
-            .fit(&Executor::new(), &empty)
+            .fit(&Dataset::from_table(&empty), &session())
             .is_err());
 
         let mut ragged = Table::new(schema(), 1).unwrap();
         ragged.insert(row![1.0, vec![1.0, 2.0]]).unwrap();
         ragged.insert(row![-1.0, vec![1.0]]).unwrap();
         assert!(LinearSvm::new("y", "x")
-            .fit(&Executor::new(), &ragged)
+            .fit(&Dataset::from_table(&ragged), &session())
             .is_err());
 
         let t = separable_table(1);
-        let model = LinearSvm::new("y", "x").fit(&Executor::new(), &t).unwrap();
+        let model = LinearSvm::new("y", "x")
+            .fit(&Dataset::from_table(&t), &session())
+            .unwrap();
         assert!(model.decision_value(&[1.0]).is_err());
     }
 }

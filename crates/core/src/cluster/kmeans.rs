@@ -17,9 +17,11 @@
 
 use crate::cluster::seeding::{seed_centroids, SeedingMethod};
 use crate::error::{MethodError, Result};
+use crate::train::{Estimator, Session};
 use madlib_engine::aggregate::transition_chunk_by_rows;
+use madlib_engine::dataset::Dataset;
 use madlib_engine::iteration::{IterationConfig, IterationController};
-use madlib_engine::{Aggregate, Database, Executor, Row, RowChunk, Schema, Table};
+use madlib_engine::{Aggregate, Row, RowChunk, Schema};
 use madlib_linalg::array_ops::{batch_closest_column, closest_column};
 use serde::{Deserialize, Serialize};
 
@@ -108,25 +110,23 @@ impl KMeans {
         self.seed = seed;
         self
     }
+}
 
-    /// Runs Lloyd's algorithm over the points table.
-    ///
-    /// # Errors
-    /// Propagates engine errors; requires at least `k` points.
-    pub fn fit(
-        &self,
-        executor: &Executor,
-        database: &Database,
-        table: &Table,
-    ) -> Result<KMeansModel> {
-        executor
-            .validate_input(table, true)
+impl Estimator for KMeans {
+    type Model = KMeansModel;
+
+    /// Runs Lloyd's algorithm over the dataset's (filtered) points; the
+    /// session's database stages the centroid state between iterations.
+    fn fit(&self, dataset: &Dataset<'_>, session: &Session) -> Result<KMeansModel> {
+        dataset
+            .executor()
+            .validate_input(dataset.table(), true)
             .map_err(MethodError::from)?;
         let coords_column = self.coords_column.clone();
         // Seeding phase: pull a small sample of points (here: all points'
         // coordinates; the seeding itself is cheap relative to Lloyd).
-        let points: Vec<Vec<f64>> = executor
-            .parallel_map(table, move |row, schema| {
+        let points: Vec<Vec<f64>> = dataset
+            .map_rows(move |row, schema| {
                 Ok(row
                     .get_named(schema, &coords_column)?
                     .as_double_array()?
@@ -154,7 +154,7 @@ impl KMeans {
             fail_on_max_iterations: false,
             state_table_name: "kmeans_state".to_owned(),
         };
-        let controller = IterationController::new(database.clone(), config);
+        let controller = IterationController::new(session.database().clone(), config);
 
         let k = self.k;
         let reassignment_threshold = (self.reassignment_fraction * num_points as f64).ceil();
@@ -171,7 +171,7 @@ impl KMeans {
                         coords_column: &coords_column,
                         centroids: &centroids,
                     };
-                    let result = executor.aggregate(table, &step)?;
+                    let result = dataset.aggregate(&step)?;
                     let new_centroids = result.new_centroids(&centroids);
                     // Flatten and append the bookkeeping slot carrying the
                     // reassignment count so the convergence test can see it.
@@ -387,13 +387,15 @@ impl Aggregate for KMeansStep<'_> {
 mod tests {
     use super::*;
     use crate::datasets::gaussian_blobs;
+    use madlib_engine::Table;
 
     fn fit(k: usize, data: &Table, seed: u64) -> KMeansModel {
-        let db = Database::new(data.num_segments()).unwrap();
-        KMeans::new("coords", k)
-            .unwrap()
-            .with_seed(seed)
-            .fit(&Executor::new(), &db, data)
+        let session = Session::in_memory(data.num_segments()).unwrap();
+        session
+            .train(
+                &KMeans::new("coords", k).unwrap().with_seed(seed),
+                &Dataset::from_table(data),
+            )
             .unwrap()
     }
 
@@ -466,35 +468,35 @@ mod tests {
     fn parameter_and_input_validation() {
         assert!(KMeans::new("coords", 0).is_err());
         let data = gaussian_blobs(5, 2, 2, 0.1, 1, 2).unwrap();
-        let db = Database::new(1).unwrap();
+        let session = Session::in_memory(1).unwrap();
         // k larger than the number of points.
         assert!(KMeans::new("coords", 10)
             .unwrap()
-            .fit(&Executor::new(), &db, &data.table)
+            .fit(&Dataset::from_table(&data.table), &session)
             .is_err());
         // Empty table.
         let empty = Table::new(crate::datasets::points_schema(), 2).unwrap();
         assert!(KMeans::new("coords", 2)
             .unwrap()
-            .fit(&Executor::new(), &db, &empty)
+            .fit(&Dataset::from_table(&empty), &session)
             .is_err());
     }
 
     #[test]
     fn random_seeding_also_converges() {
         let data = gaussian_blobs(150, 3, 2, 0.4, 3, 17).unwrap();
-        let db = Database::new(3).unwrap();
+        let session = Session::in_memory(3).unwrap();
         let model = KMeans::new("coords", 3)
             .unwrap()
             .with_seeding(SeedingMethod::Random)
             .with_max_iterations(100)
             .with_seed(23)
-            .fit(&Executor::new(), &db, &data.table)
+            .fit(&Dataset::from_table(&data.table), &session)
             .unwrap();
         assert_eq!(model.centroids.len(), 3);
         assert!(model.iterations >= 1);
         // Driver temp tables cleaned up.
-        assert!(db.list_tables().is_empty());
+        assert!(session.database().list_tables().is_empty());
     }
 
     #[test]

@@ -21,9 +21,13 @@
 //! | Quantiles / Sketches / Profile | the `madlib-sketch` crate |
 //! | Sparse Vectors / Array Ops     | the `madlib-linalg` crate |
 //!
-//! In addition, [`datasets`] provides the synthetic workload generators used
-//! by the examples, tests and the benchmark harness, and [`validate`]
-//! provides evaluation metrics and cross-validation.
+//! Every method trains through the uniform convention in [`train`]:
+//! `Session::train(&estimator, &dataset)` (one model) or
+//! `Session::train_grouped` (one model per `group_by` key — the paper's
+//! `grouping_cols`).  In addition, [`datasets`] provides the synthetic
+//! workload generators used by the examples, tests and the benchmark
+//! harness, and [`validate`] provides evaluation metrics and
+//! cross-validation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,6 +41,8 @@ pub mod factor;
 pub mod optim;
 pub mod regress;
 pub mod topic;
+pub mod train;
 pub mod validate;
 
 pub use error::{MethodError, Result};
+pub use train::{Estimator, GroupedModels, Session};

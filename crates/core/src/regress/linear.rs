@@ -12,8 +12,10 @@
 //! Figure 4 version comparison.
 
 use crate::error::{MethodError, Result};
+use crate::train::{fit_grouped_single_pass, Estimator, GroupedModels, Session};
 use madlib_engine::aggregate::{extract_labeled_point, transition_chunk_by_rows};
-use madlib_engine::{Aggregate, Executor, Row, RowChunk, Schema, Table};
+use madlib_engine::dataset::Dataset;
+use madlib_engine::{Aggregate, Row, RowChunk, Schema};
 use madlib_linalg::decomposition::SymmetricEigen;
 use madlib_linalg::kernels::{
     needs_symmetrize, rank1_update, rank_k_update_lower, xty_update, KernelGeneration,
@@ -127,17 +129,29 @@ impl LinearRegression {
     pub fn kernel(&self) -> KernelGeneration {
         self.generation
     }
+}
 
-    /// Fits the model over every row of `table` using the parallel executor.
-    ///
-    /// # Errors
-    /// Propagates engine errors and numerical failures; the table must have
-    /// at least one row and consistent feature dimensions.
-    pub fn fit(&self, executor: &Executor, table: &Table) -> Result<LinearRegressionModel> {
-        executor
-            .validate_input(table, true)
+impl Estimator for LinearRegression {
+    type Model = LinearRegressionModel;
+
+    /// Fits the model in one pass over the dataset's (filtered) rows — the
+    /// paper's canonical single-pass aggregation.
+    fn fit(&self, dataset: &Dataset<'_>, _session: &Session) -> Result<LinearRegressionModel> {
+        dataset
+            .executor()
+            .validate_input(dataset.table(), true)
             .map_err(MethodError::from)?;
-        executor.aggregate(table, self).map_err(MethodError::from)
+        dataset.aggregate(self).map_err(MethodError::from)
+    }
+
+    /// Single-pass grouped training: one segment-parallel grouped scan fits
+    /// every group's regression at once (Section 4.2's `grouping_cols`).
+    fn fit_grouped(
+        &self,
+        dataset: &Dataset<'_>,
+        _session: &Session,
+    ) -> Result<GroupedModels<LinearRegressionModel>> {
+        fit_grouped_single_pass(self, dataset)
     }
 }
 
@@ -327,7 +341,17 @@ fn finalize_state(state: &LinRegrState) -> Result<LinearRegressionModel> {
 mod tests {
     use super::*;
     use crate::datasets::{labeled_point_schema, linear_regression_data};
-    use madlib_engine::{row, Value};
+    use madlib_engine::{row, Table, Value};
+
+    /// Uniform-signature fit over a borrowed table (tests only need the
+    /// default executor; the session's database is unused by single-pass
+    /// aggregates).
+    fn fit(estimator: &LinearRegression, table: &Table) -> Result<LinearRegressionModel> {
+        estimator.fit(
+            &Dataset::from_table(table),
+            &Session::in_memory(table.num_segments()).unwrap(),
+        )
+    }
 
     /// Builds the tiny dataset whose fit is shown in the paper's psql
     /// example: y ≈ 1.73 + 2.24·x  (we use our own ground truth instead).
@@ -344,9 +368,7 @@ mod tests {
     #[test]
     fn exact_fit_on_noiseless_data() {
         let table = small_table(4);
-        let model = LinearRegression::new("y", "x")
-            .fit(&Executor::new(), &table)
-            .unwrap();
+        let model = fit(&LinearRegression::new("y", "x"), &table).unwrap();
         assert!((model.coef[0] - 3.0).abs() < 1e-8);
         assert!((model.coef[1] - 2.0).abs() < 1e-8);
         assert!((model.r2 - 1.0).abs() < 1e-9);
@@ -361,9 +383,7 @@ mod tests {
     #[test]
     fn recovers_generator_coefficients() {
         let data = linear_regression_data(2000, 6, 0.05, 4, 99).unwrap();
-        let model = LinearRegression::new("y", "x")
-            .fit(&Executor::new(), &data.table)
-            .unwrap();
+        let model = fit(&LinearRegression::new("y", "x"), &data.table).unwrap();
         for (fitted, truth) in model.coef.iter().zip(&data.true_coefficients) {
             assert!(
                 (fitted - truth).abs() < 0.05,
@@ -376,14 +396,10 @@ mod tests {
     #[test]
     fn partition_invariance() {
         let data = linear_regression_data(500, 4, 0.1, 1, 7).unwrap();
-        let reference = LinearRegression::new("y", "x")
-            .fit(&Executor::new(), &data.table)
-            .unwrap();
+        let reference = fit(&LinearRegression::new("y", "x"), &data.table).unwrap();
         for segs in [2, 3, 8] {
             let t = data.table.repartition(segs).unwrap();
-            let model = LinearRegression::new("y", "x")
-                .fit(&Executor::new(), &t)
-                .unwrap();
+            let model = fit(&LinearRegression::new("y", "x"), &t).unwrap();
             for (a, b) in model.coef.iter().zip(&reference.coef) {
                 assert!((a - b).abs() < 1e-9);
             }
@@ -394,15 +410,17 @@ mod tests {
     #[test]
     fn all_kernel_generations_agree() {
         let data = linear_regression_data(300, 5, 0.2, 3, 21).unwrap();
-        let reference = LinearRegression::new("y", "x")
-            .with_kernel(KernelGeneration::V03)
-            .fit(&Executor::new(), &data.table)
-            .unwrap();
+        let reference = fit(
+            &LinearRegression::new("y", "x").with_kernel(KernelGeneration::V03),
+            &data.table,
+        )
+        .unwrap();
         for gen in [KernelGeneration::V01Alpha, KernelGeneration::V021Beta] {
-            let model = LinearRegression::new("y", "x")
-                .with_kernel(gen)
-                .fit(&Executor::new(), &data.table)
-                .unwrap();
+            let model = fit(
+                &LinearRegression::new("y", "x").with_kernel(gen),
+                &data.table,
+            )
+            .unwrap();
             assert_eq!(model.num_rows, reference.num_rows);
             for (a, b) in model.coef.iter().zip(&reference.coef) {
                 assert!((a - b).abs() < 1e-8, "kernel {gen:?} disagrees");
@@ -435,9 +453,7 @@ mod tests {
             let y = 4.0 * x1 + 0.3 * next();
             t.insert(row![y, vec![1.0, x1, junk]]).unwrap();
         }
-        let model = LinearRegression::new("y", "x")
-            .fit(&Executor::new(), &t)
-            .unwrap();
+        let model = fit(&LinearRegression::new("y", "x"), &t).unwrap();
         assert!(
             model.p_values[1] < 1e-6,
             "real feature should be significant"
@@ -452,17 +468,13 @@ mod tests {
     #[test]
     fn error_cases() {
         let empty = Table::new(labeled_point_schema(), 2).unwrap();
-        assert!(LinearRegression::new("y", "x")
-            .fit(&Executor::new(), &empty)
-            .is_err());
+        assert!(fit(&LinearRegression::new("y", "x"), &empty).is_err());
 
         // Inconsistent widths.
         let mut bad = Table::new(labeled_point_schema(), 1).unwrap();
         bad.insert(row![1.0, vec![1.0, 2.0]]).unwrap();
         bad.insert(row![1.0, vec![1.0]]).unwrap();
-        assert!(LinearRegression::new("y", "x")
-            .fit(&Executor::new(), &bad)
-            .is_err());
+        assert!(fit(&LinearRegression::new("y", "x"), &bad).is_err());
 
         // Non-finite input.
         let mut nan = Table::new(labeled_point_schema(), 1).unwrap();
@@ -471,15 +483,11 @@ mod tests {
             Value::DoubleArray(vec![1.0]),
         ]))
         .unwrap();
-        assert!(LinearRegression::new("y", "x")
-            .fit(&Executor::new(), &nan)
-            .is_err());
+        assert!(fit(&LinearRegression::new("y", "x"), &nan).is_err());
 
         // Missing column.
         let data = small_table(1);
-        assert!(LinearRegression::new("nope", "x")
-            .fit(&Executor::new(), &data)
-            .is_err());
+        assert!(fit(&LinearRegression::new("nope", "x"), &data).is_err());
     }
 
     #[test]
@@ -492,9 +500,7 @@ mod tests {
             let x = i as f64 * 0.1;
             t.insert(row![2.0 * x, vec![x, x]]).unwrap();
         }
-        let model = LinearRegression::new("y", "x")
-            .fit(&Executor::new(), &t)
-            .unwrap();
+        let model = fit(&LinearRegression::new("y", "x"), &t).unwrap();
         assert_eq!(model.condition_no, f64::INFINITY);
         // Predictions are still exact even though individual coefficients are
         // not identifiable: c0 + c1 must equal 2.

@@ -12,9 +12,11 @@
 //! integration tests.
 
 use crate::error::{MethodError, Result};
+use crate::train::{Estimator, Session};
 use madlib_engine::aggregate::{extract_labeled_point, transition_chunk_by_rows};
+use madlib_engine::dataset::Dataset;
 use madlib_engine::iteration::{IterationConfig, IterationController};
-use madlib_engine::{Aggregate, Database, Executor, Row, RowChunk, Schema, Table};
+use madlib_engine::{Aggregate, Row, RowChunk, Schema};
 use madlib_linalg::decomposition::SymmetricEigen;
 use madlib_linalg::kernels::{batch_dot, weighted_rank_k_update_lower, xty_update};
 use madlib_linalg::{DenseMatrix, DenseVector};
@@ -307,30 +309,27 @@ impl LogisticRegression {
         self.ridge = ridge;
         self
     }
+}
 
-    /// Fits the model.  The `database` is used only to stage the (small)
-    /// inter-iteration coefficient state, exactly as in the paper's Figure 3;
-    /// the heavy per-iteration scan runs through `executor` over `table`.
-    ///
-    /// # Errors
-    /// Propagates engine errors; returns [`MethodError::InvalidInput`] for an
-    /// empty table or labels outside {0, 1}.
-    pub fn fit(
-        &self,
-        executor: &Executor,
-        database: &Database,
-        table: &Table,
-    ) -> Result<LogisticRegressionModel> {
-        executor
-            .validate_input(table, true)
+impl Estimator for LogisticRegression {
+    type Model = LogisticRegressionModel;
+
+    /// Fits the model.  The session's database is used only to stage the
+    /// (small) inter-iteration coefficient state, exactly as in the paper's
+    /// Figure 3; the heavy per-iteration scan runs through the dataset's
+    /// terminals (honouring its filter and executor).
+    fn fit(&self, dataset: &Dataset<'_>, session: &Session) -> Result<LogisticRegressionModel> {
+        dataset
+            .executor()
+            .validate_input(dataset.table(), true)
             .map_err(MethodError::from)?;
-        // Determine the feature width from the first row.
-        let first = table
-            .iter()
-            .next()
+        // Determine the feature width from the first (filter-surviving) row.
+        let first = dataset
+            .first_row()
+            .map_err(MethodError::from)?
             .ok_or_else(|| MethodError::invalid_input("empty input table"))?;
         let width = first
-            .get_named(table.schema(), &self.x_column)
+            .get_named(dataset.schema(), &self.x_column)
             .map_err(MethodError::from)?
             .as_double_array()
             .map_err(MethodError::from)?
@@ -342,7 +341,7 @@ impl LogisticRegression {
             fail_on_max_iterations: false,
             state_table_name: "logregr_irls_state".to_owned(),
         };
-        let controller = IterationController::new(database.clone(), config);
+        let controller = IterationController::new(session.database().clone(), config);
 
         let outcome = controller
             .run(
@@ -353,7 +352,7 @@ impl LogisticRegression {
                         x_column: &self.x_column,
                         beta,
                     };
-                    let (mut hessian, gradient, _ll, _n) = executor.aggregate(table, &step)?;
+                    let (mut hessian, gradient, _ll, _n) = dataset.aggregate(&step)?;
                     for i in 0..width {
                         hessian.add_to(i, i, self.ridge);
                     }
@@ -380,9 +379,8 @@ impl LogisticRegression {
             x_column: &self.x_column,
             beta: &outcome.final_state,
         };
-        let (mut hessian, _gradient, log_likelihood, num_rows) = executor
-            .aggregate(table, &step)
-            .map_err(MethodError::from)?;
+        let (mut hessian, _gradient, log_likelihood, num_rows) =
+            dataset.aggregate(&step).map_err(MethodError::from)?;
         for i in 0..width {
             hessian.add_to(i, i, self.ridge);
         }
@@ -423,13 +421,17 @@ impl LogisticRegression {
 mod tests {
     use super::*;
     use crate::datasets::{labeled_point_schema, logistic_regression_data};
-    use madlib_engine::row;
+    use madlib_engine::{row, Table};
+
+    fn fit(estimator: &LogisticRegression, table: &Table) -> Result<LogisticRegressionModel> {
+        estimator.fit(
+            &Dataset::from_table(table),
+            &Session::in_memory(table.num_segments()).unwrap(),
+        )
+    }
 
     fn fit_on(table: &Table) -> LogisticRegressionModel {
-        let db = Database::new(table.num_segments()).unwrap();
-        LogisticRegression::new("y", "x")
-            .fit(&Executor::new(), &db, table)
-            .unwrap()
+        fit(&LogisticRegression::new("y", "x"), table).unwrap()
     }
 
     #[test]
@@ -491,17 +493,12 @@ mod tests {
 
     #[test]
     fn rejects_bad_labels_and_empty_input() {
-        let db = Database::new(2).unwrap();
         let mut bad = Table::new(labeled_point_schema(), 2).unwrap();
         bad.insert(row![2.0, vec![1.0]]).unwrap();
-        assert!(LogisticRegression::new("y", "x")
-            .fit(&Executor::new(), &db, &bad)
-            .is_err());
+        assert!(fit(&LogisticRegression::new("y", "x"), &bad).is_err());
 
         let empty = Table::new(labeled_point_schema(), 2).unwrap();
-        assert!(LogisticRegression::new("y", "x")
-            .fit(&Executor::new(), &db, &empty)
-            .is_err());
+        assert!(fit(&LogisticRegression::new("y", "x"), &empty).is_err());
     }
 
     #[test]
@@ -513,16 +510,16 @@ mod tests {
             let y = if x > 0.0 { 1.0 } else { 0.0 };
             t.insert(row![y, vec![1.0, x]]).unwrap();
         }
-        let db = Database::new(2).unwrap();
+        let session = Session::in_memory(2).unwrap();
         let model = LogisticRegression::new("y", "x")
             .with_ridge(1e-3)
             .with_max_iterations(30)
-            .fit(&Executor::new(), &db, &t)
+            .fit(&Dataset::from_table(&t), &session)
             .unwrap();
         assert!(model.coef[1] > 0.0);
         assert!(model.coef.iter().all(|c| c.is_finite()));
         // Temp state tables are cleaned up.
-        assert!(db.list_tables().is_empty());
+        assert!(session.database().list_tables().is_empty());
     }
 
     #[test]
@@ -532,8 +529,7 @@ mod tests {
             .with_tolerance(1e-3)
             .with_ridge(0.1);
         let data = logistic_regression_data(200, 2, 2, 3).unwrap();
-        let db = Database::new(2).unwrap();
-        let model = lr.fit(&Executor::new(), &db, &data.table).unwrap();
+        let model = fit(&lr, &data.table).unwrap();
         assert!(model.num_iterations <= 5);
     }
 }

@@ -1,0 +1,368 @@
+//! The uniform training convention: `Session::train(estimator, dataset)`.
+//!
+//! MADlib's interface contract (paper Sections 3–4) is that every method is
+//! called the same way — `method_train(source_table, output, dep_var,
+//! indep_vars, grouping_cols)` — and that supplying `grouping_cols` trains
+//! one model *per group* in the same call.  This module is the Rust shape of
+//! that contract:
+//!
+//! * [`Estimator`] — one trait, one signature, for every trainable method:
+//!   `fit(&self, dataset, session)`.  The dataset carries the rows
+//!   (source table + `WHERE` + `grouping_cols`, see
+//!   [`madlib_engine::dataset::Dataset`]); the session carries the execution
+//!   context (an [`Executor`] plus the [`Database`] iterative drivers stage
+//!   their temp tables in).  This replaces the old per-method signature zoo
+//!   (`LinearRegression::fit(&executor, &table)` vs
+//!   `LogisticRegression::fit(&executor, &db, &table)`).
+//! * [`Session::train`] — fits one model over an ungrouped dataset.
+//! * [`Session::train_grouped`] — the paper's `grouping_cols` scenario: one
+//!   model per distinct group key, returned as [`GroupedModels`] keyed by
+//!   the typed [`GroupKey`]s of the grouped scan.  Single-pass aggregating
+//!   estimators (linear regression, naive Bayes, the profiler) override
+//!   [`Estimator::fit_grouped`] to train *all* groups in one
+//!   segment-parallel [`Dataset::aggregate_per_group`] pass; iterative
+//!   estimators use the default per-group gather, which splits the input
+//!   into per-group tables **preserving each row's segment** so every
+//!   per-group fit is bitwise identical to filtering the source down to
+//!   that group and fitting it alone (property-tested in
+//!   `tests/grouped_training.rs`).
+
+use crate::error::{MethodError, Result};
+use madlib_engine::dataset::Dataset;
+use madlib_engine::group::GroupKey;
+use madlib_engine::{Database, Executor, Value};
+
+/// Execution context for training: the executor that runs scans and the
+/// database iterative drivers stage their (small) inter-iteration state in.
+///
+/// A session is cheap to clone ([`Database`] is a shared handle and
+/// [`Executor`] is `Copy`).  [`Session::train`] / [`Session::train_grouped`]
+/// supply the session's executor as the dataset's *default*: a dataset that
+/// never called [`Dataset::with_executor`] runs under the session's
+/// executor, while an explicitly bound one keeps its own (so mode
+/// comparisons can pin either side).
+#[derive(Debug, Clone)]
+pub struct Session {
+    executor: Executor,
+    database: Database,
+}
+
+impl Session {
+    /// Creates a session over `database` with the default parallel
+    /// chunk-at-a-time executor.
+    pub fn new(database: Database) -> Self {
+        Self {
+            executor: Executor::new(),
+            database,
+        }
+    }
+
+    /// Creates a session over a fresh in-memory database whose tables
+    /// default to `num_segments` partitions.
+    ///
+    /// # Errors
+    /// Propagates [`Database::new`] errors (zero segments).
+    pub fn in_memory(num_segments: usize) -> Result<Self> {
+        Ok(Self::new(Database::new(num_segments)?))
+    }
+
+    /// Replaces the session's executor (e.g. with
+    /// [`Executor::row_at_a_time`] for mode comparisons).
+    #[must_use]
+    pub fn with_executor(mut self, executor: Executor) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// The executor scans run under.
+    pub fn executor(&self) -> &Executor {
+        &self.executor
+    }
+
+    /// The database iterative drivers stage temp state in.
+    pub fn database(&self) -> &Database {
+        &self.database
+    }
+
+    /// Opens a dataset over a snapshot of the named catalog table, bound to
+    /// this session's executor.
+    ///
+    /// # Errors
+    /// Returns an error for an unknown table name.
+    pub fn dataset(&self, name: &str) -> Result<Dataset<'static>> {
+        Ok(self.database.dataset(name)?.with_executor(self.executor))
+    }
+
+    /// Trains one model over an ungrouped dataset.
+    ///
+    /// # Errors
+    /// Propagates estimator errors; errors when the dataset has grouping
+    /// columns (use [`Session::train_grouped`]).
+    pub fn train<E: Estimator>(&self, estimator: &E, dataset: &Dataset<'_>) -> Result<E::Model> {
+        if dataset.is_grouped() {
+            return Err(MethodError::invalid_input(
+                "dataset has grouping columns; use Session::train_grouped",
+            ));
+        }
+        estimator.fit(
+            &dataset.reborrow().with_default_executor(self.executor),
+            self,
+        )
+    }
+
+    /// Trains one model per distinct group key of a `group_by` dataset —
+    /// MADlib's `grouping_cols` — returning the models keyed by the typed
+    /// [`GroupKey`]s of the grouped scan, sorted by key (NULL group first).
+    ///
+    /// # Errors
+    /// Propagates estimator errors; errors when the dataset has no grouping
+    /// columns (use [`Session::train`]).
+    pub fn train_grouped<E: Estimator>(
+        &self,
+        estimator: &E,
+        dataset: &Dataset<'_>,
+    ) -> Result<GroupedModels<E::Model>> {
+        if !dataset.is_grouped() {
+            return Err(MethodError::invalid_input(
+                "dataset has no grouping columns; call group_by([...]) or use Session::train",
+            ));
+        }
+        estimator.fit_grouped(
+            &dataset.reborrow().with_default_executor(self.executor),
+            self,
+        )
+    }
+}
+
+/// A trainable method with the uniform `fit(dataset, session)` signature.
+pub trait Estimator {
+    /// The fitted model type.
+    type Model;
+
+    /// Fits one model over the dataset's (filtered) rows.
+    ///
+    /// Implementations read rows through the dataset's terminals (which
+    /// honour its filter and executor) and stage any iteration state through
+    /// `session.database()`.
+    ///
+    /// # Errors
+    /// Surfaces malformed input and numerical failures as [`MethodError`].
+    fn fit(&self, dataset: &Dataset<'_>, session: &Session) -> Result<Self::Model>;
+
+    /// Fits one model per distinct group key of a grouped dataset.
+    ///
+    /// The default implementation is the *per-group gather*: it splits the
+    /// dataset into per-group tables ([`Dataset::gather_groups`], which
+    /// preserves every row's segment and per-segment order) and fits each
+    /// group independently — correct for any estimator, including iterative
+    /// ones, and bitwise identical to filtering the source down to each
+    /// group and fitting it alone.  Single-pass aggregating estimators
+    /// override this to train all groups in one segment-parallel pass (see
+    /// [`fit_grouped_single_pass`]).
+    ///
+    /// # Errors
+    /// Propagates per-group fit errors and grouping errors (no grouping
+    /// column, unsupported multi-column grouping).
+    fn fit_grouped(
+        &self,
+        dataset: &Dataset<'_>,
+        session: &Session,
+    ) -> Result<GroupedModels<Self::Model>>
+    where
+        Self: Sized,
+    {
+        let groups = dataset.gather_groups()?;
+        let mut models = Vec::with_capacity(groups.len());
+        for (key, table) in &groups {
+            let group_dataset = Dataset::from_table(table).with_executor(*dataset.executor());
+            models.push((key.clone(), self.fit(&group_dataset, session)?));
+        }
+        Ok(GroupedModels::new(models))
+    }
+}
+
+/// Grouped training for single-pass aggregating estimators: one
+/// segment-parallel [`Dataset::aggregate_per_group`] pass trains every
+/// group's model at once (the paper's "one regression per group in a single
+/// scan").  Estimators whose [`madlib_engine::Aggregate::Output`] *is* their
+/// model call this from their [`Estimator::fit_grouped`] override.
+///
+/// # Errors
+/// Propagates aggregate and grouping errors.
+pub fn fit_grouped_single_pass<E>(
+    estimator: &E,
+    dataset: &Dataset<'_>,
+) -> Result<GroupedModels<E::Model>>
+where
+    E: Estimator + madlib_engine::Aggregate<Output = <E as Estimator>::Model>,
+{
+    Ok(GroupedModels::new(dataset.aggregate_per_group(estimator)?))
+}
+
+/// One model per group, keyed by the typed [`GroupKey`]s of the grouped
+/// scan, sorted by key (NULL group first).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupedModels<M> {
+    models: Vec<(GroupKey, M)>,
+}
+
+impl<M> GroupedModels<M> {
+    /// Wraps already-keyed models (assumed sorted by key).
+    pub fn new(models: Vec<(GroupKey, M)>) -> Self {
+        Self { models }
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether no group produced a model.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Iterates over `(key, model)` pairs in key order.
+    pub fn iter(&self) -> std::slice::Iter<'_, (GroupKey, M)> {
+        self.models.iter()
+    }
+
+    /// The group keys in order.
+    pub fn keys(&self) -> impl Iterator<Item = &GroupKey> {
+        self.models.iter().map(|(key, _)| key)
+    }
+
+    /// Looks up the model of the group containing `value` (NULL, NaN and
+    /// signed zeros resolve by group-key semantics, not `Value` equality).
+    pub fn get(&self, value: &Value) -> Option<&M> {
+        self.get_key(&GroupKey::from_value(value))
+    }
+
+    /// Looks up a model by its typed group key (binary search over the
+    /// key-sorted entries).
+    pub fn get_key(&self, key: &GroupKey) -> Option<&M> {
+        self.models
+            .binary_search_by(|(k, _)| k.cmp(key))
+            .ok()
+            .map(|idx| &self.models[idx].1)
+    }
+
+    /// Unwraps into the underlying `(key, model)` vector.
+    pub fn into_vec(self) -> Vec<(GroupKey, M)> {
+        self.models
+    }
+}
+
+impl<M> IntoIterator for GroupedModels<M> {
+    type Item = (GroupKey, M);
+    type IntoIter = std::vec::IntoIter<(GroupKey, M)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.models.into_iter()
+    }
+}
+
+impl<'a, M> IntoIterator for &'a GroupedModels<M> {
+    type Item = &'a (GroupKey, M);
+    type IntoIter = std::slice::Iter<'a, (GroupKey, M)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.models.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regress::LinearRegression;
+    use madlib_engine::{row, Column, ColumnType, Schema, Table};
+
+    fn grouped_table() -> Table {
+        let schema = Schema::new(vec![
+            Column::new("g", ColumnType::Text),
+            Column::new("y", ColumnType::Double),
+            Column::new("x", ColumnType::DoubleArray),
+        ]);
+        let mut t = Table::new(schema, 3).unwrap();
+        for i in 0..60 {
+            let (g, slope) = if i % 2 == 0 { ("a", 2.0) } else { ("b", -1.0) };
+            let x = i as f64 * 0.25;
+            t.insert(row![g, slope * x + 1.0, vec![1.0, x]]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn session_routes_grouped_and_ungrouped_training() {
+        let t = grouped_table();
+        let session = Session::in_memory(3).unwrap();
+        let estimator = LinearRegression::new("y", "x");
+
+        let whole = session.train(&estimator, &Dataset::from_table(&t)).unwrap();
+        assert_eq!(whole.num_rows, 60);
+
+        let grouped = session
+            .train_grouped(&estimator, &Dataset::from_table(&t).group_by(["g"]))
+            .unwrap();
+        assert_eq!(grouped.len(), 2);
+        let a = grouped.get(&Value::Text("a".into())).unwrap();
+        assert!((a.coef[1] - 2.0).abs() < 1e-8);
+        let b = grouped.get(&Value::Text("b".into())).unwrap();
+        assert!((b.coef[1] + 1.0).abs() < 1e-8);
+        assert!(grouped.get(&Value::Text("c".into())).is_none());
+
+        // Mis-routed calls are rejected with guidance.
+        assert!(session
+            .train(&estimator, &Dataset::from_table(&t).group_by(["g"]))
+            .is_err());
+        assert!(session
+            .train_grouped(&estimator, &Dataset::from_table(&t))
+            .is_err());
+    }
+
+    #[test]
+    fn explicitly_bound_dataset_executor_wins_over_the_session_default() {
+        use madlib_engine::ExecutionMode;
+
+        /// Reports which execution mode the training actually ran under.
+        struct Probe;
+        impl Estimator for Probe {
+            type Model = ExecutionMode;
+            fn fit(&self, dataset: &Dataset<'_>, _session: &Session) -> Result<ExecutionMode> {
+                Ok(dataset.executor().mode())
+            }
+        }
+
+        let t = grouped_table();
+        let session = Session::in_memory(1)
+            .unwrap()
+            .with_executor(Executor::row_at_a_time());
+        // Unbound dataset: the session's executor applies.
+        let mode = session.train(&Probe, &Dataset::from_table(&t)).unwrap();
+        assert_eq!(mode, ExecutionMode::RowAtATime);
+        // Explicitly bound dataset: its executor sticks.
+        let mode = session
+            .train(
+                &Probe,
+                &Dataset::from_table(&t).with_executor(Executor::new()),
+            )
+            .unwrap();
+        assert_eq!(mode, ExecutionMode::Chunked);
+    }
+
+    #[test]
+    fn session_dataset_binds_the_session_executor() {
+        let session = Session::in_memory(2)
+            .unwrap()
+            .with_executor(Executor::row_at_a_time());
+        session
+            .database()
+            .create_table(
+                "data",
+                Schema::new(vec![Column::new("v", ColumnType::Double)]),
+            )
+            .unwrap();
+        let ds = session.dataset("data").unwrap();
+        assert_eq!(ds.executor().mode(), session.executor().mode());
+    }
+}

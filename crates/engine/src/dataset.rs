@@ -1,0 +1,827 @@
+//! Lazy, composable scan descriptions — the engine half of the MADlib-style
+//! uniform calling convention.
+//!
+//! MADlib's defining interface decision (paper Sections 3–4) is that every
+//! method is invoked the same way: `method_train(source_table, output,
+//! dep_var, indep_vars, grouping_cols)` — one call, optionally one model
+//! *per group*.  [`Dataset`] is the Rust shape of the first half of that
+//! convention: a description of *which rows* a computation runs over —
+//! a source table, an optional predicate (the `WHERE` clause) and optional
+//! grouping columns (`grouping_cols`) — built lazily:
+//!
+//! ```
+//! # use madlib_engine::{Database, Column, ColumnType, Schema, Value, row};
+//! # use madlib_engine::expr::Predicate;
+//! # use madlib_engine::aggregate::CountAggregate;
+//! # let db = Database::new(2).unwrap();
+//! # db.create_table("patients", Schema::new(vec![
+//! #     Column::new("hospital", ColumnType::Text),
+//! #     Column::new("age", ColumnType::Double),
+//! # ])).unwrap();
+//! # db.with_table_mut("patients", |t| t.insert(row!["a", 40.0])).unwrap();
+//! let per_hospital = db
+//!     .dataset("patients")
+//!     .unwrap()
+//!     .filter(Predicate::column_gt("age", 18.0))
+//!     .group_by(["hospital"])
+//!     .aggregate_per_group(&CountAggregate)
+//!     .unwrap();
+//! ```
+//!
+//! Nothing is scanned until a *terminal operation* runs: [`Dataset::aggregate`],
+//! [`Dataset::aggregate_per_group`], [`Dataset::map_chunks`],
+//! [`Dataset::map_rows`], [`Dataset::collect_rows`] or
+//! [`Dataset::gather_groups`].  All of them dispatch onto the shared
+//! [`crate::scan`] pipeline (segment fan-out, chunk-level predicate masks,
+//! compaction), under the [`Executor`] the dataset is bound to — so a
+//! dataset built from a row-at-a-time executor reproduces the legacy scan
+//! exactly.
+//!
+//! The grouped terminal runs the segment-parallel, chunk-at-a-time hash
+//! grouping introduced in PR 2 (typed [`GroupKey`]s, counting-sort
+//! partitioning, per-group gathers through [`RowChunk::gather_rows`]); the
+//! deprecated `Executor::aggregate_grouped*` methods are now thin shims over
+//! it.  Currently exactly one grouping column is supported per dataset —
+//! multi-column `group_by` is accepted by the builder but reported as
+//! unsupported by the terminals (see the ROADMAP open item).
+
+use crate::aggregate::Aggregate;
+use crate::chunk::Segment;
+use crate::database::Database;
+use crate::error::{EngineError, Result};
+use crate::executor::{ExecutionMode, ExecutionStats, Executor};
+use crate::expr::Predicate;
+use crate::group::GroupKey;
+use crate::row::Row;
+use crate::scan;
+use crate::schema::Schema;
+use crate::table::Table;
+use std::borrow::Cow;
+use std::collections::{BTreeMap, HashMap};
+
+/// Once the mean rows-per-group within a chunk drops below this, the grouped
+/// scan stops gathering per-group sub-chunks and falls back to per-row
+/// transitions: a gather that yields only a couple of rows costs more than
+/// the vectorized kernel saves.  (Equality of results does not depend on the
+/// threshold — `transition_chunk` overrides are bit-identical to per-row
+/// transitions by contract — so this is purely a performance knob.)
+const MIN_ROWS_PER_GROUP_FOR_GATHER: usize = 4;
+
+/// A lazy, composable description of a scan: a source table plus an optional
+/// row predicate and optional grouping columns, bound to the [`Executor`]
+/// that will run it.
+///
+/// The table is held as a [`Cow`], so a dataset either borrows an existing
+/// [`Table`] ([`Dataset::from_table`] — zero-copy, used by the deprecated
+/// executor shims) or owns a catalog snapshot ([`Database::dataset`]).
+#[derive(Debug, Clone)]
+pub struct Dataset<'a> {
+    table: Cow<'a, Table>,
+    filter: Option<Predicate>,
+    group_columns: Vec<String>,
+    executor: Executor,
+    /// Whether [`Dataset::with_executor`] was called: an explicitly bound
+    /// executor wins over a training session's default (see
+    /// `Session::train`), while the implicit default is freely replaceable.
+    executor_bound: bool,
+}
+
+impl<'a> Dataset<'a> {
+    /// Creates a dataset borrowing `table`, with no filter or grouping,
+    /// bound to the default parallel chunk-at-a-time executor.
+    pub fn from_table(table: &'a Table) -> Dataset<'a> {
+        Dataset {
+            table: Cow::Borrowed(table),
+            filter: None,
+            group_columns: Vec::new(),
+            executor: Executor::new(),
+            executor_bound: false,
+        }
+    }
+
+    /// Creates a dataset that owns its table.
+    pub fn from_owned_table(table: Table) -> Dataset<'static> {
+        Dataset {
+            table: Cow::Owned(table),
+            filter: None,
+            group_columns: Vec::new(),
+            executor: Executor::new(),
+            executor_bound: false,
+        }
+    }
+
+    /// Restricts the dataset to rows accepted by `predicate`.  Chaining
+    /// filters composes with AND.
+    #[must_use]
+    pub fn filter(mut self, predicate: Predicate) -> Self {
+        self.filter = Some(match self.filter.take() {
+            None => predicate,
+            Some(existing) => existing.and(predicate),
+        });
+        self
+    }
+
+    /// Sets the grouping columns (the paper's `grouping_cols`).  Grouped
+    /// terminals evaluate their aggregate once per distinct group key.
+    ///
+    /// Exactly one grouping column is currently supported; passing more is
+    /// accepted here (the builder stays infallible) and reported by the
+    /// terminal operations.
+    #[must_use]
+    pub fn group_by<I, S>(mut self, columns: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.group_columns = columns.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Binds the dataset to a specific executor (mode and parallelism).
+    /// An executor bound here sticks: a training session will run this
+    /// dataset under it instead of the session's own executor.
+    #[must_use]
+    pub fn with_executor(mut self, executor: Executor) -> Self {
+        self.executor = executor;
+        self.executor_bound = true;
+        self
+    }
+
+    /// Binds `executor` only if none was explicitly bound yet — how a
+    /// training session applies its default without overriding an explicit
+    /// [`Dataset::with_executor`] choice.
+    #[must_use]
+    pub fn with_default_executor(mut self, executor: Executor) -> Self {
+        if !self.executor_bound {
+            self.executor = executor;
+        }
+        self
+    }
+
+    /// Whether [`Dataset::with_executor`] explicitly bound an executor.
+    pub fn has_bound_executor(&self) -> bool {
+        self.executor_bound
+    }
+
+    /// A cheap re-borrowing copy: the same filter/grouping over the same
+    /// table, but borrowing instead of owning — so callers (e.g. a training
+    /// session) can re-bind the executor without cloning table storage.
+    pub fn reborrow(&self) -> Dataset<'_> {
+        Dataset {
+            table: Cow::Borrowed(self.table.as_ref()),
+            filter: self.filter.clone(),
+            group_columns: self.group_columns.clone(),
+            executor: self.executor,
+            executor_bound: self.executor_bound,
+        }
+    }
+
+    /// The source table.
+    pub fn table(&self) -> &Table {
+        self.table.as_ref()
+    }
+
+    /// The source table's schema.
+    pub fn schema(&self) -> &Schema {
+        self.table.schema()
+    }
+
+    /// The composed row predicate, if any.
+    pub fn filter_predicate(&self) -> Option<&Predicate> {
+        self.filter.as_ref()
+    }
+
+    /// The grouping columns (empty when ungrouped).
+    pub fn group_columns(&self) -> &[String] {
+        &self.group_columns
+    }
+
+    /// Whether the dataset has grouping columns.
+    pub fn is_grouped(&self) -> bool {
+        !self.group_columns.is_empty()
+    }
+
+    /// The executor this dataset is bound to.
+    pub fn executor(&self) -> &Executor {
+        &self.executor
+    }
+
+    /// Resolves the single supported grouping column, or explains why not.
+    fn group_column(&self) -> Result<&str> {
+        match self.group_columns.as_slice() {
+            [] => Err(EngineError::invalid(
+                "dataset has no grouping columns; call group_by([...]) first",
+            )),
+            [column] => Ok(column),
+            many => Err(EngineError::invalid(format!(
+                "multi-column grouping is not supported yet ({} columns given); \
+                 group by a single column",
+                many.len()
+            ))),
+        }
+    }
+
+    fn require_ungrouped(&self, operation: &str) -> Result<()> {
+        if self.is_grouped() {
+            return Err(EngineError::invalid(format!(
+                "{operation} over a grouped dataset; use aggregate_per_group \
+                 (or Session::train_grouped) for grouped evaluation"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Runs `aggregate` over the dataset's (filtered) rows and returns the
+    /// finalized output.  Terminal operation; requires an ungrouped dataset.
+    ///
+    /// # Errors
+    /// Propagates aggregate and predicate errors; errors on a grouped
+    /// dataset.
+    pub fn aggregate<A: Aggregate>(&self, aggregate: &A) -> Result<A::Output> {
+        Ok(self.aggregate_with_stats(aggregate)?.0)
+    }
+
+    /// Like [`Dataset::aggregate`], additionally returning scan statistics.
+    ///
+    /// # Errors
+    /// Propagates aggregate and predicate errors; errors on a grouped
+    /// dataset.
+    pub fn aggregate_with_stats<A: Aggregate>(
+        &self,
+        aggregate: &A,
+    ) -> Result<(A::Output, ExecutionStats)> {
+        self.require_ungrouped("ungrouped aggregation")?;
+        self.executor
+            .aggregate_with_stats(self.table(), aggregate, self.filter.as_ref())
+    }
+
+    /// Runs `aggregate` once per distinct group key, returning the finalized
+    /// per-group outputs sorted by key ([`GroupKey`]'s total order, NULL
+    /// group first).  Groups with no (filter-surviving) rows are absent.
+    ///
+    /// The grouping is evaluated per segment on the shared scan pipeline and
+    /// the per-segment group states merged in segment order, so the
+    /// data-parallel structure is identical to the ungrouped path — this is
+    /// what lets MADlib train e.g. one regression per group in a single pass
+    /// (Section 4.2's grouping constructs).  Under the chunked executor each
+    /// chunk is partitioned by key and every group's rows are gathered, in
+    /// row order, into a compacted sub-chunk for
+    /// [`Aggregate::transition_chunk`] (falling back per-row when groups are
+    /// too small for batching to pay off).
+    ///
+    /// # Errors
+    /// Propagates aggregate, predicate and column-lookup errors; errors when
+    /// the dataset has no (or more than one) grouping column.
+    pub fn aggregate_per_group<A: Aggregate>(
+        &self,
+        aggregate: &A,
+    ) -> Result<Vec<(GroupKey, A::Output)>> {
+        let schema = self.schema();
+        let group_idx = schema.index_of(self.group_column()?)?;
+        let filter = self.filter.as_ref();
+        let mode = self.executor.mode();
+        let segment_results = scan::run_per_segment(
+            self.table(),
+            self.executor.is_parallel(),
+            |_, segment| match mode {
+                ExecutionMode::Chunked => {
+                    run_segment_grouped_chunked(aggregate, segment, schema, group_idx, filter)
+                }
+                ExecutionMode::RowAtATime => {
+                    run_segment_grouped_rows(aggregate, segment, schema, group_idx, filter)
+                }
+            },
+        );
+
+        // Fold the per-segment states in segment order: per key, states
+        // merge pairwise left-to-right, so results are deterministic and
+        // agree with the ungrouped path's merge structure.
+        let mut merged: HashMap<GroupKey, A::State> = HashMap::new();
+        for res in segment_results {
+            for (key, state) in res? {
+                let combined = match merged.remove(&key) {
+                    None => state,
+                    Some(prev) => aggregate.merge(prev, state),
+                };
+                merged.insert(key, combined);
+            }
+        }
+
+        let mut entries: Vec<(GroupKey, A::State)> = merged.into_iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut out = Vec::with_capacity(entries.len());
+        for (key, state) in entries {
+            out.push((key, aggregate.finalize(state)?));
+        }
+        Ok(out)
+    }
+
+    /// Applies `map` once per column-major chunk of filter-surviving rows
+    /// (per segment, in parallel) and concatenates the outputs in
+    /// segment-then-row order.  Partially selected chunks arrive compacted,
+    /// so `map` only ever sees rows that passed the filter.  Terminal
+    /// operation; requires an ungrouped dataset.
+    ///
+    /// # Errors
+    /// Propagates predicate errors and errors returned by `map`.
+    pub fn map_chunks<T, F>(&self, map: F) -> Result<Vec<T>>
+    where
+        T: Send,
+        F: Fn(&crate::chunk::RowChunk, &Schema) -> Result<Vec<T>> + Sync,
+    {
+        self.require_ungrouped("chunk projection")?;
+        let schema = self.schema();
+        let filter = self.filter.as_ref();
+        let per_segment =
+            scan::run_per_segment(self.table(), self.executor.is_parallel(), |_, segment| {
+                let mut out = Vec::with_capacity(segment.len());
+                scan::scan_segment_chunks(segment, schema, filter, |batch| {
+                    out.extend(map(batch.chunk(), schema)?);
+                    Ok(())
+                })?;
+                Ok(out)
+            });
+        let mut out = Vec::with_capacity(self.table().row_count());
+        for res in per_segment {
+            out.extend(res?);
+        }
+        Ok(out)
+    }
+
+    /// Applies `map` to every filter-surviving row (per segment, in
+    /// parallel), concatenating outputs in segment-then-row order.  The
+    /// row-level adapter over [`Dataset::map_chunks`].
+    ///
+    /// # Errors
+    /// Propagates predicate errors and errors returned by `map`.
+    pub fn map_rows<T, F>(&self, map: F) -> Result<Vec<T>>
+    where
+        T: Send,
+        F: Fn(&Row, &Schema) -> Result<T> + Sync,
+    {
+        self.map_chunks(|chunk, schema| {
+            let mut out = Vec::with_capacity(chunk.len());
+            let mut values = Vec::with_capacity(chunk.arity());
+            for i in 0..chunk.len() {
+                chunk.read_row_into(i, &mut values);
+                let row = Row::new(std::mem::take(&mut values));
+                out.push(map(&row, schema)?);
+                values = row.into_values();
+            }
+            Ok(out)
+        })
+    }
+
+    /// Materializes the filter-surviving rows in segment order.  Terminal
+    /// operation; requires an ungrouped dataset.  Intended for small results
+    /// and tests — large scans should stay on the aggregate/map terminals.
+    ///
+    /// # Errors
+    /// Propagates predicate errors.
+    pub fn collect_rows(&self) -> Result<Vec<Row>> {
+        self.map_rows(|row, _| Ok(row.clone()))
+    }
+
+    /// The first filter-surviving row in segment order, if any.  Serial;
+    /// used by drivers that probe the input shape (e.g. the feature width)
+    /// before iterating.
+    ///
+    /// # Errors
+    /// Propagates predicate errors.
+    pub fn first_row(&self) -> Result<Option<Row>> {
+        let schema = self.schema();
+        for row in self.table().iter() {
+            match &self.filter {
+                Some(pred) if !pred.evaluate(&row, schema)? => continue,
+                _ => return Ok(Some(row)),
+            }
+        }
+        Ok(None)
+    }
+
+    /// Splits the dataset into one table per group, preserving each row's
+    /// original segment (and per-segment row order) so that any scan over a
+    /// gathered table is bitwise identical to a scan over the source
+    /// filtered down to that group.  Groups are returned sorted by key.
+    ///
+    /// This is the "per-group gather" used to run *iterative* estimators per
+    /// group: single-pass aggregates go through
+    /// [`Dataset::aggregate_per_group`] instead and never materialize
+    /// per-group storage.
+    ///
+    /// # Errors
+    /// Propagates predicate and column-lookup errors; errors when the
+    /// dataset has no (or more than one) grouping column.
+    pub fn gather_groups(&self) -> Result<Vec<(GroupKey, Table)>> {
+        let schema = self.schema();
+        let group_idx = schema.index_of(self.group_column()?)?;
+        let source = self.table();
+        let filter = self.filter.as_ref();
+        // Per segment, in parallel: split the filter-surviving rows by key,
+        // preserving row order within each (segment, group).
+        let per_segment =
+            scan::run_per_segment(source, self.executor.is_parallel(), |_, segment| {
+                let mut slots: HashMap<GroupKey, usize> = HashMap::new();
+                let mut split: Vec<(GroupKey, Vec<Row>)> = Vec::new();
+                scan::scan_segment_rows(segment, schema, filter, |row| {
+                    let key = GroupKey::from_value(row.get(group_idx));
+                    let slot = match slots.get(&key) {
+                        Some(&slot) => slot,
+                        None => {
+                            split.push((key.clone(), Vec::new()));
+                            slots.insert(key, split.len() - 1);
+                            split.len() - 1
+                        }
+                    };
+                    split[slot].1.push(row.clone());
+                    Ok(())
+                })?;
+                Ok(split)
+            });
+        // Assemble the per-group tables in segment order, so every row keeps
+        // its original segment and per-segment position.
+        let mut groups: BTreeMap<GroupKey, Table> = BTreeMap::new();
+        for (seg, res) in per_segment.into_iter().enumerate() {
+            for (key, rows) in res? {
+                if !groups.contains_key(&key) {
+                    let table = Table::new(schema.clone(), source.num_segments())?
+                        .with_chunk_capacity(source.chunk_capacity())?;
+                    groups.insert(key.clone(), table);
+                }
+                let table = groups.get_mut(&key).expect("group table inserted above");
+                for row in rows {
+                    table.insert_into_segment(seg, row)?;
+                }
+            }
+        }
+        Ok(groups.into_iter().collect())
+    }
+}
+
+impl Database {
+    /// Opens a dataset over a snapshot of the named table (the analogue of
+    /// naming a `source_table` in a MADlib call).
+    ///
+    /// # Errors
+    /// Returns [`EngineError::TableNotFound`] for an unknown name.
+    pub fn dataset(&self, name: &str) -> Result<Dataset<'static>> {
+        Ok(Dataset::from_owned_table(self.table(name)?))
+    }
+}
+
+fn run_segment_grouped_chunked<A: Aggregate>(
+    aggregate: &A,
+    segment: &Segment,
+    schema: &Schema,
+    group_idx: usize,
+    filter: Option<&Predicate>,
+) -> Result<Vec<(GroupKey, A::State)>> {
+    // Segment-level group directory: each distinct key is hashed into a
+    // dense slot exactly once per row, and states live in a flat vector
+    // indexed by slot.
+    let mut slots: HashMap<GroupKey, u32> = HashMap::new();
+    let mut states: Vec<A::State> = Vec::new();
+    // Per-chunk scratch, reused across chunks: the slot of every row,
+    // the distinct slots of the current chunk (first-seen order) with
+    // their in-chunk row counts, and an epoch-stamped marker per slot
+    // (`u32::MAX` = not yet seen this chunk) locating each slot's entry
+    // in `chunk_groups`.
+    let mut row_slots: Vec<u32> = Vec::new();
+    let mut chunk_groups: Vec<(u32, u32)> = Vec::new();
+    let mut chunk_group_of_slot: Vec<u32> = Vec::new();
+    let mut scatter: Vec<u32> = Vec::new();
+    let mut offsets: Vec<u32> = Vec::new();
+    let mut row_values: Vec<crate::value::Value> = Vec::new();
+
+    scan::scan_segment_chunks(segment, schema, filter, |batch| {
+        let chunk = batch.chunk();
+        let column = chunk.column(group_idx);
+        let rows = chunk.len();
+
+        // Pass 1: key every row into its segment-level slot and tally
+        // this chunk's distinct groups (the per-group selection masks,
+        // in compressed slot form).  Group values cluster in practice,
+        // so probe the previous row's key in place first — for text and
+        // array keys that skips the per-row key allocation entirely.
+        row_slots.clear();
+        for group in chunk_groups.drain(..) {
+            chunk_group_of_slot[group.0 as usize] = u32::MAX;
+        }
+        let mut previous: Option<(GroupKey, u32)> = None;
+        for i in 0..rows {
+            let slot = match &previous {
+                Some((key, slot)) if key.matches_column(column, i) => *slot,
+                _ => {
+                    let key = GroupKey::from_column(column, i);
+                    let slot = match slots.get(&key) {
+                        Some(&slot) => slot,
+                        None => {
+                            let slot = states.len() as u32;
+                            states.push(aggregate.initial_state());
+                            chunk_group_of_slot.push(u32::MAX);
+                            slots.insert(key.clone(), slot);
+                            slot
+                        }
+                    };
+                    previous = Some((key, slot));
+                    slot
+                }
+            };
+            row_slots.push(slot);
+            let marker = &mut chunk_group_of_slot[slot as usize];
+            if *marker == u32::MAX {
+                *marker = chunk_groups.len() as u32;
+                chunk_groups.push((slot, 0));
+            }
+            chunk_groups[*marker as usize].1 += 1;
+        }
+
+        if chunk_groups.len() == 1 {
+            // Single-key chunk: the whole chunk is one group's batch.
+            let slot = chunk_groups[0].0 as usize;
+            return aggregate.transition_chunk(&mut states[slot], chunk, schema);
+        }
+
+        if rows >= chunk_groups.len() * MIN_ROWS_PER_GROUP_FOR_GATHER {
+            // Batches are big enough for the vectorized kernels: bucket
+            // the row indices by group (counting-sort scatter, one flat
+            // reused buffer) and gather each group's rows — in row
+            // order — into a compacted sub-chunk.
+            offsets.clear();
+            let mut running = 0u32;
+            for &(_, count) in chunk_groups.iter() {
+                offsets.push(running);
+                running += count;
+            }
+            scatter.resize(rows, 0);
+            let mut cursors = offsets.clone();
+            for (i, &slot) in row_slots.iter().enumerate() {
+                let g = chunk_group_of_slot[slot as usize] as usize;
+                scatter[cursors[g] as usize] = i as u32;
+                cursors[g] += 1;
+            }
+            for (g, &(slot, count)) in chunk_groups.iter().enumerate() {
+                let start = offsets[g] as usize;
+                let indices = &scatter[start..start + count as usize];
+                let sub = chunk.gather_rows(indices);
+                aggregate.transition_chunk(&mut states[slot as usize], &sub, schema)?;
+            }
+        } else {
+            // High-cardinality chunk: gathering two-row sub-chunks costs
+            // more than it saves, so feed per-row transitions instead.
+            // Identical results by the `transition_chunk` contract —
+            // each group's state still sees its rows in row order.
+            for (i, &slot) in row_slots.iter().enumerate() {
+                chunk.read_row_into(i, &mut row_values);
+                let row = Row::new(std::mem::take(&mut row_values));
+                aggregate.transition(&mut states[slot as usize], &row, schema)?;
+                row_values = row.into_values();
+            }
+        }
+        Ok(())
+    })?;
+
+    Ok(collect_slotted_states(slots, states))
+}
+
+fn run_segment_grouped_rows<A: Aggregate>(
+    aggregate: &A,
+    segment: &Segment,
+    schema: &Schema,
+    group_idx: usize,
+    filter: Option<&Predicate>,
+) -> Result<Vec<(GroupKey, A::State)>> {
+    let mut slots: HashMap<GroupKey, u32> = HashMap::new();
+    let mut states: Vec<A::State> = Vec::new();
+    scan::scan_segment_rows(segment, schema, filter, |row| {
+        let key = GroupKey::from_value(row.get(group_idx));
+        let slot = match slots.get(&key) {
+            Some(&slot) => slot,
+            None => {
+                let slot = states.len() as u32;
+                states.push(aggregate.initial_state());
+                slots.insert(key, slot);
+                slot
+            }
+        };
+        aggregate.transition(&mut states[slot as usize], row, schema)
+    })?;
+    Ok(collect_slotted_states(slots, states))
+}
+
+/// Zips a key→slot directory back together with its slot-indexed states.
+fn collect_slotted_states<S>(slots: HashMap<GroupKey, u32>, states: Vec<S>) -> Vec<(GroupKey, S)> {
+    let mut keys: Vec<(GroupKey, u32)> = slots.into_iter().collect();
+    keys.sort_unstable_by_key(|(_, slot)| *slot);
+    keys.into_iter().map(|(key, _)| key).zip(states).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::{CountAggregate, SumAggregate};
+    use crate::row;
+    use crate::schema::{Column, ColumnType};
+    use crate::value::Value;
+
+    fn make_table(segments: usize, rows: usize) -> Table {
+        let schema = Schema::new(vec![
+            Column::new("grp", ColumnType::Text),
+            Column::new("y", ColumnType::Double),
+            Column::new("x", ColumnType::DoubleArray),
+        ]);
+        let mut t = Table::new(schema, segments).unwrap();
+        for i in 0..rows {
+            let grp = if i % 2 == 0 { "even" } else { "odd" };
+            t.insert(row![grp, i as f64, vec![i as f64, 1.0]]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn builder_composes_filters_and_grouping() {
+        let t = make_table(2, 10);
+        let ds = Dataset::from_table(&t)
+            .filter(Predicate::column_gt("y", 1.5))
+            .filter(Predicate::column_lt("y", 8.5))
+            .group_by(["grp"]);
+        assert!(ds.is_grouped());
+        assert_eq!(ds.group_columns(), ["grp".to_owned()]);
+        // Both filters apply (AND): y in {2..8} → 7 rows.
+        let groups = ds.aggregate_per_group(&CountAggregate).unwrap();
+        let total: u64 = groups.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn ungrouped_terminals_reject_grouped_datasets() {
+        let t = make_table(2, 4);
+        let ds = Dataset::from_table(&t).group_by(["grp"]);
+        assert!(ds.aggregate(&CountAggregate).is_err());
+        assert!(ds.map_rows(|_, _| Ok(())).is_err());
+        assert!(ds.collect_rows().is_err());
+    }
+
+    #[test]
+    fn grouped_terminals_require_exactly_one_column() {
+        let t = make_table(2, 4);
+        assert!(Dataset::from_table(&t)
+            .aggregate_per_group(&CountAggregate)
+            .is_err());
+        assert!(Dataset::from_table(&t)
+            .group_by(["grp", "y"])
+            .aggregate_per_group(&CountAggregate)
+            .is_err());
+        assert!(Dataset::from_table(&t).gather_groups().is_err());
+    }
+
+    #[test]
+    fn grouped_aggregation_matches_filtered_runs() {
+        let base = make_table(1, 97);
+        let mut t = Table::new(base.schema().clone(), 4)
+            .unwrap()
+            .with_chunk_capacity(16)
+            .unwrap();
+        t.insert_all(base.iter()).unwrap();
+
+        for executor in [Executor::new(), Executor::row_at_a_time()] {
+            let groups = Dataset::from_table(&t)
+                .with_executor(executor)
+                .group_by(["grp"])
+                .aggregate_per_group(&SumAggregate::new("y"))
+                .unwrap();
+            assert_eq!(groups.len(), 2);
+            for (key, sum) in &groups {
+                let filtered = Dataset::from_table(&t)
+                    .with_executor(executor)
+                    .filter(Predicate::column_is_key("grp", key.clone()))
+                    .aggregate(&SumAggregate::new("y"))
+                    .unwrap();
+                assert_eq!(sum.to_bits(), filtered.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_keys_are_typed_not_stringly() {
+        let schema = Schema::new(vec![
+            Column::new("k", ColumnType::Double),
+            Column::new("v", ColumnType::Double),
+        ]);
+        let mut t = Table::new(schema, 2).unwrap();
+        // -0.0 and 0.0 must be distinct groups; NaNs must form one group.
+        t.insert(row![0.0, 1.0]).unwrap();
+        t.insert(row![-0.0, 2.0]).unwrap();
+        t.insert(row![f64::NAN, 4.0]).unwrap();
+        t.insert(row![f64::NAN, 8.0]).unwrap();
+        t.insert(Row::new(vec![Value::Null, Value::Double(16.0)]))
+            .unwrap();
+        let groups = Dataset::from_table(&t)
+            .group_by(["k"])
+            .aggregate_per_group(&SumAggregate::new("v"))
+            .unwrap();
+        assert_eq!(groups.len(), 4);
+        // Total order: NULL first, then -0.0 < 0.0 < NaN.
+        assert_eq!(groups[0].0, GroupKey::Null);
+        assert_eq!(groups[0].1, 16.0);
+        match groups[1].0.clone().into_value() {
+            Value::Double(v) => assert_eq!(v.to_bits(), (-0.0f64).to_bits()),
+            other => panic!("unexpected key {other:?}"),
+        }
+        assert_eq!(groups[1].1, 2.0);
+        assert_eq!(groups[2].0.clone().into_value(), Value::Double(0.0));
+        assert_eq!(groups[2].1, 1.0);
+        match groups[3].0.clone().into_value() {
+            Value::Double(v) => assert!(v.is_nan()),
+            other => panic!("unexpected key {other:?}"),
+        }
+        assert_eq!(groups[3].1, 12.0);
+
+        // The ColumnIs predicate selects exactly one group, NaN included.
+        for (key, sum) in &groups {
+            let filtered = Dataset::from_table(&t)
+                .filter(Predicate::column_is_key("k", key.clone()))
+                .aggregate(&SumAggregate::new("v"))
+                .unwrap();
+            assert_eq!(filtered.to_bits(), sum.to_bits());
+        }
+    }
+
+    #[test]
+    fn map_and_collect_respect_filters() {
+        let t = make_table(3, 12);
+        let ds = Dataset::from_table(&t).filter(Predicate::column_gt("y", 5.5));
+        let rows = ds.collect_rows().unwrap();
+        assert_eq!(rows.len(), 6);
+        let ys: Vec<f64> = ds
+            .map_rows(|row, schema| row.get_named(schema, "y")?.as_double())
+            .unwrap();
+        assert!(ys.iter().all(|&y| y > 5.5));
+        let by_chunks: Vec<f64> = ds
+            .map_chunks(|chunk, schema| {
+                let idx = schema.index_of("y")?;
+                Ok(chunk.doubles(idx)?.values.to_vec())
+            })
+            .unwrap();
+        assert_eq!(ys, by_chunks);
+
+        let first = ds.first_row().unwrap().unwrap();
+        assert_eq!(first.get(1).as_double().unwrap(), ys[0]);
+        let none = Dataset::from_table(&t)
+            .filter(Predicate::column_gt("y", 1e9))
+            .first_row()
+            .unwrap();
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn gather_groups_preserves_segment_placement() {
+        let base = make_table(1, 41);
+        let mut t = Table::new(base.schema().clone(), 3)
+            .unwrap()
+            .with_chunk_capacity(8)
+            .unwrap();
+        t.insert_all(base.iter()).unwrap();
+
+        let gathered = Dataset::from_table(&t)
+            .group_by(["grp"])
+            .gather_groups()
+            .unwrap();
+        assert_eq!(gathered.len(), 2);
+        let mut total = 0;
+        for (key, group_table) in &gathered {
+            assert_eq!(group_table.num_segments(), t.num_segments());
+            assert_eq!(group_table.chunk_capacity(), t.chunk_capacity());
+            total += group_table.row_count();
+            // Per segment, the gathered rows are the source segment's rows
+            // of this group, in order.
+            for seg in 0..t.num_segments() {
+                let expected: Vec<Row> = t
+                    .segment(seg)
+                    .iter()
+                    .filter(|r| GroupKey::from_value(r.get(0)) == *key)
+                    .collect();
+                let got: Vec<Row> = group_table.segment(seg).iter().collect();
+                assert_eq!(got, expected);
+            }
+        }
+        assert_eq!(total, t.row_count());
+    }
+
+    #[test]
+    fn database_dataset_snapshots_the_catalog_table() {
+        let db = Database::new(2).unwrap();
+        let schema = Schema::new(vec![Column::new("v", ColumnType::Double)]);
+        db.create_table("data", schema).unwrap();
+        db.with_table_mut("data", |t| {
+            for i in 0..6 {
+                t.insert(row![i as f64])?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        let ds = db.dataset("data").unwrap();
+        assert_eq!(ds.aggregate(&CountAggregate).unwrap(), 6);
+        assert!(db.dataset("missing").is_err());
+    }
+}

@@ -9,29 +9,34 @@
 //! cross segment boundaries — the property the paper credits for its
 //! near-linear parallel speedup.
 //!
-//! Every scan the executor issues — ungrouped aggregation, grouped
-//! aggregation, and `parallel_map` projections — runs on the shared
-//! [`crate::scan`] pipeline: segments fan out to worker threads
-//! ([`crate::scan::run_per_segment`], which converts worker panics into
-//! [`EngineError::WorkerPanicked`]), and within a segment chunks stream
-//! through [`crate::scan::scan_segment_chunks`] with predicates hoisted to
+//! Every scan the executor issues — ungrouped aggregation and
+//! `parallel_map` projections — runs on the shared [`crate::scan`] pipeline:
+//! segments fan out to worker threads ([`crate::scan::run_per_segment`],
+//! which converts worker panics into [`EngineError::WorkerPanicked`]), and
+//! within a segment chunks stream through
+//! [`crate::scan::scan_segment_chunks`] with predicates hoisted to
 //! one [`crate::chunk::SelectionMask`] per chunk.
 //! [`ExecutionMode::RowAtATime`] swaps the inner loop for the legacy per-row
 //! scan; results are identical by contract, and the benchmark harness sweeps
 //! both modes to reproduce the paper's Figure 4 "rewrite the inner loop"
 //! comparison.
+//!
+//! Filtered and grouped scans are described with [`crate::dataset::Dataset`]
+//! (`db.dataset("t")?.filter(...).group_by([...])`), which dispatches onto
+//! the same pipeline; the executor's old `aggregate_filtered` /
+//! `aggregate_grouped` / `aggregate_grouped_filtered` method matrix survives
+//! only as deprecated shims over it.
 
 use crate::aggregate::Aggregate;
 use crate::chunk::Segment;
+use crate::dataset::Dataset;
 use crate::error::{EngineError, Result};
 use crate::expr::Predicate;
-use crate::group::GroupKey;
 use crate::row::Row;
 use crate::scan;
 use crate::schema::Schema;
 use crate::table::Table;
 use crate::value::Value;
-use std::collections::HashMap;
 
 /// Statistics describing one aggregate execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -56,14 +61,6 @@ pub enum ExecutionMode {
     /// for debugging and for measuring the vectorization speedup.
     RowAtATime,
 }
-
-/// Once the mean rows-per-group within a chunk drops below this, the grouped
-/// scan stops gathering per-group sub-chunks and falls back to per-row
-/// transitions: a gather that yields only a couple of rows costs more than
-/// the vectorized kernel saves.  (Equality of results does not depend on the
-/// threshold — `transition_chunk` overrides are bit-identical to per-row
-/// transitions by contract — so this is purely a performance knob.)
-const MIN_ROWS_PER_GROUP_FOR_GATHER: usize = 4;
 
 /// Executes aggregates over partitioned tables.
 #[derive(Debug, Clone, Copy, Default)]
@@ -121,7 +118,7 @@ impl Executor {
     /// # Errors
     /// Propagates transition/final errors from the aggregate.
     pub fn aggregate<A: Aggregate>(&self, table: &Table, aggregate: &A) -> Result<A::Output> {
-        self.aggregate_filtered(table, aggregate, None)
+        Ok(self.aggregate_with_stats(table, aggregate, None)?.0)
     }
 
     /// Runs `aggregate` over the rows of `table` accepted by `filter`,
@@ -165,13 +162,21 @@ impl Executor {
     ///
     /// # Errors
     /// Propagates aggregate and predicate errors.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a `Dataset` instead: `Dataset::from_table(table).filter(...).aggregate(...)`"
+    )]
     pub fn aggregate_filtered<A: Aggregate>(
         &self,
         table: &Table,
         aggregate: &A,
         filter: Option<&Predicate>,
     ) -> Result<A::Output> {
-        Ok(self.aggregate_with_stats(table, aggregate, filter)?.0)
+        let mut dataset = Dataset::from_table(table).with_executor(*self);
+        if let Some(predicate) = filter {
+            dataset = dataset.filter(predicate.clone());
+        }
+        dataset.aggregate(aggregate)
     }
 
     fn run_segment<A: Aggregate>(
@@ -200,24 +205,27 @@ impl Executor {
     /// Groups are returned sorted by their typed key
     /// ([`crate::group::GroupKey`]'s total order, NULL group first).
     ///
-    /// The grouping is evaluated per segment on the shared scan pipeline and
-    /// the per-segment group states merged, so the data-parallel structure is
-    /// identical to the ungrouped path (this is what lets MADlib run e.g. one
-    /// regression per group in a single pass, as discussed for grouping
-    /// constructs in Section 4.2).  Within a segment the chunked mode
-    /// partitions each chunk by key and feeds every group's rows through
-    /// [`Aggregate::transition_chunk`] (falling back to per-row transitions
-    /// when groups are too small for batching to pay off).
-    ///
     /// # Errors
     /// Propagates aggregate and column-lookup errors.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a `Dataset` instead: \
+                `Dataset::from_table(table).group_by([...]).aggregate_per_group(...)`"
+    )]
     pub fn aggregate_grouped<A: Aggregate>(
         &self,
         table: &Table,
         group_column: &str,
         aggregate: &A,
     ) -> Result<Vec<(Value, A::Output)>> {
-        self.aggregate_grouped_filtered(table, group_column, aggregate, None)
+        let groups = Dataset::from_table(table)
+            .with_executor(*self)
+            .group_by([group_column])
+            .aggregate_per_group(aggregate)?;
+        Ok(groups
+            .into_iter()
+            .map(|(key, output)| (key.into_value(), output))
+            .collect())
     }
 
     /// Like [`Executor::aggregate_grouped`] but aggregating only the rows
@@ -226,6 +234,11 @@ impl Executor {
     ///
     /// # Errors
     /// Propagates aggregate, predicate and column-lookup errors.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a `Dataset` instead: \
+                `Dataset::from_table(table).filter(...).group_by([...]).aggregate_per_group(...)`"
+    )]
     pub fn aggregate_grouped_filtered<A: Aggregate>(
         &self,
         table: &Table,
@@ -233,199 +246,24 @@ impl Executor {
         aggregate: &A,
         filter: Option<&Predicate>,
     ) -> Result<Vec<(Value, A::Output)>> {
-        let schema = table.schema();
-        let group_idx = schema.index_of(group_column)?;
-        let mode = self.mode;
-        let segment_results =
-            scan::run_per_segment(table, self.parallel, |_, segment| match mode {
-                ExecutionMode::Chunked => {
-                    Self::run_segment_grouped_chunked(aggregate, segment, schema, group_idx, filter)
-                }
-                ExecutionMode::RowAtATime => {
-                    Self::run_segment_grouped_rows(aggregate, segment, schema, group_idx, filter)
-                }
-            });
-
-        // Fold the per-segment states in segment order: per key, states
-        // merge pairwise left-to-right, so results are deterministic and
-        // agree with the ungrouped path's merge structure.
-        let mut merged: HashMap<GroupKey, A::State> = HashMap::new();
-        for res in segment_results {
-            for (key, state) in res? {
-                let combined = match merged.remove(&key) {
-                    None => state,
-                    Some(prev) => aggregate.merge(prev, state),
-                };
-                merged.insert(key, combined);
-            }
+        let mut dataset = Dataset::from_table(table)
+            .with_executor(*self)
+            .group_by([group_column]);
+        if let Some(predicate) = filter {
+            dataset = dataset.filter(predicate.clone());
         }
-
-        let mut entries: Vec<(GroupKey, A::State)> = merged.into_iter().collect();
-        entries.sort_by(|a, b| a.0.cmp(&b.0));
-        let mut out = Vec::with_capacity(entries.len());
-        for (key, state) in entries {
-            out.push((key.into_value(), aggregate.finalize(state)?));
-        }
-        Ok(out)
-    }
-
-    fn run_segment_grouped_chunked<A: Aggregate>(
-        aggregate: &A,
-        segment: &Segment,
-        schema: &Schema,
-        group_idx: usize,
-        filter: Option<&Predicate>,
-    ) -> Result<Vec<(GroupKey, A::State)>> {
-        // Segment-level group directory: each distinct key is hashed into a
-        // dense slot exactly once per row, and states live in a flat vector
-        // indexed by slot.
-        let mut slots: HashMap<GroupKey, u32> = HashMap::new();
-        let mut states: Vec<A::State> = Vec::new();
-        // Per-chunk scratch, reused across chunks: the slot of every row,
-        // the distinct slots of the current chunk (first-seen order) with
-        // their in-chunk row counts, and an epoch-stamped marker per slot
-        // (`u32::MAX` = not yet seen this chunk) locating each slot's entry
-        // in `chunk_groups`.
-        let mut row_slots: Vec<u32> = Vec::new();
-        let mut chunk_groups: Vec<(u32, u32)> = Vec::new();
-        let mut chunk_group_of_slot: Vec<u32> = Vec::new();
-        let mut scatter: Vec<u32> = Vec::new();
-        let mut offsets: Vec<u32> = Vec::new();
-        let mut row_values: Vec<Value> = Vec::new();
-
-        scan::scan_segment_chunks(segment, schema, filter, |batch| {
-            let chunk = batch.chunk();
-            let column = chunk.column(group_idx);
-            let rows = chunk.len();
-
-            // Pass 1: key every row into its segment-level slot and tally
-            // this chunk's distinct groups (the per-group selection masks,
-            // in compressed slot form).  Group values cluster in practice,
-            // so probe the previous row's key in place first — for text and
-            // array keys that skips the per-row key allocation entirely.
-            row_slots.clear();
-            for group in chunk_groups.drain(..) {
-                chunk_group_of_slot[group.0 as usize] = u32::MAX;
-            }
-            let mut previous: Option<(GroupKey, u32)> = None;
-            for i in 0..rows {
-                let slot = match &previous {
-                    Some((key, slot)) if key.matches_column(column, i) => *slot,
-                    _ => {
-                        let key = GroupKey::from_column(column, i);
-                        let slot = match slots.get(&key) {
-                            Some(&slot) => slot,
-                            None => {
-                                let slot = states.len() as u32;
-                                states.push(aggregate.initial_state());
-                                chunk_group_of_slot.push(u32::MAX);
-                                slots.insert(key.clone(), slot);
-                                slot
-                            }
-                        };
-                        previous = Some((key, slot));
-                        slot
-                    }
-                };
-                row_slots.push(slot);
-                let marker = &mut chunk_group_of_slot[slot as usize];
-                if *marker == u32::MAX {
-                    *marker = chunk_groups.len() as u32;
-                    chunk_groups.push((slot, 0));
-                }
-                chunk_groups[*marker as usize].1 += 1;
-            }
-
-            if chunk_groups.len() == 1 {
-                // Single-key chunk: the whole chunk is one group's batch.
-                let slot = chunk_groups[0].0 as usize;
-                return aggregate.transition_chunk(&mut states[slot], chunk, schema);
-            }
-
-            if rows >= chunk_groups.len() * MIN_ROWS_PER_GROUP_FOR_GATHER {
-                // Batches are big enough for the vectorized kernels: bucket
-                // the row indices by group (counting-sort scatter, one flat
-                // reused buffer) and gather each group's rows — in row
-                // order — into a compacted sub-chunk.
-                offsets.clear();
-                let mut running = 0u32;
-                for &(_, count) in chunk_groups.iter() {
-                    offsets.push(running);
-                    running += count;
-                }
-                scatter.resize(rows, 0);
-                let mut cursors = offsets.clone();
-                for (i, &slot) in row_slots.iter().enumerate() {
-                    let g = chunk_group_of_slot[slot as usize] as usize;
-                    scatter[cursors[g] as usize] = i as u32;
-                    cursors[g] += 1;
-                }
-                for (g, &(slot, count)) in chunk_groups.iter().enumerate() {
-                    let start = offsets[g] as usize;
-                    let indices = &scatter[start..start + count as usize];
-                    let sub = chunk.gather_rows(indices);
-                    aggregate.transition_chunk(&mut states[slot as usize], &sub, schema)?;
-                }
-            } else {
-                // High-cardinality chunk: gathering two-row sub-chunks costs
-                // more than it saves, so feed per-row transitions instead.
-                // Identical results by the `transition_chunk` contract —
-                // each group's state still sees its rows in row order.
-                for (i, &slot) in row_slots.iter().enumerate() {
-                    chunk.read_row_into(i, &mut row_values);
-                    let row = Row::new(std::mem::take(&mut row_values));
-                    aggregate.transition(&mut states[slot as usize], &row, schema)?;
-                    row_values = row.into_values();
-                }
-            }
-            Ok(())
-        })?;
-
-        Ok(Self::collect_slotted_states(slots, states))
-    }
-
-    fn run_segment_grouped_rows<A: Aggregate>(
-        aggregate: &A,
-        segment: &Segment,
-        schema: &Schema,
-        group_idx: usize,
-        filter: Option<&Predicate>,
-    ) -> Result<Vec<(GroupKey, A::State)>> {
-        let mut slots: HashMap<GroupKey, u32> = HashMap::new();
-        let mut states: Vec<A::State> = Vec::new();
-        scan::scan_segment_rows(segment, schema, filter, |row| {
-            let key = GroupKey::from_value(row.get(group_idx));
-            let slot = match slots.get(&key) {
-                Some(&slot) => slot,
-                None => {
-                    let slot = states.len() as u32;
-                    states.push(aggregate.initial_state());
-                    slots.insert(key, slot);
-                    slot
-                }
-            };
-            aggregate.transition(&mut states[slot as usize], row, schema)
-        })?;
-        Ok(Self::collect_slotted_states(slots, states))
-    }
-
-    /// Zips a key→slot directory back together with its slot-indexed states.
-    fn collect_slotted_states<S>(
-        slots: HashMap<GroupKey, u32>,
-        states: Vec<S>,
-    ) -> Vec<(GroupKey, S)> {
-        let mut keys: Vec<(GroupKey, u32)> = slots.into_iter().collect();
-        keys.sort_unstable_by_key(|(_, slot)| *slot);
-        keys.into_iter().map(|(key, _)| key).zip(states).collect()
+        Ok(dataset
+            .aggregate_per_group(aggregate)?
+            .into_iter()
+            .map(|(key, output)| (key.into_value(), output))
+            .collect())
     }
 
     /// Applies `map` to every row in parallel per segment and collects the
     /// outputs (segment order preserved).  This is the engine's equivalent of
-    /// a parallel projection / per-row UDF scan.
-    ///
-    /// The default implementation rides on [`Executor::parallel_map_chunks`]
-    /// with a per-chunk adapter that materializes rows, so the fan-out,
-    /// panic handling and chunk iteration are shared with every other scan.
+    /// a parallel projection / per-row UDF scan — the unfiltered shorthand
+    /// for [`Dataset::map_rows`], which supplies the shared fan-out, panic
+    /// handling and row-materialization adapter.
     ///
     /// # Errors
     /// Propagates errors returned by `map`.
@@ -434,17 +272,9 @@ impl Executor {
         T: Send,
         F: Fn(&Row, &Schema) -> Result<T> + Sync,
     {
-        self.parallel_map_chunks(table, |chunk, schema| {
-            let mut out = Vec::with_capacity(chunk.len());
-            let mut values = Vec::with_capacity(chunk.arity());
-            for i in 0..chunk.len() {
-                chunk.read_row_into(i, &mut values);
-                let row = Row::new(std::mem::take(&mut values));
-                out.push(map(&row, schema)?);
-                values = row.into_values();
-            }
-            Ok(out)
-        })
+        Dataset::from_table(table)
+            .with_executor(*self)
+            .map_rows(map)
     }
 
     /// Chunk-level parallel projection: applies `map` once per column-major
@@ -452,7 +282,8 @@ impl Executor {
     /// segment-then-row order.  Chunk-aware consumers use this to read whole
     /// column slices (via [`crate::chunk::RowChunk::doubles`] /
     /// [`crate::chunk::RowChunk::double_arrays`]) instead of materialized
-    /// rows; [`Executor::parallel_map`] is the row-level adapter on top.
+    /// rows.  The unfiltered shorthand for [`Dataset::map_chunks`];
+    /// [`Executor::parallel_map`] is the row-level adapter on top.
     ///
     /// # Errors
     /// Propagates errors returned by `map`.
@@ -461,22 +292,9 @@ impl Executor {
         T: Send,
         F: Fn(&crate::chunk::RowChunk, &Schema) -> Result<Vec<T>> + Sync,
     {
-        let schema = table.schema();
-        let per_segment = scan::run_per_segment(table, self.parallel, |_, segment| {
-            let mut out = Vec::with_capacity(segment.len());
-            for chunk in segment.chunks() {
-                if chunk.is_empty() {
-                    continue;
-                }
-                out.extend(map(chunk, schema)?);
-            }
-            Ok(out)
-        });
-        let mut out = Vec::with_capacity(table.row_count());
-        for res in per_segment {
-            out.extend(res?);
-        }
-        Ok(out)
+        Dataset::from_table(table)
+            .with_executor(*self)
+            .map_chunks(map)
     }
 
     /// Validates that the executor can run against the table (non-empty when
@@ -606,106 +424,45 @@ mod tests {
         assert!(exec.validate_input(&t, false).is_ok());
     }
 
+    /// The deprecated 2×2 method-matrix shims must keep behaving exactly
+    /// like the [`Dataset`] terminals they forward to until their removal.
     #[test]
-    fn grouped_aggregation() {
-        let t = make_table(4, 10);
+    #[allow(deprecated)]
+    fn deprecated_shims_match_dataset_terminals() {
+        let t = make_table(4, 20);
         let exec = Executor::new();
-        let groups = exec.aggregate_grouped(&t, "grp", &CountAggregate).unwrap();
-        assert_eq!(groups.len(), 2);
-        assert_eq!(groups[0].0, Value::Text("even".into()));
-        assert_eq!(groups[0].1, 5);
-        assert_eq!(groups[1].0, Value::Text("odd".into()));
-        assert_eq!(groups[1].1, 5);
+        let pred = Predicate::column_gt("y", 4.5);
+
+        let shim = exec
+            .aggregate_filtered(&t, &SumAggregate::new("y"), Some(&pred))
+            .unwrap();
+        let direct = Dataset::from_table(&t)
+            .filter(pred.clone())
+            .aggregate(&SumAggregate::new("y"))
+            .unwrap();
+        assert_eq!(shim.to_bits(), direct.to_bits());
+
+        let shim = exec.aggregate_grouped(&t, "grp", &CountAggregate).unwrap();
+        assert_eq!(shim.len(), 2);
+        assert_eq!(shim[0].0, Value::Text("even".into()));
+        assert_eq!(shim[0].1, 10);
         assert!(exec
             .aggregate_grouped(&t, "missing", &CountAggregate)
             .is_err());
-    }
 
-    #[test]
-    fn grouped_aggregation_modes_and_filters_agree() {
-        let base = make_table(1, 97);
-        let mut t = Table::new(base.schema().clone(), 4)
-            .unwrap()
-            .with_chunk_capacity(16)
-            .unwrap();
-        t.insert_all(base.iter()).unwrap();
-
-        let pred = Predicate::column_gt("y", 20.5);
-        for filter in [None, Some(&pred)] {
-            let chunked = Executor::new()
-                .aggregate_grouped_filtered(&t, "grp", &SumAggregate::new("y"), filter)
-                .unwrap();
-            let by_rows = Executor::row_at_a_time()
-                .aggregate_grouped_filtered(&t, "grp", &SumAggregate::new("y"), filter)
-                .unwrap();
-            assert_eq!(chunked.len(), by_rows.len());
-            for ((ka, va), (kb, vb)) in chunked.iter().zip(&by_rows) {
-                assert_eq!(ka, kb);
-                assert_eq!(va.to_bits(), vb.to_bits());
-            }
-        }
-        // Filtered grouped aggregation drops rows, not groups with rows.
-        let filtered = Executor::new()
+        let shim = exec
             .aggregate_grouped_filtered(&t, "grp", &CountAggregate, Some(&pred))
             .unwrap();
-        let total: u64 = filtered.iter().map(|(_, c)| c).sum();
-        assert_eq!(total, 97 - 21);
-    }
-
-    #[test]
-    fn grouped_keys_are_typed_not_stringly() {
-        let schema = Schema::new(vec![
-            Column::new("k", ColumnType::Double),
-            Column::new("v", ColumnType::Double),
-        ]);
-        let mut t = Table::new(schema, 2).unwrap();
-        // -0.0 and 0.0 must be distinct groups; NaNs must form one group.
-        t.insert(row![0.0, 1.0]).unwrap();
-        t.insert(row![-0.0, 2.0]).unwrap();
-        t.insert(row![f64::NAN, 4.0]).unwrap();
-        t.insert(row![f64::NAN, 8.0]).unwrap();
-        t.insert(Row::new(vec![Value::Null, Value::Double(16.0)]))
+        let direct = Dataset::from_table(&t)
+            .filter(pred)
+            .group_by(["grp"])
+            .aggregate_per_group(&CountAggregate)
             .unwrap();
-        let groups = Executor::new()
-            .aggregate_grouped(&t, "k", &SumAggregate::new("v"))
-            .unwrap();
-        assert_eq!(groups.len(), 4);
-        // Total order: NULL first, then -0.0 < 0.0 < NaN.
-        assert_eq!(groups[0].0, Value::Null);
-        assert_eq!(groups[0].1, 16.0);
-        match groups[1].0 {
-            Value::Double(v) => assert_eq!(v.to_bits(), (-0.0f64).to_bits()),
-            ref other => panic!("unexpected key {other:?}"),
+        assert_eq!(shim.len(), direct.len());
+        for ((kv, cv), (kk, ck)) in shim.iter().zip(&direct) {
+            assert_eq!(kv, &kk.clone().into_value());
+            assert_eq!(cv, ck);
         }
-        assert_eq!(groups[1].1, 2.0);
-        assert_eq!(groups[2].0, Value::Double(0.0));
-        assert_eq!(groups[2].1, 1.0);
-        match groups[3].0 {
-            Value::Double(v) => assert!(v.is_nan()),
-            ref other => panic!("unexpected key {other:?}"),
-        }
-        assert_eq!(groups[3].1, 12.0);
-
-        // Integer keys sort numerically, not lexicographically.
-        let schema = Schema::new(vec![
-            Column::new("k", ColumnType::Int),
-            Column::new("v", ColumnType::Double),
-        ]);
-        let mut t = Table::new(schema, 2).unwrap();
-        for k in [10i64, 9, 100, 2] {
-            t.insert(row![k, 1.0]).unwrap();
-        }
-        let groups = Executor::new()
-            .aggregate_grouped(&t, "k", &CountAggregate)
-            .unwrap();
-        let keys: Vec<i64> = groups
-            .iter()
-            .map(|(k, _)| match k {
-                Value::Int(v) => *v,
-                other => panic!("unexpected key {other:?}"),
-            })
-            .collect();
-        assert_eq!(keys, vec![2, 9, 10, 100]);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use crate::chunk::{ColumnChunk, RowChunk, SelectionMask};
 use crate::error::{EngineError, Result};
+use crate::group::GroupKey;
 use crate::row::Row;
 use crate::schema::Schema;
 use crate::value::Value;
@@ -43,6 +44,18 @@ pub enum Predicate {
         /// Column name.
         column: String,
     },
+    /// Named column's *group key* equals the given key — SQL's
+    /// `IS NOT DISTINCT FROM` with the grouping semantics of
+    /// [`crate::group::GroupKey`]: NULL matches NULL, NaN matches NaN, and
+    /// `-0.0` / `0.0` are distinct.  This is the predicate that selects
+    /// exactly the rows of one group produced by a grouped scan, which plain
+    /// [`Predicate::ColumnEquals`] cannot do for NULL or NaN keys.
+    ColumnIs {
+        /// Column name.
+        column: String,
+        /// The group key to match.
+        key: GroupKey,
+    },
     /// Both sub-predicates hold.
     And(Box<Predicate>, Box<Predicate>),
     /// Either sub-predicate holds.
@@ -73,6 +86,25 @@ impl Predicate {
         Predicate::ColumnLessThan {
             column: column.into(),
             threshold,
+        }
+    }
+
+    /// Convenience constructor for [`Predicate::ColumnIs`]: matches rows
+    /// whose group key equals the key of `value` (NULL matches NULL, NaN
+    /// matches NaN, `-0.0` and `0.0` are distinct).
+    pub fn column_is(column: impl Into<String>, value: &Value) -> Self {
+        Predicate::ColumnIs {
+            column: column.into(),
+            key: GroupKey::from_value(value),
+        }
+    }
+
+    /// Convenience constructor for [`Predicate::ColumnIs`] from an already-
+    /// derived [`GroupKey`] (e.g. one returned by a grouped scan).
+    pub fn column_is_key(column: impl Into<String>, key: GroupKey) -> Self {
+        Predicate::ColumnIs {
+            column: column.into(),
+            key,
         }
     }
 
@@ -121,6 +153,9 @@ impl Predicate {
                 Ok(v.as_double()? < *threshold)
             }
             Predicate::ColumnIsNull { column } => Ok(row.get_named(schema, column)?.is_null()),
+            Predicate::ColumnIs { column, key } => {
+                Ok(GroupKey::from_value(row.get_named(schema, column)?) == *key)
+            }
             Predicate::And(a, b) => Ok(a.evaluate(row, schema)? && b.evaluate(row, schema)?),
             Predicate::Or(a, b) => Ok(a.evaluate(row, schema)? || b.evaluate(row, schema)?),
             Predicate::Not(p) => Ok(!p.evaluate(row, schema)?),
@@ -204,6 +239,17 @@ impl Predicate {
                 let mut mask = SelectionMask::none(rows);
                 for i in 0..rows {
                     if nulls.is_null(i) {
+                        mask.set(i, true);
+                    }
+                }
+                Ok(mask)
+            }
+            Predicate::ColumnIs { column, key } => {
+                let idx = schema.index_of(column)?;
+                let column = chunk.column(idx);
+                let mut mask = SelectionMask::none(rows);
+                for i in 0..rows {
+                    if key.matches_column(column, i) {
                         mask.set(i, true);
                     }
                 }

@@ -97,8 +97,8 @@ impl IterationController {
     pub fn run<S, C>(
         &self,
         initial_state: Vec<f64>,
-        mut step: S,
-        mut converged: C,
+        step: S,
+        converged: C,
     ) -> Result<IterationOutcome>
     where
         S: FnMut(&[f64], usize) -> Result<Vec<f64>>,
@@ -111,7 +111,38 @@ impl IterationController {
         ]);
         let table_name = self.unique_state_table_name();
         self.db.create_temp_table(&table_name, state_schema)?;
-        self.db.with_table_mut(&table_name, |t| {
+
+        // Run the loop in a helper so the temp state table is dropped on
+        // *every* exit path — a step that fails mid-iteration must not leak
+        // its table into the catalog (it would otherwise survive until some
+        // unrelated `drop_temp_tables` call).
+        let outcome = self.run_loop(&table_name, initial_state, step, converged);
+        let dropped = self.db.drop_table(&table_name);
+        let outcome = outcome?;
+        dropped?;
+
+        if !outcome.converged && self.config.fail_on_max_iterations {
+            return Err(EngineError::DidNotConverge {
+                iterations: outcome.iterations,
+            });
+        }
+        Ok(outcome)
+    }
+
+    /// The iteration body of [`IterationController::run`]: stage the initial
+    /// state, run steps, test convergence.
+    fn run_loop<S, C>(
+        &self,
+        table_name: &str,
+        initial_state: Vec<f64>,
+        mut step: S,
+        mut converged: C,
+    ) -> Result<IterationOutcome>
+    where
+        S: FnMut(&[f64], usize) -> Result<Vec<f64>>,
+        C: FnMut(&[f64], &[f64], f64) -> bool,
+    {
+        self.db.with_table_mut(table_name, |t| {
             t.insert(Row::new(vec![
                 Value::Int(0),
                 Value::DoubleArray(initial_state.clone()),
@@ -127,7 +158,7 @@ impl IterationController {
             let current_iteration = iterations + 1;
             let next = step(&previous, current_iteration)?;
             // INSERT INTO iterative_algorithm SELECT iteration + 1, <UDA>.
-            self.db.with_table_mut(&table_name, |t| {
+            self.db.with_table_mut(table_name, |t| {
                 t.insert(Row::new(vec![
                     Value::Int(current_iteration as i64),
                     Value::DoubleArray(next.clone()),
@@ -141,13 +172,6 @@ impl IterationController {
                 break;
             }
             previous = next;
-        }
-
-        // SELECT internal_..._result(state) ... then drop the temp table.
-        self.db.drop_table(&table_name)?;
-
-        if !did_converge && self.config.fail_on_max_iterations {
-            return Err(EngineError::DidNotConverge { iterations });
         }
         Ok(IterationOutcome {
             iterations,
@@ -268,6 +292,33 @@ mod tests {
             |_, _, _| false,
         );
         assert!(result.is_err());
+    }
+
+    /// Regression: a step failing mid-iteration must not leak the temp state
+    /// table — the controller drops it on the error path, so a later
+    /// `drop_temp_tables` has nothing left to clean up.
+    #[test]
+    fn failed_iteration_leaves_no_temp_tables() {
+        let db = database();
+        let controller = IterationController::new(db.clone(), IterationConfig::default());
+        let result = controller.run(
+            vec![0.0],
+            |_, iteration| {
+                if iteration >= 3 {
+                    Err(EngineError::aggregate("step exploded"))
+                } else {
+                    Ok(vec![iteration as f64])
+                }
+            },
+            |_, _, _| false,
+        );
+        assert!(result.is_err());
+        assert!(
+            db.list_tables().is_empty(),
+            "failed iteration leaked tables: {:?}",
+            db.list_tables()
+        );
+        assert_eq!(db.drop_temp_tables(), 0);
     }
 
     #[test]

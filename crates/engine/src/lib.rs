@@ -11,9 +11,15 @@
 //! |-----------------------------------------|---------------------------------|
 //! | Shared-nothing segments (Greenplum)     | [`Table`] partitions + the [`scan`] pipeline's per-segment fan-out |
 //! | User-defined aggregate (transition / merge / final) | the [`aggregate::Aggregate`] trait |
-//! | `GROUP BY` over an aggregate (Section 4.2) | [`Executor::aggregate_grouped`] with typed [`group::GroupKey`]s |
+//! | `source_table` + `WHERE` + `grouping_cols` (Sections 3–4) | [`dataset::Dataset`]: `db.dataset("t")?.filter(...).group_by([...])` |
+//! | `GROUP BY` over an aggregate (Section 4.2) | `Session::train` / [`dataset::Dataset::aggregate_per_group`] with typed [`group::GroupKey`]s (`madlib_core::train` hosts the `Session`/`Estimator` half) |
 //! | Driver UDF + temp tables for iteration  | [`iteration::IterationController`] + [`Database`] temp tables |
 //! | Templated queries over arbitrary schemas| [`template`] schema introspection |
+//!
+//! The old `Executor::aggregate_filtered` / `aggregate_grouped` /
+//! `aggregate_grouped_filtered` method matrix is deprecated: those entry
+//! points survive only as thin shims over [`dataset::Dataset`] and are
+//! scheduled for removal once two PRs have passed without callers.
 //!
 //! Data flows exactly as in the paper: large data lives in partitioned
 //! tables, transition functions stream over each partition locally and in
@@ -47,14 +53,15 @@
 //!   (chunk iteration, filter → mask, compaction, panic-safe
 //!   thread-per-segment fan-out) as reusable primitives.  *Every* scan
 //!   consumer runs on it: ungrouped aggregation, grouped aggregation
-//!   ([`Executor::aggregate_grouped`], per-segment hash grouping on typed
-//!   [`group::GroupKey`]s — each chunk is bucketed by key and every group's
-//!   rows are gathered, in row order, into a compacted sub-chunk for
+//!   ([`dataset::Dataset::aggregate_per_group`], per-segment hash grouping
+//!   on typed [`group::GroupKey`]s — each chunk is bucketed by key and every
+//!   group's rows are gathered, in row order, into a compacted sub-chunk for
 //!   [`Aggregate::transition_chunk`], falling back per-row when groups are
 //!   too small to batch; [`group::partition_by_group`] exposes the same
 //!   per-group [`chunk::SelectionMask`] partitioning to standalone
-//!   consumers), and projections ([`Executor::parallel_map_chunks`] with
-//!   the row-level [`Executor::parallel_map`] layered on top).
+//!   consumers), and projections ([`dataset::Dataset::map_chunks`] /
+//!   [`Executor::parallel_map_chunks`] with the row-level adapters layered
+//!   on top).
 //! * **Modes** — [`executor::ExecutionMode::RowAtATime`] forces the legacy
 //!   per-row scan.  The benchmark harness sweeps both modes to reproduce the
 //!   paper's inner-loop comparison on the scan axis.
@@ -73,6 +80,7 @@
 pub mod aggregate;
 pub mod chunk;
 pub mod database;
+pub mod dataset;
 pub mod error;
 pub mod executor;
 pub mod expr;
@@ -88,6 +96,7 @@ pub mod value;
 pub use aggregate::Aggregate;
 pub use chunk::{RowChunk, SelectionMask};
 pub use database::Database;
+pub use dataset::Dataset;
 pub use error::{EngineError, Result};
 pub use executor::{ExecutionMode, Executor};
 pub use group::GroupKey;

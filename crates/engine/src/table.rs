@@ -166,6 +166,27 @@ impl Table {
         self.segments[seg].push(&self.schema, row.values(), self.chunk_capacity)
     }
 
+    /// Inserts a row into an explicit segment, bypassing the distribution
+    /// policy.  Used by consumers that must *preserve* an existing placement —
+    /// e.g. [`crate::dataset::Dataset::gather_groups`], which splits a table
+    /// into per-group tables whose rows keep their original segment so that
+    /// per-segment scan and merge order (and therefore bitwise results) are
+    /// unchanged.
+    ///
+    /// # Errors
+    /// Propagates schema-validation errors; returns
+    /// [`EngineError::InvalidArgument`] for an out-of-range segment index.
+    pub fn insert_into_segment(&mut self, segment: usize, row: Row) -> Result<()> {
+        self.schema.validate(row.values())?;
+        if segment >= self.segments.len() {
+            return Err(EngineError::invalid(format!(
+                "segment index {segment} out of range (table has {} segments)",
+                self.segments.len()
+            )));
+        }
+        self.segments[segment].push(&self.schema, row.values(), self.chunk_capacity)
+    }
+
     /// Inserts many rows.
     ///
     /// # Errors

@@ -417,8 +417,9 @@ mod tests {
             let grp = if i % 2 == 0 { "a" } else { "b" };
             t.insert(row![grp, format!("w{}", i % 5)]).unwrap();
         }
-        let groups = Executor::new()
-            .aggregate_grouped(&t, "grp", &MostFrequentValuesAggregate::new("word", 10))
+        let groups = madlib_engine::Dataset::from_table(&t)
+            .group_by(["grp"])
+            .aggregate_per_group(&MostFrequentValuesAggregate::new("word", 10))
             .unwrap();
         assert_eq!(groups.len(), 2);
         let total: u64 = groups

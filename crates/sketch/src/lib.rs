@@ -25,5 +25,8 @@ pub use adapters::{
 };
 pub use countmin::CountMinSketch;
 pub use fm::FlajoletMartin;
-pub use profile::{profile_table, ColumnProfile, ProfileAggregate, TableProfile};
+pub use profile::{
+    profile_dataset, profile_table, ColumnProfile, DatasetProfileExt, ProfileAggregate, Profiler,
+    TableProfile,
+};
 pub use quantile::QuantileSummary;

@@ -22,7 +22,9 @@
 use crate::countmin::CountMinSketch;
 use crate::fm::FlajoletMartin;
 use crate::quantile::QuantileSummary;
+use madlib_core::train::{Estimator, GroupedModels, Session};
 use madlib_engine::chunk::ColumnChunk;
+use madlib_engine::dataset::Dataset;
 use madlib_engine::template::{describe_schema, ColumnInfo, ColumnRole};
 use madlib_engine::{
     Aggregate, EngineError, Executor, Result, Row, RowChunk, Schema, Table, Value,
@@ -431,6 +433,61 @@ impl Aggregate for ProfileAggregate {
 /// Propagates engine access errors (the profile itself accepts any schema).
 pub fn profile_table(executor: &Executor, table: &Table) -> Result<TableProfile> {
     executor.aggregate(table, &ProfileAggregate::new(table.schema()))
+}
+
+/// Profiles a dataset's (filtered) rows in one pass — the dataset-shaped
+/// variant of [`profile_table`]; also available as the
+/// [`DatasetProfileExt::profile`] terminal.
+///
+/// # Errors
+/// Propagates engine access and predicate errors; errors on a grouped
+/// dataset (run [`Profiler`] through `Session::train_grouped` for per-group
+/// profiles).
+pub fn profile_dataset(dataset: &Dataset<'_>) -> Result<TableProfile> {
+    dataset.aggregate(&ProfileAggregate::new(dataset.schema()))
+}
+
+/// Adds the `profile()` terminal operation to [`Dataset`].
+pub trait DatasetProfileExt {
+    /// Profiles the dataset's (filtered) rows in one pass.
+    ///
+    /// # Errors
+    /// Propagates engine access and predicate errors; errors on a grouped
+    /// dataset.
+    fn profile(&self) -> Result<TableProfile>;
+}
+
+impl DatasetProfileExt for Dataset<'_> {
+    fn profile(&self) -> Result<TableProfile> {
+        profile_dataset(self)
+    }
+}
+
+/// The profile pass packaged as an [`Estimator`], so profiling composes with
+/// the uniform training convention — in particular
+/// `Session::train_grouped(&Profiler, &ds.group_by([...]))` produces one
+/// [`TableProfile`] per group in a single grouped scan (the paper's
+/// templated `profile` module meeting its `grouping_cols`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Profiler;
+
+impl Estimator for Profiler {
+    type Model = TableProfile;
+
+    fn fit(&self, dataset: &Dataset<'_>, _session: &Session) -> madlib_core::Result<TableProfile> {
+        profile_dataset(dataset).map_err(madlib_core::MethodError::from)
+    }
+
+    /// Single-pass grouped profiling: one grouped scan profiles every group.
+    fn fit_grouped(
+        &self,
+        dataset: &Dataset<'_>,
+        _session: &Session,
+    ) -> madlib_core::Result<GroupedModels<TableProfile>> {
+        Ok(GroupedModels::new(dataset.aggregate_per_group(
+            &ProfileAggregate::new(dataset.schema()),
+        )?))
+    }
 }
 
 #[cfg(test)]

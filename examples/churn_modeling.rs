@@ -1,39 +1,53 @@
 //! Customer-churn modeling: the "deep analytics inside the warehouse"
-//! scenario from the paper's introduction.
+//! scenario from the paper's introduction, on the uniform Session/Dataset
+//! API.
 //!
 //! A synthetic customer table is loaded into the engine, three classifiers
 //! from the method library (logistic regression, C4.5 decision tree, naive
-//! Bayes) are trained on it, and their holdout accuracy is compared using the
-//! cross-validation and metrics utilities.
+//! Bayes) are trained on it through `session.train(...)`, their holdout
+//! accuracy is compared with the cross-validation and metrics utilities —
+//! and then the paper's headline `grouping_cols` scenario runs: **one churn
+//! model per market segment** from a single
+//! `session.train_grouped(..., dataset.group_by(["region"]))` call.
 
-use madlib::engine::{row, Column, ColumnType, Database, Executor, Schema, Table};
+use madlib::engine::{row, Column, ColumnType, Database, Dataset, Schema, Table};
 use madlib::methods::classify::{DecisionTree, NaiveBayes};
 use madlib::methods::regress::LogisticRegression;
 use madlib::methods::validate::{accuracy, kfold_indices};
+use madlib::methods::Session;
 
 /// Deterministic synthetic customer base: churn depends on support tickets
-/// and monthly spend with a noisy threshold.
-fn customer_rows(n: usize) -> Vec<(f64, Vec<f64>, &'static str)> {
+/// and monthly spend with a noisy threshold, and each customer belongs to a
+/// market region whose churn drivers differ.
+fn customer_rows(n: usize) -> Vec<(f64, Vec<f64>, &'static str, &'static str)> {
     (0..n)
         .map(|i| {
+            let region = ["north", "south", "west"][i % 3];
             let tickets = (i % 9) as f64;
             let spend = 20.0 + ((i * 13) % 80) as f64;
             let tenure = ((i * 7) % 60) as f64;
-            let score = 0.8 * tickets - 0.05 * spend - 0.02 * tenure + 1.0;
+            // Ticket sensitivity differs per region — the reason one global
+            // model underserves segmented markets.
+            let ticket_weight = match i % 3 {
+                0 => 1.2,
+                1 => 0.8,
+                _ => 0.4,
+            };
+            let score = ticket_weight * tickets - 0.05 * spend - 0.02 * tenure + 1.0;
             let noise = ((i * 31) % 7) as f64 / 7.0 - 0.5;
             let churned = if score + noise > 0.0 { 1.0 } else { 0.0 };
             let label = if churned > 0.5 { "churn" } else { "stay" };
-            (churned, vec![1.0, tickets, spend, tenure], label)
+            (churned, vec![1.0, tickets, spend, tenure], label, region)
         })
         .collect()
 }
 
 fn main() {
-    let executor = Executor::new();
-    let db = Database::new(4).expect("segment count is positive");
-    let rows = customer_rows(2_000);
+    let session = Session::new(Database::new(4).expect("segment count is positive"));
+    let rows = customer_rows(2_100);
 
     let numeric_schema = Schema::new(vec![
+        Column::new("region", ColumnType::Text),
         Column::new("y", ColumnType::Double),
         Column::new("x", ColumnType::DoubleArray),
     ]);
@@ -48,11 +62,14 @@ fn main() {
     for fold in &folds {
         let mut train = Table::new(numeric_schema.clone(), 4).expect("table");
         for &i in &fold.train {
-            let (y, x, _) = &rows[i];
-            train.insert(row![*y, x.clone()]).expect("insert");
+            let (y, x, _, region) = &rows[i];
+            train.insert(row![*region, *y, x.clone()]).expect("insert");
         }
-        let model = LogisticRegression::new("y", "x")
-            .fit(&executor, &db, &train)
+        let model = session
+            .train(
+                &LogisticRegression::new("y", "x"),
+                &Dataset::from_table(&train),
+            )
             .expect("fit");
         let predicted: Vec<bool> = fold
             .test
@@ -65,34 +82,65 @@ fn main() {
     let mean_accuracy: f64 = fold_accuracies.iter().sum::<f64>() / fold_accuracies.len() as f64;
     println!("logistic regression, 5-fold CV accuracy: {mean_accuracy:.3}");
 
+    // --- Grouped training: one churn model per market segment -------------
+    // The paper's `grouping_cols`: a single call trains one logistic model
+    // per region, segment-parallel over the same chunked scan pipeline.
+    let mut customers = Table::new(numeric_schema, 4).expect("table");
+    for (y, x, _, region) in &rows {
+        customers
+            .insert(row![*region, *y, x.clone()])
+            .expect("insert");
+    }
+    let per_region = session
+        .train_grouped(
+            &LogisticRegression::new("y", "x"),
+            &Dataset::from_table(&customers).group_by(["region"]),
+        )
+        .expect("grouped fit");
+    println!("\nper-region churn models (grouping_cols = [region]):");
+    for (region, model) in &per_region {
+        println!(
+            "  {:<6} ticket-coefficient {:+.3}  ({} customers, {} IRLS iterations)",
+            format!("{:?}", region.clone().into_value()),
+            model.coef[1],
+            model.num_rows,
+            model.num_iterations,
+        );
+    }
+
     // Decision tree and naive Bayes on a single split for comparison.
     let mut labeled = Table::new(labeled_schema, 4).expect("table");
-    for (_, x, label) in rows.iter().take(1_500) {
+    for (_, x, label, _) in rows.iter().take(1_500) {
         labeled.insert(row![*label, x.clone()]).expect("insert");
     }
-    let tree = DecisionTree::new("label", "features")
-        .with_max_depth(6)
-        .fit(&executor, &labeled)
+    let tree = session
+        .train(
+            &DecisionTree::new("label", "features").with_max_depth(6),
+            &Dataset::from_table(&labeled),
+        )
         .expect("tree fit");
-    let bayes = NaiveBayes::new("label", "features")
-        .fit(&executor, &labeled)
+    let bayes = session
+        .train(
+            &NaiveBayes::new("label", "features"),
+            &Dataset::from_table(&labeled),
+        )
         .expect("bayes fit");
 
     let holdout = &rows[1_500..];
     let tree_predictions: Vec<&str> = holdout
         .iter()
-        .map(|(_, x, _)| tree.predict(x).expect("predict"))
+        .map(|(_, x, _, _)| tree.predict(x).expect("predict"))
         .collect();
     let bayes_predictions: Vec<String> = holdout
         .iter()
-        .map(|(_, x, _)| bayes.predict(x).expect("predict"))
+        .map(|(_, x, _, _)| bayes.predict(x).expect("predict"))
         .collect();
-    let truth: Vec<&str> = holdout.iter().map(|(_, _, label)| *label).collect();
+    let truth: Vec<&str> = holdout.iter().map(|(_, _, label, _)| *label).collect();
     let tree_accuracy = accuracy(&tree_predictions, &truth).expect("accuracy");
     let bayes_refs: Vec<&str> = bayes_predictions.iter().map(String::as_str).collect();
     let bayes_accuracy = accuracy(&bayes_refs, &truth).expect("accuracy");
     println!(
-        "decision tree (C4.5) holdout accuracy:    {tree_accuracy:.3} ({} leaves)",
+        "\ndecision tree (C4.5) holdout accuracy:    {tree_accuracy:.3} ({} leaves)",
         tree.leaf_count()
     );
     println!("naive Bayes holdout accuracy:             {bayes_accuracy:.3}");

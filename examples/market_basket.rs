@@ -2,19 +2,24 @@
 //! of "Magnetic, Agile, Deep" retail workload the MAD Skills line of work is
 //! motivated by.
 
-use madlib::engine::Executor;
+use madlib::engine::Dataset;
 use madlib::methods::assoc::Apriori;
 use madlib::methods::datasets::market_basket_data;
-use madlib::sketch::{profile_table, ColumnProfile};
+use madlib::methods::Session;
+use madlib::sketch::{ColumnProfile, DatasetProfileExt};
 
 fn main() {
-    let executor = Executor::new();
+    let session = Session::in_memory(4).expect("segment count is positive");
+    let executor = *session.executor();
     // 2 000 synthetic transactions over a 40-item catalog with a planted
     // co-purchase pattern (item_0 + item_1, sometimes joined by item_2).
     let transactions = market_basket_data(2_000, 40, 4, 7).expect("generator succeeds");
 
-    // Profile the raw table first (the paper's templated `profile` module).
-    let profile = profile_table(&executor, &transactions).expect("profiling succeeds");
+    // Profile the raw table first (the paper's templated `profile` module):
+    // the dataset's `profile()` terminal runs one segment-parallel pass.
+    let profile = Dataset::from_table(&transactions)
+        .profile()
+        .expect("profiling succeeds");
     println!("profiled {} rows:", profile.row_count);
     for column in &profile.columns {
         match column {

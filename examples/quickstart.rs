@@ -1,15 +1,19 @@
-//! Quickstart: the paper's Section 4.1 worked example.
+//! Quickstart: the paper's Section 4.1 worked example, through the uniform
+//! Session/Dataset API.
 //!
-//! Builds a small `data(y, x)` table, runs the single-pass linear-regression
-//! aggregate, and prints the same composite record the paper shows for
+//! Builds a small `data(y, x)` table, trains the single-pass
+//! linear-regression estimator with `session.train(...)`, and prints the
+//! same composite record the paper shows for
 //! `SELECT (linregr(y, x)).* FROM data;`.
 
-use madlib::engine::{row, Column, ColumnType, Database, Executor, Schema};
+use madlib::engine::{row, Column, ColumnType, Database, Schema};
 use madlib::methods::regress::LinearRegression;
+use madlib::methods::Session;
 
 fn main() {
-    // A database with 4 "segments" (parallel workers).
+    // A database with 4 "segments" (parallel workers) and a session over it.
     let db = Database::new(4).expect("segment count is positive");
+    let session = Session::new(db.clone());
     let schema = Schema::new(vec![
         Column::new("y", ColumnType::Double),
         Column::new("x", ColumnType::DoubleArray),
@@ -28,9 +32,11 @@ fn main() {
     })
     .expect("insert succeeds");
 
-    let table = db.table("data").expect("table exists");
-    let model = LinearRegression::new("y", "x")
-        .fit(&Executor::new(), &table)
+    // The MADlib calling convention: one call naming the source table and
+    // the dependent/independent columns.
+    let dataset = session.dataset("data").expect("table exists");
+    let model = session
+        .train(&LinearRegression::new("y", "x"), &dataset)
         .expect("fit succeeds");
 
     println!("psql# SELECT (linregr(y, x)).* FROM data;");

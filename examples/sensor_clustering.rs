@@ -2,22 +2,25 @@
 //! to a synthetic telemetry workload, plus streaming sketches over the same
 //! feed (distinct devices and latency quantiles).
 
-use madlib::engine::{Database, Executor};
+use madlib::engine::{Database, Dataset};
 use madlib::methods::cluster::{KMeans, SeedingMethod};
 use madlib::methods::datasets::gaussian_blobs;
+use madlib::methods::Session;
 use madlib::sketch::{FlajoletMartin, QuantileSummary};
 
 fn main() {
-    let executor = Executor::new();
-    let db = Database::new(4).expect("segment count is positive");
+    let session = Session::new(Database::new(4).expect("segment count is positive"));
 
     // 10 000 telemetry points in 6 dimensions drawn from 4 operating modes.
     let data = gaussian_blobs(10_000, 4, 6, 1.5, 4, 99).expect("generator succeeds");
-    let model = KMeans::new("coords", 4)
-        .expect("k is positive")
-        .with_seeding(SeedingMethod::KMeansPlusPlus)
-        .with_max_iterations(30)
-        .fit(&executor, &db, &data.table)
+    let model = session
+        .train(
+            &KMeans::new("coords", 4)
+                .expect("k is positive")
+                .with_seeding(SeedingMethod::KMeansPlusPlus)
+                .with_max_iterations(30),
+            &Dataset::from_table(&data.table),
+        )
         .expect("clustering succeeds");
 
     println!(

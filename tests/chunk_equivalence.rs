@@ -13,10 +13,13 @@ use madlib::convex::objectives::{LeastSquaresObjective, LogisticObjective};
 use madlib::convex::{IgdConfig, IgdRunner, StepSchedule};
 use madlib::engine::aggregate::{Aggregate, AvgAggregate, CountAggregate, SumAggregate};
 use madlib::engine::expr::Predicate;
-use madlib::engine::{row, Column, ColumnType, Database, Executor, Row, Schema, Table, Value};
+use madlib::engine::{
+    row, Column, ColumnType, Database, Dataset, Executor, Row, Schema, Table, Value,
+};
 use madlib::methods::cluster::KMeans;
 use madlib::methods::datasets::labeled_point_schema;
 use madlib::methods::regress::LinearRegression;
+use madlib::methods::{Estimator, Session};
 use madlib::sketch::{FmDistinctAggregate, MostFrequentValuesAggregate, SummaryAggregate};
 use proptest::prelude::*;
 
@@ -25,10 +28,15 @@ fn executors() -> (Executor, Executor) {
     (Executor::new(), Executor::row_at_a_time())
 }
 
-/// Key equality that treats NaN group keys as equal to themselves (plain
-/// [`Value`] equality follows IEEE-754 `NaN != NaN`).
-fn same_group_key(a: &Value, b: &Value) -> bool {
-    madlib::engine::GroupKey::from_value(a) == madlib::engine::GroupKey::from_value(b)
+/// A throwaway training session (single-pass estimators never touch its
+/// database).
+fn session() -> Session {
+    Session::new(Database::new(1).unwrap())
+}
+
+/// Builds the dataset for one execution path.
+fn dataset<'a>(table: &'a Table, executor: &Executor) -> Dataset<'a> {
+    Dataset::from_table(table).with_executor(*executor)
 }
 
 fn bits(values: &[f64]) -> Vec<u64> {
@@ -69,8 +77,8 @@ proptest! {
     ) {
         let table = labeled_table(&points, None, segments, chunk_capacity);
         let (chunked, row_based) = executors();
-        let a = LinearRegression::new("y", "x").fit(&chunked, &table).unwrap();
-        let b = LinearRegression::new("y", "x").fit(&row_based, &table).unwrap();
+        let a = LinearRegression::new("y", "x").fit(&dataset(&table, &chunked), &session()).unwrap();
+        let b = LinearRegression::new("y", "x").fit(&dataset(&table, &row_based), &session()).unwrap();
         prop_assert_eq!(bits(&a.coef), bits(&b.coef));
         prop_assert_eq!(a.r2.to_bits(), b.r2.to_bits());
         prop_assert_eq!(bits(&a.std_err), bits(&b.std_err));
@@ -93,8 +101,8 @@ proptest! {
         let (chunked, row_based) = executors();
 
         // Regression input with NULLs errors on both paths.
-        prop_assert!(LinearRegression::new("y", "x").fit(&chunked, &table).is_err());
-        prop_assert!(LinearRegression::new("y", "x").fit(&row_based, &table).is_err());
+        prop_assert!(LinearRegression::new("y", "x").fit(&dataset(&table, &chunked), &session()).is_err());
+        prop_assert!(LinearRegression::new("y", "x").fit(&dataset(&table, &row_based), &session()).is_err());
 
         // SQL aggregates skip NULLs identically.
         let sum_c = chunked.aggregate(&table, &SumAggregate::new("y")).unwrap();
@@ -138,11 +146,15 @@ proptest! {
         let (chunked, row_based) = executors();
         let db = Database::new(segments).unwrap();
         let fit = |exec: &Executor| {
-            KMeans::new("coords", k)
-                .unwrap()
-                .with_seed(seed)
-                .with_max_iterations(15)
-                .fit(exec, &db, &table)
+            Session::new(db.clone())
+                .with_executor(*exec)
+                .train(
+                    &KMeans::new("coords", k)
+                        .unwrap()
+                        .with_seed(seed)
+                        .with_max_iterations(15),
+                    &Dataset::from_table(&table),
+                )
                 .unwrap()
         };
         let a = fit(&chunked);
@@ -250,18 +262,25 @@ proptest! {
         }
         let filter = filtered.then(|| Predicate::column_gt("y", 0.0));
         let (chunked, row_based) = executors();
+        let grouped_ds = |exec: &Executor| {
+            let mut ds = dataset(&table, exec).group_by(["grp"]);
+            if let Some(pred) = &filter {
+                ds = ds.filter(pred.clone());
+            }
+            ds
+        };
 
         // count(*) and sum(y) per group: counts are exact, sums must match
         // bit for bit.
-        let count_c = chunked
-            .aggregate_grouped_filtered(&table, "grp", &CountAggregate, filter.as_ref())
+        let count_c = grouped_ds(&chunked)
+            .aggregate_per_group(&CountAggregate)
             .unwrap();
-        let count_r = row_based
-            .aggregate_grouped_filtered(&table, "grp", &CountAggregate, filter.as_ref())
+        let count_r = grouped_ds(&row_based)
+            .aggregate_per_group(&CountAggregate)
             .unwrap();
         prop_assert_eq!(count_c.len(), count_r.len());
         for ((ka, ca), (kb, cb)) in count_c.iter().zip(&count_r) {
-            prop_assert!(same_group_key(ka, kb), "keys diverge: {:?} vs {:?}", ka, kb);
+            prop_assert!(ka == kb, "keys diverge: {:?} vs {:?}", ka, kb);
             prop_assert_eq!(ca, cb);
         }
         let expected_rows: u64 = count_c.iter().map(|(_, c)| c).sum();
@@ -272,15 +291,15 @@ proptest! {
         };
         prop_assert_eq!(expected_rows, survivors);
 
-        let sum_c = chunked
-            .aggregate_grouped_filtered(&table, "grp", &SumAggregate::new("y"), filter.as_ref())
+        let sum_c = grouped_ds(&chunked)
+            .aggregate_per_group(&SumAggregate::new("y"))
             .unwrap();
-        let sum_r = row_based
-            .aggregate_grouped_filtered(&table, "grp", &SumAggregate::new("y"), filter.as_ref())
+        let sum_r = grouped_ds(&row_based)
+            .aggregate_per_group(&SumAggregate::new("y"))
             .unwrap();
         prop_assert_eq!(sum_c.len(), sum_r.len());
         for ((ka, va), (kb, vb)) in sum_c.iter().zip(&sum_r) {
-            prop_assert!(same_group_key(ka, kb), "keys diverge: {:?} vs {:?}", ka, kb);
+            prop_assert!(ka == kb, "keys diverge: {:?} vs {:?}", ka, kb);
             prop_assert_eq!(va.to_bits(), vb.to_bits());
         }
 
@@ -324,15 +343,11 @@ proptest! {
         }
         if null_every.is_none() {
             let scan = Scan(LinearRegression::new("y", "x"));
-            let lin_c = chunked
-                .aggregate_grouped_filtered(&table, "grp", &scan, filter.as_ref())
-                .unwrap();
-            let lin_r = row_based
-                .aggregate_grouped_filtered(&table, "grp", &scan, filter.as_ref())
-                .unwrap();
+            let lin_c = grouped_ds(&chunked).aggregate_per_group(&scan).unwrap();
+            let lin_r = grouped_ds(&row_based).aggregate_per_group(&scan).unwrap();
             prop_assert_eq!(lin_c.len(), lin_r.len());
             for ((ka, sa), (kb, sb)) in lin_c.iter().zip(&lin_r) {
-                prop_assert!(same_group_key(ka, kb), "keys diverge: {:?} vs {:?}", ka, kb);
+                prop_assert!(ka == kb, "keys diverge: {:?} vs {:?}", ka, kb);
                 prop_assert_eq!(sa, sb);
             }
         }
@@ -368,19 +383,27 @@ proptest! {
         let filter = filtered.then(|| Predicate::column_lt("score", words.len() as f64 / 2.0));
         let (chunked, row_based) = executors();
 
+        let filtered_ds = |exec: &Executor| {
+            let mut ds = dataset(&table, exec);
+            if let Some(pred) = &filter {
+                ds = ds.filter(pred.clone());
+            }
+            ds
+        };
+
         let fm = FmDistinctAggregate::new("word");
-        let a = chunked.aggregate_filtered(&table, &fm, filter.as_ref()).unwrap();
-        let b = row_based.aggregate_filtered(&table, &fm, filter.as_ref()).unwrap();
+        let a = filtered_ds(&chunked).aggregate(&fm).unwrap();
+        let b = filtered_ds(&row_based).aggregate(&fm).unwrap();
         prop_assert_eq!(a.to_bits(), b.to_bits());
 
         let mfv = MostFrequentValuesAggregate::new("word", 50);
-        let a = chunked.aggregate_filtered(&table, &mfv, filter.as_ref()).unwrap();
-        let b = row_based.aggregate_filtered(&table, &mfv, filter.as_ref()).unwrap();
+        let a = filtered_ds(&chunked).aggregate(&mfv).unwrap();
+        let b = filtered_ds(&row_based).aggregate(&mfv).unwrap();
         prop_assert_eq!(a, b);
 
         let summary = SummaryAggregate::new("score");
-        let a = chunked.aggregate_filtered(&table, &summary, filter.as_ref()).unwrap();
-        let b = row_based.aggregate_filtered(&table, &summary, filter.as_ref()).unwrap();
+        let a = filtered_ds(&chunked).aggregate(&summary).unwrap();
+        let b = filtered_ds(&row_based).aggregate(&summary).unwrap();
         prop_assert_eq!(a, b);
     }
 
@@ -400,8 +423,8 @@ proptest! {
         let sum_r = row_based.aggregate(&table, &SumAggregate::new("y")).unwrap();
         prop_assert_eq!(sum_c.to_bits(), sum_r.to_bits());
 
-        let lin_c = LinearRegression::new("y", "x").fit(&chunked, &table);
-        let lin_r = LinearRegression::new("y", "x").fit(&row_based, &table);
+        let lin_c = LinearRegression::new("y", "x").fit(&dataset(&table, &chunked), &session());
+        let lin_r = LinearRegression::new("y", "x").fit(&dataset(&table, &row_based), &session());
         match (lin_c, lin_r) {
             (Ok(a), Ok(b)) => prop_assert_eq!(bits(&a.coef), bits(&b.coef)),
             (Err(_), Err(_)) => {} // empty input errors on both paths

@@ -1,0 +1,256 @@
+//! Grouped-training equivalence properties (the paper's `grouping_cols`).
+//!
+//! `Session::train_grouped` promises that training one model per group —
+//! whether through the single-pass grouped scan (single-pass aggregating
+//! estimators like linear regression) or the segment-preserving per-group
+//! gather (iterative estimators like IRLS logistic regression) — is
+//! **bit-identical** to the naive plan: filter the source dataset down to
+//! each group with a group-key predicate and fit that group alone.  These
+//! property tests enforce the promise over randomized data with NULL group
+//! keys, single-row groups, ragged partitions, tiny chunk capacities, extra
+//! row filters, and both execution modes.
+
+use madlib::engine::expr::Predicate;
+use madlib::engine::{Column, ColumnType, Dataset, Executor, Row, Schema, Table, Value};
+use madlib::methods::regress::{LinearRegression, LogisticRegression};
+use madlib::methods::{Estimator, Session};
+use proptest::prelude::*;
+
+fn bits(values: &[f64]) -> Vec<u64> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Builds a `grp (int, nullable) | y (double) | x (double[])` table.
+fn grouped_table(
+    points: &[(usize, f64, [f64; 2])],
+    distinct_keys: usize,
+    null_every: Option<usize>,
+    segments: usize,
+    chunk_capacity: usize,
+    binary_labels: bool,
+) -> Table {
+    let schema = Schema::new(vec![
+        Column::new("grp", ColumnType::Int),
+        Column::new("y", ColumnType::Double),
+        Column::new("x", ColumnType::DoubleArray),
+    ]);
+    let mut table = Table::new(schema, segments)
+        .unwrap()
+        .with_chunk_capacity(chunk_capacity)
+        .unwrap();
+    for (i, (key, y, x)) in points.iter().enumerate() {
+        let group = if null_every.is_some_and(|n| i % n == 0) {
+            Value::Null
+        } else {
+            Value::Int((key % distinct_keys) as i64 - 2)
+        };
+        let label = if binary_labels {
+            f64::from(*y > 0.0)
+        } else {
+            *y
+        };
+        table
+            .insert(Row::new(vec![
+                group,
+                Value::Double(label),
+                Value::DoubleArray(x.to_vec()),
+            ]))
+            .unwrap();
+    }
+    table
+}
+
+/// The naive per-group plan: filter the dataset down to one group key and
+/// fit that group alone.
+fn filter_then_fit<E: Estimator>(
+    estimator: &E,
+    table: &Table,
+    executor: Executor,
+    extra_filter: Option<&Predicate>,
+    key: madlib::engine::GroupKey,
+    session: &Session,
+) -> madlib::methods::Result<E::Model> {
+    let mut ds = Dataset::from_table(table)
+        .with_executor(executor)
+        .filter(Predicate::column_is_key("grp", key));
+    if let Some(pred) = extra_filter {
+        ds = ds.filter(pred.clone());
+    }
+    estimator.fit(&ds, session)
+}
+
+proptest! {
+    /// Linear regression (single-pass grouped scan): per-group models from
+    /// one grouped pass are bit-identical to filter-then-fit per group.
+    #[test]
+    fn grouped_linregr_equals_filter_then_fit(
+        points in prop::collection::vec(
+            (0usize..10, -10.0..10.0f64, [-5.0..5.0f64, -5.0..5.0f64]), 1..100),
+        distinct_keys in 1usize..6,
+        (segments, chunk_capacity) in (1usize..5, 1usize..30),
+        null_every_raw in 0usize..5,
+        filtered in any::<bool>(),
+        row_mode in any::<bool>(),
+    ) {
+        let null_every = (null_every_raw >= 2).then_some(null_every_raw);
+        let table = grouped_table(&points, distinct_keys, null_every, segments, chunk_capacity, false);
+        let executor = if row_mode { Executor::row_at_a_time() } else { Executor::new() };
+        let extra = filtered.then(|| Predicate::column_gt("y", 0.0));
+        let session = Session::in_memory(segments).unwrap().with_executor(executor);
+
+        let mut grouped_ds = Dataset::from_table(&table).group_by(["grp"]);
+        if let Some(pred) = &extra {
+            grouped_ds = grouped_ds.filter(pred.clone());
+        }
+        let estimator = LinearRegression::new("y", "x");
+        let grouped = session.train_grouped(&estimator, &grouped_ds).unwrap();
+
+        // Every group key that survives the filter appears exactly once.
+        let schema = table.schema();
+        let survivors: Vec<Row> = table
+            .iter()
+            .filter(|r| extra.as_ref().is_none_or(|p| p.evaluate(r, schema).unwrap()))
+            .collect();
+        let mut expected_keys: Vec<madlib::engine::GroupKey> = survivors
+            .iter()
+            .map(|r| madlib::engine::GroupKey::from_value(r.get(0)))
+            .collect();
+        expected_keys.sort();
+        expected_keys.dedup();
+        prop_assert_eq!(grouped.len(), expected_keys.len());
+
+        let mut total_rows = 0;
+        for (key, model) in &grouped {
+            let alone = filter_then_fit(
+                &estimator, &table, executor, extra.as_ref(), key.clone(), &session,
+            )
+            .unwrap();
+            prop_assert_eq!(bits(&model.coef), bits(&alone.coef));
+            prop_assert_eq!(model.r2.to_bits(), alone.r2.to_bits());
+            prop_assert_eq!(bits(&model.std_err), bits(&alone.std_err));
+            prop_assert_eq!(bits(&model.t_stats), bits(&alone.t_stats));
+            prop_assert_eq!(model.num_rows, alone.num_rows);
+            total_rows += model.num_rows as usize;
+        }
+        prop_assert_eq!(total_rows, survivors.len());
+    }
+
+    /// IRLS logistic regression (iterative; per-group gather): the gathered
+    /// per-group tables preserve segment placement and row order, so every
+    /// per-group IRLS run is bit-identical to filter-then-fit.
+    #[test]
+    fn grouped_logregr_equals_filter_then_fit(
+        points in prop::collection::vec(
+            (0usize..8, -5.0..5.0f64, [-2.0..2.0f64, -2.0..2.0f64]), 2..60),
+        distinct_keys in 1usize..4,
+        (segments, chunk_capacity) in (1usize..4, 1usize..20),
+        null_every_raw in 0usize..4,
+        row_mode in any::<bool>(),
+    ) {
+        let null_every = (null_every_raw >= 2).then_some(null_every_raw);
+        let table = grouped_table(&points, distinct_keys, null_every, segments, chunk_capacity, true);
+        let executor = if row_mode { Executor::row_at_a_time() } else { Executor::new() };
+        let session = Session::in_memory(segments).unwrap().with_executor(executor);
+        let estimator = LogisticRegression::new("y", "x").with_max_iterations(5);
+
+        let grouped = session
+            .train_grouped(&estimator, &Dataset::from_table(&table).group_by(["grp"]))
+            .unwrap();
+        prop_assert!(!grouped.is_empty());
+
+        for (key, model) in &grouped {
+            let alone = filter_then_fit(
+                &estimator, &table, executor, None, key.clone(), &session,
+            )
+            .unwrap();
+            prop_assert_eq!(bits(&model.coef), bits(&alone.coef));
+            prop_assert_eq!(bits(&model.std_err), bits(&alone.std_err));
+            prop_assert_eq!(model.log_likelihood.to_bits(), alone.log_likelihood.to_bits());
+            prop_assert_eq!(model.num_iterations, alone.num_iterations);
+            prop_assert_eq!(model.converged, alone.converged);
+            prop_assert_eq!(model.num_rows, alone.num_rows);
+        }
+    }
+}
+
+/// Single-row groups (every key unique) train one model per row, identical
+/// to fitting each row alone — for both the single-pass and the gather path.
+#[test]
+fn single_row_groups_train_one_model_per_row() {
+    let schema = Schema::new(vec![
+        Column::new("grp", ColumnType::Int),
+        Column::new("y", ColumnType::Double),
+        Column::new("x", ColumnType::DoubleArray),
+    ]);
+    let mut table = Table::new(schema, 3)
+        .unwrap()
+        .with_chunk_capacity(4)
+        .unwrap();
+    for i in 0..9 {
+        table
+            .insert(Row::new(vec![
+                Value::Int(i),
+                Value::Double(i as f64),
+                Value::DoubleArray(vec![1.0, i as f64]),
+            ]))
+            .unwrap();
+    }
+    // One row sits in the NULL group too.
+    table
+        .insert(Row::new(vec![
+            Value::Null,
+            Value::Double(4.5),
+            Value::DoubleArray(vec![1.0, 2.0]),
+        ]))
+        .unwrap();
+    let session = Session::in_memory(3).unwrap();
+    let ds = Dataset::from_table(&table).group_by(["grp"]);
+
+    let linregr = session
+        .train_grouped(&LinearRegression::new("y", "x"), &ds)
+        .unwrap();
+    assert_eq!(linregr.len(), 10);
+    for (key, model) in &linregr {
+        assert_eq!(model.num_rows, 1);
+        let alone = filter_then_fit(
+            &LinearRegression::new("y", "x"),
+            &table,
+            *session.executor(),
+            None,
+            key.clone(),
+            &session,
+        )
+        .unwrap();
+        assert_eq!(bits(&model.coef), bits(&alone.coef));
+    }
+
+    // Iterative path over single-row groups (labels 0/1).
+    let mut labels = Table::new(table.schema().clone(), 3).unwrap();
+    for i in 0..6 {
+        labels
+            .insert(Row::new(vec![
+                Value::Int(i),
+                Value::Double(f64::from(i % 2 == 0)),
+                Value::DoubleArray(vec![1.0, i as f64 - 2.5]),
+            ]))
+            .unwrap();
+    }
+    let estimator = LogisticRegression::new("y", "x").with_max_iterations(3);
+    let grouped = session
+        .train_grouped(&estimator, &Dataset::from_table(&labels).group_by(["grp"]))
+        .unwrap();
+    assert_eq!(grouped.len(), 6);
+    for (key, model) in &grouped {
+        assert_eq!(model.num_rows, 1);
+        let alone = filter_then_fit(
+            &estimator,
+            &labels,
+            *session.executor(),
+            None,
+            key.clone(),
+            &session,
+        )
+        .unwrap();
+        assert_eq!(bits(&model.coef), bits(&alone.coef));
+    }
+}

@@ -3,10 +3,11 @@
 
 use madlib::convex::objectives::LogisticObjective;
 use madlib::convex::{ConvexObjective, IgdConfig, IgdRunner, StepSchedule};
-use madlib::engine::{row, Column, ColumnType, Database, Executor, Schema, Table};
+use madlib::engine::{row, Column, ColumnType, Database, Dataset, Executor, Schema, Table};
 use madlib::methods::cluster::KMeans;
 use madlib::methods::datasets;
 use madlib::methods::regress::{LinearRegression, LogisticRegression};
+use madlib::methods::{Estimator, Session};
 use madlib::sketch::profile_table;
 use madlib::text::viterbi::viterbi_decode;
 use madlib::text::ChainCrf;
@@ -28,9 +29,9 @@ fn paper_section_4_1_linear_regression_record() {
             .insert(row![1.7307 + 2.2428 * x + 0.1 * noise, vec![1.0, x]])
             .unwrap();
     }
-    let executor = Executor::new();
+    let session = Session::in_memory(1).unwrap();
     let single = LinearRegression::new("y", "x")
-        .fit(&executor, &table)
+        .fit(&Dataset::from_table(&table), &session)
         .unwrap();
     assert!((single.coef[0] - 1.7307).abs() < 0.05);
     assert!((single.coef[1] - 2.2428).abs() < 0.01);
@@ -38,8 +39,9 @@ fn paper_section_4_1_linear_regression_record() {
     assert!(single.condition_no.is_finite());
     assert_eq!(single.coef.len(), single.p_values.len());
 
+    let repartitioned = table.repartition(8).unwrap();
     let parallel = LinearRegression::new("y", "x")
-        .fit(&executor, &table.repartition(8).unwrap())
+        .fit(&Dataset::from_table(&repartitioned), &session)
         .unwrap();
     for (a, b) in single.coef.iter().zip(&parallel.coef) {
         assert!((a - b).abs() < 1e-9, "partitioning changed the result");
@@ -54,8 +56,11 @@ fn irls_and_sgd_agree_on_logistic_regression() {
     let executor = Executor::new();
     let db = Database::new(4).unwrap();
 
-    let irls = LogisticRegression::new("y", "x")
-        .fit(&executor, &db, &data.table)
+    let irls = Session::new(db.clone())
+        .train(
+            &LogisticRegression::new("y", "x"),
+            &Dataset::from_table(&data.table),
+        )
         .unwrap();
 
     let objective = LogisticObjective::new("y", "x", 3);
@@ -105,12 +110,12 @@ fn irls_and_sgd_agree_on_logistic_regression() {
 #[test]
 fn kmeans_pipeline_end_to_end() {
     let data = datasets::gaussian_blobs(600, 3, 4, 0.8, 4, 5).unwrap();
-    let executor = Executor::new();
-    let db = Database::new(4).unwrap();
-    let model = KMeans::new("coords", 3)
-        .unwrap()
-        .with_seed(11)
-        .fit(&executor, &db, &data.table)
+    let session = Session::in_memory(4).unwrap();
+    let model = session
+        .train(
+            &KMeans::new("coords", 3).unwrap().with_seed(11),
+            &Dataset::from_table(&data.table),
+        )
         .unwrap();
     assert_eq!(model.k(), 3);
     assert!(model.converged);
@@ -129,7 +134,7 @@ fn kmeans_pipeline_end_to_end() {
         assert!(nearest < 3.0);
     }
     assert!(
-        db.list_tables().is_empty(),
+        session.database().list_tables().is_empty(),
         "driver must drop its temp tables"
     );
 }
@@ -213,21 +218,23 @@ fn profile_runs_on_the_shared_scan_pipeline() {
 
     // Sketch adapters also compose with the pipeline's grouping — one MFV
     // sketch per group in a single pass.
-    let grouped = executor
-        .aggregate_grouped(
-            &table,
-            "category",
-            &MostFrequentValuesAggregate::new("category", 1),
-        )
+    let grouped = Dataset::from_table(&table)
+        .group_by(["category"])
+        .aggregate_per_group(&MostFrequentValuesAggregate::new("category", 1))
         .unwrap();
     assert_eq!(grouped.len(), 2);
-    assert_eq!(grouped[0].0, Value::Text("a".into()));
+    assert_eq!(grouped[0].0.clone().into_value(), Value::Text("a".into()));
     assert_eq!(grouped[0].1, vec![("a".to_owned(), 134)]);
     assert_eq!(grouped[1].1, vec![("b".to_owned(), 266)]);
 
-    // And the profile itself can run per group through the same machinery.
-    let profiles_per_group = executor
-        .aggregate_grouped(&table, "category", &ProfileAggregate::new(table.schema()))
+    // And the profile itself can run per group through the same machinery —
+    // both directly and as grouped training of the Profiler estimator.
+    let profiles_per_group = Session::in_memory(1)
+        .unwrap()
+        .train_grouped(
+            &madlib::sketch::Profiler,
+            &Dataset::from_table(&table).group_by(["category"]),
+        )
         .unwrap();
     let total: usize = profiles_per_group.iter().map(|(_, p)| p.row_count).sum();
     assert_eq!(total, 400);
