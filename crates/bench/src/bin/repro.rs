@@ -8,6 +8,7 @@
 //! cargo run -p madlib-bench --bin repro --release -- table1 | table2 | table3
 //! cargo run -p madlib-bench --bin repro --release -- logistic | kmeans | overhead
 //! cargo run -p madlib-bench --bin repro --release -- rowchunk | grouped [--full]
+//! cargo run -p madlib-bench --bin repro --release -- grouped --smoke   # CI-scale
 //! ```
 //!
 //! With `--full` the Figure 4/5 sweeps use the paper's variable counts
@@ -43,6 +44,7 @@ use std::time::Instant;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
+    let smoke = args.iter().any(|a| a == "--smoke");
     let command = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -59,7 +61,7 @@ fn main() {
         "kmeans" => kmeans(),
         "overhead" => overhead(),
         "rowchunk" => rowchunk(full),
-        "grouped" => grouped(full),
+        "grouped" => grouped(full, smoke),
         "all" => {
             figure4(full);
             figure5(full);
@@ -70,7 +72,7 @@ fn main() {
             kmeans();
             overhead();
             rowchunk(full);
-            grouped(full);
+            grouped(full, smoke);
         }
         other => {
             eprintln!("unknown experiment: {other}");
@@ -118,24 +120,35 @@ fn rowchunk(full: bool) {
 
 /// Grouped row-path vs. chunk-path baseline: the PR-1 single-threaded
 /// grouped row loop (display-string keys, per-row transitions) against the
-/// segment-parallel chunked grouped scan, swept over the number of groups.
-/// Records the measurements to `BENCH_grouped.json` next to the working
-/// directory so future sessions can compare against this baseline.
-fn grouped(full: bool) {
+/// segment-parallel chunked grouped scan, swept over the number of groups —
+/// including the high-cardinality regime served by the radix partition pass
+/// — plus a composite-key (`group_by(["grp", "sub"])`) cell.  Records the
+/// measurements to `BENCH_grouped.json` next to the working directory so
+/// future sessions can compare against this baseline.
+///
+/// With `--smoke` the sweep shrinks to a seconds-scale CI check that still
+/// exercises the direct-gather, radix and composite paths in both execution
+/// modes; smoke runs never overwrite the recorded baseline.
+fn grouped(full: bool, smoke: bool) {
     println!(
         "== Grouped aggregation: PR-1 row loop vs. segment-parallel chunked scan (linregr) ==\n"
     );
-    let (rows, variables, segments, samples) = if full {
+    let (rows, variables, segments, samples) = if smoke {
+        (4_000, 16, 2, 1)
+    } else if full {
         (100_000, 100, 4, 5)
     } else {
         (40_000, 100, 4, 3)
     };
+    // The smoke sweep keeps one low-cardinality cell (direct gather path)
+    // and one ≥1-group-per-chunk-row cell (radix partition path).
+    let group_counts: &[usize] = if smoke { &[8, 2048] } else { &[16, 256, 4096] };
     println!(
         "{:>8}  {:>11}  {:>8}  {:>12}  {:>12}  {:>8}",
         "# rows", "# variables", "# groups", "row (s)", "chunk (s)", "speedup"
     );
     let mut measurements = Vec::new();
-    for &groups in &[16usize, 256, 4096] {
+    for &groups in group_counts {
         let m =
             madlib_bench::measure_grouped_row_vs_chunk(rows, variables, groups, segments, samples);
         println!(
@@ -149,10 +162,38 @@ fn grouped(full: bool) {
         );
         measurements.push(m);
     }
-    let mut json =
-        String::from("{\n  \"experiment\": \"grouped_linregr_row_vs_chunk\",\n  \"cells\": [\n");
-    for (i, m) in measurements.iter().enumerate() {
-        json.push_str(&format!(
+
+    println!(
+        "\n== Composite grouping: group_by([\"grp\", \"sub\"]), row-at-a-time vs chunked ==\n"
+    );
+    let composite_shapes: &[(usize, usize)] = if smoke { &[(8, 8)] } else { &[(64, 64)] };
+    println!(
+        "{:>8}  {:>11}  {:>8}  {:>12}  {:>12}  {:>8}",
+        "# rows", "# variables", "# keys", "row (s)", "chunk (s)", "speedup"
+    );
+    let mut composite = Vec::new();
+    for &(groups, subgroups) in composite_shapes {
+        let m = madlib_bench::measure_grouped_composite_row_vs_chunk(
+            rows, variables, groups, subgroups, segments, samples,
+        );
+        println!(
+            "{:>8}  {:>11}  {:>8}  {:>12.4}  {:>12.4}  {:>7.2}x",
+            m.rows,
+            m.variables,
+            m.groups,
+            m.row_path.as_secs_f64(),
+            m.chunk_path.as_secs_f64(),
+            m.speedup(),
+        );
+        composite.push(m);
+    }
+
+    if smoke {
+        println!("\nsmoke run: baseline JSON left untouched\n");
+        return;
+    }
+    let cell_json = |m: &madlib_bench::GroupedMeasurement, last: bool| {
+        format!(
             "    {{\"rows\": {}, \"variables\": {}, \"groups\": {}, \"segments\": {}, \"row_s\": {:.6}, \"chunk_s\": {:.6}, \"speedup\": {:.4}}}{}\n",
             m.rows,
             m.variables,
@@ -161,8 +202,17 @@ fn grouped(full: bool) {
             m.row_path.as_secs_f64(),
             m.chunk_path.as_secs_f64(),
             m.speedup(),
-            if i + 1 < measurements.len() { "," } else { "" },
-        ));
+            if last { "" } else { "," },
+        )
+    };
+    let mut json =
+        String::from("{\n  \"experiment\": \"grouped_linregr_row_vs_chunk\",\n  \"cells\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        json.push_str(&cell_json(m, i + 1 == measurements.len()));
+    }
+    json.push_str("  ],\n  \"composite_cells\": [\n");
+    for (i, m) in composite.iter().enumerate() {
+        json.push_str(&cell_json(m, i + 1 == composite.len()));
     }
     json.push_str("  ]\n}\n");
     match std::fs::write("BENCH_grouped.json", &json) {

@@ -301,6 +301,125 @@ pub fn measure_grouped_legacy_row_loop(table: &Table, groups: usize) -> Duration
     elapsed
 }
 
+/// Generates the composite-key variant of the grouped workload: the
+/// [`grouped_regression_table`] shape plus a second `sub` bigint grouping
+/// column, so `group_by(["grp", "sub"])` yields `groups × subgroups`
+/// distinct composite keys.  Hash-distributed on `grp`, as before.
+///
+/// # Panics
+/// Panics if generation fails (invalid sizes), which the callers never pass.
+pub fn grouped_composite_regression_table(
+    rows: usize,
+    variables: usize,
+    groups: usize,
+    subgroups: usize,
+    segments: usize,
+    seed: u64,
+) -> Table {
+    use madlib_engine::table::Distribution;
+    use madlib_engine::{Column, ColumnType, Value};
+    assert!(groups > 0 && subgroups > 0, "need at least one group");
+    let base = figure4_table(rows, variables, 1, seed);
+    let schema = Schema::new(vec![
+        Column::new("grp", ColumnType::Int),
+        Column::new("sub", ColumnType::Int),
+        Column::new("y", ColumnType::Double),
+        Column::new("x", ColumnType::DoubleArray),
+    ]);
+    let mut table =
+        Table::with_distribution(schema, segments, Distribution::HashColumn("grp".into()))
+            .expect("positive segment count");
+    for (i, row) in base.iter().enumerate() {
+        let mut values = Vec::with_capacity(4);
+        values.push(Value::Int((i % groups) as i64));
+        values.push(Value::Int(((i / groups) % subgroups) as i64));
+        values.extend(row.into_values());
+        table
+            .insert(Row::new(values))
+            .expect("generated rows match the schema");
+    }
+    table
+}
+
+/// Times one *composite-key* grouped scan — `group_by(["grp", "sub"])` with
+/// the linear-regression transition — under the given executor, and checks
+/// that no rows were lost across the composite groups.
+///
+/// # Panics
+/// Panics if the scan fails or loses rows, which cannot happen for the
+/// generated workloads.
+pub fn measure_grouped_composite_scan(
+    table: &Table,
+    executor: &Executor,
+    expected_groups: usize,
+) -> Duration {
+    let scan = LinregrScan(LinearRegression::new("y", "x"));
+    let start = Instant::now();
+    let result = Dataset::from_table(table)
+        .with_executor(*executor)
+        .group_by(["grp", "sub"])
+        .aggregate_per_group(&scan)
+        .expect("composite grouped scan over generated data cannot fail");
+    let elapsed = start.elapsed();
+    assert_eq!(result.len(), expected_groups.min(table.row_count()));
+    assert!(result.iter().all(|(key, _)| key.arity() == 2));
+    let total: u64 = result.iter().map(|(_, rows)| rows).sum();
+    assert_eq!(total as usize, table.row_count());
+    elapsed
+}
+
+/// One cell of the composite-key grouped comparison: median-of-`samples`
+/// row-at-a-time vs. chunked times for a `group_by(["grp", "sub"])` scan
+/// over `groups × subgroups` composite keys.  (The PR-1 legacy loop cannot
+/// express composite keys, so the baseline here is the engine's
+/// `ExecutionMode::RowAtATime` grouped scan.)
+///
+/// # Panics
+/// Panics when `samples == 0` or workload generation fails.
+pub fn measure_grouped_composite_row_vs_chunk(
+    rows: usize,
+    variables: usize,
+    groups: usize,
+    subgroups: usize,
+    segments: usize,
+    samples: usize,
+) -> GroupedMeasurement {
+    assert!(samples > 0, "need at least one sample");
+    let table = grouped_composite_regression_table(
+        rows,
+        variables,
+        groups,
+        subgroups,
+        segments,
+        42 + (groups * subgroups) as u64,
+    );
+    let expected = groups * subgroups;
+    let median = |mut times: Vec<Duration>| -> Duration {
+        times.sort_unstable();
+        times[times.len() / 2]
+    };
+    let row_executor = Executor::row_at_a_time();
+    let row_path = median(
+        (0..samples)
+            .map(|_| measure_grouped_composite_scan(&table, &row_executor, expected))
+            .collect(),
+    );
+    let chunked_executor = Executor::new();
+    let chunk_path = median(
+        (0..samples)
+            .map(|_| measure_grouped_composite_scan(&table, &chunked_executor, expected))
+            .collect(),
+    );
+    GroupedMeasurement {
+        rows,
+        variables,
+        groups: expected,
+        segments,
+        row_path,
+        chunk_path,
+    }
+}
+
 /// One cell of the grouped comparison: median-of-`samples` times for the
 /// legacy row loop vs. the segment-parallel chunked grouped scan on the same
 /// table.
@@ -649,6 +768,33 @@ mod tests {
             .aggregate_per_group(&LinearRegression::new("y", "x"))
             .unwrap();
         assert_eq!(chunked.len(), 8);
+        for ((ka, ma), (kb, mb)) in chunked.iter().zip(&by_rows) {
+            assert_eq!(ka, kb);
+            for (a, b) in ma.coef.iter().zip(&mb.coef) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn composite_grouped_measurement_agrees_across_paths() {
+        let m = measure_grouped_composite_row_vs_chunk(500, 5, 6, 4, 2, 1);
+        assert_eq!(m.groups, 24);
+        assert!(m.row_path.as_nanos() > 0);
+        assert!(m.chunk_path.as_nanos() > 0);
+
+        // Composite keys fit the same per-group models in both modes.
+        let table = grouped_composite_regression_table(300, 4, 5, 3, 2, 9);
+        let chunked = Dataset::from_table(&table)
+            .group_by(["grp", "sub"])
+            .aggregate_per_group(&LinearRegression::new("y", "x"))
+            .unwrap();
+        let by_rows = Dataset::from_table(&table)
+            .with_executor(Executor::row_at_a_time())
+            .group_by(["grp", "sub"])
+            .aggregate_per_group(&LinearRegression::new("y", "x"))
+            .unwrap();
+        assert_eq!(chunked.len(), 15);
         for ((ka, ma), (kb, mb)) in chunked.iter().zip(&by_rows) {
             assert_eq!(ka, kb);
             for (a, b) in ma.coef.iter().zip(&mb.coef) {

@@ -17,7 +17,9 @@
 //! * [`Session::train`] — fits one model over an ungrouped dataset.
 //! * [`Session::train_grouped`] — the paper's `grouping_cols` scenario: one
 //!   model per distinct group key, returned as [`GroupedModels`] keyed by
-//!   the typed [`GroupKey`]s of the grouped scan.  Single-pass aggregating
+//!   the typed [`GroupKey`]s of the grouped scan.  `grouping_cols` is an
+//!   arbitrary column list, so `group_by(["a", "b"])` trains one model per
+//!   composite `(a, b)` tuple.  Single-pass aggregating
 //!   estimators (linear regression, naive Bayes, the profiler) override
 //!   [`Estimator::fit_grouped`] to train *all* groups in one
 //!   segment-parallel [`Dataset::aggregate_per_group`] pass; iterative
@@ -112,7 +114,8 @@ impl Session {
 
     /// Trains one model per distinct group key of a `group_by` dataset —
     /// MADlib's `grouping_cols` — returning the models keyed by the typed
-    /// [`GroupKey`]s of the grouped scan, sorted by key (NULL group first).
+    /// (possibly composite, for multi-column `group_by`) [`GroupKey`]s of
+    /// the grouped scan, sorted by key (NULL group first).
     ///
     /// # Errors
     /// Propagates estimator errors; errors when the dataset has no grouping
@@ -234,8 +237,18 @@ impl<M> GroupedModels<M> {
 
     /// Looks up the model of the group containing `value` (NULL, NaN and
     /// signed zeros resolve by group-key semantics, not `Value` equality).
+    /// For models trained with multiple grouping columns use
+    /// [`GroupedModels::get_values`].
     pub fn get(&self, value: &Value) -> Option<&M> {
         self.get_key(&GroupKey::from_value(value))
+    }
+
+    /// Looks up the model of the group whose composite key matches `values`
+    /// — one value per grouping column, in `group_by` order, with group-key
+    /// semantics per part (NULL matches NULL, NaN matches NaN, `-0.0` ≠
+    /// `0.0`).
+    pub fn get_values(&self, values: &[Value]) -> Option<&M> {
+        self.get_key(&GroupKey::from_values(values))
     }
 
     /// Looks up a model by its typed group key (binary search over the

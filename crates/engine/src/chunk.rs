@@ -603,6 +603,116 @@ impl ColumnChunk {
         }
     }
 
+    /// Appends the rows of `src` at `indices` (ascending) to this column.
+    /// Both columns must share the same physical type.
+    fn append_rows(&mut self, src: &ColumnChunk, indices: &[u32]) -> Result<()> {
+        fn scalars<T: Clone>(
+            out_values: &mut Vec<T>,
+            out_nulls: &mut NullBitmap,
+            values: &[T],
+            nulls: &NullBitmap,
+            indices: &[u32],
+        ) {
+            out_values.reserve(indices.len());
+            for &i in indices {
+                out_values.push(values[i as usize].clone());
+                out_nulls.push(nulls.is_null(i as usize));
+            }
+        }
+
+        fn arrays<T: Clone>(
+            out_values: &mut Vec<T>,
+            out_offsets: &mut Vec<usize>,
+            out_nulls: &mut NullBitmap,
+            values: &[T],
+            offsets: &[usize],
+            nulls: &NullBitmap,
+            indices: &[u32],
+        ) {
+            out_offsets.reserve(indices.len());
+            for &i in indices {
+                let i = i as usize;
+                out_values.extend_from_slice(&values[offsets[i]..offsets[i + 1]]);
+                out_offsets.push(out_values.len());
+                out_nulls.push(nulls.is_null(i));
+            }
+        }
+
+        match (self, src) {
+            (
+                ColumnChunk::Double {
+                    values: ov,
+                    nulls: on,
+                },
+                ColumnChunk::Double { values, nulls },
+            ) => scalars(ov, on, values, nulls, indices),
+            (
+                ColumnChunk::Int {
+                    values: ov,
+                    nulls: on,
+                },
+                ColumnChunk::Int { values, nulls },
+            ) => scalars(ov, on, values, nulls, indices),
+            (
+                ColumnChunk::Bool {
+                    values: ov,
+                    nulls: on,
+                },
+                ColumnChunk::Bool { values, nulls },
+            ) => scalars(ov, on, values, nulls, indices),
+            (
+                ColumnChunk::Text {
+                    values: ov,
+                    nulls: on,
+                },
+                ColumnChunk::Text { values, nulls },
+            ) => scalars(ov, on, values, nulls, indices),
+            (
+                ColumnChunk::DoubleArray {
+                    values: ov,
+                    offsets: oo,
+                    nulls: on,
+                },
+                ColumnChunk::DoubleArray {
+                    values,
+                    offsets,
+                    nulls,
+                },
+            ) => arrays(ov, oo, on, values, offsets, nulls, indices),
+            (
+                ColumnChunk::IntArray {
+                    values: ov,
+                    offsets: oo,
+                    nulls: on,
+                },
+                ColumnChunk::IntArray {
+                    values,
+                    offsets,
+                    nulls,
+                },
+            ) => arrays(ov, oo, on, values, offsets, nulls, indices),
+            (
+                ColumnChunk::TextArray {
+                    values: ov,
+                    offsets: oo,
+                    nulls: on,
+                },
+                ColumnChunk::TextArray {
+                    values,
+                    offsets,
+                    nulls,
+                },
+            ) => arrays(ov, oo, on, values, offsets, nulls, indices),
+            (target, src) => {
+                return Err(EngineError::TypeMismatch {
+                    expected: target.type_name(),
+                    found: src.type_name().to_owned(),
+                })
+            }
+        }
+        Ok(())
+    }
+
     /// Copies the rows selected by `mask` into a compacted column.
     fn gather(&self, mask: &SelectionMask) -> ColumnChunk {
         fn scalars<T: Clone>(
@@ -965,7 +1075,36 @@ impl RowChunk {
         }
     }
 
-    fn clear(&mut self) {
+    /// Appends the rows of `src` at `indices` (in-bounds, ascending) to this
+    /// chunk, preserving row order — the staging primitive of the grouped
+    /// scan's radix partition pass, which accumulates one group-hash bucket's
+    /// rows across many source chunks before batching them through
+    /// `transition_chunk`.  Cost is proportional to `indices.len()` alone.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::ArityMismatch`] / [`EngineError::TypeMismatch`]
+    /// when the chunks' shapes differ (never for chunks of one schema).  On
+    /// error this chunk may have been partially extended; callers that need
+    /// rollback should validate shapes up front.
+    pub fn append_rows(&mut self, src: &RowChunk, indices: &[u32]) -> Result<()> {
+        debug_assert!(indices.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(indices.iter().all(|&i| (i as usize) < src.len));
+        if self.columns.len() != src.columns.len() {
+            return Err(EngineError::ArityMismatch {
+                expected: self.columns.len(),
+                found: src.columns.len(),
+            });
+        }
+        for (target, source) in self.columns.iter_mut().zip(&src.columns) {
+            target.append_rows(source, indices)?;
+        }
+        self.len += indices.len();
+        Ok(())
+    }
+
+    /// Removes all rows, keeping each column's grown buffers for reuse (the
+    /// grouped scan's staging buckets clear and refill across flushes).
+    pub(crate) fn clear(&mut self) {
         for c in self.columns.iter_mut() {
             c.clear();
         }
@@ -1194,6 +1333,43 @@ mod tests {
         let by_indices = chunk.gather_rows(&[0, 2]);
         assert_eq!(by_indices, compact);
         assert!(chunk.gather_rows(&[]).is_empty());
+    }
+
+    #[test]
+    fn append_rows_stages_across_source_chunks() {
+        let s = schema();
+        let mut source_a = RowChunk::new(&s);
+        source_a
+            .push_values(row![1.0, vec![1.0, 2.0], "a"].values())
+            .unwrap();
+        source_a
+            .push_values(&[Value::Null, Value::Null, Value::Null])
+            .unwrap();
+        source_a
+            .push_values(row![3.0, vec![5.0, 6.0], "c"].values())
+            .unwrap();
+        let mut source_b = RowChunk::new(&s);
+        source_b
+            .push_values(row![4.0, vec![7.0], "d"].values())
+            .unwrap();
+
+        let mut staged = RowChunk::new(&s);
+        staged.append_rows(&source_a, &[0, 2]).unwrap();
+        staged.append_rows(&source_b, &[0]).unwrap();
+        staged.append_rows(&source_a, &[1]).unwrap();
+        assert_eq!(staged.len(), 4);
+        assert_eq!(staged.row(0), row![1.0, vec![1.0, 2.0], "a"]);
+        assert_eq!(staged.row(1), row![3.0, vec![5.0, 6.0], "c"]);
+        assert_eq!(staged.row(2), row![4.0, vec![7.0], "d"]);
+        assert_eq!(staged.value(3, 0), Value::Null);
+        assert!(staged.double_arrays(1).unwrap().nulls().is_null(3));
+        // Appending nothing is a no-op.
+        staged.append_rows(&source_b, &[]).unwrap();
+        assert_eq!(staged.len(), 4);
+        // Shape mismatches are rejected.
+        let narrow = Schema::new(vec![Column::new("y", ColumnType::Double)]);
+        let mut other = RowChunk::new(&narrow);
+        assert!(other.append_rows(&source_a, &[0]).is_err());
     }
 
     #[test]

@@ -41,12 +41,18 @@
 //! grouping introduced in PR 2 (typed [`GroupKey`]s, counting-sort
 //! partitioning, per-group gathers through [`RowChunk::gather_rows`]); the
 //! deprecated `Executor::aggregate_grouped*` methods are now thin shims over
-//! it.  Currently exactly one grouping column is supported per dataset —
-//! multi-column `group_by` is accepted by the builder but reported as
-//! unsupported by the terminals (see the ROADMAP open item).
+//! it.  `grouping_cols` is an arbitrary column *list*, as in the paper:
+//! `group_by(["a", "b"])` keys every group by the composite tuple of its
+//! columns' values (one [`crate::group::KeyPart`] per column).  When a chunk
+//! splinters into more groups than batching pays for, the scan switches to a
+//! radix partition pass: each row is bucketed by its group slot, bucket rows
+//! are staged across chunks (cheap columnar copies, no [`Row`]
+//! materialization) and flushed through [`Aggregate::transition_chunk`] one
+//! group at a time — so even the ≥1-group-per-chunk-row regime runs on the
+//! vectorized kernels, bit-identical to the row loop.
 
 use crate::aggregate::Aggregate;
-use crate::chunk::Segment;
+use crate::chunk::{RowChunk, Segment};
 use crate::database::Database;
 use crate::error::{EngineError, Result};
 use crate::executor::{ExecutionMode, ExecutionStats, Executor};
@@ -60,12 +66,31 @@ use std::borrow::Cow;
 use std::collections::{BTreeMap, HashMap};
 
 /// Once the mean rows-per-group within a chunk drops below this, the grouped
-/// scan stops gathering per-group sub-chunks and falls back to per-row
-/// transitions: a gather that yields only a couple of rows costs more than
-/// the vectorized kernel saves.  (Equality of results does not depend on the
-/// threshold — `transition_chunk` overrides are bit-identical to per-row
-/// transitions by contract — so this is purely a performance knob.)
+/// scan stops gathering per-group sub-chunks directly and switches to the
+/// radix partition pass: a gather that yields only a couple of rows costs
+/// more than the vectorized kernel saves, so high-cardinality chunks stage
+/// their rows by group-slot bucket instead and batch each group across many
+/// chunks.  (Equality of results does not depend on the threshold —
+/// `transition_chunk` overrides are bit-identical to per-row transitions by
+/// contract, and staging preserves each group's row order — so this is
+/// purely a performance knob.)
 const MIN_ROWS_PER_GROUP_FOR_GATHER: usize = 4;
+
+/// How many consecutive group slots share one radix bucket.  Rows are
+/// bucketed by `slot / RADIX_SLOTS_PER_BUCKET`, so a flushed bucket touches a
+/// contiguous run of aggregate states (cache-friendly) and each group's
+/// staged batch stays big enough for the vectorized kernels.
+const RADIX_SLOTS_PER_BUCKET: usize = 16;
+
+/// A bucket is flushed through `transition_chunk` once it has staged this
+/// many rows — at that point each of its (up to
+/// [`RADIX_SLOTS_PER_BUCKET`]) groups averages a batch worth gathering.
+const RADIX_FLUSH_ROWS: usize = 256;
+
+/// Upper bound on rows staged across all buckets of one segment scan; when
+/// exceeded, the fullest buckets are flushed early.  Bounds staging memory
+/// at roughly this many rows' worth of columnar data per worker.
+const RADIX_MAX_STAGED_ROWS: usize = 32 * 1024;
 
 /// A lazy, composable description of a scan: a source table plus an optional
 /// row predicate and optional grouping columns, bound to the [`Executor`]
@@ -121,12 +146,14 @@ impl<'a> Dataset<'a> {
         self
     }
 
-    /// Sets the grouping columns (the paper's `grouping_cols`).  Grouped
-    /// terminals evaluate their aggregate once per distinct group key.
+    /// Sets the grouping columns (the paper's `grouping_cols` — an arbitrary
+    /// column list).  Grouped terminals evaluate their aggregate once per
+    /// distinct *composite* group key: one [`crate::group::KeyPart`] per
+    /// column, compared tuple-wise.
     ///
-    /// Exactly one grouping column is currently supported; passing more is
-    /// accepted here (the builder stays infallible) and reported by the
-    /// terminal operations.
+    /// The builder stays infallible; column names are resolved by the
+    /// terminal operations, which report unknown or duplicate columns (and
+    /// an empty list) as typed [`EngineError`]s.
     #[must_use]
     pub fn group_by<I, S>(mut self, columns: I) -> Self
     where
@@ -206,19 +233,30 @@ impl<'a> Dataset<'a> {
         &self.executor
     }
 
-    /// Resolves the single supported grouping column, or explains why not.
-    fn group_column(&self) -> Result<&str> {
-        match self.group_columns.as_slice() {
-            [] => Err(EngineError::invalid(
+    /// Resolves the grouping columns to schema indices, validating the list:
+    /// it must be non-empty, every name must exist in the schema
+    /// ([`EngineError::ColumnNotFound`] otherwise) and no column may appear
+    /// twice — grouping by a repeated column would silently produce the same
+    /// groups under a wider-looking key, so duplicates are rejected as
+    /// [`EngineError::InvalidArgument`] instead.
+    fn group_column_indices(&self) -> Result<Vec<usize>> {
+        if self.group_columns.is_empty() {
+            return Err(EngineError::invalid(
                 "dataset has no grouping columns; call group_by([...]) first",
-            )),
-            [column] => Ok(column),
-            many => Err(EngineError::invalid(format!(
-                "multi-column grouping is not supported yet ({} columns given); \
-                 group by a single column",
-                many.len()
-            ))),
+            ));
         }
+        let schema = self.schema();
+        let mut indices = Vec::with_capacity(self.group_columns.len());
+        for column in &self.group_columns {
+            let idx = schema.index_of(column)?;
+            if indices.contains(&idx) {
+                return Err(EngineError::invalid(format!(
+                    "duplicate grouping column {column:?}; grouping columns must be distinct"
+                )));
+            }
+            indices.push(idx);
+        }
+        Ok(indices)
     }
 
     fn require_ungrouped(&self, operation: &str) -> Result<()> {
@@ -257,7 +295,8 @@ impl<'a> Dataset<'a> {
 
     /// Runs `aggregate` once per distinct group key, returning the finalized
     /// per-group outputs sorted by key ([`GroupKey`]'s total order, NULL
-    /// group first).  Groups with no (filter-surviving) rows are absent.
+    /// group first; composite keys compare tuple-wise).  Groups with no
+    /// (filter-surviving) rows are absent.
     ///
     /// The grouping is evaluated per segment on the shared scan pipeline and
     /// the per-segment group states merged in segment order, so the
@@ -266,18 +305,22 @@ impl<'a> Dataset<'a> {
     /// (Section 4.2's grouping constructs).  Under the chunked executor each
     /// chunk is partitioned by key and every group's rows are gathered, in
     /// row order, into a compacted sub-chunk for
-    /// [`Aggregate::transition_chunk`] (falling back per-row when groups are
-    /// too small for batching to pay off).
+    /// [`Aggregate::transition_chunk`]; when a chunk has too many groups for
+    /// direct gathers to pay off, its rows are instead staged into
+    /// group-slot radix buckets and flushed in batches, so high-cardinality
+    /// scans stay on the vectorized kernels (bit-identical results either
+    /// way).
     ///
     /// # Errors
     /// Propagates aggregate, predicate and column-lookup errors; errors when
-    /// the dataset has no (or more than one) grouping column.
+    /// the dataset has no grouping columns or lists one twice.
     pub fn aggregate_per_group<A: Aggregate>(
         &self,
         aggregate: &A,
     ) -> Result<Vec<(GroupKey, A::Output)>> {
         let schema = self.schema();
-        let group_idx = schema.index_of(self.group_column()?)?;
+        let group_indices = self.group_column_indices()?;
+        let group_indices = group_indices.as_slice();
         let filter = self.filter.as_ref();
         let mode = self.executor.mode();
         let segment_results = scan::run_per_segment(
@@ -285,10 +328,10 @@ impl<'a> Dataset<'a> {
             self.executor.is_parallel(),
             |_, segment| match mode {
                 ExecutionMode::Chunked => {
-                    run_segment_grouped_chunked(aggregate, segment, schema, group_idx, filter)
+                    run_segment_grouped_chunked(aggregate, segment, schema, group_indices, filter)
                 }
                 ExecutionMode::RowAtATime => {
-                    run_segment_grouped_rows(aggregate, segment, schema, group_idx, filter)
+                    run_segment_grouped_rows(aggregate, segment, schema, group_indices, filter)
                 }
             },
         );
@@ -411,10 +454,11 @@ impl<'a> Dataset<'a> {
     ///
     /// # Errors
     /// Propagates predicate and column-lookup errors; errors when the
-    /// dataset has no (or more than one) grouping column.
+    /// dataset has no grouping columns or lists one twice.
     pub fn gather_groups(&self) -> Result<Vec<(GroupKey, Table)>> {
         let schema = self.schema();
-        let group_idx = schema.index_of(self.group_column()?)?;
+        let group_indices = self.group_column_indices()?;
+        let group_indices = group_indices.as_slice();
         let source = self.table();
         let filter = self.filter.as_ref();
         // Per segment, in parallel: split the filter-surviving rows by key,
@@ -424,7 +468,7 @@ impl<'a> Dataset<'a> {
                 let mut slots: HashMap<GroupKey, usize> = HashMap::new();
                 let mut split: Vec<(GroupKey, Vec<Row>)> = Vec::new();
                 scan::scan_segment_rows(segment, schema, filter, |row| {
-                    let key = GroupKey::from_value(row.get(group_idx));
+                    let key = group_key_of_row(row, group_indices);
                     let slot = match slots.get(&key) {
                         Some(&slot) => slot,
                         None => {
@@ -469,11 +513,109 @@ impl Database {
     }
 }
 
+/// The (possibly composite) group key of a materialized row.
+fn group_key_of_row(row: &Row, group_indices: &[usize]) -> GroupKey {
+    match group_indices {
+        [idx] => GroupKey::from_value(row.get(*idx)),
+        many => GroupKey::from_values(many.iter().map(|&i| row.get(i))),
+    }
+}
+
+/// One radix bucket of the high-cardinality grouped scan: the staged rows of
+/// a contiguous run of [`RADIX_SLOTS_PER_BUCKET`] group slots, appended in
+/// scan order (so each group's rows stay in row order), plus each staged
+/// row's slot — recorded at staging time so a flush never re-derives keys.
+struct StagedBucket {
+    rows: RowChunk,
+    slots: Vec<u32>,
+}
+
+impl StagedBucket {
+    fn new(schema: &Schema) -> Self {
+        Self {
+            rows: RowChunk::new(schema),
+            slots: Vec::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+/// Flushes one radix bucket: counting-sorts the staged row indices by group
+/// slot (stable, so each group's rows keep their scan order), gathers every
+/// group's batch through [`RowChunk::gather_rows`] and feeds it to
+/// [`Aggregate::transition_chunk`].  Clears the bucket in place afterwards,
+/// keeping its grown buffers for the next staging round.
+fn flush_bucket<A: Aggregate>(
+    aggregate: &A,
+    schema: &Schema,
+    states: &mut [A::State],
+    bucket_id: usize,
+    bucket: &mut StagedBucket,
+    staged_total: &mut usize,
+) -> Result<()> {
+    let staged = bucket.len();
+    if staged == 0 {
+        return Ok(());
+    }
+    *staged_total -= staged;
+    let chunk = &bucket.rows;
+    let slots = &bucket.slots;
+
+    let base = (bucket_id * RADIX_SLOTS_PER_BUCKET) as u32;
+    // Local counting sort over the bucket's (at most
+    // RADIX_SLOTS_PER_BUCKET) slots.
+    let mut counts = [0u32; RADIX_SLOTS_PER_BUCKET];
+    for &slot in slots {
+        counts[(slot - base) as usize] += 1;
+    }
+    let outcome = if counts.iter().any(|&c| c as usize == staged) {
+        // Single-group bucket: the whole staged chunk is one batch.
+        let slot = slots[0] as usize;
+        aggregate.transition_chunk(&mut states[slot], chunk, schema)
+    } else {
+        let mut offsets = [0u32; RADIX_SLOTS_PER_BUCKET];
+        let mut running = 0u32;
+        for (offset, &count) in offsets.iter_mut().zip(&counts) {
+            *offset = running;
+            running += count;
+        }
+        let mut scatter = vec![0u32; staged];
+        let mut cursors = offsets;
+        for (i, &slot) in slots.iter().enumerate() {
+            let local = (slot - base) as usize;
+            scatter[cursors[local] as usize] = i as u32;
+            cursors[local] += 1;
+        }
+        let mut result = Ok(());
+        for (local, &count) in counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let start = offsets[local] as usize;
+            let indices = &scatter[start..start + count as usize];
+            let sub = chunk.gather_rows(indices);
+            if let Err(err) =
+                aggregate.transition_chunk(&mut states[base as usize + local], &sub, schema)
+            {
+                result = Err(err);
+                break;
+            }
+        }
+        result
+    };
+    bucket.rows.clear();
+    bucket.slots.clear();
+    outcome
+}
+
 fn run_segment_grouped_chunked<A: Aggregate>(
     aggregate: &A,
     segment: &Segment,
     schema: &Schema,
-    group_idx: usize,
+    group_indices: &[usize],
     filter: Option<&Predicate>,
 ) -> Result<Vec<(GroupKey, A::State)>> {
     // Segment-level group directory: each distinct key is hashed into a
@@ -481,9 +623,14 @@ fn run_segment_grouped_chunked<A: Aggregate>(
     // indexed by slot.
     let mut slots: HashMap<GroupKey, u32> = HashMap::new();
     let mut states: Vec<A::State> = Vec::new();
-    // Per-chunk scratch, reused across chunks: the slot of every row,
-    // the distinct slots of the current chunk (first-seen order) with
-    // their in-chunk row counts, and an epoch-stamped marker per slot
+    // Radix staging for high-cardinality chunks: one bucket per contiguous
+    // run of RADIX_SLOTS_PER_BUCKET slots, holding rows copied out of their
+    // source chunks until the bucket is worth batching.
+    let mut buckets: Vec<StagedBucket> = Vec::new();
+    let mut staged_total: usize = 0;
+    // Per-chunk scratch, reused across chunks: the key columns, the slot of
+    // every row, the distinct slots of the current chunk (first-seen order)
+    // with their in-chunk row counts, and an epoch-stamped marker per slot
     // (`u32::MAX` = not yet seen this chunk) locating each slot's entry
     // in `chunk_groups`.
     let mut row_slots: Vec<u32> = Vec::new();
@@ -491,12 +638,15 @@ fn run_segment_grouped_chunked<A: Aggregate>(
     let mut chunk_group_of_slot: Vec<u32> = Vec::new();
     let mut scatter: Vec<u32> = Vec::new();
     let mut offsets: Vec<u32> = Vec::new();
-    let mut row_values: Vec<crate::value::Value> = Vec::new();
+    // The staging pass keeps the same shape of directory at bucket
+    // granularity (cleared inside `stage_chunk_rows`).
+    let mut directory = BucketDirectory::default();
 
     scan::scan_segment_chunks(segment, schema, filter, |batch| {
         let chunk = batch.chunk();
-        let column = chunk.column(group_idx);
         let rows = chunk.len();
+        let key_columns: Vec<&crate::chunk::ColumnChunk> =
+            group_indices.iter().map(|&c| chunk.column(c)).collect();
 
         // Pass 1: key every row into its segment-level slot and tally
         // this chunk's distinct groups (the per-group selection masks,
@@ -510,9 +660,9 @@ fn run_segment_grouped_chunked<A: Aggregate>(
         let mut previous: Option<(GroupKey, u32)> = None;
         for i in 0..rows {
             let slot = match &previous {
-                Some((key, slot)) if key.matches_column(column, i) => *slot,
+                Some((key, slot)) if key.matches_columns(&key_columns, i) => *slot,
                 _ => {
-                    let key = GroupKey::from_column(column, i);
+                    let key = GroupKey::from_columns(&key_columns, i);
                     let slot = match slots.get(&key) {
                         Some(&slot) => slot,
                         None => {
@@ -535,10 +685,25 @@ fn run_segment_grouped_chunked<A: Aggregate>(
             }
             chunk_groups[*marker as usize].1 += 1;
         }
+        // Keep one (possibly empty) bucket per run of slots, so every slot
+        // has a bucket to stage into or flush from.
+        let wanted = states.len().div_ceil(RADIX_SLOTS_PER_BUCKET);
+        buckets.resize_with(wanted.max(buckets.len()), || StagedBucket::new(schema));
 
         if chunk_groups.len() == 1 {
-            // Single-key chunk: the whole chunk is one group's batch.
+            // Single-key chunk: the whole chunk is one group's batch.  Any
+            // staged rows of this group's bucket must run first to keep the
+            // group's row order.
             let slot = chunk_groups[0].0 as usize;
+            let b = slot / RADIX_SLOTS_PER_BUCKET;
+            flush_bucket(
+                aggregate,
+                schema,
+                &mut states,
+                b,
+                &mut buckets[b],
+                &mut staged_total,
+            )?;
             return aggregate.transition_chunk(&mut states[slot], chunk, schema);
         }
 
@@ -546,7 +711,21 @@ fn run_segment_grouped_chunked<A: Aggregate>(
             // Batches are big enough for the vectorized kernels: bucket
             // the row indices by group (counting-sort scatter, one flat
             // reused buffer) and gather each group's rows — in row
-            // order — into a compacted sub-chunk.
+            // order — into a compacted sub-chunk.  Buckets holding staged
+            // rows of this chunk's groups flush first (order again).
+            if staged_total > 0 {
+                for &(slot, _) in chunk_groups.iter() {
+                    let b = slot as usize / RADIX_SLOTS_PER_BUCKET;
+                    flush_bucket(
+                        aggregate,
+                        schema,
+                        &mut states,
+                        b,
+                        &mut buckets[b],
+                        &mut staged_total,
+                    )?;
+                }
+            }
             offsets.clear();
             let mut running = 0u32;
             for &(_, count) in chunk_groups.iter() {
@@ -567,34 +746,160 @@ fn run_segment_grouped_chunked<A: Aggregate>(
                 aggregate.transition_chunk(&mut states[slot as usize], &sub, schema)?;
             }
         } else {
-            // High-cardinality chunk: gathering two-row sub-chunks costs
-            // more than it saves, so feed per-row transitions instead.
-            // Identical results by the `transition_chunk` contract —
-            // each group's state still sees its rows in row order.
-            for (i, &slot) in row_slots.iter().enumerate() {
-                chunk.read_row_into(i, &mut row_values);
-                let row = Row::new(std::mem::take(&mut row_values));
-                aggregate.transition(&mut states[slot as usize], &row, schema)?;
-                row_values = row.into_values();
+            // High-cardinality chunk — the radix partition pass.  Counting-
+            // sort the row indices into slot-range buckets and append each
+            // bucket's rows (columnar copies, no Row materialization) to its
+            // staging chunk; groups batch up across chunks and flush through
+            // transition_chunk once their bucket is full.  Per-group row
+            // order is preserved: a group's rows route through exactly one
+            // bucket, in scan order.
+            scatter.resize(rows, 0);
+            stage_chunk_rows(
+                chunk,
+                &row_slots,
+                &mut buckets,
+                &mut staged_total,
+                &mut scatter,
+                &mut offsets,
+                &mut directory,
+            )?;
+            // Flush buckets that reached a batch worth of rows — only the
+            // buckets staged into by *this* chunk (still listed in
+            // `chunk_buckets`) can have newly crossed the threshold, so the
+            // check is O(buckets touched), not O(all buckets).
+            for &(b, _) in directory.chunk_buckets.iter() {
+                let bucket = &mut buckets[b as usize];
+                if bucket.len() >= RADIX_FLUSH_ROWS {
+                    flush_bucket(
+                        aggregate,
+                        schema,
+                        &mut states,
+                        b as usize,
+                        bucket,
+                        &mut staged_total,
+                    )?;
+                }
+            }
+            // Bound total staging memory by draining the fullest buckets
+            // (global scan, but only reached when the cap is exceeded).
+            while staged_total > RADIX_MAX_STAGED_ROWS {
+                let fullest = (0..buckets.len())
+                    .max_by_key(|&b| buckets[b].len())
+                    .expect("buckets exist while rows are staged");
+                flush_bucket(
+                    aggregate,
+                    schema,
+                    &mut states,
+                    fullest,
+                    &mut buckets[fullest],
+                    &mut staged_total,
+                )?;
             }
         }
         Ok(())
     })?;
 
+    // End of segment: drain every bucket.  Cross-group order is free (each
+    // group's state is independent); per-group order was preserved by the
+    // staging discipline.
+    for (b, bucket) in buckets.iter_mut().enumerate() {
+        flush_bucket(aggregate, schema, &mut states, b, bucket, &mut staged_total)?;
+    }
+    debug_assert_eq!(staged_total, 0);
+
     Ok(collect_slotted_states(slots, states))
+}
+
+/// Chunk-level radix-bucket directory, reused across staged chunks: the
+/// distinct buckets of the current chunk in first-seen order with their row
+/// counts, plus an epoch-stamped entry marker per bucket id (`u32::MAX` =
+/// not seen this chunk) — the bucket-granularity twin of the slot directory
+/// in the grouped pass-1.
+#[derive(Default)]
+struct BucketDirectory {
+    chunk_buckets: Vec<(u32, u32)>,
+    chunk_entry_of_bucket: Vec<u32>,
+}
+
+/// Stages one high-cardinality chunk's rows into their slot-range buckets:
+/// counting-sorts the row indices by bucket (stable, preserving row order)
+/// and appends each bucket's run to its staging chunk in one
+/// [`RowChunk::append_rows`] call.
+///
+/// `chunk_buckets` and `chunk_entry_of_bucket` are caller-owned scratch —
+/// the same epoch-stamped dense directory the slot pass uses for groups
+/// (`u32::MAX` = bucket not yet seen this chunk), so keying a row to its
+/// chunk-bucket entry is O(1) no matter how many distinct buckets the chunk
+/// touches or in what order keys arrive.  The previous staged chunk's
+/// entries are cleared on entry.
+fn stage_chunk_rows(
+    chunk: &RowChunk,
+    row_slots: &[u32],
+    buckets: &mut [StagedBucket],
+    staged_total: &mut usize,
+    scatter: &mut [u32],
+    offsets: &mut Vec<u32>,
+    directory: &mut BucketDirectory,
+) -> Result<()> {
+    let BucketDirectory {
+        chunk_buckets,
+        chunk_entry_of_bucket,
+    } = directory;
+    // Reset the directory: un-mark the previous staged chunk's buckets and
+    // cover any buckets created since.
+    for entry in chunk_buckets.drain(..) {
+        chunk_entry_of_bucket[entry.0 as usize] = u32::MAX;
+    }
+    chunk_entry_of_bucket.resize(buckets.len(), u32::MAX);
+    // Distinct buckets of this chunk in first-seen order, with counts.
+    for &slot in row_slots {
+        let b = slot / RADIX_SLOTS_PER_BUCKET as u32;
+        let marker = &mut chunk_entry_of_bucket[b as usize];
+        if *marker == u32::MAX {
+            *marker = chunk_buckets.len() as u32;
+            chunk_buckets.push((b, 0));
+        }
+        chunk_buckets[*marker as usize].1 += 1;
+    }
+    // Counting-sort scatter with one cursor array: after the scatter pass
+    // each cursor sits at the *end* of its bucket's range, and the start is
+    // recovered as `end - count` — no second offsets buffer needed.
+    offsets.clear();
+    let mut running = 0u32;
+    for &(_, count) in chunk_buckets.iter() {
+        offsets.push(running);
+        running += count;
+    }
+    for (i, &slot) in row_slots.iter().enumerate() {
+        let b = slot / RADIX_SLOTS_PER_BUCKET as u32;
+        let entry = chunk_entry_of_bucket[b as usize] as usize;
+        scatter[offsets[entry] as usize] = i as u32;
+        offsets[entry] += 1;
+    }
+    for (entry, &(b, count)) in chunk_buckets.iter().enumerate() {
+        let end = offsets[entry] as usize;
+        let indices = &scatter[end - count as usize..end];
+        let bucket = &mut buckets[b as usize];
+        bucket.rows.append_rows(chunk, indices)?;
+        bucket
+            .slots
+            .extend(indices.iter().map(|&i| row_slots[i as usize]));
+        *staged_total += count as usize;
+    }
+    Ok(())
 }
 
 fn run_segment_grouped_rows<A: Aggregate>(
     aggregate: &A,
     segment: &Segment,
     schema: &Schema,
-    group_idx: usize,
+    group_indices: &[usize],
     filter: Option<&Predicate>,
 ) -> Result<Vec<(GroupKey, A::State)>> {
     let mut slots: HashMap<GroupKey, u32> = HashMap::new();
     let mut states: Vec<A::State> = Vec::new();
     scan::scan_segment_rows(segment, schema, filter, |row| {
-        let key = GroupKey::from_value(row.get(group_idx));
+        let key = group_key_of_row(row, group_indices);
         let slot = match slots.get(&key) {
             Some(&slot) => slot,
             None => {
@@ -663,16 +968,88 @@ mod tests {
     }
 
     #[test]
-    fn grouped_terminals_require_exactly_one_column() {
+    fn grouped_terminals_validate_the_column_list() {
+        use crate::error::EngineError;
+
         let t = make_table(2, 4);
+        // No grouping columns at all.
+        assert!(matches!(
+            Dataset::from_table(&t).aggregate_per_group(&CountAggregate),
+            Err(EngineError::InvalidArgument { .. })
+        ));
+        assert!(Dataset::from_table(&t).gather_groups().is_err());
+        // Unknown names surface as typed ColumnNotFound at terminal time.
+        assert!(matches!(
+            Dataset::from_table(&t)
+                .group_by(["nope"])
+                .aggregate_per_group(&CountAggregate),
+            Err(EngineError::ColumnNotFound { name }) if name == "nope"
+        ));
+        assert!(matches!(
+            Dataset::from_table(&t)
+                .group_by(["grp", "nope"])
+                .gather_groups(),
+            Err(EngineError::ColumnNotFound { name }) if name == "nope"
+        ));
+        // Duplicate columns are rejected instead of silently mis-grouping.
+        assert!(matches!(
+            Dataset::from_table(&t)
+                .group_by(["grp", "grp"])
+                .aggregate_per_group(&CountAggregate),
+            Err(EngineError::InvalidArgument { message }) if message.contains("duplicate")
+        ));
         assert!(Dataset::from_table(&t)
-            .aggregate_per_group(&CountAggregate)
+            .group_by(["grp", "grp"])
+            .gather_groups()
             .is_err());
+        // A valid multi-column list works.
         assert!(Dataset::from_table(&t)
             .group_by(["grp", "y"])
             .aggregate_per_group(&CountAggregate)
-            .is_err());
-        assert!(Dataset::from_table(&t).gather_groups().is_err());
+            .is_ok());
+    }
+
+    #[test]
+    fn composite_grouping_matches_filtered_runs() {
+        let schema = Schema::new(vec![
+            Column::new("a", ColumnType::Text),
+            Column::new("b", ColumnType::Int),
+            Column::new("v", ColumnType::Double),
+        ]);
+        let mut t = Table::new(schema, 3)
+            .unwrap()
+            .with_chunk_capacity(8)
+            .unwrap();
+        for i in 0..53 {
+            let a = ["x", "y"][i % 2];
+            let b = (i % 3) as i64;
+            t.insert(row![a, b, i as f64]).unwrap();
+        }
+        t.insert(Row::new(vec![
+            Value::Null,
+            Value::Int(0),
+            Value::Double(100.0),
+        ]))
+        .unwrap();
+
+        for executor in [Executor::new(), Executor::row_at_a_time()] {
+            let groups = Dataset::from_table(&t)
+                .with_executor(executor)
+                .group_by(["a", "b"])
+                .aggregate_per_group(&SumAggregate::new("v"))
+                .unwrap();
+            // 2 × 3 live tuples plus the (NULL, 0) group.
+            assert_eq!(groups.len(), 7);
+            for (key, sum) in &groups {
+                assert_eq!(key.arity(), 2);
+                let filtered = Dataset::from_table(&t)
+                    .with_executor(executor)
+                    .filter(Predicate::columns_are_key(["a", "b"], key.clone()))
+                    .aggregate(&SumAggregate::new("v"))
+                    .unwrap();
+                assert_eq!(sum.to_bits(), filtered.to_bits());
+            }
+        }
     }
 
     #[test]
@@ -722,7 +1099,7 @@ mod tests {
             .unwrap();
         assert_eq!(groups.len(), 4);
         // Total order: NULL first, then -0.0 < 0.0 < NaN.
-        assert_eq!(groups[0].0, GroupKey::Null);
+        assert_eq!(groups[0].0, GroupKey::from_value(&Value::Null));
         assert_eq!(groups[0].1, 16.0);
         match groups[1].0.clone().into_value() {
             Value::Double(v) => assert_eq!(v.to_bits(), (-0.0f64).to_bits()),
@@ -744,6 +1121,44 @@ mod tests {
                 .aggregate(&SumAggregate::new("v"))
                 .unwrap();
             assert_eq!(filtered.to_bits(), sum.to_bits());
+        }
+    }
+
+    #[test]
+    fn radix_flush_thresholds_preserve_equivalence() {
+        // Two shapes that cross the staging thresholds mid-scan (the other
+        // grouped tests stay below them and only flush at end of segment):
+        // - 20 000 rows cycling 2 048 keys in 1 024-row chunks: every chunk
+        //   is high-cardinality, each bucket gains 16 rows per chunk and
+        //   crosses RADIX_FLUSH_ROWS after 16 chunks.
+        // - 34 000 rows with 34 000 distinct keys: no bucket ever reaches
+        //   the per-bucket threshold, so total staging crosses
+        //   RADIX_MAX_STAGED_ROWS and the fullest-bucket drain kicks in.
+        for (rows, groups) in [(20_000usize, 2_048usize), (34_000, 34_000)] {
+            let schema = Schema::new(vec![
+                Column::new("grp", ColumnType::Int),
+                Column::new("y", ColumnType::Double),
+            ]);
+            let mut t = Table::new(schema, 1).unwrap();
+            for i in 0..rows {
+                t.insert(row![(i % groups) as i64, (i % 97) as f64 - 48.0])
+                    .unwrap();
+            }
+            let run = |executor: Executor| {
+                Dataset::from_table(&t)
+                    .with_executor(executor)
+                    .group_by(["grp"])
+                    .aggregate_per_group(&SumAggregate::new("y"))
+                    .unwrap()
+            };
+            let chunked = run(Executor::new());
+            let by_rows = run(Executor::row_at_a_time());
+            assert_eq!(chunked.len(), groups);
+            assert_eq!(chunked.len(), by_rows.len());
+            for ((ka, va), (kb, vb)) in chunked.iter().zip(&by_rows) {
+                assert_eq!(ka, kb);
+                assert_eq!(va.to_bits(), vb.to_bits(), "key {ka:?}");
+            }
         }
     }
 

@@ -8,7 +8,7 @@
 
 use crate::chunk::{ColumnChunk, RowChunk, SelectionMask};
 use crate::error::{EngineError, Result};
-use crate::group::GroupKey;
+use crate::group::{GroupKey, KeyPart};
 use crate::row::Row;
 use crate::schema::Schema;
 use crate::value::Value;
@@ -44,16 +44,17 @@ pub enum Predicate {
         /// Column name.
         column: String,
     },
-    /// Named column's *group key* equals the given key — SQL's
-    /// `IS NOT DISTINCT FROM` with the grouping semantics of
-    /// [`crate::group::GroupKey`]: NULL matches NULL, NaN matches NaN, and
-    /// `-0.0` / `0.0` are distinct.  This is the predicate that selects
-    /// exactly the rows of one group produced by a grouped scan, which plain
-    /// [`Predicate::ColumnEquals`] cannot do for NULL or NaN keys.
+    /// The named columns' *group key* equals the given (possibly composite)
+    /// key — a per-column conjunction of SQL's `IS NOT DISTINCT FROM` with
+    /// the grouping semantics of [`crate::group::GroupKey`]: NULL matches
+    /// NULL, NaN matches NaN, and `-0.0` / `0.0` are distinct, column by
+    /// column.  This is the predicate that selects exactly the rows of one
+    /// group produced by a grouped scan (one column per key part), which
+    /// plain [`Predicate::ColumnEquals`] cannot do for NULL or NaN keys.
     ColumnIs {
-        /// Column name.
-        column: String,
-        /// The group key to match.
+        /// Column names, one per key part.
+        columns: Vec<String>,
+        /// The group key to match (arity must equal the column count).
         key: GroupKey,
     },
     /// Both sub-predicates hold.
@@ -94,16 +95,33 @@ impl Predicate {
     /// matches NaN, `-0.0` and `0.0` are distinct).
     pub fn column_is(column: impl Into<String>, value: &Value) -> Self {
         Predicate::ColumnIs {
-            column: column.into(),
+            columns: vec![column.into()],
             key: GroupKey::from_value(value),
         }
     }
 
     /// Convenience constructor for [`Predicate::ColumnIs`] from an already-
-    /// derived [`GroupKey`] (e.g. one returned by a grouped scan).
+    /// derived single-column [`GroupKey`] (e.g. one returned by a grouped
+    /// scan over one grouping column).  For composite keys use
+    /// [`Predicate::columns_are_key`].
     pub fn column_is_key(column: impl Into<String>, key: GroupKey) -> Self {
         Predicate::ColumnIs {
-            column: column.into(),
+            columns: vec![column.into()],
+            key,
+        }
+    }
+
+    /// Convenience constructor for [`Predicate::ColumnIs`] matching a
+    /// (possibly composite) group key against one column per key part — the
+    /// predicate that filters a source dataset down to exactly one group of
+    /// `group_by(columns)`.
+    pub fn columns_are_key<I, S>(columns: I, key: GroupKey) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Predicate::ColumnIs {
+            columns: columns.into_iter().map(Into::into).collect(),
             key,
         }
     }
@@ -153,8 +171,14 @@ impl Predicate {
                 Ok(v.as_double()? < *threshold)
             }
             Predicate::ColumnIsNull { column } => Ok(row.get_named(schema, column)?.is_null()),
-            Predicate::ColumnIs { column, key } => {
-                Ok(GroupKey::from_value(row.get_named(schema, column)?) == *key)
+            Predicate::ColumnIs { columns, key } => {
+                let parts = check_key_arity(columns, key)?;
+                for (column, part) in columns.iter().zip(parts) {
+                    if KeyPart::from_value(row.get_named(schema, column)?) != *part {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
             }
             Predicate::And(a, b) => Ok(a.evaluate(row, schema)? && b.evaluate(row, schema)?),
             Predicate::Or(a, b) => Ok(a.evaluate(row, schema)? || b.evaluate(row, schema)?),
@@ -244,13 +268,18 @@ impl Predicate {
                 }
                 Ok(mask)
             }
-            Predicate::ColumnIs { column, key } => {
-                let idx = schema.index_of(column)?;
-                let column = chunk.column(idx);
-                let mut mask = SelectionMask::none(rows);
-                for i in 0..rows {
-                    if key.matches_column(column, i) {
-                        mask.set(i, true);
+            Predicate::ColumnIs { columns, key } => {
+                let parts = check_key_arity(columns, key)?;
+                // Per-column conjunction: start from all rows and knock out
+                // rows whose part does not match, one key column at a time.
+                let mut mask = SelectionMask::all(rows);
+                for (column, part) in columns.iter().zip(parts) {
+                    let idx = schema.index_of(column)?;
+                    let column = chunk.column(idx);
+                    for i in 0..rows {
+                        if mask.is_selected(i) && !part.matches_column(column, i) {
+                            mask.set(i, false);
+                        }
                     }
                 }
                 Ok(mask)
@@ -272,6 +301,27 @@ impl Predicate {
             }
         }
     }
+}
+
+/// Validates that a [`Predicate::ColumnIs`] key names at least one column
+/// and has exactly one part per named column, returning the parts on
+/// success.  The empty predicate is rejected rather than vacuously matching
+/// every row — mirroring `Dataset::group_by([])`, which is an error too.
+fn check_key_arity<'k>(columns: &[String], key: &'k GroupKey) -> Result<&'k [KeyPart]> {
+    if columns.is_empty() {
+        return Err(EngineError::invalid(
+            "ColumnIs needs at least one column; an empty column list would match every row",
+        ));
+    }
+    let parts = key.parts();
+    if parts.len() != columns.len() {
+        return Err(EngineError::invalid(format!(
+            "ColumnIs key arity mismatch: {} column(s) but a {}-part key",
+            columns.len(),
+            parts.len()
+        )));
+    }
+    Ok(parts)
 }
 
 /// Vectorized `column <op> threshold` over a numeric column.  NULL rows never
@@ -382,5 +432,54 @@ mod tests {
         let s = schema();
         let r = row!["x", 1.0];
         assert!(Predicate::column_eq("nope", 1.0).evaluate(&r, &s).is_err());
+    }
+
+    #[test]
+    fn composite_column_is_conjoins_per_column() {
+        use crate::chunk::RowChunk;
+        use crate::group::GroupKey;
+
+        let s = schema();
+        let mut chunk = RowChunk::new(&s);
+        chunk.push_values(row!["spam", 0.0].values()).unwrap();
+        chunk.push_values(row!["spam", -0.0].values()).unwrap();
+        chunk.push_values(row!["ham", 0.0].values()).unwrap();
+        chunk
+            .push_values(&[Value::Null, Value::Double(f64::NAN)])
+            .unwrap();
+
+        let key = |label: &Value, score: &Value| GroupKey::from_values([label, score]);
+        let spam_zero = Predicate::columns_are_key(
+            ["label", "score"],
+            key(&Value::Text("spam".into()), &Value::Double(0.0)),
+        );
+        let null_nan = Predicate::columns_are_key(
+            ["label", "score"],
+            key(&Value::Null, &Value::Double(f64::NAN)),
+        );
+        // Row and chunk evaluation agree: only the exact tuple matches,
+        // with -0.0 distinct from 0.0 and NULL/NaN matching themselves.
+        for (pred, expected) in [
+            (&spam_zero, [true, false, false, false]),
+            (&null_nan, [false, false, false, true]),
+        ] {
+            let mask = pred.evaluate_chunk(&chunk, &s).unwrap();
+            for (i, want) in expected.iter().enumerate() {
+                assert_eq!(mask.is_selected(i), *want, "chunk eval, row {i}");
+                assert_eq!(pred.evaluate(&chunk.row(i), &s).unwrap(), *want, "row {i}");
+            }
+        }
+
+        // Arity mismatches are typed errors on both paths, and the empty
+        // predicate is rejected instead of matching every row.
+        let wrong = Predicate::columns_are_key(["label"], key(&Value::Null, &Value::Null));
+        assert!(wrong.evaluate(&chunk.row(0), &s).is_err());
+        assert!(wrong.evaluate_chunk(&chunk, &s).is_err());
+        let empty = Predicate::columns_are_key(
+            Vec::<String>::new(),
+            GroupKey::from_values(std::iter::empty()),
+        );
+        assert!(empty.evaluate(&chunk.row(0), &s).is_err());
+        assert!(empty.evaluate_chunk(&chunk, &s).is_err());
     }
 }

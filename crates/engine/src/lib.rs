@@ -11,8 +11,8 @@
 //! |-----------------------------------------|---------------------------------|
 //! | Shared-nothing segments (Greenplum)     | [`Table`] partitions + the [`scan`] pipeline's per-segment fan-out |
 //! | User-defined aggregate (transition / merge / final) | the [`aggregate::Aggregate`] trait |
-//! | `source_table` + `WHERE` + `grouping_cols` (Sections 3–4) | [`dataset::Dataset`]: `db.dataset("t")?.filter(...).group_by([...])` |
-//! | `GROUP BY` over an aggregate (Section 4.2) | `Session::train` / [`dataset::Dataset::aggregate_per_group`] with typed [`group::GroupKey`]s (`madlib_core::train` hosts the `Session`/`Estimator` half) |
+//! | `source_table` + `WHERE` + `grouping_cols` (Sections 3–4) | [`dataset::Dataset`]: `db.dataset("t")?.filter(...).group_by([...])` — `grouping_cols` is an arbitrary column list |
+//! | `GROUP BY` over an aggregate (Section 4.2) | `Session::train` / [`dataset::Dataset::aggregate_per_group`] with typed [`group::GroupKey`]s — composite for multi-column `group_by`, one [`group::KeyPart`] per column (`madlib_core::train` hosts the `Session`/`Estimator` half) |
 //! | Driver UDF + temp tables for iteration  | [`iteration::IterationController`] + [`Database`] temp tables |
 //! | Templated queries over arbitrary schemas| [`template`] schema introspection |
 //!
@@ -54,11 +54,14 @@
 //!   thread-per-segment fan-out) as reusable primitives.  *Every* scan
 //!   consumer runs on it: ungrouped aggregation, grouped aggregation
 //!   ([`dataset::Dataset::aggregate_per_group`], per-segment hash grouping
-//!   on typed [`group::GroupKey`]s — each chunk is bucketed by key and every
-//!   group's rows are gathered, in row order, into a compacted sub-chunk for
-//!   [`Aggregate::transition_chunk`], falling back per-row when groups are
-//!   too small to batch; [`group::partition_by_group`] exposes the same
-//!   per-group [`chunk::SelectionMask`] partitioning to standalone
+//!   on typed — possibly composite — [`group::GroupKey`]s: each chunk is
+//!   partitioned by key and every group's rows are gathered, in row order,
+//!   into a compacted sub-chunk for [`Aggregate::transition_chunk`]; chunks
+//!   with more groups than direct gathers pay for run a radix partition
+//!   pass instead, staging rows into group-slot buckets across chunks via
+//!   [`chunk::RowChunk::append_rows`] and flushing each group as one batch
+//!   — bit-identical either way; [`group::partition_by_group`] exposes the
+//!   same per-group [`chunk::SelectionMask`] partitioning to standalone
 //!   consumers), and projections ([`dataset::Dataset::map_chunks`] /
 //!   [`Executor::parallel_map_chunks`] with the row-level adapters layered
 //!   on top).
@@ -99,7 +102,7 @@ pub use database::Database;
 pub use dataset::Dataset;
 pub use error::{EngineError, Result};
 pub use executor::{ExecutionMode, Executor};
-pub use group::GroupKey;
+pub use group::{GroupKey, KeyPart};
 pub use row::Row;
 pub use scan::ScanBatch;
 pub use schema::{Column, ColumnType, Schema};

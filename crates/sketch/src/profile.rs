@@ -467,7 +467,8 @@ impl DatasetProfileExt for Dataset<'_> {
 /// the uniform training convention — in particular
 /// `Session::train_grouped(&Profiler, &ds.group_by([...]))` produces one
 /// [`TableProfile`] per group in a single grouped scan (the paper's
-/// templated `profile` module meeting its `grouping_cols`).
+/// templated `profile` module meeting its `grouping_cols`), including one
+/// profile per composite key for multi-column `group_by`.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Profiler;
 

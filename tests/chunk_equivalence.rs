@@ -43,6 +43,51 @@ fn bits(values: &[f64]) -> Vec<u64> {
     values.iter().map(|v| v.to_bits()).collect()
 }
 
+/// Exposes the raw linear-regression transition state (row count + `XᵀX`
+/// accumulator bits) as the aggregate output — the grouped-scan equivalence
+/// tests compare this instead of fitted models, because per-group fits of
+/// tiny random groups can be singular, which is finalize's concern rather
+/// than the scan's.
+struct LinregrStateProbe(LinearRegression);
+
+impl Aggregate for LinregrStateProbe {
+    type State = <LinearRegression as Aggregate>::State;
+    type Output = (u64, Vec<u64>);
+    fn initial_state(&self) -> Self::State {
+        self.0.initial_state()
+    }
+    fn transition(
+        &self,
+        state: &mut Self::State,
+        row: &Row,
+        schema: &Schema,
+    ) -> madlib::engine::Result<()> {
+        self.0.transition(state, row, schema)
+    }
+    fn transition_chunk(
+        &self,
+        state: &mut Self::State,
+        chunk: &madlib::engine::RowChunk,
+        schema: &Schema,
+    ) -> madlib::engine::Result<()> {
+        self.0.transition_chunk(state, chunk, schema)
+    }
+    fn merge(&self, left: Self::State, right: Self::State) -> Self::State {
+        self.0.merge(left, right)
+    }
+    fn finalize(&self, state: Self::State) -> madlib::engine::Result<Self::Output> {
+        Ok((
+            state.num_rows,
+            state
+                .x_transp_x
+                .as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect(),
+        ))
+    }
+}
+
 /// Builds a labeled-point table with a deliberately tiny chunk capacity so
 /// scans cross many chunk boundaries, plus optional NULL rows.
 fn labeled_table(
@@ -305,44 +350,9 @@ proptest! {
 
         // One linear regression per group — the Section 4.2 flagship — runs
         // the vectorized kernels on the gather path; states must still be
-        // bit-identical.  (Transition scan only: per-group fits of tiny
-        // groups can be singular, which is finalize's concern, not the
-        // scan's.)
-        struct Scan(LinearRegression);
-        impl Aggregate for Scan {
-            type State = <LinearRegression as Aggregate>::State;
-            type Output = (u64, Vec<u64>);
-            fn initial_state(&self) -> Self::State {
-                self.0.initial_state()
-            }
-            fn transition(
-                &self,
-                state: &mut Self::State,
-                row: &Row,
-                schema: &Schema,
-            ) -> madlib::engine::Result<()> {
-                self.0.transition(state, row, schema)
-            }
-            fn transition_chunk(
-                &self,
-                state: &mut Self::State,
-                chunk: &madlib::engine::RowChunk,
-                schema: &Schema,
-            ) -> madlib::engine::Result<()> {
-                self.0.transition_chunk(state, chunk, schema)
-            }
-            fn merge(&self, left: Self::State, right: Self::State) -> Self::State {
-                self.0.merge(left, right)
-            }
-            fn finalize(&self, state: Self::State) -> madlib::engine::Result<Self::Output> {
-                Ok((
-                    state.num_rows,
-                    state.x_transp_x.as_slice().iter().map(|v| v.to_bits()).collect(),
-                ))
-            }
-        }
+        // bit-identical.
         if null_every.is_none() {
-            let scan = Scan(LinearRegression::new("y", "x"));
+            let scan = LinregrStateProbe(LinearRegression::new("y", "x"));
             let lin_c = grouped_ds(&chunked).aggregate_per_group(&scan).unwrap();
             let lin_r = grouped_ds(&row_based).aggregate_per_group(&scan).unwrap();
             prop_assert_eq!(lin_c.len(), lin_r.len());
@@ -350,6 +360,84 @@ proptest! {
                 prop_assert!(ka == kb, "keys diverge: {:?} vs {:?}", ka, kb);
                 prop_assert_eq!(sa, sb);
             }
+        }
+    }
+
+    /// High-cardinality grouped scans — at least as many distinct groups as
+    /// any chunk holds rows, so the chunked path runs its radix partition
+    /// pass (bucket staging across chunks + batched per-group flushes)
+    /// instead of direct per-chunk gathers.  The partitioned scan must stay
+    /// bit-identical to `ExecutionMode::RowAtATime`: same groups, same key
+    /// order, same per-group state bits — across ragged partitions, empty
+    /// segments, filtered scans, and strides that scatter a group's rows
+    /// over many chunks.
+    #[test]
+    fn high_cardinality_radix_path_is_bit_identical(
+        num_rows in 0usize..260,
+        segments in 1usize..8,
+        chunk_capacity in 1usize..33,
+        group_divisor in 1usize..3,
+        key_stride in 1usize..5,
+        filtered in any::<bool>(),
+    ) {
+        // groups ≥ chunk capacity whenever the table is big enough to have
+        // full chunks, which pushes every full chunk into the radix path.
+        let num_groups = (num_rows / group_divisor).max(1);
+        let schema = Schema::new(vec![
+            Column::new("grp", ColumnType::Int),
+            Column::new("y", ColumnType::Double),
+            Column::new("x", ColumnType::DoubleArray),
+        ]);
+        let mut table = Table::new(schema, segments)
+            .unwrap()
+            .with_chunk_capacity(chunk_capacity)
+            .unwrap();
+        for i in 0..num_rows {
+            let key = ((i * key_stride) % num_groups) as i64;
+            let y = ((i * 37) % 19) as f64 - 9.0;
+            let x = vec![1.0, (i % 7) as f64 - 3.0, ((i * 13) % 11) as f64 * 0.5];
+            table
+                .insert(Row::new(vec![
+                    Value::Int(key),
+                    Value::Double(y),
+                    Value::DoubleArray(x),
+                ]))
+                .unwrap();
+        }
+        let filter = filtered.then(|| Predicate::column_gt("y", 0.0));
+        let (chunked, row_based) = executors();
+        let grouped_ds = |exec: &Executor| {
+            let mut ds = dataset(&table, exec).group_by(["grp"]);
+            if let Some(pred) = &filter {
+                ds = ds.filter(pred.clone());
+            }
+            ds
+        };
+
+        let count_c = grouped_ds(&chunked).aggregate_per_group(&CountAggregate).unwrap();
+        let count_r = grouped_ds(&row_based).aggregate_per_group(&CountAggregate).unwrap();
+        prop_assert_eq!(&count_c, &count_r);
+        let sum_c = grouped_ds(&chunked)
+            .aggregate_per_group(&SumAggregate::new("y"))
+            .unwrap();
+        let sum_r = grouped_ds(&row_based)
+            .aggregate_per_group(&SumAggregate::new("y"))
+            .unwrap();
+        prop_assert_eq!(sum_c.len(), sum_r.len());
+        for ((ka, va), (kb, vb)) in sum_c.iter().zip(&sum_r) {
+            prop_assert!(ka == kb, "keys diverge: {:?} vs {:?}", ka, kb);
+            prop_assert_eq!(va.to_bits(), vb.to_bits());
+        }
+
+        // The linregr transition state — the accumulation the radix pass
+        // batches through the tiled kernels — must match bit for bit.
+        let scan = LinregrStateProbe(LinearRegression::new("y", "x"));
+        let lin_c = grouped_ds(&chunked).aggregate_per_group(&scan).unwrap();
+        let lin_r = grouped_ds(&row_based).aggregate_per_group(&scan).unwrap();
+        prop_assert_eq!(lin_c.len(), lin_r.len());
+        for ((ka, sa), (kb, sb)) in lin_c.iter().zip(&lin_r) {
+            prop_assert!(ka == kb, "keys diverge: {:?} vs {:?}", ka, kb);
+            prop_assert_eq!(sa, sb);
         }
     }
 
@@ -405,6 +493,85 @@ proptest! {
         let a = filtered_ds(&chunked).aggregate(&summary).unwrap();
         let b = filtered_ds(&row_based).aggregate(&summary).unwrap();
         prop_assert_eq!(a, b);
+    }
+
+    /// Chunks alternating between low and high cardinality interleave the
+    /// direct-gather path with radix staging; the staged buckets must flush
+    /// before any later direct transition of the same groups, or a group
+    /// would see its rows out of order.  This pins the exact interleavings:
+    /// single-key chunks, radix chunks sharing keys with earlier direct
+    /// chunks, direct chunks over keys with staged rows, and a trailing
+    /// partial chunk of brand-new keys.
+    #[test]
+    fn radix_staging_interleaves_with_direct_chunks_bit_identically(
+        filtered in any::<bool>(),
+    ) {
+        let schema = Schema::new(vec![
+            Column::new("grp", ColumnType::Int),
+            Column::new("y", ColumnType::Double),
+            Column::new("x", ColumnType::DoubleArray),
+        ]);
+        // One segment with 64-row chunks, so the block structure below maps
+        // one block to one chunk exactly.
+        let mut table = Table::new(schema, 1)
+            .unwrap()
+            .with_chunk_capacity(64)
+            .unwrap();
+        let key_of = |block: usize, i: usize| -> i64 {
+            match block {
+                0 => 0,                  // single-key chunk (direct)
+                1 => i as i64,           // 64 distinct keys incl. 0 (radix)
+                2 => 1,                  // single-key chunk over a staged key
+                3 => 32 + i as i64,      // radix again, half old half new keys
+                4 => 32 + (i % 16) as i64, // 16 staged keys × 4 rows (direct)
+                _ => 100 + i as i64,     // trailing partial chunk, new keys
+            }
+        };
+        let mut row_idx = 0usize;
+        for block in 0..6 {
+            let rows = if block == 5 { 10 } else { 64 };
+            for i in 0..rows {
+                let y = ((row_idx * 29) % 13) as f64 - 6.0;
+                let x = vec![1.0, (row_idx % 5) as f64 - 2.0, ((row_idx * 7) % 9) as f64];
+                table
+                    .insert(Row::new(vec![
+                        Value::Int(key_of(block, i)),
+                        Value::Double(y),
+                        Value::DoubleArray(x),
+                    ]))
+                    .unwrap();
+                row_idx += 1;
+            }
+        }
+        let filter = filtered.then(|| Predicate::column_gt("y", 0.0));
+        let (chunked, row_based) = executors();
+        let grouped_ds = |exec: &Executor| {
+            let mut ds = dataset(&table, exec).group_by(["grp"]);
+            if let Some(pred) = &filter {
+                ds = ds.filter(pred.clone());
+            }
+            ds
+        };
+
+        let scan = LinregrStateProbe(LinearRegression::new("y", "x"));
+        let lin_c = grouped_ds(&chunked).aggregate_per_group(&scan).unwrap();
+        let lin_r = grouped_ds(&row_based).aggregate_per_group(&scan).unwrap();
+        prop_assert_eq!(lin_c.len(), lin_r.len());
+        for ((ka, sa), (kb, sb)) in lin_c.iter().zip(&lin_r) {
+            prop_assert!(ka == kb, "keys diverge: {:?} vs {:?}", ka, kb);
+            prop_assert_eq!(sa, sb);
+        }
+        let sum_c = grouped_ds(&chunked)
+            .aggregate_per_group(&SumAggregate::new("y"))
+            .unwrap();
+        let sum_r = grouped_ds(&row_based)
+            .aggregate_per_group(&SumAggregate::new("y"))
+            .unwrap();
+        prop_assert_eq!(sum_c.len(), sum_r.len());
+        for ((ka, va), (kb, vb)) in sum_c.iter().zip(&sum_r) {
+            prop_assert!(ka == kb, "keys diverge: {:?} vs {:?}", ka, kb);
+            prop_assert_eq!(va.to_bits(), vb.to_bits());
+        }
     }
 
     /// Empty segments (more segments than rows, including entirely empty

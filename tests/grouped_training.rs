@@ -11,7 +11,9 @@
 //! row filters, and both execution modes.
 
 use madlib::engine::expr::Predicate;
-use madlib::engine::{Column, ColumnType, Dataset, Executor, Row, Schema, Table, Value};
+use madlib::engine::{Column, ColumnType, Dataset, Executor, GroupKey, Row, Schema, Table, Value};
+use madlib::methods::classify::{DecisionTree, LinearSvm, NaiveBayes};
+use madlib::methods::cluster::KMeans;
 use madlib::methods::regress::{LinearRegression, LogisticRegression};
 use madlib::methods::{Estimator, Session};
 use proptest::prelude::*;
@@ -60,23 +62,122 @@ fn grouped_table(
     table
 }
 
-/// The naive per-group plan: filter the dataset down to one group key and
-/// fit that group alone.
+/// The naive per-group plan: filter the dataset down to one (possibly
+/// composite) group key and fit that group alone.
+fn filter_then_fit_columns<E: Estimator>(
+    estimator: &E,
+    table: &Table,
+    executor: Executor,
+    extra_filter: Option<&Predicate>,
+    columns: &[&str],
+    key: GroupKey,
+    session: &Session,
+) -> madlib::methods::Result<E::Model> {
+    let mut ds = Dataset::from_table(table)
+        .with_executor(executor)
+        .filter(Predicate::columns_are_key(columns.iter().copied(), key));
+    if let Some(pred) = extra_filter {
+        ds = ds.filter(pred.clone());
+    }
+    estimator.fit(&ds, session)
+}
+
+/// Single-column shorthand over [`filter_then_fit_columns`] for the `grp`
+/// tables used throughout this suite.
 fn filter_then_fit<E: Estimator>(
     estimator: &E,
     table: &Table,
     executor: Executor,
     extra_filter: Option<&Predicate>,
-    key: madlib::engine::GroupKey,
+    key: GroupKey,
     session: &Session,
 ) -> madlib::methods::Result<E::Model> {
-    let mut ds = Dataset::from_table(table)
-        .with_executor(executor)
-        .filter(Predicate::column_is_key("grp", key));
-    if let Some(pred) = extra_filter {
-        ds = ds.filter(pred.clone());
+    filter_then_fit_columns(
+        estimator,
+        table,
+        executor,
+        extra_filter,
+        &["grp"],
+        key,
+        session,
+    )
+}
+
+/// One key-column value for the composite-key property tests: every flavor
+/// injects NULLs, and the double flavor additionally cycles `0.0`, `-0.0`
+/// and NaN through the key position, so each position of a composite key is
+/// exercised with the full set of tricky group values.
+fn key_value(flavor: usize, k: usize) -> Value {
+    match flavor % 3 {
+        0 => match k % 6 {
+            0 => Value::Null,
+            1 => Value::Double(0.0),
+            2 => Value::Double(-0.0),
+            3 => Value::Double(f64::NAN),
+            other => Value::Double(other as f64),
+        },
+        1 => {
+            if k.is_multiple_of(4) {
+                Value::Null
+            } else {
+                Value::Int((k % 4) as i64 - 2)
+            }
+        }
+        _ => {
+            if k.is_multiple_of(5) {
+                Value::Null
+            } else {
+                Value::Text(format!("g{}", k % 3))
+            }
+        }
     }
-    estimator.fit(&ds, session)
+}
+
+/// The column type matching [`key_value`]'s flavor.
+fn key_column_type(flavor: usize) -> ColumnType {
+    match flavor % 3 {
+        0 => ColumnType::Double,
+        1 => ColumnType::Int,
+        _ => ColumnType::Text,
+    }
+}
+
+/// Builds a table with `num_cols` key columns (`g0`, `g1`, …) of per-column
+/// flavors, plus `y` / `x` regression columns.
+fn composite_table(
+    points: &[(usize, usize, usize, f64, [f64; 2])],
+    flavors: &[usize; 3],
+    num_cols: usize,
+    segments: usize,
+    chunk_capacity: usize,
+    binary_labels: bool,
+) -> (Table, Vec<String>) {
+    let columns: Vec<String> = (0..num_cols).map(|c| format!("g{c}")).collect();
+    let mut schema_cols: Vec<Column> = columns
+        .iter()
+        .enumerate()
+        .map(|(c, name)| Column::new(name.as_str(), key_column_type(flavors[c])))
+        .collect();
+    schema_cols.push(Column::new("y", ColumnType::Double));
+    schema_cols.push(Column::new("x", ColumnType::DoubleArray));
+    let mut table = Table::new(Schema::new(schema_cols), segments)
+        .unwrap()
+        .with_chunk_capacity(chunk_capacity)
+        .unwrap();
+    for (k0, k1, k2, y, x) in points {
+        let ks = [*k0, *k1, *k2];
+        let mut values: Vec<Value> = (0..num_cols)
+            .map(|c| key_value(flavors[c], ks[c]))
+            .collect();
+        values.push(Value::Double(if binary_labels {
+            f64::from(*y > 0.0)
+        } else {
+            *y
+        }));
+        values.push(Value::DoubleArray(x.to_vec()));
+        table.insert(Row::new(values)).unwrap();
+    }
+    (table, columns)
 }
 
 proptest! {
@@ -171,6 +272,114 @@ proptest! {
             prop_assert_eq!(model.num_rows, alone.num_rows);
         }
     }
+
+    /// Composite keys (the paper's multi-column `grouping_cols`):
+    /// `group_by(["g0", "g1"(, "g2")])` trains one linear regression per
+    /// distinct key *tuple*, bit-identical to filtering the source down to
+    /// each composite key and fitting it alone — across per-position key
+    /// flavors mixing NULL, NaN, `-0.0` and int/double/text types, extra row
+    /// filters, and both execution modes.
+    #[test]
+    fn grouped_composite_linregr_equals_filter_then_fit(
+        points in prop::collection::vec(
+            (0usize..10, 0usize..10, 0usize..10, -10.0..10.0f64, [-5.0..5.0f64, -5.0..5.0f64]),
+            1..80),
+        flavors in [0usize..3, 0usize..3, 0usize..3],
+        three_cols in any::<bool>(),
+        (segments, chunk_capacity) in (1usize..4, 1usize..24),
+        filtered in any::<bool>(),
+        row_mode in any::<bool>(),
+    ) {
+        let num_cols = if three_cols { 3 } else { 2 };
+        let (table, columns) =
+            composite_table(&points, &flavors, num_cols, segments, chunk_capacity, false);
+        let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+        let executor = if row_mode { Executor::row_at_a_time() } else { Executor::new() };
+        let extra = filtered.then(|| Predicate::column_gt("y", 0.0));
+        let session = Session::in_memory(segments).unwrap().with_executor(executor);
+
+        let mut grouped_ds = Dataset::from_table(&table).group_by(columns.clone());
+        if let Some(pred) = &extra {
+            grouped_ds = grouped_ds.filter(pred.clone());
+        }
+        let estimator = LinearRegression::new("y", "x");
+        let grouped = session.train_grouped(&estimator, &grouped_ds).unwrap();
+
+        // Exactly one model per distinct surviving key tuple.
+        let schema = table.schema();
+        let survivors: Vec<Row> = table
+            .iter()
+            .filter(|r| extra.as_ref().is_none_or(|p| p.evaluate(r, schema).unwrap()))
+            .collect();
+        let mut expected_keys: Vec<GroupKey> = survivors
+            .iter()
+            .map(|r| GroupKey::from_values((0..num_cols).map(|c| r.get(c))))
+            .collect();
+        expected_keys.sort();
+        expected_keys.dedup();
+        prop_assert_eq!(grouped.len(), expected_keys.len());
+        prop_assert_eq!(
+            grouped.keys().cloned().collect::<Vec<_>>(),
+            expected_keys
+        );
+
+        let mut total_rows = 0;
+        for (key, model) in &grouped {
+            prop_assert_eq!(key.arity(), num_cols);
+            let alone = filter_then_fit_columns(
+                &estimator, &table, executor, extra.as_ref(), &column_refs, key.clone(), &session,
+            )
+            .unwrap();
+            prop_assert_eq!(bits(&model.coef), bits(&alone.coef));
+            prop_assert_eq!(model.r2.to_bits(), alone.r2.to_bits());
+            prop_assert_eq!(bits(&model.std_err), bits(&alone.std_err));
+            prop_assert_eq!(bits(&model.t_stats), bits(&alone.t_stats));
+            prop_assert_eq!(model.num_rows, alone.num_rows);
+            total_rows += model.num_rows as usize;
+
+            // Composite lookup resolves the same model.
+            let looked_up = grouped.get_values(&key.clone().into_values()).unwrap();
+            prop_assert_eq!(bits(&looked_up.coef), bits(&model.coef));
+        }
+        prop_assert_eq!(total_rows, survivors.len());
+    }
+
+    /// Composite keys through the *iterative* path: the per-group gather
+    /// splits on the key tuple while preserving segment placement, so
+    /// two-column grouped IRLS is bit-identical to filter-then-fit.
+    #[test]
+    fn grouped_composite_logregr_equals_filter_then_fit(
+        points in prop::collection::vec(
+            (0usize..6, 0usize..6, 0usize..6, -5.0..5.0f64, [-2.0..2.0f64, -2.0..2.0f64]),
+            2..50),
+        flavors in [0usize..3, 0usize..3, 0usize..3],
+        (segments, chunk_capacity) in (1usize..4, 1usize..16),
+        row_mode in any::<bool>(),
+    ) {
+        let (table, columns) =
+            composite_table(&points, &flavors, 2, segments, chunk_capacity, true);
+        let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+        let executor = if row_mode { Executor::row_at_a_time() } else { Executor::new() };
+        let session = Session::in_memory(segments).unwrap().with_executor(executor);
+        let estimator = LogisticRegression::new("y", "x").with_max_iterations(4);
+
+        let grouped = session
+            .train_grouped(&estimator, &Dataset::from_table(&table).group_by(columns.clone()))
+            .unwrap();
+        prop_assert!(!grouped.is_empty());
+
+        for (key, model) in &grouped {
+            let alone = filter_then_fit_columns(
+                &estimator, &table, executor, None, &column_refs, key.clone(), &session,
+            )
+            .unwrap();
+            prop_assert_eq!(bits(&model.coef), bits(&alone.coef));
+            prop_assert_eq!(bits(&model.std_err), bits(&alone.std_err));
+            prop_assert_eq!(model.log_likelihood.to_bits(), alone.log_likelihood.to_bits());
+            prop_assert_eq!(model.num_iterations, alone.num_iterations);
+            prop_assert_eq!(model.num_rows, alone.num_rows);
+        }
+    }
 }
 
 /// Single-row groups (every key unique) train one model per row, identical
@@ -253,4 +462,179 @@ fn single_row_groups_train_one_model_per_row() {
         .unwrap();
         assert_eq!(bits(&model.coef), bits(&alone.coef));
     }
+}
+
+/// Builds a `grp (int, one NULL group) | label (text) | y (double) |
+/// x (double[])` classification table: three labeled blobs per group, group
+/// keys -1, 0, 1 and NULL, every group populated with `per_group` points.
+fn classification_table(segments: usize, chunk_capacity: usize, per_group: usize) -> Table {
+    let schema = Schema::new(vec![
+        Column::new("grp", ColumnType::Int),
+        Column::new("label", ColumnType::Text),
+        Column::new("y", ColumnType::Double),
+        Column::new("x", ColumnType::DoubleArray),
+    ]);
+    let mut table = Table::new(schema, segments)
+        .unwrap()
+        .with_chunk_capacity(chunk_capacity)
+        .unwrap();
+    for g in 0..4i64 {
+        let group = if g == 3 {
+            Value::Null
+        } else {
+            Value::Int(g - 1)
+        };
+        for i in 0..per_group {
+            // Deterministic, group-dependent, separable-ish data.
+            let v = i as f64 - per_group as f64 / 2.0 + g as f64 * 0.25;
+            let positive = v > 0.0;
+            let label = if positive { "pos" } else { "neg" };
+            let y = if positive { 1.0 } else { -1.0 };
+            let x = vec![1.0, v, v * 0.5 - g as f64, (i % 3) as f64];
+            table
+                .insert(Row::new(vec![
+                    group.clone(),
+                    Value::Text(label.into()),
+                    Value::Double(y),
+                    Value::DoubleArray(x),
+                ]))
+                .unwrap();
+        }
+    }
+    table
+}
+
+/// Runs `estimator` through `Session::train_grouped` over `group_by(["grp"])`
+/// in both execution modes and asserts every per-group model equals the
+/// filter-then-fit model for that key.
+fn assert_grouped_matches_filter_then_fit<E>(estimator: &E, table: &Table, expected_groups: usize)
+where
+    E: Estimator,
+    E::Model: PartialEq + std::fmt::Debug,
+{
+    for executor in [Executor::new(), Executor::row_at_a_time()] {
+        let session = Session::in_memory(table.num_segments())
+            .unwrap()
+            .with_executor(executor);
+        let grouped = session
+            .train_grouped(estimator, &Dataset::from_table(table).group_by(["grp"]))
+            .unwrap();
+        assert_eq!(grouped.len(), expected_groups);
+        for (key, model) in &grouped {
+            let alone =
+                filter_then_fit(estimator, table, executor, None, key.clone(), &session).unwrap();
+            assert_eq!(*model, alone, "group {key:?} diverged from filter-then-fit");
+        }
+    }
+}
+
+/// `train_grouped` with k-means: the per-group gather preserves segment
+/// placement and row order, so seeding, every Lloyd step and the final
+/// inertia pass are identical to fitting the filtered group alone.
+#[test]
+fn grouped_kmeans_equals_filter_then_fit() {
+    let table = classification_table(3, 8, 12);
+    let estimator = KMeans::new("x", 2)
+        .unwrap()
+        .with_seed(7)
+        .with_max_iterations(8);
+    assert_grouped_matches_filter_then_fit(&estimator, &table, 4);
+
+    // Centroids specifically are bit-identical, not merely close.
+    let session = Session::in_memory(3).unwrap();
+    let grouped = session
+        .train_grouped(&estimator, &Dataset::from_table(&table).group_by(["grp"]))
+        .unwrap();
+    for (key, model) in &grouped {
+        let alone = filter_then_fit(
+            &estimator,
+            &table,
+            *session.executor(),
+            None,
+            key.clone(),
+            &session,
+        )
+        .unwrap();
+        for (ca, cb) in model.centroids.iter().zip(&alone.centroids) {
+            assert_eq!(bits(ca), bits(cb));
+        }
+        assert_eq!(model.inertia.to_bits(), alone.inertia.to_bits());
+    }
+}
+
+/// `train_grouped` with naive Bayes (single-pass override): one grouped scan
+/// trains all groups, identical to per-key filtered aggregation.
+#[test]
+fn grouped_naive_bayes_equals_filter_then_fit() {
+    let table = classification_table(2, 8, 15);
+    assert_grouped_matches_filter_then_fit(&NaiveBayes::new("label", "x"), &table, 4);
+}
+
+/// `train_grouped` with a C4.5 decision tree (iterative/materializing path):
+/// the gathered per-group rows arrive in the same order as a filtered scan,
+/// so the greedy splits are identical.
+#[test]
+fn grouped_decision_tree_equals_filter_then_fit() {
+    let table = classification_table(2, 8, 15);
+    assert_grouped_matches_filter_then_fit(&DecisionTree::new("label", "x"), &table, 4);
+}
+
+/// `train_grouped` with a Pegasos linear SVM: the seeded shuffle sees the
+/// same row sequence either way, so the weight trajectories are identical.
+#[test]
+fn grouped_linear_svm_equals_filter_then_fit() {
+    let table = classification_table(3, 8, 14);
+    let estimator = LinearSvm::new("y", "x").with_seed(11).with_epochs(6);
+    assert_grouped_matches_filter_then_fit(&estimator, &table, 4);
+}
+
+/// Grouping-column validation surfaces as typed errors through the whole
+/// training stack — unknown names and duplicates cannot silently mis-group.
+#[test]
+fn train_grouped_rejects_bad_grouping_columns() {
+    let table = classification_table(2, 8, 6);
+    let session = Session::in_memory(2).unwrap();
+    let estimator = LinearRegression::new("y", "x");
+
+    // Unknown column name: typed ColumnNotFound from the engine, for both
+    // the single-pass (linregr) and gather (logregr) grouped paths.
+    let err = session
+        .train_grouped(&estimator, &Dataset::from_table(&table).group_by(["nope"]))
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("column not found"),
+        "unexpected error: {err}"
+    );
+    let err = session
+        .train_grouped(
+            &LogisticRegression::new("y", "x"),
+            &Dataset::from_table(&table).group_by(["grp", "nope"]),
+        )
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("column not found"),
+        "unexpected error: {err}"
+    );
+
+    // Duplicate grouping columns are rejected up front.
+    let err = session
+        .train_grouped(
+            &estimator,
+            &Dataset::from_table(&table).group_by(["grp", "grp"]),
+        )
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("duplicate"),
+        "unexpected error: {err}"
+    );
+
+    // Valid multi-column grouping works end to end: grp × label tuples.
+    let grouped = session
+        .train_grouped(
+            &estimator,
+            &Dataset::from_table(&table).group_by(["grp", "label"]),
+        )
+        .unwrap();
+    assert_eq!(grouped.len(), 8);
+    assert!(grouped.keys().all(|key| key.arity() == 2));
 }
