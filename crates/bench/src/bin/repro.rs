@@ -38,7 +38,7 @@ use madlib_linalg::{DenseMatrix, DenseVector, SparseVector};
 use madlib_sketch::{profile_table, CountMinSketch, FlajoletMartin, QuantileSummary};
 use madlib_text::mcmc::{gibbs_sample, metropolis_hastings_sample, McmcConfig};
 use madlib_text::viterbi::viterbi_decode;
-use madlib_text::{ChainCrf, FeatureExtractor, TrigramIndex};
+use madlib_text::{CrfEstimator, FeatureExtractor, TrigramIndex};
 use std::time::Instant;
 
 fn main() {
@@ -421,10 +421,13 @@ fn table1() {
     );
 
     let ratings = datasets::ratings_data(30, 25, 2, 0.5, 4, 9).unwrap();
-    let mf = LowRankFactorization::new("user_id", "item_id", "rating", 4)
-        .unwrap()
-        .with_epochs(40)
-        .fit(&executor, &ratings)
+    let mf = session
+        .train(
+            &LowRankFactorization::new("user_id", "item_id", "rating", 4)
+                .unwrap()
+                .with_epochs(40),
+            &Dataset::from_table(&ratings),
+        )
         .unwrap();
     check(
         "SVD Matrix Factorization",
@@ -433,11 +436,14 @@ fn table1() {
     );
 
     let corpus = datasets::document_corpus(30, 3, 15, 40, 4, 11).unwrap();
-    let lda = Lda::new("tokens", 3)
-        .unwrap()
-        .with_alpha(0.1)
-        .with_iterations(80)
-        .fit(&executor, &corpus)
+    let lda = session
+        .train(
+            &Lda::new("tokens", 3)
+                .unwrap()
+                .with_alpha(0.1)
+                .with_iterations(80),
+            &Dataset::from_table(&corpus),
+        )
         .unwrap();
     check(
         "Latent Dirichlet Allocation",
@@ -450,14 +456,16 @@ fn table1() {
     );
 
     let baskets = datasets::market_basket_data(800, 25, 4, 13).unwrap();
-    let rules = Apriori::new("items", 0.2, 0.6)
-        .unwrap()
-        .mine_rules(&executor, &baskets)
+    let basket_model = session
+        .train(
+            &Apriori::new("items", 0.2, 0.6).unwrap(),
+            &Dataset::from_table(&baskets),
+        )
         .unwrap();
     check(
         "Association Rules",
-        !rules.is_empty(),
-        format!("{} rules found", rules.len()),
+        !basket_model.rules.is_empty(),
+        format!("{} rules found", basket_model.rules.len()),
     );
 
     // Descriptive statistics.
@@ -632,7 +640,6 @@ fn crf_corpus(sequences: usize, segments: usize) -> Table {
 
 fn table3() {
     println!("== Table 3: statistical text-analysis methods (POS / NER / ER) ==");
-    let executor = Executor::new();
     let db = Database::new(4).unwrap();
 
     // Text feature extraction.
@@ -651,7 +658,12 @@ fn table3() {
 
     // CRF training + Viterbi inference.
     let corpus = crf_corpus(60, 4);
-    let crf = ChainCrf::train(&executor, &db, &corpus, "observations", "labels", 2, 4, 40).unwrap();
+    let crf = Session::new(db.clone())
+        .train(
+            &CrfEstimator::new("observations", "labels", 2, 4).with_epochs(40),
+            &Dataset::from_table(&corpus),
+        )
+        .unwrap();
     let observations = [0usize, 3, 0, 3, 0];
     let (labels, score) = viterbi_decode(&crf, &observations).unwrap();
     check(

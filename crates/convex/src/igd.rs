@@ -2,7 +2,7 @@
 //!
 //! One *epoch* of training is a single user-defined aggregate pass over the
 //! data, following the parallelized-SGD / model-averaging pattern the paper
-//! cites (Zinkevich et al. [47]): each segment runs sequential stochastic
+//! cites (Zinkevich et al. \[47\]): each segment runs sequential stochastic
 //! updates over its local partition starting from the current model (the
 //! transition function), the per-segment models are averaged (the merge
 //! function), and the averaged model becomes the next epoch's starting point

@@ -1,5 +1,9 @@
 //! Association-rule mining.
+//!
+//! [`Apriori`] implements [`crate::train::Estimator`]: `Session::train`
+//! returns an [`AprioriModel`] (frequent itemsets + rules), and
+//! `Session::train_grouped` mines one model per `grouping_cols` key.
 
 pub mod apriori;
 
-pub use apriori::{Apriori, AssociationRule, FrequentItemset};
+pub use apriori::{Apriori, AprioriModel, AssociationRule, FrequentItemset};

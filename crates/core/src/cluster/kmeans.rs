@@ -6,7 +6,7 @@
 //! one user-defined aggregate pass driven by a driver function.  This module
 //! reproduces exactly that structure:
 //!
-//! * the per-iteration pass is [`KMeansStep`], a UDA whose transition function
+//! * the per-iteration pass is `KMeansStep`, a UDA whose transition function
 //!   assigns each point to its closest centroid (the `closest_column` UDF of
 //!   the paper) and accumulates per-centroid sums and counts;
 //! * the outer loop is an [`IterationController`] run, staging the flattened

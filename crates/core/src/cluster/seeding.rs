@@ -2,7 +2,7 @@
 //!
 //! The paper's Section 4.3 describes the seeding phase as step (1) of Lloyd's
 //! algorithm; MADlib offers both random seeding and the k-means++ strategy of
-//! Arthur & Vassilvitskii (the paper cites it as reference [5]).
+//! Arthur & Vassilvitskii (the paper cites it as reference \[5\]).
 
 use crate::error::{MethodError, Result};
 use rand::rngs::StdRng;

@@ -212,8 +212,11 @@ pub fn gaussian_blobs(
 }
 
 /// Generates market-basket transactions for the association-rules module:
-/// a table `(transaction_id bigint, items text[])`.  A handful of "pattern"
-/// item pairs co-occur frequently so that Apriori has real rules to find.
+/// a table `(transaction_id bigint, store text, items text[])`.  A handful
+/// of "pattern" item pairs co-occur frequently so that Apriori has real
+/// rules to find; the `store` column tags each transaction with one of two
+/// stores so the table doubles as a `grouping_cols` workload (per-store
+/// basket models).
 ///
 /// # Errors
 /// Returns [`MethodError::InvalidParameter`] for zero transactions or items.
@@ -231,11 +234,17 @@ pub fn market_basket_data(
     }
     let schema = Schema::new(vec![
         Column::new("transaction_id", ColumnType::Int),
+        Column::new("store", ColumnType::Text),
         Column::new("items", ColumnType::TextArray),
     ]);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut table = Table::new(schema, segments).map_err(MethodError::from)?;
     for tid in 0..transactions {
+        let store = if rng.gen::<f64>() < 0.5 {
+            "north"
+        } else {
+            "south"
+        };
         let mut items: Vec<String> = Vec::new();
         // Pattern: item_0 + item_1 co-occur in ~40% of baskets; item_2 joins
         // them half the time, giving a strong 2- and 3-item rule.
@@ -257,6 +266,7 @@ pub fn market_basket_data(
         table
             .insert(Row::new(vec![
                 Value::Int(tid as i64),
+                Value::Text(store.to_owned()),
                 Value::TextArray(items),
             ]))
             .map_err(MethodError::from)?;
@@ -411,7 +421,7 @@ mod tests {
         let with_pattern = t
             .iter()
             .filter(|r| {
-                r.get(1)
+                r.get(2)
                     .as_text_array()
                     .unwrap()
                     .contains(&"item_0".to_owned())
@@ -419,6 +429,12 @@ mod tests {
             .count();
         // ~40% of 500 = 200; allow generous slack.
         assert!(with_pattern > 120 && with_pattern < 280);
+        // Both stores are populated.
+        let north = t
+            .iter()
+            .filter(|r| r.get(1).as_text().unwrap() == "north")
+            .count();
+        assert!(north > 100 && north < 400);
         assert!(market_basket_data(10, 2, 1, 0).is_err());
     }
 

@@ -8,7 +8,9 @@
 //! approaches large sparse inputs.
 
 use crate::error::{MethodError, Result};
-use madlib_engine::{Executor, Table};
+use crate::train::{Estimator, Session};
+use madlib_engine::chunk::ColumnChunk;
+use madlib_engine::dataset::Dataset;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -115,30 +117,80 @@ impl LowRankFactorization {
         self
     }
 
-    /// Fits the factorization over the ratings table.
+    /// Extracts the `(user, item, rating)` triples of one column-major chunk.
     ///
-    /// # Errors
-    /// Propagates engine errors; requires a non-empty table with non-negative
-    /// integer ids.
-    pub fn fit(&self, executor: &Executor, table: &Table) -> Result<LowRankModel> {
-        executor
-            .validate_input(table, true)
-            .map_err(MethodError::from)?;
-        let user_col = self.user_column.clone();
-        let item_col = self.item_column.clone();
-        let rating_col = self.rating_column.clone();
-        let triples: Vec<(usize, usize, f64)> = executor
-            .parallel_map(table, move |row, schema| {
-                let u = row.get_named(schema, &user_col)?.as_int()?;
-                let i = row.get_named(schema, &item_col)?.as_int()?;
-                let r = row.get_named(schema, &rating_col)?.as_double()?;
-                if u < 0 || i < 0 {
-                    return Err(madlib_engine::EngineError::aggregate(
-                        "user/item ids must be non-negative",
-                    ));
+    /// The fast path reads the three contiguous column buffers directly
+    /// (`bigint`, `bigint`, `double precision`, no NULLs); anything else —
+    /// NULL-bearing chunks, unexpected column types — falls back to
+    /// materialized per-row access, which raises exactly the errors the
+    /// legacy row loop did.
+    fn chunk_triples(
+        &self,
+        chunk: &madlib_engine::RowChunk,
+        schema: &madlib_engine::Schema,
+    ) -> madlib_engine::Result<Vec<(usize, usize, f64)>> {
+        let user_idx = schema.index_of(&self.user_column)?;
+        let item_idx = schema.index_of(&self.item_column)?;
+        let rating_idx = schema.index_of(&self.rating_column)?;
+        let mut out = Vec::with_capacity(chunk.len());
+        if let (
+            ColumnChunk::Int {
+                values: users,
+                nulls: user_nulls,
+            },
+            ColumnChunk::Int {
+                values: items,
+                nulls: item_nulls,
+            },
+            ColumnChunk::Double {
+                values: ratings,
+                nulls: rating_nulls,
+            },
+        ) = (
+            chunk.column(user_idx),
+            chunk.column(item_idx),
+            chunk.column(rating_idx),
+        ) {
+            if !user_nulls.any_null() && !item_nulls.any_null() && !rating_nulls.any_null() {
+                for ((&u, &i), &r) in users.iter().zip(items).zip(ratings) {
+                    if u < 0 || i < 0 {
+                        return Err(madlib_engine::EngineError::aggregate(
+                            "user/item ids must be non-negative",
+                        ));
+                    }
+                    out.push((u as usize, i as usize, r));
                 }
-                Ok((u as usize, i as usize, r))
-            })
+                return Ok(out);
+            }
+        }
+        for row in 0..chunk.len() {
+            let u = chunk.value(row, user_idx).as_int()?;
+            let i = chunk.value(row, item_idx).as_int()?;
+            let r = chunk.value(row, rating_idx).as_double()?;
+            if u < 0 || i < 0 {
+                return Err(madlib_engine::EngineError::aggregate(
+                    "user/item ids must be non-negative",
+                ));
+            }
+            out.push((u as usize, i as usize, r));
+        }
+        Ok(out)
+    }
+}
+
+impl Estimator for LowRankFactorization {
+    type Model = LowRankModel;
+
+    /// Fits the factorization over the dataset's (filtered) ratings rows.
+    /// The triple-loading pass rides the chunked scan pipeline; the SGD
+    /// epochs run in-core, seeded, over the collected triples in scan order.
+    fn fit(&self, dataset: &Dataset<'_>, _session: &Session) -> Result<LowRankModel> {
+        dataset
+            .executor()
+            .validate_input(dataset.table(), true)
+            .map_err(MethodError::from)?;
+        let triples: Vec<(usize, usize, f64)> = dataset
+            .map_chunks(|chunk, schema| self.chunk_triples(chunk, schema))
             .map_err(MethodError::from)?;
         if triples.is_empty() {
             return Err(MethodError::invalid_input("no ratings in input table"));
@@ -213,16 +265,23 @@ impl LowRankFactorization {
 mod tests {
     use super::*;
     use crate::datasets::ratings_data;
+    use madlib_engine::Table;
+
+    fn fit(estimator: &LowRankFactorization, table: &Table) -> Result<LowRankModel> {
+        estimator.fit(
+            &Dataset::from_table(table),
+            &Session::in_memory(table.num_segments()).unwrap(),
+        )
+    }
 
     #[test]
     fn reconstructs_low_rank_matrix() {
         let table = ratings_data(30, 25, 2, 0.6, 3, 42).unwrap();
-        let model = LowRankFactorization::new("user_id", "item_id", "rating", 4)
+        let estimator = LowRankFactorization::new("user_id", "item_id", "rating", 4)
             .unwrap()
             .with_epochs(60)
-            .with_seed(1)
-            .fit(&Executor::new(), &table)
-            .unwrap();
+            .with_seed(1);
+        let model = fit(&estimator, &table).unwrap();
         assert_eq!(model.rank, 4);
         assert!(model.num_ratings > 100);
         assert!(
@@ -242,11 +301,10 @@ mod tests {
     #[test]
     fn unknown_ids_are_rejected_in_predict() {
         let table = ratings_data(5, 5, 1, 0.9, 1, 3).unwrap();
-        let model = LowRankFactorization::new("user_id", "item_id", "rating", 2)
+        let estimator = LowRankFactorization::new("user_id", "item_id", "rating", 2)
             .unwrap()
-            .with_epochs(5)
-            .fit(&Executor::new(), &table)
-            .unwrap();
+            .with_epochs(5);
+        let model = fit(&estimator, &table).unwrap();
         assert!(model.predict(0, 0).is_ok());
         assert!(model.predict(1000, 0).is_err());
         assert!(model.predict(0, 1000).is_err());
@@ -256,20 +314,27 @@ mod tests {
     fn deterministic_with_seed_and_validates_parameters() {
         assert!(LowRankFactorization::new("u", "i", "r", 0).is_err());
         let table = ratings_data(8, 8, 2, 0.8, 2, 9).unwrap();
-        let a = LowRankFactorization::new("user_id", "item_id", "rating", 3)
+        let estimator = LowRankFactorization::new("user_id", "item_id", "rating", 3)
             .unwrap()
             .with_seed(5)
-            .with_epochs(10)
-            .fit(&Executor::new(), &table)
-            .unwrap();
-        let b = LowRankFactorization::new("user_id", "item_id", "rating", 3)
-            .unwrap()
-            .with_seed(5)
-            .with_epochs(10)
-            .fit(&Executor::new(), &table)
-            .unwrap();
+            .with_epochs(10);
+        let a = fit(&estimator, &table).unwrap();
+        let b = fit(&estimator, &table).unwrap();
         assert_eq!(a.user_factors, b.user_factors);
         assert_eq!(a.item_factors, b.item_factors);
+    }
+
+    #[test]
+    fn negative_ids_are_rejected() {
+        let schema = madlib_engine::Schema::new(vec![
+            madlib_engine::Column::new("user_id", madlib_engine::ColumnType::Int),
+            madlib_engine::Column::new("item_id", madlib_engine::ColumnType::Int),
+            madlib_engine::Column::new("rating", madlib_engine::ColumnType::Double),
+        ]);
+        let mut table = Table::new(schema, 1).unwrap();
+        table.insert(madlib_engine::row![-1i64, 0i64, 3.0]).unwrap();
+        let estimator = LowRankFactorization::new("user_id", "item_id", "rating", 2).unwrap();
+        assert!(fit(&estimator, &table).is_err());
     }
 
     #[test]
@@ -283,9 +348,7 @@ mod tests {
             2,
         )
         .unwrap();
-        assert!(LowRankFactorization::new("user_id", "item_id", "rating", 2)
-            .unwrap()
-            .fit(&Executor::new(), &empty)
-            .is_err());
+        let estimator = LowRankFactorization::new("user_id", "item_id", "rating", 2).unwrap();
+        assert!(fit(&estimator, &empty).is_err());
     }
 }

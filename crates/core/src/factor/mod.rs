@@ -1,4 +1,8 @@
 //! Matrix-factorization methods.
+//!
+//! [`LowRankFactorization`] implements [`crate::train::Estimator`], so
+//! factorizations train through `Session::train` / `Session::train_grouped`
+//! (per-tenant recommendation models) like every other method.
 
 pub mod lowrank;
 

@@ -21,12 +21,19 @@
 //! | Quantiles / Sketches / Profile | the `madlib-sketch` crate |
 //! | Sparse Vectors / Array Ops     | the `madlib-linalg` crate |
 //!
-//! Every method trains through the uniform convention in [`train`]:
+//! **Every** method trains through the uniform convention in [`train`]:
 //! `Session::train(&estimator, &dataset)` (one model) or
 //! `Session::train_grouped` (one model per `group_by` key — the paper's
-//! `grouping_cols`).  In addition, [`datasets`] provides the synthetic
-//! workload generators used by the examples, tests and the benchmark
-//! harness, and [`validate`] provides evaluation metrics and
+//! `grouping_cols`).  The [`train::Estimator`] impls in this crate are
+//! [`regress::LinearRegression`], [`regress::LogisticRegression`],
+//! [`classify::NaiveBayes`], [`classify::DecisionTree`],
+//! [`classify::LinearSvm`], [`cluster::KMeans`],
+//! [`factor::LowRankFactorization`], [`topic::Lda`] and [`assoc::Apriori`];
+//! the convex-framework objectives train via `madlib_convex::IgdEstimator`,
+//! the CRF via `madlib_text::CrfEstimator`, and the profiler via
+//! `madlib_sketch::Profiler`.  In addition, [`datasets`] provides the
+//! synthetic workload generators used by the examples, tests and the
+//! benchmark harness, and [`validate`] provides evaluation metrics and
 //! cross-validation.
 
 #![forbid(unsafe_code)]

@@ -8,7 +8,9 @@
 //! over the corpus plays the role of the data-parallel pass.
 
 use crate::error::{MethodError, Result};
-use madlib_engine::{Executor, Table};
+use crate::train::{Estimator, Session};
+use madlib_engine::chunk::ColumnChunk;
+use madlib_engine::dataset::Dataset;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -130,24 +132,48 @@ impl Lda {
         self
     }
 
-    /// Fits the model over a corpus table whose `tokens_column` holds
-    /// `text[]` token sequences.
-    ///
-    /// # Errors
-    /// Propagates engine errors; requires a non-empty corpus with at least
-    /// one token.
-    pub fn fit(&self, executor: &Executor, table: &Table) -> Result<LdaModel> {
-        executor
-            .validate_input(table, true)
+    /// Extracts the token sequences of one column-major chunk: the fast path
+    /// slices each document straight out of the flattened `text[]` buffer;
+    /// NULL-bearing chunks and unexpected column types fall back to per-row
+    /// access, which raises exactly the errors the legacy row loop did.
+    fn chunk_documents(
+        &self,
+        chunk: &madlib_engine::RowChunk,
+        schema: &madlib_engine::Schema,
+    ) -> madlib_engine::Result<Vec<Vec<String>>> {
+        let idx = schema.index_of(&self.tokens_column)?;
+        if let ColumnChunk::TextArray {
+            values,
+            offsets,
+            nulls,
+        } = chunk.column(idx)
+        {
+            if !nulls.any_null() {
+                return Ok((0..chunk.len())
+                    .map(|i| values[offsets[i]..offsets[i + 1]].to_vec())
+                    .collect());
+            }
+        }
+        (0..chunk.len())
+            .map(|i| Ok(chunk.value(i, idx).as_text_array()?.to_vec()))
+            .collect()
+    }
+}
+
+impl Estimator for Lda {
+    type Model = LdaModel;
+
+    /// Fits the model over a corpus dataset whose `tokens_column` holds
+    /// `text[]` token sequences.  The corpus-loading pass rides the chunked
+    /// scan pipeline; the seeded Gibbs sweeps run in-core over the collected
+    /// documents in scan order.
+    fn fit(&self, dataset: &Dataset<'_>, _session: &Session) -> Result<LdaModel> {
+        dataset
+            .executor()
+            .validate_input(dataset.table(), true)
             .map_err(MethodError::from)?;
-        let tokens_col = self.tokens_column.clone();
-        let documents: Vec<Vec<String>> = executor
-            .parallel_map(table, move |row, schema| {
-                Ok(row
-                    .get_named(schema, &tokens_col)?
-                    .as_text_array()?
-                    .to_vec())
-            })
+        let documents: Vec<Vec<String>> = dataset
+            .map_chunks(|chunk, schema| self.chunk_documents(chunk, schema))
             .map_err(MethodError::from)?;
         if documents.iter().all(|d| d.is_empty()) {
             return Err(MethodError::invalid_input("corpus contains no tokens"));
@@ -242,19 +268,26 @@ impl Lda {
 mod tests {
     use super::*;
     use crate::datasets::document_corpus;
+    use madlib_engine::Table;
+
+    fn fit(estimator: &Lda, table: &Table) -> Result<LdaModel> {
+        estimator.fit(
+            &Dataset::from_table(table),
+            &Session::in_memory(table.num_segments()).unwrap(),
+        )
+    }
 
     #[test]
     fn recovers_topic_structure() {
         // 3 topics with disjoint vocabularies (t0_*, t1_*, t2_*).
         let corpus = document_corpus(30, 3, 20, 50, 3, 7).unwrap();
-        let model = Lda::new("tokens", 3)
+        let estimator = Lda::new("tokens", 3)
             .unwrap()
             .with_alpha(0.1)
             .with_beta(0.01)
             .with_iterations(200)
-            .with_seed(3)
-            .fit(&Executor::new(), &corpus)
-            .unwrap();
+            .with_seed(3);
+        let model = fit(&estimator, &corpus).unwrap();
         assert_eq!(model.num_topics, 3);
         assert_eq!(model.iterations, 200);
         // Each fitted topic should be dominated by words from one generator
@@ -287,11 +320,8 @@ mod tests {
     #[test]
     fn document_topic_proportions_sum_to_one() {
         let corpus = document_corpus(10, 2, 10, 30, 2, 5).unwrap();
-        let model = Lda::new("tokens", 2)
-            .unwrap()
-            .with_iterations(50)
-            .fit(&Executor::new(), &corpus)
-            .unwrap();
+        let estimator = Lda::new("tokens", 2).unwrap().with_iterations(50);
+        let model = fit(&estimator, &corpus).unwrap();
         for d in 0..10 {
             let props = model.document_topics(d).unwrap();
             let sum: f64 = props.iter().sum();
@@ -313,27 +343,18 @@ mod tests {
             2,
         )
         .unwrap();
-        assert!(Lda::new("tokens", 2)
-            .unwrap()
-            .fit(&Executor::new(), &empty)
-            .is_err());
+        assert!(fit(&Lda::new("tokens", 2).unwrap(), &empty).is_err());
     }
 
     #[test]
     fn deterministic_given_seed() {
         let corpus = document_corpus(8, 2, 8, 20, 2, 11).unwrap();
-        let a = Lda::new("tokens", 2)
+        let estimator = Lda::new("tokens", 2)
             .unwrap()
             .with_iterations(20)
-            .with_seed(9)
-            .fit(&Executor::new(), &corpus)
-            .unwrap();
-        let b = Lda::new("tokens", 2)
-            .unwrap()
-            .with_iterations(20)
-            .with_seed(9)
-            .fit(&Executor::new(), &corpus)
-            .unwrap();
+            .with_seed(9);
+        let a = fit(&estimator, &corpus).unwrap();
+        let b = fit(&estimator, &corpus).unwrap();
         assert_eq!(a.topic_word, b.topic_word);
         assert_eq!(a.doc_topic, b.doc_topic);
     }

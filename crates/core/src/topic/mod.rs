@@ -1,4 +1,8 @@
 //! Topic models.
+//!
+//! [`Lda`] implements [`crate::train::Estimator`], so topic models train
+//! through `Session::train` / `Session::train_grouped` (one topic model per
+//! corpus via `grouping_cols`) like every other method.
 
 pub mod lda;
 

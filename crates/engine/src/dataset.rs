@@ -39,9 +39,10 @@
 //!
 //! The grouped terminal runs the segment-parallel, chunk-at-a-time hash
 //! grouping introduced in PR 2 (typed [`GroupKey`]s, counting-sort
-//! partitioning, per-group gathers through [`RowChunk::gather_rows`]); the
-//! deprecated `Executor::aggregate_grouped*` methods are now thin shims over
-//! it.  `grouping_cols` is an arbitrary column *list*, as in the paper:
+//! partitioning, per-group gathers through [`RowChunk::gather_rows`]); it is
+//! the *only* grouped-scan entry point — the old `Executor` method matrix
+//! has been removed.  `grouping_cols` is an arbitrary column *list*, as in
+//! the paper:
 //! `group_by(["a", "b"])` keys every group by the composite tuple of its
 //! columns' values (one [`crate::group::KeyPart`] per column).  When a chunk
 //! splinters into more groups than batching pays for, the scan switches to a
@@ -97,8 +98,8 @@ const RADIX_MAX_STAGED_ROWS: usize = 32 * 1024;
 /// that will run it.
 ///
 /// The table is held as a [`Cow`], so a dataset either borrows an existing
-/// [`Table`] ([`Dataset::from_table`] — zero-copy, used by the deprecated
-/// executor shims) or owns a catalog snapshot ([`Database::dataset`]).
+/// [`Table`] ([`Dataset::from_table`] — zero-copy) or owns a catalog
+/// snapshot ([`Database::dataset`]).
 #[derive(Debug, Clone)]
 pub struct Dataset<'a> {
     table: Cow<'a, Table>,

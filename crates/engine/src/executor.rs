@@ -23,9 +23,9 @@
 //!
 //! Filtered and grouped scans are described with [`crate::dataset::Dataset`]
 //! (`db.dataset("t")?.filter(...).group_by([...])`), which dispatches onto
-//! the same pipeline; the executor's old `aggregate_filtered` /
-//! `aggregate_grouped` / `aggregate_grouped_filtered` method matrix survives
-//! only as deprecated shims over it.
+//! the same pipeline.  (The executor's old `aggregate_filtered` /
+//! `aggregate_grouped` / `aggregate_grouped_filtered` method matrix was
+//! deprecated in favour of `Dataset` and has since been removed.)
 
 use crate::aggregate::Aggregate;
 use crate::chunk::Segment;
@@ -36,7 +36,6 @@ use crate::row::Row;
 use crate::scan;
 use crate::schema::Schema;
 use crate::table::Table;
-use crate::value::Value;
 
 /// Statistics describing one aggregate execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -158,27 +157,6 @@ impl Executor {
         Ok((aggregate.finalize(state)?, stats))
     }
 
-    /// Like [`Executor::aggregate`] but with an optional row filter.
-    ///
-    /// # Errors
-    /// Propagates aggregate and predicate errors.
-    #[deprecated(
-        since = "0.2.0",
-        note = "build a `Dataset` instead: `Dataset::from_table(table).filter(...).aggregate(...)`"
-    )]
-    pub fn aggregate_filtered<A: Aggregate>(
-        &self,
-        table: &Table,
-        aggregate: &A,
-        filter: Option<&Predicate>,
-    ) -> Result<A::Output> {
-        let mut dataset = Dataset::from_table(table).with_executor(*self);
-        if let Some(predicate) = filter {
-            dataset = dataset.filter(predicate.clone());
-        }
-        dataset.aggregate(aggregate)
-    }
-
     fn run_segment<A: Aggregate>(
         aggregate: &A,
         segment: &Segment,
@@ -198,65 +176,6 @@ impl Executor {
             })?,
         };
         Ok((state, stats))
-    }
-
-    /// Runs a grouped aggregation: rows are grouped by the value of
-    /// `group_column` and `aggregate` is evaluated independently per group.
-    /// Groups are returned sorted by their typed key
-    /// ([`crate::group::GroupKey`]'s total order, NULL group first).
-    ///
-    /// # Errors
-    /// Propagates aggregate and column-lookup errors.
-    #[deprecated(
-        since = "0.2.0",
-        note = "build a `Dataset` instead: \
-                `Dataset::from_table(table).group_by([...]).aggregate_per_group(...)`"
-    )]
-    pub fn aggregate_grouped<A: Aggregate>(
-        &self,
-        table: &Table,
-        group_column: &str,
-        aggregate: &A,
-    ) -> Result<Vec<(Value, A::Output)>> {
-        let groups = Dataset::from_table(table)
-            .with_executor(*self)
-            .group_by([group_column])
-            .aggregate_per_group(aggregate)?;
-        Ok(groups
-            .into_iter()
-            .map(|(key, output)| (key.into_value(), output))
-            .collect())
-    }
-
-    /// Like [`Executor::aggregate_grouped`] but aggregating only the rows
-    /// accepted by `filter` (groups with no surviving rows are absent from
-    /// the output).
-    ///
-    /// # Errors
-    /// Propagates aggregate, predicate and column-lookup errors.
-    #[deprecated(
-        since = "0.2.0",
-        note = "build a `Dataset` instead: \
-                `Dataset::from_table(table).filter(...).group_by([...]).aggregate_per_group(...)`"
-    )]
-    pub fn aggregate_grouped_filtered<A: Aggregate>(
-        &self,
-        table: &Table,
-        group_column: &str,
-        aggregate: &A,
-        filter: Option<&Predicate>,
-    ) -> Result<Vec<(Value, A::Output)>> {
-        let mut dataset = Dataset::from_table(table)
-            .with_executor(*self)
-            .group_by([group_column]);
-        if let Some(predicate) = filter {
-            dataset = dataset.filter(predicate.clone());
-        }
-        Ok(dataset
-            .aggregate_per_group(aggregate)?
-            .into_iter()
-            .map(|(key, output)| (key.into_value(), output))
-            .collect())
     }
 
     /// Applies `map` to every row in parallel per segment and collects the
@@ -319,7 +238,6 @@ mod tests {
     use crate::expr::Predicate;
     use crate::row;
     use crate::schema::{Column, ColumnType, Schema};
-    use crate::value::Value;
 
     fn make_table(segments: usize, rows: usize) -> Table {
         let schema = Schema::new(vec![
@@ -422,47 +340,6 @@ mod tests {
         assert!(exec.aggregate(&t, &ArraySumAggregate::new("x")).is_err());
         assert!(exec.validate_input(&t, true).is_err());
         assert!(exec.validate_input(&t, false).is_ok());
-    }
-
-    /// The deprecated 2×2 method-matrix shims must keep behaving exactly
-    /// like the [`Dataset`] terminals they forward to until their removal.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_dataset_terminals() {
-        let t = make_table(4, 20);
-        let exec = Executor::new();
-        let pred = Predicate::column_gt("y", 4.5);
-
-        let shim = exec
-            .aggregate_filtered(&t, &SumAggregate::new("y"), Some(&pred))
-            .unwrap();
-        let direct = Dataset::from_table(&t)
-            .filter(pred.clone())
-            .aggregate(&SumAggregate::new("y"))
-            .unwrap();
-        assert_eq!(shim.to_bits(), direct.to_bits());
-
-        let shim = exec.aggregate_grouped(&t, "grp", &CountAggregate).unwrap();
-        assert_eq!(shim.len(), 2);
-        assert_eq!(shim[0].0, Value::Text("even".into()));
-        assert_eq!(shim[0].1, 10);
-        assert!(exec
-            .aggregate_grouped(&t, "missing", &CountAggregate)
-            .is_err());
-
-        let shim = exec
-            .aggregate_grouped_filtered(&t, "grp", &CountAggregate, Some(&pred))
-            .unwrap();
-        let direct = Dataset::from_table(&t)
-            .filter(pred)
-            .group_by(["grp"])
-            .aggregate_per_group(&CountAggregate)
-            .unwrap();
-        assert_eq!(shim.len(), direct.len());
-        for ((kv, cv), (kk, ck)) in shim.iter().zip(&direct) {
-            assert_eq!(kv, &kk.clone().into_value());
-            assert_eq!(cv, ck);
-        }
     }
 
     #[test]

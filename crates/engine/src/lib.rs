@@ -12,14 +12,14 @@
 //! | Shared-nothing segments (Greenplum)     | [`Table`] partitions + the [`scan`] pipeline's per-segment fan-out |
 //! | User-defined aggregate (transition / merge / final) | the [`aggregate::Aggregate`] trait |
 //! | `source_table` + `WHERE` + `grouping_cols` (Sections 3–4) | [`dataset::Dataset`]: `db.dataset("t")?.filter(...).group_by([...])` — `grouping_cols` is an arbitrary column list |
-//! | `GROUP BY` over an aggregate (Section 4.2) | `Session::train` / [`dataset::Dataset::aggregate_per_group`] with typed [`group::GroupKey`]s — composite for multi-column `group_by`, one [`group::KeyPart`] per column (`madlib_core::train` hosts the `Session`/`Estimator` half) |
+//! | `GROUP BY` over an aggregate (Section 4.2) | `Session::train` / [`dataset::Dataset::aggregate_per_group`] with typed [`group::GroupKey`]s — composite for multi-column `group_by`, one [`group::KeyPart`] per column (`madlib_core::train` hosts the `Session`/`Estimator` half; *every* trainable method implements `Estimator`, from linregr through `LowRankFactorization`, `Lda`, `Apriori` and the text crate's `CrfEstimator`) |
 //! | Driver UDF + temp tables for iteration  | [`iteration::IterationController`] + [`Database`] temp tables |
 //! | Templated queries over arbitrary schemas| [`template`] schema introspection |
 //!
 //! The old `Executor::aggregate_filtered` / `aggregate_grouped` /
-//! `aggregate_grouped_filtered` method matrix is deprecated: those entry
-//! points survive only as thin shims over [`dataset::Dataset`] and are
-//! scheduled for removal once two PRs have passed without callers.
+//! `aggregate_grouped_filtered` method matrix has been **removed**:
+//! filtered and grouped scans are expressed exclusively through
+//! [`dataset::Dataset`].
 //!
 //! Data flows exactly as in the paper: large data lives in partitioned
 //! tables, transition functions stream over each partition locally and in

@@ -2,7 +2,7 @@
 //!
 //! PR 1 vectorized the ungrouped aggregate scan; this module extracts the
 //! pieces that made it fast — per-segment chunk iteration, predicate
-//! evaluation hoisted to one [`SelectionMask`] per chunk, compaction of
+//! evaluation hoisted to one [`crate::chunk::SelectionMask`] per chunk, compaction of
 //! partially selected chunks, and the thread-per-segment fan-out — into
 //! free functions every scan consumer shares.  The executor's ungrouped
 //! aggregation, grouped aggregation, and `parallel_map` are all thin
@@ -57,7 +57,7 @@ pub struct SegmentScanStats {
 /// Streams one segment chunk-at-a-time through `sink`.
 ///
 /// `filter` is evaluated once per chunk ([`Predicate::evaluate_chunk`] →
-/// [`SelectionMask`]); chunks with no selected rows are skipped, fully
+/// [`crate::chunk::SelectionMask`]); chunks with no selected rows are skipped, fully
 /// selected chunks are passed through borrowed, and partially selected
 /// chunks are gathered into a compacted chunk first.
 ///

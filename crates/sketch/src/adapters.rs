@@ -8,8 +8,8 @@
 //! adapters wrap each sketch in an [`Aggregate`] so any sketch pass runs on
 //! the shared executor pipeline: segment-parallel, filterable, and
 //! chunk-at-a-time, with `transition_chunk` overrides that stream the
-//! contiguous `text` column buffer instead of materializing one [`Value`]
-//! per row.  Results are identical to the per-row path by the
+//! contiguous `text` column buffer instead of materializing one
+//! [`madlib_engine::Value`] per row.  Results are identical to the per-row path by the
 //! `transition_chunk` contract (sketch updates are order-insensitive, and
 //! the overrides preserve row order anyway).
 

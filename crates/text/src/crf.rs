@@ -4,13 +4,20 @@
 //! work (Section 5.2): POS tagging, NER, and entity resolution are all cast
 //! as sequence labeling over it.  [`ChainCrf`] holds the trained weights
 //! (emission weights per label × observation symbol plus transition weights
-//! per label pair), is trained through the `madlib-convex` SGD framework
-//! (the CRF row of Table 2), and is consumed by the [`crate::viterbi`] and
-//! [`crate::mcmc`] inference modules.
+//! per label pair) and is consumed by the [`crate::viterbi`] and
+//! [`crate::mcmc`] inference modules.  Training goes through the uniform
+//! `Estimator` convention: [`CrfEstimator`] wraps the `madlib-convex` SGD
+//! framework (the CRF row of Table 2), so
+//! `Session::train(&CrfEstimator::new(...), &dataset)` fits one CRF and
+//! `Session::train_grouped` fits one CRF per `grouping_cols` key
+//! (per-document-class sequence models).
 
 use madlib_convex::objectives::CrfObjective;
 use madlib_convex::{ConvexObjective, IgdConfig, IgdRunner, StepSchedule};
-use madlib_engine::{Database, EngineError, Executor, Result, Table};
+use madlib_core::train::{Estimator, Session};
+use madlib_core::MethodError;
+use madlib_engine::dataset::Dataset;
+use madlib_engine::{EngineError, Result};
 use serde::{Deserialize, Serialize};
 
 /// A trained linear-chain CRF.
@@ -109,42 +116,87 @@ impl ChainCrf {
         }
         Ok(score)
     }
+}
 
-    /// Trains a CRF on a table of labeled sequences (`bigint[]` observation
-    /// and label columns) using the convex-optimization framework.
-    ///
-    /// # Errors
-    /// Propagates engine/training errors.
-    #[allow(clippy::too_many_arguments)]
-    pub fn train(
-        executor: &Executor,
-        database: &Database,
-        table: &Table,
-        observations_column: &str,
-        labels_column: &str,
+/// CRF training packaged as an [`Estimator`] — the uniform
+/// `Session::train(&estimator, &dataset)` entry point for sequence labeling.
+///
+/// The dataset supplies labeled sequences as two `bigint[]` columns (one
+/// observation symbol and one label per token); training runs the
+/// `madlib-convex` SGD framework over the [`CrfObjective`] (each epoch is
+/// one aggregate pass on the chunked scan pipeline, with per-segment model
+/// averaging), and the fitted weight vector comes back as a [`ChainCrf`]
+/// ready for Viterbi or MCMC inference.
+#[derive(Debug, Clone)]
+pub struct CrfEstimator {
+    observations_column: String,
+    labels_column: String,
+    num_labels: usize,
+    num_observations: usize,
+    config: IgdConfig,
+}
+
+impl CrfEstimator {
+    /// Creates the estimator for `num_labels` label values and
+    /// `num_observations` distinct observation symbols, reading the named
+    /// `bigint[]` sequence columns.  Runs a constant 0.05 step at tolerance
+    /// 1e-8 (the schedule the old driver hard-coded) for up to 50 epochs —
+    /// the old driver took the epoch count as a required argument, so
+    /// callers porting from it should set [`CrfEstimator::with_epochs`].
+    pub fn new(
+        observations_column: impl Into<String>,
+        labels_column: impl Into<String>,
         num_labels: usize,
         num_observations: usize,
-        epochs: usize,
-    ) -> Result<Self> {
-        let objective = CrfObjective::new(
-            observations_column,
-            labels_column,
+    ) -> Self {
+        Self {
+            observations_column: observations_column.into(),
+            labels_column: labels_column.into(),
             num_labels,
             num_observations,
+            config: IgdConfig {
+                max_epochs: 50,
+                tolerance: 1e-8,
+                schedule: StepSchedule::Constant(0.05),
+            },
+        }
+    }
+
+    /// Sets the number of SGD epochs.
+    #[must_use]
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.config.max_epochs = epochs;
+        self
+    }
+
+    /// Replaces the whole IGD configuration (epochs, tolerance, schedule).
+    #[must_use]
+    pub fn with_config(mut self, config: IgdConfig) -> Self {
+        self.config = config;
+        self
+    }
+}
+
+impl Estimator for CrfEstimator {
+    type Model = ChainCrf;
+
+    fn fit(&self, dataset: &Dataset<'_>, session: &Session) -> madlib_core::Result<ChainCrf> {
+        let objective = CrfObjective::new(
+            &self.observations_column,
+            &self.labels_column,
+            self.num_labels,
+            self.num_observations,
         );
-        let runner = IgdRunner::new(IgdConfig {
-            max_epochs: epochs,
-            tolerance: 1e-8,
-            schedule: StepSchedule::Constant(0.05),
-        });
-        let summary = runner.run(
-            executor,
-            database,
-            table,
-            &objective,
-            vec![0.0; objective.dimension()],
-        )?;
-        Self::from_weights(num_labels, num_observations, summary.model)
+        let summary = IgdRunner::new(self.config.clone())
+            .run_dataset(
+                dataset,
+                session.database(),
+                &objective,
+                vec![0.0; objective.dimension()],
+            )
+            .map_err(MethodError::from)?;
+        ChainCrf::from_weights(self.num_labels, self.num_observations, summary.model)
+            .map_err(MethodError::from)
     }
 }
 
@@ -201,17 +253,13 @@ mod tests {
     #[test]
     fn training_learns_emission_preferences() {
         let table = training_corpus(40, 2);
-        let crf = ChainCrf::train(
-            &Executor::new(),
-            &Database::new(2).unwrap(),
-            &table,
-            "observations",
-            "labels",
-            2,
-            4,
-            50,
-        )
-        .unwrap();
+        let session = Session::in_memory(2).unwrap();
+        let crf = session
+            .train(
+                &CrfEstimator::new("observations", "labels", 2, 4).with_epochs(50),
+                &Dataset::from_table(&table),
+            )
+            .unwrap();
         // Observation 0 co-occurs with label 0, observation 2 with label 1.
         assert!(crf.emission(0, 0) > crf.emission(1, 0));
         assert!(crf.emission(1, 2) > crf.emission(0, 2));

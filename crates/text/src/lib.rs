@@ -11,9 +11,11 @@
 //! | Approximate String Matching  | [`strmatch`] |
 //!
 //! The linear-chain CRF model these operate on lives in [`crf`]; its training
-//! goes through the SGD framework of the `madlib-convex` crate (the same CRF
-//! objective appears in the paper's Table 2), so "train in the convex
-//! framework, infer with Viterbi or MCMC" is exactly the paper's pipeline.
+//! is the [`crf::CrfEstimator`] — an [`madlib_core::Estimator`] over the SGD
+//! framework of the `madlib-convex` crate (the same CRF objective appears in
+//! the paper's Table 2) — so `Session::train(&CrfEstimator::new(...), &ds)`
+//! (or `Session::train_grouped` for one CRF per `grouping_cols` key) followed
+//! by Viterbi or MCMC inference is exactly the paper's pipeline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,7 +27,7 @@ pub mod strmatch;
 pub mod token;
 pub mod viterbi;
 
-pub use crf::ChainCrf;
+pub use crf::{ChainCrf, CrfEstimator};
 pub use features::{FeatureExtractor, TokenFeatures};
 pub use strmatch::TrigramIndex;
 pub use token::tokenize;

@@ -10,7 +10,6 @@ use madlib::sketch::{ColumnProfile, DatasetProfileExt};
 
 fn main() {
     let session = Session::in_memory(4).expect("segment count is positive");
-    let executor = *session.executor();
     // 2 000 synthetic transactions over a 40-item catalog with a planted
     // co-purchase pattern (item_0 + item_1, sometimes joined by item_2).
     let transactions = market_basket_data(2_000, 40, 4, 7).expect("generator succeeds");
@@ -43,24 +42,43 @@ fn main() {
         }
     }
 
-    // Mine association rules.
+    // Mine association rules through the uniform training convention: one
+    // `Session::train` call produces the frequent itemsets and the rules.
     let apriori = Apriori::new("items", 0.15, 0.6).expect("valid thresholds");
-    let itemsets = apriori
-        .frequent_itemsets(&executor, &transactions)
-        .expect("itemset mining succeeds");
-    println!("\nfrequent itemsets (support ≥ 0.15): {}", itemsets.len());
-    for itemset in itemsets.iter().filter(|f| f.items.len() >= 2) {
+    let model = session
+        .train(&apriori, &Dataset::from_table(&transactions))
+        .expect("rule mining succeeds");
+    println!(
+        "\nfrequent itemsets (support ≥ 0.15): {}",
+        model.itemsets.len()
+    );
+    for itemset in model.itemsets.iter().filter(|f| f.items.len() >= 2) {
         println!("  {:?} support {:.3}", itemset.items, itemset.support);
     }
 
-    let rules = apriori
-        .mine_rules(&executor, &transactions)
-        .expect("rule mining succeeds");
     println!("\nassociation rules (confidence ≥ 0.6):");
-    for rule in rules.iter().take(5) {
+    for rule in model.rules.iter().take(5) {
         println!(
             "  {:?} => {:?}  support {:.3}  confidence {:.3}  lift {:.2}",
             rule.antecedent, rule.consequent, rule.support, rule.confidence, rule.lift
+        );
+    }
+
+    // MADlib's `grouping_cols` scenario: one basket model per store in a
+    // single `train_grouped` call over the generator's `store` column.
+    let grouped = session
+        .train_grouped(
+            &apriori,
+            &Dataset::from_table(&transactions).group_by(["store"]),
+        )
+        .expect("grouped rule mining succeeds");
+    println!("\nper-store rule counts (grouping_cols = [store]):");
+    for (store, model) in &grouped {
+        println!(
+            "  store {:?}: {} transactions, {} rules",
+            store.clone().into_value(),
+            model.num_transactions,
+            model.rules.len()
         );
     }
 }

@@ -2,16 +2,16 @@
 //! extraction, CRF training through the convex framework, Viterbi and MCMC
 //! inference, and approximate string matching for entity resolution.
 
-use madlib::engine::{Column, ColumnType, Database, Row, Schema, Table, Value};
+use madlib::engine::{Column, ColumnType, Dataset, Row, Schema, Table, Value};
 use madlib::methods::Session;
 use madlib::text::mcmc::{gibbs_sample, McmcConfig};
 use madlib::text::viterbi::viterbi_decode;
-use madlib::text::{tokenize, ChainCrf, FeatureExtractor, TrigramIndex};
+use madlib::text::{tokenize, CrfEstimator, FeatureExtractor, TrigramIndex};
 
 fn main() {
-    // One session supplies both the executor and the staging database that
-    // CRF training (still a pre-`Estimator` API) needs.
-    let session = Session::new(Database::new(4).expect("segment count is positive"));
+    // One session supplies both the executor and the staging database the
+    // CRF training epochs run against.
+    let session = Session::in_memory(4).expect("segment count is positive");
 
     // --- Feature extraction ------------------------------------------------
     let extractor = FeatureExtractor::new().with_dictionary("city", ["denver", "istanbul"]);
@@ -45,17 +45,12 @@ fn main() {
             ]))
             .expect("insert");
     }
-    let crf = ChainCrf::train(
-        session.executor(),
-        session.database(),
-        &corpus,
-        "observations",
-        "labels",
-        2,
-        4,
-        40,
-    )
-    .expect("CRF training succeeds");
+    let crf = session
+        .train(
+            &CrfEstimator::new("observations", "labels", 2, 4).with_epochs(40),
+            &Dataset::from_table(&corpus),
+        )
+        .expect("CRF training succeeds");
 
     // --- Inference ----------------------------------------------------------
     let observations = [2usize, 0, 1, 3, 0, 2];

@@ -599,3 +599,294 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// PR 5 ports: the Apriori support-counting aggregates gained transition_chunk
+// overrides over the flattened text[] buffers, and low-rank factorization /
+// LDA load their inputs through chunk-level column access with a per-row
+// fallback.  Chunked and row-at-a-time execution must stay bit-identical —
+// including on NULL-bearing and empty-segment inputs — and the fallback
+// loading paths must agree with the fast paths.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Apriori's two UDAs (level-1 item counts and level-k candidate
+    /// supports) run their chunk kernels under the chunked executor and the
+    /// per-row transition under row-at-a-time; the mined models must be
+    /// identical — itemsets, counts, rules — and NULL-bearing item rows must
+    /// error on both paths.
+    #[test]
+    fn apriori_chunk_path_is_bit_identical(
+        baskets in prop::collection::vec(prop::collection::vec(0usize..8, 0..6), 0..50),
+        null_every_raw in 0usize..5,
+        segments in 1usize..6,
+        chunk_capacity in 1usize..16,
+    ) {
+        use madlib::methods::assoc::Apriori;
+
+        let null_every = (null_every_raw >= 2).then_some(null_every_raw);
+        let schema = Schema::new(vec![
+            Column::new("tid", ColumnType::Int),
+            Column::new("items", ColumnType::TextArray),
+        ]);
+        let mut table = Table::new(schema, segments)
+            .unwrap()
+            .with_chunk_capacity(chunk_capacity)
+            .unwrap();
+        for (i, basket) in baskets.iter().enumerate() {
+            let items = if null_every.is_some_and(|n| i % n == 0) {
+                Value::Null
+            } else {
+                Value::TextArray(basket.iter().map(|b| format!("item_{b}")).collect())
+            };
+            table.insert(Row::new(vec![Value::Int(i as i64), items])).unwrap();
+        }
+
+        let (chunked, row_based) = executors();
+        let apriori = Apriori::new("items", 0.25, 0.5).unwrap().with_max_itemset_size(3);
+        let a = apriori.fit(&dataset(&table, &chunked), &session());
+        let b = apriori.fit(&dataset(&table, &row_based), &session());
+        match (a, b) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            // NULL-bearing items and empty inputs error on both paths.
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "paths disagree: {:?} vs {:?}", a.is_ok(), b.is_ok()),
+        }
+    }
+
+    /// Apriori over mostly-empty tables: more segments than rows (empty
+    /// segments on every scan) must not perturb the counts on either path.
+    #[test]
+    fn apriori_empty_segments_behave_identically(
+        rows in 0usize..4,
+        segments in 5usize..9,
+    ) {
+        use madlib::methods::assoc::Apriori;
+
+        let schema = Schema::new(vec![
+            Column::new("tid", ColumnType::Int),
+            Column::new("items", ColumnType::TextArray),
+        ]);
+        let mut table = Table::new(schema, segments).unwrap();
+        for i in 0..rows {
+            table
+                .insert(Row::new(vec![
+                    Value::Int(i as i64),
+                    Value::TextArray(vec!["a".to_owned(), format!("b{}", i % 2)]),
+                ]))
+                .unwrap();
+        }
+        let (chunked, row_based) = executors();
+        let apriori = Apriori::new("items", 0.4, 0.5).unwrap();
+        let a = apriori.fit(&dataset(&table, &chunked), &session());
+        let b = apriori.fit(&dataset(&table, &row_based), &session());
+        match (a, b) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(_), Err(_)) => {} // the zero-row case errors on both paths
+            (a, b) => prop_assert!(false, "paths disagree: {:?} vs {:?}", a.is_ok(), b.is_ok()),
+        }
+    }
+}
+
+/// The low-rank triple loader's chunk fast path (contiguous bigint/bigint/
+/// double buffers) and its per-row fallback (taken e.g. when the rating
+/// column stores integers) must produce the same triples — and hence, with a
+/// fixed seed, the same model.  NULL-bearing id rows error on both executors.
+#[test]
+fn lowrank_loading_paths_agree() {
+    use madlib::methods::factor::LowRankFactorization;
+
+    let double_schema = Schema::new(vec![
+        Column::new("user_id", ColumnType::Int),
+        Column::new("item_id", ColumnType::Int),
+        Column::new("rating", ColumnType::Double),
+    ]);
+    let int_schema = Schema::new(vec![
+        Column::new("user_id", ColumnType::Int),
+        Column::new("item_id", ColumnType::Int),
+        Column::new("rating", ColumnType::Int),
+    ]);
+    let mut fast = Table::new(double_schema.clone(), 3).unwrap();
+    let mut fallback = Table::new(int_schema, 3).unwrap();
+    for i in 0..40i64 {
+        let (u, it, r) = (i % 5, i % 7, (i % 3) - 1);
+        fast.insert(Row::new(vec![
+            Value::Int(u),
+            Value::Int(it),
+            Value::Double(r as f64),
+        ]))
+        .unwrap();
+        fallback
+            .insert(Row::new(vec![Value::Int(u), Value::Int(it), Value::Int(r)]))
+            .unwrap();
+    }
+    let estimator = LowRankFactorization::new("user_id", "item_id", "rating", 2)
+        .unwrap()
+        .with_epochs(4)
+        .with_seed(11);
+    let a = estimator
+        .fit(&Dataset::from_table(&fast), &session())
+        .unwrap();
+    let b = estimator
+        .fit(&Dataset::from_table(&fallback), &session())
+        .unwrap();
+    assert_eq!(a, b, "fast-path and fallback loading diverged");
+
+    // NULL ids are a typed error on both executors, not a panic.
+    let mut nulls = Table::new(double_schema, 2).unwrap();
+    nulls
+        .insert(Row::new(vec![
+            Value::Null,
+            Value::Int(0),
+            Value::Double(1.0),
+        ]))
+        .unwrap();
+    let (chunked, row_based) = executors();
+    assert!(estimator
+        .fit(&dataset(&nulls, &chunked), &session())
+        .is_err());
+    assert!(estimator
+        .fit(&dataset(&nulls, &row_based), &session())
+        .is_err());
+}
+
+/// LDA's corpus loader: NULL-bearing token rows are a typed error on both
+/// executors, and chunk-boundary layout (tiny chunk capacity) does not change
+/// the fitted model.
+#[test]
+fn lda_loading_is_layout_invariant_and_rejects_nulls() {
+    use madlib::methods::topic::Lda;
+
+    let schema = Schema::new(vec![
+        Column::new("doc", ColumnType::Int),
+        Column::new("tokens", ColumnType::TextArray),
+    ]);
+    let mut wide = Table::new(schema.clone(), 2).unwrap();
+    let mut narrow = Table::new(schema.clone(), 2)
+        .unwrap()
+        .with_chunk_capacity(1)
+        .unwrap();
+    for i in 0..20i64 {
+        let tokens: Vec<String> = (0..4).map(|t| format!("w{}", (i + t) % 6)).collect();
+        let row = Row::new(vec![Value::Int(i), Value::TextArray(tokens)]);
+        wide.insert(row.clone()).unwrap();
+        narrow.insert(row).unwrap();
+    }
+    let estimator = Lda::new("tokens", 2)
+        .unwrap()
+        .with_iterations(5)
+        .with_seed(2);
+    let a = estimator
+        .fit(&Dataset::from_table(&wide), &session())
+        .unwrap();
+    let b = estimator
+        .fit(&Dataset::from_table(&narrow), &session())
+        .unwrap();
+    assert_eq!(a, b, "chunk layout changed the fitted LDA model");
+
+    let mut nulls = Table::new(schema, 2).unwrap();
+    nulls
+        .insert(Row::new(vec![Value::Int(0), Value::Null]))
+        .unwrap();
+    let (chunked, row_based) = executors();
+    assert!(estimator
+        .fit(&dataset(&nulls, &chunked), &session())
+        .is_err());
+    assert!(estimator
+        .fit(&dataset(&nulls, &row_based), &session())
+        .is_err());
+}
+
+/// Every `Estimator` impl in the workspace rejects an empty dataset with a
+/// typed `MethodError` instead of panicking — the uniform calling convention
+/// must fail uniformly too.  (`Profiler` is the deliberate exception: a
+/// profile of zero rows is well-defined and reports zero counts.)
+#[test]
+fn every_estimator_rejects_empty_datasets() {
+    use madlib::convex::objectives::LeastSquaresObjective as LsObjective;
+    use madlib::convex::IgdEstimator;
+    use madlib::methods::assoc::Apriori;
+    use madlib::methods::classify::{DecisionTree, LinearSvm, NaiveBayes};
+    use madlib::methods::factor::LowRankFactorization;
+    use madlib::methods::topic::Lda;
+    use madlib::sketch::Profiler;
+    use madlib::text::CrfEstimator;
+
+    fn assert_rejects_empty<E>(name: &str, estimator: &E, columns: Vec<Column>)
+    where
+        E: Estimator,
+    {
+        let table = Table::new(Schema::new(columns), 3).unwrap();
+        for executor in [Executor::new(), Executor::row_at_a_time()] {
+            let result = estimator.fit(
+                &Dataset::from_table(&table).with_executor(executor),
+                &session(),
+            );
+            assert!(result.is_err(), "{name} accepted an empty dataset");
+        }
+    }
+
+    let labeled = || {
+        vec![
+            Column::new("y", ColumnType::Double),
+            Column::new("x", ColumnType::DoubleArray),
+        ]
+    };
+    let classed = || {
+        vec![
+            Column::new("label", ColumnType::Text),
+            Column::new("x", ColumnType::DoubleArray),
+        ]
+    };
+
+    assert_rejects_empty("linregr", &LinearRegression::new("y", "x"), labeled());
+    assert_rejects_empty(
+        "logregr",
+        &madlib::methods::regress::LogisticRegression::new("y", "x"),
+        labeled(),
+    );
+    assert_rejects_empty("kmeans", &KMeans::new("x", 2).unwrap(), labeled());
+    assert_rejects_empty("naive_bayes", &NaiveBayes::new("label", "x"), classed());
+    assert_rejects_empty("decision_tree", &DecisionTree::new("label", "x"), classed());
+    assert_rejects_empty("svm", &LinearSvm::new("y", "x"), labeled());
+    assert_rejects_empty(
+        "igd",
+        &IgdEstimator::new(LsObjective::new("y", "x", 2)),
+        labeled(),
+    );
+    assert_rejects_empty(
+        "lowrank",
+        &LowRankFactorization::new("user_id", "item_id", "rating", 2).unwrap(),
+        vec![
+            Column::new("user_id", ColumnType::Int),
+            Column::new("item_id", ColumnType::Int),
+            Column::new("rating", ColumnType::Double),
+        ],
+    );
+    assert_rejects_empty(
+        "lda",
+        &Lda::new("tokens", 2).unwrap(),
+        vec![Column::new("tokens", ColumnType::TextArray)],
+    );
+    assert_rejects_empty(
+        "apriori",
+        &Apriori::new("items", 0.5, 0.5).unwrap(),
+        vec![Column::new("items", ColumnType::TextArray)],
+    );
+    assert_rejects_empty(
+        "crf",
+        &CrfEstimator::new("observations", "labels", 2, 4),
+        vec![
+            Column::new("observations", ColumnType::IntArray),
+            Column::new("labels", ColumnType::IntArray),
+        ],
+    );
+
+    // The documented exception: profiling an empty dataset succeeds with
+    // zero counts (a profile is a description, not a fitted model).
+    let empty = Table::new(Schema::new(labeled()), 3).unwrap();
+    let profile = Profiler
+        .fit(&Dataset::from_table(&empty), &session())
+        .unwrap();
+    assert_eq!(profile.row_count, 0);
+}

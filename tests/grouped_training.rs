@@ -12,10 +12,14 @@
 
 use madlib::engine::expr::Predicate;
 use madlib::engine::{Column, ColumnType, Dataset, Executor, GroupKey, Row, Schema, Table, Value};
+use madlib::methods::assoc::Apriori;
 use madlib::methods::classify::{DecisionTree, LinearSvm, NaiveBayes};
 use madlib::methods::cluster::KMeans;
+use madlib::methods::factor::LowRankFactorization;
 use madlib::methods::regress::{LinearRegression, LogisticRegression};
+use madlib::methods::topic::Lda;
 use madlib::methods::{Estimator, Session};
+use madlib::text::CrfEstimator;
 use proptest::prelude::*;
 
 fn bits(values: &[f64]) -> Vec<u64> {
@@ -637,4 +641,410 @@ fn train_grouped_rejects_bad_grouping_columns() {
         .unwrap();
     assert_eq!(grouped.len(), 8);
     assert!(grouped.keys().all(|key| key.arity() == 2));
+}
+
+// ---------------------------------------------------------------------------
+// The four newly ported methods (low-rank factorization, LDA, Apriori, CRF):
+// each must satisfy the same grouped ≡ filter-then-fit bit-identity as the
+// original six, over the same composite-key torture inputs.
+// ---------------------------------------------------------------------------
+
+/// Builds a table with two flavor-typed key columns (`g0`, `g1`) followed by
+/// the given payload columns, one row per `(k0, k1, payload)` point.
+fn keyed_payload_table(
+    keys: &[(usize, usize)],
+    payloads: Vec<Vec<Value>>,
+    payload_columns: Vec<Column>,
+    flavors: &[usize; 2],
+    segments: usize,
+    chunk_capacity: usize,
+) -> (Table, Vec<String>) {
+    let columns = vec!["g0".to_owned(), "g1".to_owned()];
+    let mut schema_cols = vec![
+        Column::new("g0", key_column_type(flavors[0])),
+        Column::new("g1", key_column_type(flavors[1])),
+    ];
+    schema_cols.extend(payload_columns);
+    let mut table = Table::new(Schema::new(schema_cols), segments)
+        .unwrap()
+        .with_chunk_capacity(chunk_capacity)
+        .unwrap();
+    for ((k0, k1), payload) in keys.iter().zip(payloads) {
+        let mut values = vec![key_value(flavors[0], *k0), key_value(flavors[1], *k1)];
+        values.extend(payload);
+        table.insert(Row::new(values)).unwrap();
+    }
+    (table, columns)
+}
+
+proptest! {
+    /// Apriori (level-wise aggregate passes through the per-group gather):
+    /// one rule-mining model per composite key, bit-identical to mining each
+    /// key's filtered transactions alone — itemsets, supports, rules,
+    /// confidences and lifts included.
+    #[test]
+    fn grouped_apriori_equals_filter_then_fit(
+        points in prop::collection::vec(
+            (0usize..8, 0usize..8, 0i64..10, prop::collection::vec(0usize..6, 0..5)),
+            1..50),
+        flavors in [0usize..3, 0usize..3],
+        (segments, chunk_capacity) in (1usize..4, 1usize..16),
+        filtered in any::<bool>(),
+        row_mode in any::<bool>(),
+    ) {
+        let keys: Vec<(usize, usize)> = points.iter().map(|(a, b, ..)| (*a, *b)).collect();
+        let payloads: Vec<Vec<Value>> = points
+            .iter()
+            .map(|(_, _, tid, items)| {
+                vec![
+                    Value::Int(*tid),
+                    Value::TextArray(items.iter().map(|i| format!("item_{i}")).collect()),
+                ]
+            })
+            .collect();
+        let (table, columns) = keyed_payload_table(
+            &keys,
+            payloads,
+            vec![
+                Column::new("tid", ColumnType::Int),
+                Column::new("items", ColumnType::TextArray),
+            ],
+            &flavors,
+            segments,
+            chunk_capacity,
+        );
+        let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+        let executor = if row_mode { Executor::row_at_a_time() } else { Executor::new() };
+        let extra = filtered.then(|| Predicate::column_gt("tid", 3.5));
+        let session = Session::in_memory(segments).unwrap().with_executor(executor);
+        let estimator = Apriori::new("items", 0.3, 0.5).unwrap().with_max_itemset_size(3);
+
+        let mut grouped_ds = Dataset::from_table(&table).group_by(columns.clone());
+        if let Some(pred) = &extra {
+            grouped_ds = grouped_ds.filter(pred.clone());
+        }
+        // Filtering every row out yields an *empty* model set, never an
+        // error, so grouped mining must succeed for all generated inputs.
+        let grouped = session.train_grouped(&estimator, &grouped_ds).unwrap();
+
+        let mut total_transactions = 0;
+        for (key, model) in &grouped {
+            let alone = filter_then_fit_columns(
+                &estimator, &table, executor, extra.as_ref(), &column_refs, key.clone(), &session,
+            )
+            .unwrap();
+            prop_assert_eq!(model, &alone, "group {:?} diverged", key);
+            total_transactions += model.num_transactions;
+        }
+        let schema = table.schema();
+        let survivors = table
+            .iter()
+            .filter(|r| extra.as_ref().is_none_or(|p| p.evaluate(r, schema).unwrap()))
+            .count();
+        prop_assert_eq!(total_transactions as usize, survivors);
+    }
+
+    /// Low-rank matrix factorization (seeded SGD over gathered triples): the
+    /// per-group gather preserves scan order, so every per-group SGD
+    /// trajectory — factors, RMSE, epoch count — is bit-identical to
+    /// filter-then-fit.
+    #[test]
+    fn grouped_lowrank_equals_filter_then_fit(
+        points in prop::collection::vec(
+            (0usize..6, 0usize..6, 0i64..5, 0i64..5, -2.0..2.0f64), 1..50),
+        flavors in [0usize..3, 0usize..3],
+        (segments, chunk_capacity) in (1usize..4, 1usize..16),
+        row_mode in any::<bool>(),
+    ) {
+        let keys: Vec<(usize, usize)> = points.iter().map(|(a, b, ..)| (*a, *b)).collect();
+        let payloads: Vec<Vec<Value>> = points
+            .iter()
+            .map(|(_, _, u, i, r)| vec![Value::Int(*u), Value::Int(*i), Value::Double(*r)])
+            .collect();
+        let (table, columns) = keyed_payload_table(
+            &keys,
+            payloads,
+            vec![
+                Column::new("user_id", ColumnType::Int),
+                Column::new("item_id", ColumnType::Int),
+                Column::new("rating", ColumnType::Double),
+            ],
+            &flavors,
+            segments,
+            chunk_capacity,
+        );
+        let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+        let executor = if row_mode { Executor::row_at_a_time() } else { Executor::new() };
+        let session = Session::in_memory(segments).unwrap().with_executor(executor);
+        let estimator = LowRankFactorization::new("user_id", "item_id", "rating", 2)
+            .unwrap()
+            .with_epochs(3)
+            .with_seed(17);
+
+        let grouped = session
+            .train_grouped(&estimator, &Dataset::from_table(&table).group_by(columns.clone()))
+            .unwrap();
+        prop_assert!(!grouped.is_empty());
+        for (key, model) in &grouped {
+            let alone = filter_then_fit_columns(
+                &estimator, &table, executor, None, &column_refs, key.clone(), &session,
+            )
+            .unwrap();
+            prop_assert_eq!(model, &alone, "group {:?} diverged", key);
+        }
+    }
+
+    /// LDA (seeded collapsed Gibbs over gathered documents): same corpus
+    /// order per group ⇒ same vocabulary, same topic assignments, same
+    /// counts, bit for bit.
+    #[test]
+    fn grouped_lda_equals_filter_then_fit(
+        points in prop::collection::vec(
+            (0usize..6, 0usize..6, prop::collection::vec(0usize..5, 1..6)), 1..30),
+        flavors in [0usize..3, 0usize..3],
+        (segments, chunk_capacity) in (1usize..4, 1usize..12),
+        row_mode in any::<bool>(),
+    ) {
+        let keys: Vec<(usize, usize)> = points.iter().map(|(a, b, _)| (*a, *b)).collect();
+        let payloads: Vec<Vec<Value>> = points
+            .iter()
+            .map(|(_, _, words)| {
+                vec![Value::TextArray(words.iter().map(|w| format!("w{w}")).collect())]
+            })
+            .collect();
+        let (table, columns) = keyed_payload_table(
+            &keys,
+            payloads,
+            vec![Column::new("tokens", ColumnType::TextArray)],
+            &flavors,
+            segments,
+            chunk_capacity,
+        );
+        let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+        let executor = if row_mode { Executor::row_at_a_time() } else { Executor::new() };
+        let session = Session::in_memory(segments).unwrap().with_executor(executor);
+        let estimator = Lda::new("tokens", 2).unwrap().with_iterations(5).with_seed(3);
+
+        let grouped = session
+            .train_grouped(&estimator, &Dataset::from_table(&table).group_by(columns.clone()))
+            .unwrap();
+        prop_assert!(!grouped.is_empty());
+        for (key, model) in &grouped {
+            let alone = filter_then_fit_columns(
+                &estimator, &table, executor, None, &column_refs, key.clone(), &session,
+            )
+            .unwrap();
+            prop_assert_eq!(model, &alone, "group {:?} diverged", key);
+        }
+    }
+
+    /// Chain-CRF training (convex SGD epochs with per-segment model
+    /// averaging): the gather preserves each sequence's *segment placement*,
+    /// so per-group training reproduces filter-then-fit exactly — weights and
+    /// all — in both execution modes.
+    #[test]
+    fn grouped_crf_equals_filter_then_fit(
+        points in prop::collection::vec(
+            (0usize..5, 0usize..5, prop::collection::vec(0usize..2, 0..6)), 1..30),
+        flavors in [0usize..3, 0usize..3],
+        (segments, chunk_capacity) in (1usize..4, 1usize..12),
+        row_mode in any::<bool>(),
+    ) {
+        let keys: Vec<(usize, usize)> = points.iter().map(|(a, b, _)| (*a, *b)).collect();
+        let payloads: Vec<Vec<Value>> = points
+            .iter()
+            .enumerate()
+            .map(|(i, (_, _, labels))| {
+                let observations: Vec<i64> = labels
+                    .iter()
+                    .map(|&l| (l * 2 + i % 2) as i64)
+                    .collect();
+                vec![
+                    Value::IntArray(observations),
+                    Value::IntArray(labels.iter().map(|&l| l as i64).collect()),
+                ]
+            })
+            .collect();
+        let (table, columns) = keyed_payload_table(
+            &keys,
+            payloads,
+            vec![
+                Column::new("observations", ColumnType::IntArray),
+                Column::new("labels", ColumnType::IntArray),
+            ],
+            &flavors,
+            segments,
+            chunk_capacity,
+        );
+        let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+        let executor = if row_mode { Executor::row_at_a_time() } else { Executor::new() };
+        let session = Session::in_memory(segments).unwrap().with_executor(executor);
+        let estimator = CrfEstimator::new("observations", "labels", 2, 4).with_epochs(3);
+
+        let grouped = session
+            .train_grouped(&estimator, &Dataset::from_table(&table).group_by(columns.clone()))
+            .unwrap();
+        prop_assert!(!grouped.is_empty());
+        for (key, model) in &grouped {
+            let alone = filter_then_fit_columns(
+                &estimator, &table, executor, None, &column_refs, key.clone(), &session,
+            )
+            .unwrap();
+            prop_assert_eq!(model, &alone, "group {:?} diverged", key);
+        }
+    }
+}
+
+/// Single-row groups through the four newly ported methods: every key unique,
+/// one model per row, identical to fitting that row alone.
+#[test]
+fn single_row_groups_for_newly_ported_methods() {
+    let session = Session::in_memory(2).unwrap();
+
+    // Apriori: one single-basket model per group (plus a NULL group).
+    let schema = Schema::new(vec![
+        Column::new("grp", ColumnType::Int),
+        Column::new("items", ColumnType::TextArray),
+    ]);
+    let mut baskets = Table::new(schema, 2)
+        .unwrap()
+        .with_chunk_capacity(2)
+        .unwrap();
+    for i in 0..5i64 {
+        let group = if i == 4 { Value::Null } else { Value::Int(i) };
+        baskets
+            .insert(Row::new(vec![
+                group,
+                Value::TextArray(vec![format!("a{i}"), "staple".to_owned()]),
+            ]))
+            .unwrap();
+    }
+    let apriori = Apriori::new("items", 0.9, 0.5).unwrap();
+    let grouped = session
+        .train_grouped(&apriori, &Dataset::from_table(&baskets).group_by(["grp"]))
+        .unwrap();
+    assert_eq!(grouped.len(), 5);
+    for (key, model) in &grouped {
+        assert_eq!(model.num_transactions, 1);
+        let alone = filter_then_fit(
+            &apriori,
+            &baskets,
+            *session.executor(),
+            None,
+            key.clone(),
+            &session,
+        )
+        .unwrap();
+        assert_eq!(*model, alone);
+    }
+
+    // Low-rank factorization: one single-rating model per group.
+    let schema = Schema::new(vec![
+        Column::new("grp", ColumnType::Int),
+        Column::new("user_id", ColumnType::Int),
+        Column::new("item_id", ColumnType::Int),
+        Column::new("rating", ColumnType::Double),
+    ]);
+    let mut ratings = Table::new(schema, 2).unwrap();
+    for i in 0..4i64 {
+        ratings
+            .insert(Row::new(vec![
+                Value::Int(i),
+                Value::Int(i % 2),
+                Value::Int(i % 3),
+                Value::Double(i as f64 * 0.5),
+            ]))
+            .unwrap();
+    }
+    let lowrank = LowRankFactorization::new("user_id", "item_id", "rating", 2)
+        .unwrap()
+        .with_epochs(2)
+        .with_seed(5);
+    let grouped = session
+        .train_grouped(&lowrank, &Dataset::from_table(&ratings).group_by(["grp"]))
+        .unwrap();
+    assert_eq!(grouped.len(), 4);
+    for (key, model) in &grouped {
+        assert_eq!(model.num_ratings, 1);
+        let alone = filter_then_fit(
+            &lowrank,
+            &ratings,
+            *session.executor(),
+            None,
+            key.clone(),
+            &session,
+        )
+        .unwrap();
+        assert_eq!(*model, alone);
+    }
+
+    // LDA: one single-document corpus per group.
+    let schema = Schema::new(vec![
+        Column::new("grp", ColumnType::Int),
+        Column::new("tokens", ColumnType::TextArray),
+    ]);
+    let mut corpus = Table::new(schema, 2).unwrap();
+    for i in 0..4i64 {
+        corpus
+            .insert(Row::new(vec![
+                Value::Int(i),
+                Value::TextArray(vec![format!("w{i}"), "shared".to_owned()]),
+            ]))
+            .unwrap();
+    }
+    let lda = Lda::new("tokens", 2)
+        .unwrap()
+        .with_iterations(3)
+        .with_seed(1);
+    let grouped = session
+        .train_grouped(&lda, &Dataset::from_table(&corpus).group_by(["grp"]))
+        .unwrap();
+    assert_eq!(grouped.len(), 4);
+    for (key, model) in &grouped {
+        assert_eq!(model.doc_topic.len(), 1);
+        let alone = filter_then_fit(
+            &lda,
+            &corpus,
+            *session.executor(),
+            None,
+            key.clone(),
+            &session,
+        )
+        .unwrap();
+        assert_eq!(*model, alone);
+    }
+
+    // CRF: one single-sequence corpus per group.
+    let schema = Schema::new(vec![
+        Column::new("grp", ColumnType::Int),
+        Column::new("observations", ColumnType::IntArray),
+        Column::new("labels", ColumnType::IntArray),
+    ]);
+    let mut sequences = Table::new(schema, 2).unwrap();
+    for i in 0..4i64 {
+        sequences
+            .insert(Row::new(vec![
+                Value::Int(i),
+                Value::IntArray(vec![0, 2, (i % 4), 1]),
+                Value::IntArray(vec![0, 1, (i % 2), 0]),
+            ]))
+            .unwrap();
+    }
+    let crf = CrfEstimator::new("observations", "labels", 2, 4).with_epochs(2);
+    let grouped = session
+        .train_grouped(&crf, &Dataset::from_table(&sequences).group_by(["grp"]))
+        .unwrap();
+    assert_eq!(grouped.len(), 4);
+    for (key, model) in &grouped {
+        let alone = filter_then_fit(
+            &crf,
+            &sequences,
+            *session.executor(),
+            None,
+            key.clone(),
+            &session,
+        )
+        .unwrap();
+        assert_eq!(*model, alone);
+    }
 }

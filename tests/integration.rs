@@ -10,7 +10,7 @@ use madlib::methods::regress::{LinearRegression, LogisticRegression};
 use madlib::methods::{Estimator, Session};
 use madlib::sketch::profile_table;
 use madlib::text::viterbi::viterbi_decode;
-use madlib::text::ChainCrf;
+use madlib::text::CrfEstimator;
 
 /// Section 4.1: the single-pass linear regression aggregate produces the
 /// composite record of the paper's psql example, and the result is invariant
@@ -264,17 +264,13 @@ fn crf_training_and_viterbi_recover_generator_labels() {
             ]))
             .unwrap();
     }
-    let crf = ChainCrf::train(
-        &Executor::new(),
-        &Database::new(4).unwrap(),
-        &corpus,
-        "observations",
-        "labels",
-        2,
-        4,
-        40,
-    )
-    .unwrap();
+    let crf = Session::in_memory(4)
+        .unwrap()
+        .train(
+            &CrfEstimator::new("observations", "labels", 2, 4).with_epochs(40),
+            &Dataset::from_table(&corpus),
+        )
+        .unwrap();
     let (decoded, _) = viterbi_decode(&crf, &[0, 2, 1, 3, 0, 2]).unwrap();
     assert_eq!(decoded, vec![0, 1, 0, 1, 0, 1]);
 }
