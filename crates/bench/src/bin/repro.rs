@@ -188,7 +188,59 @@ fn grouped(full: bool, smoke: bool) {
         composite.push(m);
     }
 
+    println!("\n== Zipf-skewed multi-tenant scan: work-stealing vs static segment striping ==\n");
+    let (zipf_groups, zipf_segments, zipf_workers) = if smoke { (64, 8, 4) } else { (512, 16, 4) };
+    println!(
+        "{:>8}  {:>8}  {:>8}  {:>8}  {:>12}  {:>12}  {:>10}  {:>13}",
+        "# rows",
+        "# groups",
+        "# segs",
+        "workers",
+        "striped (s)",
+        "stealing (s)",
+        "wall ratio",
+        "makespan gain"
+    );
+    let zipf = madlib_bench::measure_zipf_schedulers(
+        rows,
+        variables,
+        zipf_groups,
+        zipf_segments,
+        samples,
+        zipf_workers,
+    );
+    println!(
+        "{:>8}  {:>8}  {:>8}  {:>8}  {:>12.4}  {:>12.4}  {:>9.2}x  {:>12.2}x",
+        zipf.rows,
+        zipf.groups,
+        zipf.segments,
+        zipf.workers,
+        zipf.striped.as_secs_f64(),
+        zipf.stealing.as_secs_f64(),
+        zipf.wall_clock_ratio(),
+        zipf.makespan_ratio(),
+    );
+    println!(
+        "(makespan gain = busiest worker's row share, striped / stealing: the wall-clock\n ratio a {}-core host approaches; wall ratio on this host reflects {} available core(s))",
+        zipf.workers,
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    );
+
     if smoke {
+        let zt = madlib_bench::measure_grouped_training_zipf(
+            rows,
+            variables,
+            zipf_groups,
+            segments,
+            samples,
+        );
+        println!(
+            "\nzipf grouped training ({} groups): row {:.4}s  chunk {:.4}s  {:.2}x",
+            zt.groups,
+            zt.row_path.as_secs_f64(),
+            zt.chunk_path.as_secs_f64(),
+            zt.speedup(),
+        );
         println!("\nsmoke run: baseline JSON left untouched\n");
         return;
     }
@@ -214,6 +266,22 @@ fn grouped(full: bool, smoke: bool) {
     for (i, m) in composite.iter().enumerate() {
         json.push_str(&cell_json(m, i + 1 == composite.len()));
     }
+    json.push_str("  ],\n  \"zipf_scheduler_cells\": [\n");
+    json.push_str(&format!(
+        "    {{\"rows\": {}, \"variables\": {}, \"groups\": {}, \"segments\": {}, \"workers\": {}, \"host_cores\": {}, \"striped_s\": {:.6}, \"stealing_s\": {:.6}, \"wall_clock_ratio\": {:.4}, \"striped_makespan_rows\": {}, \"stealing_makespan_rows\": {}, \"makespan_ratio\": {:.4}}}\n",
+        zipf.rows,
+        zipf.variables,
+        zipf.groups,
+        zipf.segments,
+        zipf.workers,
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        zipf.striped.as_secs_f64(),
+        zipf.stealing.as_secs_f64(),
+        zipf.wall_clock_ratio(),
+        zipf.striped_makespan_rows,
+        zipf.stealing_makespan_rows,
+        zipf.makespan_ratio(),
+    ));
     json.push_str("  ]\n}\n");
     match std::fs::write("BENCH_grouped.json", &json) {
         Ok(()) => println!("\nbaseline recorded to BENCH_grouped.json\n"),
@@ -254,6 +322,25 @@ fn grouped_training(full: bool) {
         );
         measurements.push(m);
     }
+
+    println!("\n-- Zipf-skewed group sizes (group g holds ~1/(g+1) of the rows) --\n");
+    let mut zipf_cells = Vec::new();
+    let zipf_group_counts: &[usize] = &[256];
+    for &groups in zipf_group_counts {
+        let m =
+            madlib_bench::measure_grouped_training_zipf(rows, variables, groups, segments, samples);
+        println!(
+            "{:>8}  {:>11}  {:>8}  {:>12.4}  {:>12.4}  {:>7.2}x",
+            m.rows,
+            m.variables,
+            m.groups,
+            m.row_path.as_secs_f64(),
+            m.chunk_path.as_secs_f64(),
+            m.speedup(),
+        );
+        zipf_cells.push(m);
+    }
+
     let mut json = String::from(
         "{\n  \"experiment\": \"grouped_linregr_training_row_vs_chunk\",\n  \"cells\": [\n",
     );
@@ -270,6 +357,20 @@ fn grouped_training(full: bool) {
             if i + 1 < measurements.len() { "," } else { "" },
         ));
     }
+    json.push_str("  ],\n  \"zipf_cells\": [\n");
+    for (i, m) in zipf_cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"rows\": {}, \"variables\": {}, \"groups\": {}, \"segments\": {}, \"row_s\": {:.6}, \"chunk_s\": {:.6}, \"speedup\": {:.4}}}{}\n",
+            m.rows,
+            m.variables,
+            m.groups,
+            m.segments,
+            m.row_path.as_secs_f64(),
+            m.chunk_path.as_secs_f64(),
+            m.speedup(),
+            if i + 1 < zipf_cells.len() { "," } else { "" },
+        ));
+    }
     json.push_str("  ]\n}\n");
     match std::fs::write("BENCH_grouped_train.json", &json) {
         Ok(()) => println!("\nbaseline recorded to BENCH_grouped_train.json\n"),
@@ -279,10 +380,9 @@ fn grouped_training(full: bool) {
 
 fn sweep_parameters(full: bool) -> (Vec<usize>, Vec<usize>, usize) {
     if full {
-        // The paper's grid (segments scaled to the local core count).
-        let cores = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(8);
+        // The paper's grid (segments scaled to the worker count the engine
+        // will actually use — MADLIB_THREADS override included).
+        let cores = madlib_engine::scan::worker_count();
         let segments: Vec<usize> = [6, 12, 18, 24]
             .iter()
             .map(|&s| s.min(cores))

@@ -548,6 +548,302 @@ pub fn measure_grouped_training(
     }
 }
 
+/// Generates the Zipf-skewed multi-tenant variant of the grouped workload:
+/// group `g` (0-based rank) holds a share of the rows proportional to
+/// `1/(g+1)`, so the top tenant owns a large fraction of the table while the
+/// tail groups hold a handful of rows each — and hash distribution on `grp`
+/// piles the hot tenant's rows onto one segment.  Every group gets at least
+/// one row (`rows >= groups` required), so model/group counts stay exact.
+///
+/// # Panics
+/// Panics when `rows < groups` or generation fails.
+pub fn zipf_grouped_regression_table(
+    rows: usize,
+    variables: usize,
+    groups: usize,
+    segments: usize,
+    seed: u64,
+) -> Table {
+    use madlib_engine::table::Distribution;
+    use madlib_engine::{Column, ColumnType, Value};
+    assert!(groups > 0, "need at least one group");
+    assert!(rows >= groups, "need at least one row per group");
+    let counts = zipf_group_sizes(rows, groups);
+    let base = figure4_table(rows, variables, 1, seed);
+    let schema = Schema::new(vec![
+        Column::new("grp", ColumnType::Int),
+        Column::new("y", ColumnType::Double),
+        Column::new("x", ColumnType::DoubleArray),
+    ]);
+    let mut table =
+        Table::with_distribution(schema, segments, Distribution::HashColumn("grp".into()))
+            .expect("positive segment count");
+    let mut group = 0usize;
+    let mut remaining_in_group = counts[0];
+    for row in base.iter() {
+        while remaining_in_group == 0 {
+            group += 1;
+            remaining_in_group = counts[group];
+        }
+        remaining_in_group -= 1;
+        let mut values = Vec::with_capacity(3);
+        values.push(Value::Int(group as i64));
+        values.extend(row.into_values());
+        table
+            .insert(Row::new(values))
+            .expect("generated rows match the schema");
+    }
+    table
+}
+
+/// Zipf(1) apportionment of `rows` over `groups` ranks: one guaranteed row
+/// per group, the rest split by largest remainder on weights `1/(g+1)`.
+fn zipf_group_sizes(rows: usize, groups: usize) -> Vec<usize> {
+    let weights: Vec<f64> = (0..groups).map(|g| 1.0 / (g as f64 + 1.0)).collect();
+    let total_weight: f64 = weights.iter().sum();
+    let spare = rows - groups;
+    let mut counts = Vec::with_capacity(groups);
+    let mut fractions: Vec<(f64, usize)> = Vec::with_capacity(groups);
+    let mut assigned = 0usize;
+    for (g, w) in weights.iter().enumerate() {
+        let quota = spare as f64 * w / total_weight;
+        let floor = quota.floor() as usize;
+        counts.push(1 + floor);
+        assigned += floor;
+        fractions.push((quota - floor as f64, g));
+    }
+    // Largest-remainder: hand the leftover rows to the biggest fractions.
+    fractions.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    for (_, g) in fractions.iter().take(spare - assigned) {
+        counts[*g] += 1;
+    }
+    counts
+}
+
+/// One measured cell of the scheduler comparison on the Zipf-skewed
+/// multi-tenant shape: the engine's work-stealing [`run_per_segment`]
+/// (`madlib_engine::scan`) against the pre-stealing static striping policy,
+/// both running the same per-segment linregr accumulation with the same
+/// worker count.
+///
+/// Wall-clock times tell the story only when the host has at least `workers`
+/// cores (time-slicing hides scheduling quality on fewer); the simulated
+/// makespans — busiest worker's row share under each policy, computed from
+/// the actual per-segment row counts — capture the scheduling difference
+/// deterministically on any host.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZipfScheduleMeasurement {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of independent variables.
+    pub variables: usize,
+    /// Number of Zipf-ranked groups.
+    pub groups: usize,
+    /// Number of segments.
+    pub segments: usize,
+    /// Worker count both policies ran with.
+    pub workers: usize,
+    /// Median wall-clock time under the work-stealing scheduler.
+    pub stealing: Duration,
+    /// Median wall-clock time under static striping.
+    pub striped: Duration,
+    /// Simulated makespan (busiest worker's rows) under work stealing.
+    pub stealing_makespan_rows: usize,
+    /// Simulated makespan (busiest worker's rows) under static striping.
+    pub striped_makespan_rows: usize,
+}
+
+impl ZipfScheduleMeasurement {
+    /// Wall-clock advantage of stealing over striping (>1 = stealing faster).
+    pub fn wall_clock_ratio(&self) -> f64 {
+        self.striped.as_secs_f64() / self.stealing.as_secs_f64()
+    }
+
+    /// Makespan advantage of stealing over striping (>1 = stealing better
+    /// balanced); this is the wall-clock ratio a `workers`-core host would
+    /// approach.
+    pub fn makespan_ratio(&self) -> f64 {
+        self.striped_makespan_rows as f64 / self.stealing_makespan_rows.max(1) as f64
+    }
+}
+
+/// Static-striping reference scheduler — the pre-work-stealing
+/// `run_per_segment` policy (worker `w` owns segments `w, w+W, ...`), kept
+/// here so the benchmark can compare scheduling policies head-to-head.
+fn run_per_segment_striped<T, F>(table: &Table, workers: usize, work: F) -> Vec<Option<T>>
+where
+    T: Send,
+    F: Fn(usize, &madlib_engine::chunk::Segment) -> T + Sync,
+{
+    let num_segments = table.num_segments();
+    let workers = workers.clamp(1, num_segments.max(1));
+    let mut results: Vec<Option<T>> = (0..num_segments).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let work = &work;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    (w..num_segments)
+                        .step_by(workers)
+                        .map(|seg| (seg, work(seg, table.segment(seg))))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (seg, result) in handle.join().expect("bench worker does not panic") {
+                results[seg] = Some(result);
+            }
+        }
+    });
+    results
+}
+
+/// Busiest worker's row count when segments are striped statically.
+fn striped_makespan(segment_rows: &[usize], workers: usize) -> usize {
+    (0..workers.max(1))
+        .map(|w| segment_rows.iter().skip(w).step_by(workers.max(1)).sum())
+        .max()
+        .unwrap_or(0)
+}
+
+/// Busiest worker's row count under cursor-order work stealing: the worker
+/// that frees up first claims the next segment (greedy list scheduling).
+fn stealing_makespan(segment_rows: &[usize], workers: usize) -> usize {
+    let mut loads = vec![0usize; workers.max(1)];
+    for &rows in segment_rows {
+        *loads.iter_mut().min().expect("at least one worker") += rows;
+    }
+    loads.into_iter().max().unwrap_or(0)
+}
+
+/// Measures the work-stealing scheduler against static striping on the
+/// Zipf-skewed grouped table: both policies run the same per-segment linregr
+/// state accumulation (the grouped scan's per-segment work) with `workers`
+/// threads, and must produce identical per-segment states.
+///
+/// # Panics
+/// Panics when `samples == 0`, generation fails, or the two schedulers
+/// disagree on any per-segment result.
+pub fn measure_zipf_schedulers(
+    rows: usize,
+    variables: usize,
+    groups: usize,
+    segments: usize,
+    samples: usize,
+    workers: usize,
+) -> ZipfScheduleMeasurement {
+    use madlib_engine::scan;
+    assert!(samples > 0, "need at least one sample");
+    let table =
+        zipf_grouped_regression_table(rows, variables, groups, segments, 99 + groups as u64);
+    let agg = LinregrScan(LinearRegression::new("y", "x"));
+    let schema = table.schema();
+    let accumulate = |segment: &madlib_engine::chunk::Segment| -> u64 {
+        let mut state = agg.initial_state();
+        scan::scan_segment_chunks(segment, schema, None, |batch| {
+            agg.transition_chunk(&mut state, batch.chunk(), schema)
+        })
+        .expect("scan over generated data cannot fail");
+        state.num_rows
+    };
+    let median = |mut times: Vec<Duration>| -> Duration {
+        times.sort_unstable();
+        times[times.len() / 2]
+    };
+
+    // Pin both policies to the same worker count via the env override the
+    // engine's worker_count() honours.
+    let saved = std::env::var("MADLIB_THREADS").ok();
+    std::env::set_var("MADLIB_THREADS", workers.to_string());
+    let mut stealing_times = Vec::with_capacity(samples);
+    let mut stealing_rows: Vec<u64> = Vec::new();
+    for _ in 0..samples {
+        let start = Instant::now();
+        let per_segment = scan::run_per_segment(&table, true, |_, segment| Ok(accumulate(segment)));
+        stealing_times.push(start.elapsed());
+        stealing_rows = per_segment
+            .into_iter()
+            .map(|r| r.expect("bench worker does not panic"))
+            .collect();
+    }
+    match saved {
+        Some(value) => std::env::set_var("MADLIB_THREADS", value),
+        None => std::env::remove_var("MADLIB_THREADS"),
+    }
+
+    let mut striped_times = Vec::with_capacity(samples);
+    let mut striped_rows: Vec<u64> = Vec::new();
+    for _ in 0..samples {
+        let start = Instant::now();
+        let per_segment = run_per_segment_striped(&table, workers, |_, s| accumulate(s));
+        striped_times.push(start.elapsed());
+        striped_rows = per_segment
+            .into_iter()
+            .map(|slot| slot.expect("every segment ran"))
+            .collect();
+    }
+    assert_eq!(
+        stealing_rows, striped_rows,
+        "schedulers disagreed on per-segment results"
+    );
+    let total: u64 = stealing_rows.iter().sum();
+    assert_eq!(total as usize, table.row_count());
+
+    let segment_rows: Vec<usize> = stealing_rows.iter().map(|&r| r as usize).collect();
+    ZipfScheduleMeasurement {
+        rows,
+        variables,
+        groups,
+        segments,
+        workers,
+        stealing: median(stealing_times),
+        striped: median(striped_times),
+        stealing_makespan_rows: stealing_makespan(&segment_rows, workers),
+        striped_makespan_rows: striped_makespan(&segment_rows, workers),
+    }
+}
+
+/// One cell of the grouped-training comparison on the Zipf-skewed table:
+/// median-of-`samples` `Session::train_grouped` per-group linregr times,
+/// row vs chunk mode, over [`zipf_grouped_regression_table`].
+///
+/// # Panics
+/// Panics when `samples == 0` or workload generation fails.
+pub fn measure_grouped_training_zipf(
+    rows: usize,
+    variables: usize,
+    groups: usize,
+    segments: usize,
+    samples: usize,
+) -> GroupedTrainingMeasurement {
+    assert!(samples > 0, "need at least one sample");
+    let table =
+        zipf_grouped_regression_table(rows, variables, groups, segments, 55 + groups as u64);
+    let median = |mut times: Vec<Duration>| -> Duration {
+        times.sort_unstable();
+        times[times.len() / 2]
+    };
+    let row_path = median(
+        (0..samples)
+            .map(|_| measure_grouped_training_pass(&table, Executor::row_at_a_time(), groups))
+            .collect(),
+    );
+    let chunk_path = median(
+        (0..samples)
+            .map(|_| measure_grouped_training_pass(&table, Executor::new(), groups))
+            .collect(),
+    );
+    GroupedTrainingMeasurement {
+        rows,
+        variables,
+        groups,
+        segments,
+        row_path,
+        chunk_path,
+    }
+}
+
 /// Runs the full Figure 4 sweep and returns one measurement per cell.
 pub fn figure4_sweep(
     segment_counts: &[usize],

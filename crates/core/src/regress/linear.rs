@@ -15,8 +15,8 @@ use crate::error::{MethodError, Result};
 use crate::train::{fit_grouped_single_pass, Estimator, GroupedModels, Session};
 use madlib_engine::aggregate::{extract_labeled_point, transition_chunk_by_rows};
 use madlib_engine::dataset::Dataset;
-use madlib_engine::{Aggregate, Row, RowChunk, Schema};
-use madlib_linalg::decomposition::SymmetricEigen;
+use madlib_engine::{Aggregate, FinalizeScratch, Row, RowChunk, Schema};
+use madlib_linalg::decomposition::{symmetric_inverse_with, EigenWorkspace};
 use madlib_linalg::kernels::{
     needs_symmetrize, rank1_update, rank_k_update_lower, xty_update, KernelGeneration,
 };
@@ -267,7 +267,21 @@ impl Aggregate for LinearRegression {
         out
     }
 
-    fn finalize(&self, mut state: LinRegrState) -> madlib_engine::Result<LinearRegressionModel> {
+    fn finalize(&self, state: LinRegrState) -> madlib_engine::Result<LinearRegressionModel> {
+        self.finalize_with(state, &mut FinalizeScratch::none())
+    }
+
+    /// Workspace-reusing finalize: the eigendecomposition of `XᵀX` scratch
+    /// buffers live in the per-worker [`FinalizeScratch`], so a grouped scan
+    /// finalizing thousands of groups allocates the O(k²) working set once
+    /// per worker instead of once per group.  The workspace never carries
+    /// state between groups, so results are bit-identical to
+    /// [`Aggregate::finalize`].
+    fn finalize_with(
+        &self,
+        mut state: LinRegrState,
+        scratch: &mut FinalizeScratch,
+    ) -> madlib_engine::Result<LinearRegressionModel> {
         if state.num_rows == 0 {
             return Err(madlib_engine::EngineError::aggregate(
                 "linear regression over empty input",
@@ -279,17 +293,21 @@ impl Aggregate for LinearRegression {
                 .symmetrize_from_lower()
                 .map_err(madlib_engine::EngineError::aggregate)?;
         }
-        finalize_state(&state).map_err(madlib_engine::EngineError::aggregate)
+        let workspace = scratch.get_or_insert_with(EigenWorkspace::new);
+        finalize_state_with(&state, workspace).map_err(madlib_engine::EngineError::aggregate)
     }
 }
 
-/// The final-function computation (paper Listing 2), shared with tests.
-fn finalize_state(state: &LinRegrState) -> Result<LinearRegressionModel> {
+/// The final-function computation (paper Listing 2) with a caller-provided
+/// eigendecomposition workspace.
+fn finalize_state_with(
+    state: &LinRegrState,
+    workspace: &mut EigenWorkspace,
+) -> Result<LinearRegressionModel> {
     let k = state.width_of_x;
     let n = state.num_rows as f64;
-    let eigen = SymmetricEigen::new(&state.x_transp_x)?;
-    let condition_no = eigen.condition_number();
-    let inverse_of_x_transp_x = eigen.pseudo_inverse(1e-10);
+    let (inverse_of_x_transp_x, condition_no) =
+        symmetric_inverse_with(&state.x_transp_x, 1e-10, workspace)?;
     let coef_vec = inverse_of_x_transp_x.matvec(&state.x_transp_y)?;
     let coef: Vec<f64> = coef_vec.as_slice().to_vec();
 

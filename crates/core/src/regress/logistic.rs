@@ -17,7 +17,7 @@ use madlib_engine::aggregate::{extract_labeled_point, transition_chunk_by_rows};
 use madlib_engine::dataset::Dataset;
 use madlib_engine::iteration::{IterationConfig, IterationController};
 use madlib_engine::{Aggregate, Row, RowChunk, Schema};
-use madlib_linalg::decomposition::SymmetricEigen;
+use madlib_linalg::decomposition::{symmetric_inverse_with, symmetric_solve, EigenWorkspace};
 use madlib_linalg::kernels::{batch_dot, weighted_rank_k_update_lower, xty_update};
 use madlib_linalg::{DenseMatrix, DenseVector};
 use madlib_stats::Normal;
@@ -356,11 +356,7 @@ impl Estimator for LogisticRegression {
                     for i in 0..width {
                         hessian.add_to(i, i, self.ridge);
                     }
-                    let eig = SymmetricEigen::new(&hessian)
-                        .map_err(madlib_engine::EngineError::aggregate)?;
-                    let delta = eig
-                        .pseudo_inverse(1e-12)
-                        .matvec(&gradient)
+                    let delta = symmetric_solve(&hessian, &gradient, 1e-12)
                         .map_err(madlib_engine::EngineError::aggregate)?;
                     Ok(beta
                         .iter()
@@ -384,8 +380,8 @@ impl Estimator for LogisticRegression {
         for i in 0..width {
             hessian.add_to(i, i, self.ridge);
         }
-        let eig = SymmetricEigen::new(&hessian)?;
-        let covariance = eig.pseudo_inverse(1e-12);
+        let (covariance, _condition) =
+            symmetric_inverse_with(&hessian, 1e-12, &mut EigenWorkspace::new())?;
 
         let normal = Normal::standard();
         let coef = outcome.final_state.clone();

@@ -28,6 +28,21 @@
 //!   per-group fit is bitwise identical to filtering the source down to
 //!   that group and fitting it alone (property-tested in
 //!   `tests/grouped_training.rs`).
+//!
+//! # Parallel grouped fitting and determinism
+//!
+//! Both grouped paths fan the per-group work out over the engine's
+//! work-stealing worker pool ([`madlib_engine::scan`]): the single-pass
+//! path parallelizes per-group *finalize*, the gather path parallelizes the
+//! per-group *fits* themselves.  The determinism contract is that each
+//! group's fit/finalize is a pure function of that group's rows, so
+//! scheduling only decides **which worker** computes a group, never the
+//! result — outputs land in per-group slots and are reassembled in key
+//! order, making grouped training bit-for-bit identical to the serial
+//! per-group loop (and to filter-then-fit), property-tested in
+//! `tests/grouped_training.rs`.  A panic inside one group's fit surfaces as
+//! a typed [`madlib_engine::EngineError::WorkerPanicked`] error instead of
+//! poisoning the whole training call.
 
 use crate::error::{MethodError, Result};
 use madlib_engine::dataset::Dataset;
@@ -117,14 +132,22 @@ impl Session {
     /// (possibly composite, for multi-column `group_by`) [`GroupKey`]s of
     /// the grouped scan, sorted by key (NULL group first).
     ///
+    /// Per-group fits run concurrently on the engine's work-stealing worker
+    /// pool (see the module docs for the determinism contract: results are
+    /// bit-identical to the serial per-group loop).
+    ///
     /// # Errors
     /// Propagates estimator errors; errors when the dataset has no grouping
     /// columns (use [`Session::train`]).
-    pub fn train_grouped<E: Estimator>(
+    pub fn train_grouped<E>(
         &self,
         estimator: &E,
         dataset: &Dataset<'_>,
-    ) -> Result<GroupedModels<E::Model>> {
+    ) -> Result<GroupedModels<E::Model>>
+    where
+        E: Estimator + Sync,
+        E::Model: Send,
+    {
         if !dataset.is_grouped() {
             return Err(MethodError::invalid_input(
                 "dataset has no grouping columns; call group_by([...]) or use Session::train",
@@ -156,29 +179,39 @@ pub trait Estimator {
     ///
     /// The default implementation is the *per-group gather*: it splits the
     /// dataset into per-group tables ([`Dataset::gather_groups`], which
-    /// preserves every row's segment and per-segment order) and fits each
-    /// group independently — correct for any estimator, including iterative
-    /// ones, and bitwise identical to filtering the source down to each
-    /// group and fitting it alone.  Single-pass aggregating estimators
-    /// override this to train all groups in one segment-parallel pass (see
-    /// [`fit_grouped_single_pass`]).
+    /// preserves every row's segment and per-segment order) and fits the
+    /// groups concurrently on the engine's work-stealing worker pool —
+    /// correct for any estimator, including iterative ones, because each
+    /// per-group fit sees exactly the table a serial loop would; models are
+    /// reassembled in key order, so the result is bitwise identical to
+    /// filtering the source down to each group and fitting it alone.
+    /// Single-pass aggregating estimators override this to train all groups
+    /// in one segment-parallel pass (see [`fit_grouped_single_pass`]).
     ///
     /// # Errors
     /// Propagates per-group fit errors and grouping errors (no grouping
-    /// column, unsupported multi-column grouping).
+    /// column, unsupported multi-column grouping); a panicking per-group fit
+    /// surfaces as [`madlib_engine::EngineError::WorkerPanicked`].
     fn fit_grouped(
         &self,
         dataset: &Dataset<'_>,
         session: &Session,
     ) -> Result<GroupedModels<Self::Model>>
     where
-        Self: Sized,
+        Self: Sized + Sync,
+        Self::Model: Send,
     {
         let groups = dataset.gather_groups()?;
-        let mut models = Vec::with_capacity(groups.len());
-        for (key, table) in &groups {
-            let group_dataset = Dataset::from_table(table).with_executor(*dataset.executor());
-            models.push((key.clone(), self.fit(&group_dataset, session)?));
+        let executor = *dataset.executor();
+        let fitted =
+            madlib_engine::scan::run_per_item(groups, executor.is_parallel(), |_, (key, table)| {
+                let group_dataset = Dataset::from_table(&table).with_executor(executor);
+                self.fit(&group_dataset, session).map(|model| (key, model))
+            });
+        let mut models = Vec::with_capacity(fitted.len());
+        for slot in fitted {
+            // Outer Err = worker panic; inner Err = the fit's own failure.
+            models.push(slot.map_err(MethodError::from)??);
         }
         Ok(GroupedModels::new(models))
     }
@@ -198,6 +231,7 @@ pub fn fit_grouped_single_pass<E>(
 ) -> Result<GroupedModels<E::Model>>
 where
     E: Estimator + madlib_engine::Aggregate<Output = <E as Estimator>::Model>,
+    <E as Estimator>::Model: Send,
 {
     Ok(GroupedModels::new(dataset.aggregate_per_group(estimator)?))
 }

@@ -77,6 +77,76 @@ pub trait Aggregate: Sync {
     /// Implementations may fail, e.g. when the input was empty and the
     /// aggregate has no identity output.
     fn finalize(&self, state: Self::State) -> Result<Self::Output>;
+
+    /// Creates a reusable finalize workspace, or [`FinalizeScratch::none`]
+    /// (the default) when the aggregate has nothing worth reusing.
+    ///
+    /// Grouped execution calls this once per finalize worker and threads the
+    /// same scratch through every group that worker finalizes, so aggregates
+    /// whose finalize allocates heavily (e.g. an eigendecomposition per
+    /// linear-regression group) can override this together with
+    /// [`Aggregate::finalize_with`] to amortize the allocations.
+    fn make_finalize_scratch(&self) -> FinalizeScratch {
+        FinalizeScratch::none()
+    }
+
+    /// [`Aggregate::finalize`] with a reusable scratch workspace.
+    ///
+    /// The default ignores the scratch and delegates to
+    /// [`Aggregate::finalize`]; overrides must produce **exactly** the output
+    /// `finalize` would — the scratch is an allocation-reuse handle, never a
+    /// carrier of state between groups — so results stay bit-identical no
+    /// matter how groups are distributed over finalize workers.
+    ///
+    /// # Errors
+    /// Same contract as [`Aggregate::finalize`].
+    fn finalize_with(
+        &self,
+        state: Self::State,
+        _scratch: &mut FinalizeScratch,
+    ) -> Result<Self::Output> {
+        self.finalize(state)
+    }
+}
+
+/// Type-erased per-worker workspace for [`Aggregate::finalize_with`].
+///
+/// Associated-type defaults are unstable, so the scratch is erased behind
+/// [`std::any::Any`]: aggregates that want one call
+/// [`FinalizeScratch::get_or_insert_with`] with their concrete workspace
+/// type, everyone else keeps the empty default.
+#[derive(Default)]
+pub struct FinalizeScratch {
+    slot: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl FinalizeScratch {
+    /// An empty scratch — the default for aggregates without a workspace.
+    #[must_use]
+    pub fn none() -> Self {
+        Self { slot: None }
+    }
+
+    /// Returns the workspace of type `W`, creating it with `init` when the
+    /// scratch is empty or currently holds a different type.
+    pub fn get_or_insert_with<W, F>(&mut self, init: F) -> &mut W
+    where
+        W: std::any::Any + Send,
+        F: FnOnce() -> W,
+    {
+        let fresh = match &self.slot {
+            Some(existing) => !existing.is::<W>(),
+            None => true,
+        };
+        if fresh {
+            self.slot = Some(Box::new(init()));
+        }
+        self.slot
+            .as_mut()
+            .expect("slot was just filled")
+            .downcast_mut::<W>()
+            .expect("slot holds a W")
+    }
 }
 
 /// The row-at-a-time fallback behind [`Aggregate::transition_chunk`]:

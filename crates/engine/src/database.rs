@@ -91,6 +91,40 @@ impl Database {
         self.create_internal(name, schema, Distribution::RoundRobin, true)
     }
 
+    /// Creates an empty temp table under `base` or, when that name is taken,
+    /// the first free `base_1`, `base_2`, ... — returning the name actually
+    /// used.  Probe and create happen under one catalog write lock, so
+    /// concurrent callers (e.g. parallel per-group iterative fits sharing an
+    /// iteration-state base name) always receive distinct tables; the old
+    /// probe-then-create dance in callers raced between the two steps.
+    ///
+    /// # Errors
+    /// Propagates table-construction errors.
+    pub fn create_unique_temp_table(&self, base: &str, schema: Schema) -> Result<String> {
+        let mut catalog = self.write();
+        let name = if catalog.contains_key(base) {
+            let mut i = 1usize;
+            loop {
+                let candidate = format!("{base}_{i}");
+                if !catalog.contains_key(&candidate) {
+                    break candidate;
+                }
+                i += 1;
+            }
+        } else {
+            base.to_owned()
+        };
+        let table = Table::with_distribution(schema, self.num_segments, Distribution::RoundRobin)?;
+        catalog.insert(
+            name.clone(),
+            CatalogEntry {
+                table,
+                is_temp: true,
+            },
+        );
+        Ok(name)
+    }
+
     fn create_internal(
         &self,
         name: &str,

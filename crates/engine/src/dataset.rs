@@ -312,13 +312,24 @@ impl<'a> Dataset<'a> {
     /// scans stay on the vectorized kernels (bit-identical results either
     /// way).
     ///
+    /// After the merge, the per-group **finalize** stage runs on the same
+    /// work-stealing worker pool as the scan (groups are independent):
+    /// outputs land in per-group slots and are reassembled in key order, and
+    /// each finalize worker reuses one [`crate::FinalizeScratch`] across all
+    /// the groups it claims, so results are bit-identical to the serial
+    /// finalize loop regardless of scheduling.
+    ///
     /// # Errors
     /// Propagates aggregate, predicate and column-lookup errors; errors when
-    /// the dataset has no grouping columns or lists one twice.
+    /// the dataset has no grouping columns or lists one twice.  A finalize
+    /// worker panic surfaces as [`crate::EngineError::WorkerPanicked`].
     pub fn aggregate_per_group<A: Aggregate>(
         &self,
         aggregate: &A,
-    ) -> Result<Vec<(GroupKey, A::Output)>> {
+    ) -> Result<Vec<(GroupKey, A::Output)>>
+    where
+        A::Output: Send,
+    {
         let schema = self.schema();
         let group_indices = self.group_column_indices()?;
         let group_indices = group_indices.as_slice();
@@ -353,9 +364,23 @@ impl<'a> Dataset<'a> {
 
         let mut entries: Vec<(GroupKey, A::State)> = merged.into_iter().collect();
         entries.sort_by(|a, b| a.0.cmp(&b.0));
-        let mut out = Vec::with_capacity(entries.len());
-        for (key, state) in entries {
-            out.push((key, aggregate.finalize(state)?));
+
+        // Parallel finalize: groups are independent, so the sorted states
+        // fan out over the work-stealing pool and reassemble in key order.
+        let finalized = scan::run_per_item_with_scratch(
+            entries,
+            self.executor.is_parallel(),
+            || aggregate.make_finalize_scratch(),
+            |_, (key, state), scratch| {
+                aggregate
+                    .finalize_with(state, scratch)
+                    .map(|output| (key, output))
+            },
+        );
+        let mut out = Vec::with_capacity(finalized.len());
+        for slot in finalized {
+            // Outer Err = worker panic; inner Err = finalize failure.
+            out.push(slot??);
         }
         Ok(out)
     }

@@ -105,12 +105,16 @@ impl IterationController {
         C: FnMut(&[f64], &[f64], f64) -> bool,
     {
         // CREATE TEMP TABLE iterative_algorithm AS SELECT 0 AS iteration, ...
+        // The probe-for-a-free-name and the create happen atomically so
+        // concurrent drivers sharing a base name (nested cross-validation,
+        // parallel per-group fits) always get distinct state tables.
         let state_schema = Schema::new(vec![
             Column::new("iteration", ColumnType::Int),
             Column::new("state", ColumnType::DoubleArray),
         ]);
-        let table_name = self.unique_state_table_name();
-        self.db.create_temp_table(&table_name, state_schema)?;
+        let table_name = self
+            .db
+            .create_unique_temp_table(&self.config.state_table_name, state_schema)?;
 
         // Run the loop in a helper so the temp state table is dropped on
         // *every* exit path — a step that fails mid-iteration must not leak
@@ -179,23 +183,6 @@ impl IterationController {
             final_state: previous,
             history,
         })
-    }
-
-    fn unique_state_table_name(&self) -> String {
-        // Suffix with a counter if the preferred name is taken, so nested
-        // drivers (e.g. cross-validation around logistic regression) work.
-        let base = &self.config.state_table_name;
-        if !self.db.has_table(base) {
-            return base.clone();
-        }
-        let mut i = 1;
-        loop {
-            let candidate = format!("{base}_{i}");
-            if !self.db.has_table(&candidate) {
-                return candidate;
-            }
-            i += 1;
-        }
     }
 }
 

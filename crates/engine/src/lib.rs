@@ -96,7 +96,7 @@ pub mod table;
 pub mod template;
 pub mod value;
 
-pub use aggregate::Aggregate;
+pub use aggregate::{Aggregate, FinalizeScratch};
 pub use chunk::{RowChunk, SelectionMask};
 pub use database::Database;
 pub use dataset::Dataset;

@@ -15,6 +15,23 @@
 //! coordinating thread, so a buggy user-defined aggregate surfaces as an
 //! error the driver can handle — the behaviour a DBMS gives a crashing UDF
 //! query.
+//!
+//! # Scheduling
+//!
+//! Both fan-outs — [`run_per_segment`] over a table's segments and
+//! [`run_per_item`] over an owned work list (per-group finalize states,
+//! gathered per-group tables) — use the same **work-stealing** scheduler:
+//! workers claim the next unclaimed unit from a shared atomic cursor instead
+//! of being striped statically, so a skewed workload (one hot tenant, one
+//! giant group) no longer serializes the worker that happened to own it
+//! while its siblings sit idle.  Results land in per-unit slots and are
+//! reassembled in input order, so the output — including which unit an error
+//! or [`EngineError::WorkerPanicked`] belongs to — is bit-identical to the
+//! serial loop regardless of which worker ran which unit.
+//!
+//! The worker count comes from [`worker_count`]: the `MADLIB_THREADS`
+//! environment variable when set to a positive integer, the machine's
+//! available parallelism otherwise.
 
 use crate::chunk::{RowChunk, Segment};
 use crate::error::{EngineError, Result};
@@ -22,6 +39,8 @@ use crate::expr::Predicate;
 use crate::row::Row;
 use crate::schema::Schema;
 use crate::table::Table;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// One batch of filter-surviving rows handed to a scan sink: either a whole
 /// chunk that passed the predicate untouched, or a compacted copy of the
@@ -132,21 +151,69 @@ where
     Ok(stats)
 }
 
+/// Number of worker threads parallel fan-outs may spawn: the
+/// `MADLIB_THREADS` environment variable when it parses as a positive
+/// integer, the machine's available parallelism otherwise.
+///
+/// This is the single thread-count policy shared by [`run_per_segment`],
+/// [`run_per_item`] and the benchmark harness — the override exists so a
+/// shared benchmark host (or a test) can pin the pool size without touching
+/// cgroup limits.
+pub fn worker_count() -> usize {
+    worker_count_from(std::env::var("MADLIB_THREADS").ok().as_deref())
+}
+
+/// The pure policy behind [`worker_count`], split out so the parsing can be
+/// tested without racing on the process environment: a positive-integer
+/// override wins; anything else (unset, empty, `0`, garbage) falls back to
+/// the machine's available parallelism.
+pub fn worker_count_from(env_override: Option<&str>) -> usize {
+    if let Some(raw) = env_override {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// Runs `work` once per segment of `table` — on parallel worker threads when
 /// `parallel` is set and the table has more than one segment — and returns
 /// the per-segment results in segment order.
 ///
-/// The fan-out spawns at most `min(segments, available hardware threads)`
-/// workers and stripes segments across them: oversubscribing the machine
-/// (e.g. 4 workers with 80 MB of grouped state each on a single core) only
-/// adds context-switch and cache-thrash cost, so a 1-core host degenerates
-/// to the serial loop while results stay identical — each segment is still
-/// processed independently and merged in segment order.
+/// The fan-out spawns at most `min(segments, `[`worker_count`]`)` workers
+/// which **steal work**: each worker claims the next unclaimed segment from
+/// a shared atomic cursor, so a skewed table (one giant segment next to
+/// near-empty ones) keeps every worker busy instead of serializing the
+/// worker that statically owned the hot segment.  Oversubscribing the
+/// machine (e.g. 4 workers with 80 MB of grouped state each on a single
+/// core) only adds context-switch and cache-thrash cost, so a 1-core host
+/// degenerates to the serial loop.  Results land in per-segment slots and
+/// are returned in segment order, so output is bit-identical to the serial
+/// loop no matter which worker ran which segment.
 ///
 /// A panicking worker does **not** abort the coordinator: the panic payload
 /// is captured and surfaced as [`EngineError::WorkerPanicked`] in that
 /// segment's slot, while the remaining segments still run to completion.
 pub fn run_per_segment<T, F>(table: &Table, parallel: bool, work: F) -> Vec<Result<T>>
+where
+    T: Send,
+    F: Fn(usize, &Segment) -> Result<T> + Sync,
+{
+    let workers = if parallel {
+        worker_count().min(table.num_segments())
+    } else {
+        1
+    };
+    run_per_segment_with_workers(table, workers, work)
+}
+
+/// [`run_per_segment`] with an explicit worker count, so tests can force the
+/// multi-worker stealing path regardless of how many cores the host exposes.
+fn run_per_segment_with_workers<T, F>(table: &Table, workers: usize, work: F) -> Vec<Result<T>>
 where
     T: Send,
     F: Fn(usize, &Segment) -> Result<T> + Sync,
@@ -158,27 +225,27 @@ where
         }))
         .unwrap_or_else(|payload| Err(worker_panic_error(payload.as_ref())))
     };
-    let workers = if parallel {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(num_segments)
-    } else {
-        1
-    };
     if workers <= 1 {
         return (0..num_segments).map(run_caught).collect();
     }
     let mut results: Vec<Option<Result<T>>> = (0..num_segments).map(|_| None).collect();
+    let cursor = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         let run_caught = &run_caught;
+        let cursor = &cursor;
         let handles: Vec<_> = (0..workers)
-            .map(|w| {
+            .map(|_| {
                 scope.spawn(move || {
-                    (w..num_segments)
-                        .step_by(workers)
-                        .map(|seg| (seg, run_caught(seg)))
-                        .collect::<Vec<_>>()
+                    let mut done = Vec::new();
+                    loop {
+                        // Work stealing: claim the next unclaimed segment.
+                        let seg = cursor.fetch_add(1, Ordering::Relaxed);
+                        if seg >= num_segments {
+                            break;
+                        }
+                        done.push((seg, run_caught(seg)));
+                    }
+                    done
                 })
             })
             .collect();
@@ -191,7 +258,128 @@ where
     });
     results
         .into_iter()
-        .map(|slot| slot.expect("every segment striped to exactly one worker"))
+        .map(|slot| slot.expect("the cursor hands every segment to exactly one worker"))
+        .collect()
+}
+
+/// Runs `work` once per owned item — on work-stealing parallel workers when
+/// `parallel` is set and there is more than one item — returning the results
+/// in item order.  This is the owned-input sibling of [`run_per_segment`],
+/// used to parallelize per-group *compute* (finalizing merged group states,
+/// fitting gathered per-group tables) across the same worker pool as the
+/// scan itself.
+///
+/// `work`'s return value is wrapped in the outer [`Result`] only to carry
+/// [`EngineError::WorkerPanicked`]: a panic in `work` is captured and
+/// surfaced in that item's slot while the remaining items still run.  Use a
+/// nested `Result` as `T` for fallible work.
+pub fn run_per_item<I, T, F>(items: Vec<I>, parallel: bool, work: F) -> Vec<Result<T>>
+where
+    I: Send,
+    T: Send,
+    F: Fn(usize, I) -> T + Sync,
+{
+    run_per_item_with_scratch(items, parallel, || (), |idx, item, ()| work(idx, item))
+}
+
+/// [`run_per_item`] with a per-worker scratch value: `make_scratch` runs
+/// once per worker thread and the resulting scratch is threaded through
+/// every item that worker claims.  This is how per-group finalize reuses
+/// one decomposition workspace across all the groups a worker processes
+/// instead of allocating per group.
+///
+/// Item order, panic capture and the serial (`parallel == false` or one
+/// worker) fallback behave exactly as in [`run_per_item`]; the scratch is an
+/// optimization handle, never observable in the results.
+pub fn run_per_item_with_scratch<I, T, W, M, F>(
+    items: Vec<I>,
+    parallel: bool,
+    make_scratch: M,
+    work: F,
+) -> Vec<Result<T>>
+where
+    I: Send,
+    T: Send,
+    M: Fn() -> W + Sync,
+    F: Fn(usize, I, &mut W) -> T + Sync,
+{
+    let workers = if parallel {
+        worker_count().min(items.len())
+    } else {
+        1
+    };
+    run_per_item_with_workers(items, workers, make_scratch, work)
+}
+
+/// [`run_per_item_with_scratch`] with an explicit worker count, so tests can
+/// force the multi-worker stealing path regardless of host core count.
+fn run_per_item_with_workers<I, T, W, M, F>(
+    items: Vec<I>,
+    workers: usize,
+    make_scratch: M,
+    work: F,
+) -> Vec<Result<T>>
+where
+    I: Send,
+    T: Send,
+    M: Fn() -> W + Sync,
+    F: Fn(usize, I, &mut W) -> T + Sync,
+{
+    let num_items = items.len();
+    let run_caught = |idx: usize, item: I, scratch: &mut W| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| work(idx, item, scratch)))
+            .map_err(|payload| worker_panic_error(payload.as_ref()))
+    };
+    if workers <= 1 {
+        let mut scratch = make_scratch();
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(idx, item)| run_caught(idx, item, &mut scratch))
+            .collect();
+    }
+    // Owned items are parked in take-once slots (the crate forbids unsafe
+    // code, so no raw parallel moves); the Mutex is uncontended — the atomic
+    // cursor hands each slot to exactly one worker.
+    let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let mut results: Vec<Option<Result<T>>> = (0..num_items).map(|_| None).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let run_caught = &run_caught;
+        let make_scratch = &make_scratch;
+        let slots = &slots;
+        let cursor = &cursor;
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut scratch = make_scratch();
+                    let mut done = Vec::new();
+                    loop {
+                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                        if idx >= num_items {
+                            break;
+                        }
+                        let item = slots[idx]
+                            .lock()
+                            .expect("item slot mutex cannot be poisoned")
+                            .take()
+                            .expect("the cursor hands every item to exactly one worker");
+                        done.push((idx, run_caught(idx, item, &mut scratch)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for handle in handles {
+            // Workers catch panics per item, so joins cannot fail.
+            for (idx, result) in handle.join().expect("worker catches its panics") {
+                results[idx] = Some(result);
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| slot.expect("the cursor hands every item to exactly one worker"))
         .collect()
 }
 
@@ -279,5 +467,149 @@ mod tests {
                 other => panic!("expected WorkerPanicked, got {other:?}"),
             }
         }
+    }
+
+    /// Builds a table with explicitly skewed per-segment row counts (segments
+    /// may be empty) by inserting straight into each segment.
+    fn make_skewed_table(segment_rows: &[usize]) -> Table {
+        let schema = Schema::new(vec![Column::new("y", ColumnType::Double)]);
+        let mut t = Table::new(schema, segment_rows.len())
+            .unwrap()
+            .with_chunk_capacity(8)
+            .unwrap();
+        let mut next = 0.0;
+        for (seg, &rows) in segment_rows.iter().enumerate() {
+            for _ in 0..rows {
+                t.insert_into_segment(seg, row![next]).unwrap();
+                next += 1.0;
+            }
+        }
+        t
+    }
+
+    /// Property: on skewed segment sizes (including empty segments), the
+    /// work-stealing scheduler produces exactly the serial loop's output,
+    /// for every worker count from 1 to segments + 2.
+    #[test]
+    fn stealing_matches_serial_on_skewed_segments() {
+        let shapes: [&[usize]; 5] = [
+            &[100, 0, 1, 0, 3, 57, 0, 2],
+            &[0, 0, 0, 0],
+            &[97],
+            &[1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1],
+            &[0, 200, 0, 0, 0, 0, 0, 5],
+        ];
+        for shape in shapes {
+            let t = make_skewed_table(shape);
+            let work = |seg: usize, segment: &Segment| {
+                let mut sum = 0.0f64;
+                scan_segment_rows(segment, t.schema(), None, |row| {
+                    sum += row.get(0).as_double()?;
+                    Ok(())
+                })?;
+                Ok((seg, segment.len(), sum.to_bits()))
+            };
+            let serial: Vec<_> = run_per_segment_with_workers(&t, 1, work)
+                .into_iter()
+                .map(|r| r.unwrap())
+                .collect();
+            for workers in 2..=shape.len() + 2 {
+                let stolen: Vec<_> = run_per_segment_with_workers(&t, workers, work)
+                    .into_iter()
+                    .map(|r| r.unwrap())
+                    .collect();
+                assert_eq!(stolen, serial, "workers={workers} shape={shape:?}");
+            }
+        }
+    }
+
+    /// Regression: a panicking worker under multi-worker stealing surfaces as
+    /// a typed `WorkerPanicked` error in that segment's slot — no hang, and
+    /// the other segments still complete.
+    #[test]
+    fn stealing_surfaces_worker_panics() {
+        let t = make_skewed_table(&[5, 0, 40, 2, 0, 9]);
+        for workers in [2, 3, 6] {
+            let results: Vec<Result<usize>> =
+                run_per_segment_with_workers(&t, workers, |seg, s| {
+                    if seg == 2 {
+                        panic!("stolen boom");
+                    }
+                    Ok(s.len())
+                });
+            for (seg, result) in results.iter().enumerate() {
+                if seg == 2 {
+                    match result {
+                        Err(EngineError::WorkerPanicked { message }) => {
+                            assert!(message.contains("stolen boom"));
+                        }
+                        other => panic!("expected WorkerPanicked, got {other:?}"),
+                    }
+                } else {
+                    assert!(result.is_ok(), "segment {seg} should succeed");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_item_pool_preserves_order_and_scratch() {
+        let items: Vec<u64> = (0..37).collect();
+        for workers in [1, 2, 5, 40] {
+            let results = run_per_item_with_workers(
+                items.clone(),
+                workers,
+                || 0u64,
+                |idx, item, calls| {
+                    *calls += 1;
+                    item * 10 + idx as u64
+                },
+            );
+            let got: Vec<u64> = results.into_iter().map(|r| r.unwrap()).collect();
+            let want: Vec<u64> = items.iter().map(|&i| i * 10 + i).collect();
+            assert_eq!(got, want, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn per_item_pool_surfaces_panics() {
+        let items: Vec<usize> = (0..10).collect();
+        let results = run_per_item_with_workers(
+            items,
+            3,
+            || (),
+            |_, item, ()| {
+                if item == 4 {
+                    panic!("item boom");
+                }
+                item
+            },
+        );
+        for (idx, result) in results.iter().enumerate() {
+            if idx == 4 {
+                match result {
+                    Err(EngineError::WorkerPanicked { message }) => {
+                        assert!(message.contains("item boom"));
+                    }
+                    other => panic!("expected WorkerPanicked, got {other:?}"),
+                }
+            } else {
+                assert_eq!(*result.as_ref().unwrap(), idx);
+            }
+        }
+    }
+
+    #[test]
+    fn worker_count_respects_env_override() {
+        assert_eq!(worker_count_from(Some("6")), 6);
+        assert_eq!(worker_count_from(Some(" 3 ")), 3);
+        let fallback = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(worker_count_from(None), fallback);
+        assert_eq!(worker_count_from(Some("0")), fallback);
+        assert_eq!(worker_count_from(Some("")), fallback);
+        assert_eq!(worker_count_from(Some("lots")), fallback);
+        assert_eq!(worker_count_from(Some("-2")), fallback);
     }
 }

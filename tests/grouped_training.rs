@@ -513,8 +513,8 @@ fn classification_table(segments: usize, chunk_capacity: usize, per_group: usize
 /// filter-then-fit model for that key.
 fn assert_grouped_matches_filter_then_fit<E>(estimator: &E, table: &Table, expected_groups: usize)
 where
-    E: Estimator,
-    E::Model: PartialEq + std::fmt::Debug,
+    E: Estimator + Sync,
+    E::Model: PartialEq + std::fmt::Debug + Send,
 {
     for executor in [Executor::new(), Executor::row_at_a_time()] {
         let session = Session::in_memory(table.num_segments())
@@ -1047,4 +1047,94 @@ fn single_row_groups_for_newly_ported_methods() {
         .unwrap();
         assert_eq!(*model, alone);
     }
+}
+
+/// An estimator whose per-group fit panics outright, standing in for a bug
+/// inside a method implementation.
+struct PanicingEstimator;
+
+impl Estimator for PanicingEstimator {
+    type Model = ();
+
+    fn fit(
+        &self,
+        _dataset: &Dataset<'_>,
+        _session: &Session,
+    ) -> madlib::methods::Result<Self::Model> {
+        panic!("deliberate per-group fit explosion");
+    }
+}
+
+/// A panic inside one group's fit must not unwind through the parallel
+/// per-group scheduler: `train_grouped` catches it on the worker and
+/// surfaces it as the typed `WorkerPanicked` engine error, payload message
+/// included, in both execution modes.
+#[test]
+fn panicking_group_fit_surfaces_typed_worker_panic() {
+    let table = classification_table(2, 8, 6);
+    for executor in [Executor::new(), Executor::row_at_a_time()] {
+        let session = Session::in_memory(table.num_segments())
+            .unwrap()
+            .with_executor(executor);
+        let err = session
+            .train_grouped(
+                &PanicingEstimator,
+                &Dataset::from_table(&table).group_by(["grp"]),
+            )
+            .unwrap_err();
+        let message = err.to_string();
+        assert!(
+            message.contains("worker panicked"),
+            "expected a typed WorkerPanicked error, got: {message}"
+        );
+        assert!(
+            message.contains("deliberate per-group fit explosion"),
+            "panic payload lost from the error: {message}"
+        );
+    }
+}
+
+/// Concurrent iterative trainings on one shared session must not collide on
+/// iteration state tables: every driver claims its temp table name under a
+/// single catalog lock, so parallel `train_grouped` calls (as the per-group
+/// fit stage issues on a multi-core host) each see a private state table.
+/// Regression test for the probe-then-create race this used to have.
+#[test]
+fn concurrent_iterative_trainings_get_distinct_state_tables() {
+    let points: Vec<(usize, f64, [f64; 2])> = (0..48)
+        .map(|i| {
+            let v = i as f64 * 0.37 - 8.0;
+            (i % 5, v, [v * 0.5 + 1.0, (i % 7) as f64 - 3.0])
+        })
+        .collect();
+    let table = grouped_table(&points, 4, None, 2, 8, true);
+    let session = Session::in_memory(table.num_segments()).unwrap();
+    let estimator = LogisticRegression::new("y", "x").with_max_iterations(4);
+
+    let serial = session
+        .train_grouped(&estimator, &Dataset::from_table(&table).group_by(["grp"]))
+        .unwrap();
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let session = &session;
+                let estimator = &estimator;
+                let table = &table;
+                scope.spawn(move || {
+                    session
+                        .train_grouped(estimator, &Dataset::from_table(table).group_by(["grp"]))
+                        .unwrap()
+                })
+            })
+            .collect();
+        for handle in handles {
+            let concurrent = handle.join().unwrap();
+            assert_eq!(concurrent.len(), serial.len());
+            for ((ka, ma), (kb, mb)) in concurrent.into_iter().zip(&serial) {
+                assert_eq!(&ka, kb);
+                assert_eq!(bits(&ma.coef), bits(&mb.coef));
+            }
+        }
+    });
 }
