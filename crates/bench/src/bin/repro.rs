@@ -9,6 +9,7 @@
 //! cargo run -p madlib-bench --bin repro --release -- logistic | kmeans | overhead
 //! cargo run -p madlib-bench --bin repro --release -- rowchunk | grouped [--full]
 //! cargo run -p madlib-bench --bin repro --release -- grouped --smoke   # CI-scale
+//! cargo run -p madlib-bench --bin repro --release -- kernels [--full|--smoke]
 //! ```
 //!
 //! With `--full` the Figure 4/5 sweeps use the paper's variable counts
@@ -62,6 +63,7 @@ fn main() {
         "overhead" => overhead(),
         "rowchunk" => rowchunk(full),
         "grouped" => grouped(full, smoke),
+        "kernels" => kernels(full, smoke),
         "all" => {
             figure4(full);
             figure5(full);
@@ -73,12 +75,137 @@ fn main() {
             overhead();
             rowchunk(full);
             grouped(full, smoke);
+            kernels(full, smoke);
         }
         other => {
             eprintln!("unknown experiment: {other}");
-            eprintln!("expected one of: figure4 figure5 table1 table2 table3 logistic kmeans overhead rowchunk grouped all");
+            eprintln!("expected one of: figure4 figure5 table1 table2 table3 logistic kmeans overhead rowchunk grouped kernels all");
             std::process::exit(2);
         }
+    }
+}
+
+/// JSON fragment recording the measurement host: core count, detected CPU
+/// features and the kernel dispatch path that was active — so a baseline
+/// number can always be traced back to the tier that produced it.
+fn host_metadata_json() -> String {
+    let features = madlib_linalg::kernels::cpu_features()
+        .iter()
+        .map(|f| format!("\"{f}\""))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "  \"host_cores\": {},\n  \"cpu_features\": [{}],\n  \"kernel_path\": \"{}\",\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        features,
+        madlib_linalg::kernels::active_path().label(),
+    )
+}
+
+/// Kernel-tier sweep: per-kernel GFLOP/s for the scalar reference, the
+/// portable unrolled tier and the AVX2 SIMD tier, across the Figure 4/5
+/// feature widths.  Records `BENCH_kernels.json` (never on `--smoke`) with
+/// the ≥1.3× rank-k acceptance cell and the host's CPU-feature metadata.
+fn kernels(full: bool, smoke: bool) {
+    println!("== Batched linalg kernels: dispatch-tier throughput (GFLOP/s) ==\n");
+    let (widths, target_flops, samples): (&[usize], f64, usize) = if smoke {
+        (&[40, 400], 2e7, 1)
+    } else if full {
+        (&[40, 100, 400, 1000], 4e8, 5)
+    } else {
+        (&[40, 100, 400, 1000], 1e8, 3)
+    };
+    println!(
+        "active dispatch path: {} (MADLIB_SIMD={}), detected cpu features: {:?}\n",
+        madlib_linalg::kernels::active_path().label(),
+        std::env::var("MADLIB_SIMD").unwrap_or_else(|_| "unset".to_owned()),
+        madlib_linalg::kernels::cpu_features(),
+    );
+    let measurements = madlib_bench::measure_kernel_tiers(widths, target_flops, samples);
+    let gflops_of = |kernel: &str, width: usize, tier: &str| {
+        measurements
+            .iter()
+            .find(|m| m.kernel == kernel && m.width == width && m.tier == tier)
+            .map(|m| format!("{:>10.2}", m.gflops))
+            .unwrap_or_else(|| format!("{:>10}", "-"))
+    };
+    println!(
+        "{:<30}  {:>6}  {:>6}  {:>10}  {:>10}  {:>10}  {:>8}",
+        "kernel", "width", "rows", "scalar", "unrolled", "simd", "speedup"
+    );
+    let mut kernel_names: Vec<&'static str> = Vec::new();
+    for m in &measurements {
+        if !kernel_names.contains(&m.kernel) {
+            kernel_names.push(m.kernel);
+        }
+    }
+    for kernel in kernel_names {
+        for &width in widths {
+            let rows = measurements
+                .iter()
+                .find(|m| m.kernel == kernel && m.width == width)
+                .map(|m| m.rows)
+                .unwrap_or(0);
+            let speedup = madlib_bench::kernel_speedup_cell(&measurements, kernel, width)
+                .map(|(_, _, ratio)| format!("{ratio:>7.2}x"))
+                .unwrap_or_else(|| format!("{:>8}", "-"));
+            println!(
+                "{:<30}  {:>6}  {:>6}  {}  {}  {}  {}",
+                kernel,
+                width,
+                rows,
+                gflops_of(kernel, width, "scalar"),
+                gflops_of(kernel, width, "unrolled"),
+                gflops_of(kernel, width, "simd"),
+                speedup,
+            );
+        }
+    }
+
+    // The PR's acceptance cell: rank-k at the widest measured shape must
+    // beat the scalar tier by ≥1.3×.
+    let accept_width = *widths.last().expect("sweep has at least one width");
+    if let Some((scalar, best, ratio)) =
+        madlib_bench::kernel_speedup_cell(&measurements, "rank_k_update_lower", accept_width)
+    {
+        println!(
+            "\nrank_k_update_lower @ width {accept_width}: scalar {scalar:.2} GFLOP/s -> best {best:.2} GFLOP/s = {ratio:.2}x (acceptance floor 1.3x)",
+        );
+    }
+
+    if smoke {
+        println!("\nsmoke run: baseline JSON left untouched\n");
+        return;
+    }
+    let mut json = String::from("{\n  \"experiment\": \"kernel_dispatch_tiers\",\n");
+    json.push_str(&host_metadata_json());
+    json.push_str("  \"cells\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"tier\": \"{}\", \"width\": {}, \"rows\": {}, \"seconds\": {:.6}, \"gflops\": {:.4}}}{}\n",
+            m.kernel,
+            m.tier,
+            m.width,
+            m.rows,
+            m.elapsed.as_secs_f64(),
+            m.gflops,
+            if i + 1 < measurements.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]");
+    if let Some((scalar, best, ratio)) =
+        madlib_bench::kernel_speedup_cell(&measurements, "rank_k_update_lower", accept_width)
+    {
+        json.push_str(&format!(
+            ",\n  \"acceptance\": {{\"kernel\": \"rank_k_update_lower\", \"width\": {accept_width}, \"scalar_gflops\": {scalar:.4}, \"best_gflops\": {best:.4}, \"speedup\": {ratio:.4}}}"
+        ));
+    }
+    json.push_str("\n}\n");
+    match std::fs::write("BENCH_kernels.json", &json) {
+        Ok(()) => println!("\nbaseline recorded to BENCH_kernels.json\n"),
+        Err(err) => println!("\ncould not write BENCH_kernels.json: {err}\n"),
     }
 }
 
@@ -226,6 +353,48 @@ fn grouped(full: bool, smoke: bool) {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
     );
 
+    println!(
+        "\n== Stealing granularity on the hot segment: whole-segment vs chunk-range units ==\n"
+    );
+    // Few Zipf tenants, so the top group alone (~37% of the rows under
+    // Zipf(1) with 8 ranks) outweighs a worker's ideal 1/4 share: whole-
+    // segment stealing is then bounded by the hot segment no matter how the
+    // other segments are packed, while chunk-range units split it.
+    let (cr_groups, cr_segments, cr_workers) = if smoke { (8, 4, 2) } else { (8, 8, 4) };
+    let chunk_range = madlib_bench::measure_zipf_chunk_range(
+        rows,
+        variables,
+        cr_groups,
+        cr_segments,
+        samples,
+        cr_workers,
+    );
+    println!(
+        "{:>8}  {:>8}  {:>10}  {:>10}  {:>14}  {:>14}  {:>13}",
+        "# segs",
+        "workers",
+        "seg units",
+        "cr units",
+        "seg makespan",
+        "cr makespan",
+        "makespan gain"
+    );
+    println!(
+        "{:>8}  {:>8}  {:>10}  {:>10}  {:>14}  {:>14}  {:>12.2}x",
+        chunk_range.segments,
+        chunk_range.workers,
+        chunk_range.segment_units,
+        chunk_range.chunk_range_units,
+        chunk_range.segment_makespan_rows,
+        chunk_range.chunk_range_makespan_rows,
+        chunk_range.makespan_ratio(),
+    );
+    println!(
+        "(grouped linregr scan wall clock: segment-granular {:.4}s, chunk-range {:.4}s;\n parallel chunk-range output verified bit-identical to the serial run)",
+        chunk_range.segment_granular.as_secs_f64(),
+        chunk_range.chunk_range.as_secs_f64(),
+    );
+
     if smoke {
         let zt = madlib_bench::measure_grouped_training_zipf(
             rows,
@@ -257,8 +426,9 @@ fn grouped(full: bool, smoke: bool) {
             if last { "" } else { "," },
         )
     };
-    let mut json =
-        String::from("{\n  \"experiment\": \"grouped_linregr_row_vs_chunk\",\n  \"cells\": [\n");
+    let mut json = String::from("{\n  \"experiment\": \"grouped_linregr_row_vs_chunk\",\n");
+    json.push_str(&host_metadata_json());
+    json.push_str("  \"cells\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         json.push_str(&cell_json(m, i + 1 == measurements.len()));
     }
@@ -281,6 +451,22 @@ fn grouped(full: bool, smoke: bool) {
         zipf.striped_makespan_rows,
         zipf.stealing_makespan_rows,
         zipf.makespan_ratio(),
+    ));
+    json.push_str("  ],\n  \"steal_granularity_cells\": [\n");
+    json.push_str(&format!(
+        "    {{\"rows\": {}, \"variables\": {}, \"groups\": {}, \"segments\": {}, \"workers\": {}, \"segment_units\": {}, \"chunk_range_units\": {}, \"segment_makespan_rows\": {}, \"chunk_range_makespan_rows\": {}, \"makespan_ratio\": {:.4}, \"segment_granular_s\": {:.6}, \"chunk_range_s\": {:.6}, \"parallel_matches_serial\": true}}\n",
+        chunk_range.rows,
+        chunk_range.variables,
+        chunk_range.groups,
+        chunk_range.segments,
+        chunk_range.workers,
+        chunk_range.segment_units,
+        chunk_range.chunk_range_units,
+        chunk_range.segment_makespan_rows,
+        chunk_range.chunk_range_makespan_rows,
+        chunk_range.makespan_ratio(),
+        chunk_range.segment_granular.as_secs_f64(),
+        chunk_range.chunk_range.as_secs_f64(),
     ));
     json.push_str("  ]\n}\n");
     match std::fs::write("BENCH_grouped.json", &json) {

@@ -25,6 +25,7 @@ use madlib_core::regress::LinearRegression;
 use madlib_core::train::{Estimator, Session};
 use madlib_engine::{Aggregate, Dataset, ExecutionMode, Executor, Row, RowChunk, Schema, Table};
 use madlib_linalg::kernels::KernelGeneration;
+use std::hint::black_box;
 use std::time::{Duration, Instant};
 
 /// One measured cell of the Figure 4 table.
@@ -621,8 +622,8 @@ fn zipf_group_sizes(rows: usize, groups: usize) -> Vec<usize> {
 }
 
 /// One measured cell of the scheduler comparison on the Zipf-skewed
-/// multi-tenant shape: the engine's work-stealing [`run_per_segment`]
-/// (`madlib_engine::scan`) against the pre-stealing static striping policy,
+/// multi-tenant shape: the engine's work-stealing
+/// [`run_per_segment`](madlib_engine::scan::run_per_segment) against the pre-stealing static striping policy,
 /// both running the same per-segment linregr accumulation with the same
 /// worker count.
 ///
@@ -841,6 +842,377 @@ pub fn measure_grouped_training_zipf(
         segments,
         row_path,
         chunk_path,
+    }
+}
+
+/// One measured cell of the kernel-tier sweep: a single batched linalg
+/// kernel at one width, timed per dispatch tier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelMeasurement {
+    /// Kernel under measurement (e.g. `"rank_k_update_lower"`).
+    pub kernel: &'static str,
+    /// Dispatch tier measured: `"scalar"`, `"unrolled"` or `"simd"`.
+    pub tier: &'static str,
+    /// Feature-vector width (matrix dimension for the rank-k/gemm shapes).
+    pub width: usize,
+    /// Rows per kernel call.
+    pub rows: usize,
+    /// Median wall-clock time of one timed region (`reps` kernel calls).
+    pub elapsed: Duration,
+    /// Throughput in GFLOP/s over the region.
+    pub gflops: f64,
+}
+
+/// Deterministic finite bench values in [-2, 2) (xorshift; no specials —
+/// NaN/∞ would poison throughput numbers via subnormal/NaN slow paths).
+fn kernel_bench_data(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.max(1);
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 250.0 - 2.0
+        })
+        .collect()
+}
+
+/// Sweeps every rewritten batched kernel across the dispatch tiers —
+/// `scalar` (reference), `unrolled` (portable 4-way) and `simd` (AVX2, when
+/// the host supports it) — addressing the tier modules directly so the
+/// `MADLIB_SIMD` dispatch cache cannot skew the comparison.  Each cell loops
+/// the kernel enough times to retire ~`target_flops` floating-point
+/// operations and reports the median-of-`samples` throughput.
+///
+/// # Panics
+/// Panics when `samples == 0` or an internal shape is invalid (it cannot be
+/// for the fixed sweep shapes).
+pub fn measure_kernel_tiers(
+    widths: &[usize],
+    target_flops: f64,
+    samples: usize,
+) -> Vec<KernelMeasurement> {
+    use madlib_linalg::kernels::{scalar, simd, unrolled};
+    assert!(samples > 0, "need at least one sample");
+    const TIERS: [&str; 3] = ["scalar", "unrolled", "simd"];
+    const CLOSEST_COLUMNS: usize = 8;
+    let mut measurements = Vec::new();
+    for &width in widths {
+        assert!(width > 0, "kernel sweep widths must be positive");
+        // Buffers stay bounded (~25 MB of rows at width 40); throughput
+        // comes from repeating calls, not from giant single calls.
+        let rows = (4_000_000 / width).clamp(64, 16_384);
+        let xs = kernel_bench_data(rows * width, 11 + width as u64);
+        let ys = kernel_bench_data(rows, 13);
+        let weights = kernel_bench_data(rows, 17);
+        let wvec = kernel_bench_data(width, 19);
+        let center = kernel_bench_data(width, 23);
+        let columns: Vec<Vec<f64>> = (0..CLOSEST_COLUMNS)
+            .map(|c| kernel_bench_data(width, 29 + c as u64))
+            .collect();
+        let dense = |r: usize, c: usize, seed: u64| {
+            madlib_linalg::DenseMatrix::from_row_major(r, c, kernel_bench_data(r * c, seed))
+                .expect("bench shapes are consistent")
+        };
+        let a_mat = madlib_linalg::DenseMatrix::from_row_major(rows, width, xs.clone())
+            .expect("bench shapes are consistent");
+        let gemm_m = 64usize;
+        let gemm_a = dense(gemm_m, width, 31);
+        let gemm_b = dense(width, width, 37);
+
+        let mut run = |kernel: &'static str, flops_per_call: f64, f: &mut dyn FnMut(usize)| {
+            let reps = ((target_flops / flops_per_call).ceil() as usize).clamp(1, 1_000_000);
+            for (tier_idx, &tier) in TIERS.iter().enumerate() {
+                if tier == "simd" && !simd::available() {
+                    continue;
+                }
+                f(tier_idx); // warm up (page in buffers, resolve branches)
+                let mut times: Vec<Duration> = (0..samples)
+                    .map(|_| {
+                        let start = Instant::now();
+                        for _ in 0..reps {
+                            f(tier_idx);
+                        }
+                        start.elapsed()
+                    })
+                    .collect();
+                times.sort_unstable();
+                let elapsed = times[times.len() / 2];
+                measurements.push(KernelMeasurement {
+                    kernel,
+                    tier,
+                    width,
+                    rows,
+                    elapsed,
+                    gflops: flops_per_call * reps as f64 / elapsed.as_secs_f64() / 1e9,
+                });
+            }
+        };
+
+        // Lower-triangle rank-k: one mul + one add per (i, j ≤ i) pair per row.
+        let tri_flops = (rows * width * (width + 1)) as f64;
+        let mut m = madlib_linalg::DenseMatrix::zeros(width, width);
+        run("rank_k_update_lower", tri_flops, &mut |tier| {
+            match tier {
+                0 => scalar::rank_k_update_lower(&mut m, &xs, width),
+                1 => unrolled::rank_k_update_lower(&mut m, &xs, width),
+                _ => simd::rank_k_update_lower(&mut m, &xs, width),
+            }
+            black_box(m.as_slice().first());
+        });
+        let mut m = madlib_linalg::DenseMatrix::zeros(width, width);
+        run(
+            "weighted_rank_k_update_lower",
+            tri_flops + (rows * width) as f64,
+            &mut |tier| {
+                match tier {
+                    0 => scalar::weighted_rank_k_update_lower(&mut m, &xs, &weights, width),
+                    1 => unrolled::weighted_rank_k_update_lower(&mut m, &xs, &weights, width),
+                    _ => simd::weighted_rank_k_update_lower(&mut m, &xs, &weights, width),
+                }
+                black_box(m.as_slice().first());
+            },
+        );
+        let mut acc = vec![0.0f64; width];
+        run("xty_update", (2 * rows * width) as f64, &mut |tier| {
+            match tier {
+                0 => scalar::xty_update(&mut acc, &xs, &ys, width),
+                1 => unrolled::xty_update(&mut acc, &xs, &ys, width),
+                _ => simd::xty_update(&mut acc, &xs, &ys, width),
+            }
+            black_box(acc.first());
+        });
+        let mut out = vec![0.0f64; rows];
+        run("batch_dot", (2 * rows * width) as f64, &mut |tier| {
+            match tier {
+                0 => scalar::batch_dot(&xs, &wvec, &mut out),
+                1 => unrolled::batch_dot(&xs, &wvec, &mut out),
+                _ => simd::batch_dot(&xs, &wvec, &mut out),
+            }
+            black_box(out.first());
+        });
+        let mut out = vec![0.0f64; rows];
+        run(
+            "batch_squared_distances",
+            (3 * rows * width) as f64,
+            &mut |tier| {
+                match tier {
+                    0 => scalar::batch_squared_distances(&xs, &center, &mut out),
+                    1 => unrolled::batch_squared_distances(&xs, &center, &mut out),
+                    _ => simd::batch_squared_distances(&xs, &center, &mut out),
+                }
+                black_box(out.first());
+            },
+        );
+        let mut best = vec![0usize; rows];
+        run(
+            "batch_closest_column",
+            (3 * rows * width * CLOSEST_COLUMNS) as f64,
+            &mut |tier| {
+                match tier {
+                    0 => scalar::batch_closest_column(&columns, &xs, width, &mut best),
+                    1 => unrolled::batch_closest_column(&columns, &xs, width, &mut best),
+                    _ => simd::batch_closest_column(&columns, &xs, width, &mut best),
+                }
+                black_box(best.first());
+            },
+        );
+        let mut y = vec![0.0f64; rows];
+        run("gemv_acc", (2 * rows * width) as f64, &mut |tier| {
+            match tier {
+                0 => scalar::gemv_acc(1.0, &a_mat, &wvec, &mut y),
+                1 => unrolled::gemv_acc(1.0, &a_mat, &wvec, &mut y),
+                _ => simd::gemv_acc(1.0, &a_mat, &wvec, &mut y),
+            }
+            black_box(y.first());
+        });
+        let mut out = madlib_linalg::DenseMatrix::zeros(gemm_m, width);
+        run(
+            "gemm_acc",
+            (2 * gemm_m * width * width) as f64,
+            &mut |tier| {
+                match tier {
+                    0 => scalar::gemm_acc(&mut out, &gemm_a, &gemm_b),
+                    1 => unrolled::gemm_acc(&mut out, &gemm_a, &gemm_b),
+                    _ => simd::gemm_acc(&mut out, &gemm_a, &gemm_b),
+                }
+                black_box(out.as_slice().first());
+            },
+        );
+    }
+    measurements
+}
+
+/// The sweep's acceptance cell: scalar vs best-available throughput for one
+/// kernel at one width.  Returns `(scalar_gflops, best_gflops, ratio)`; the
+/// "best" tier is `simd` when measured, otherwise `unrolled`.
+pub fn kernel_speedup_cell(
+    measurements: &[KernelMeasurement],
+    kernel: &str,
+    width: usize,
+) -> Option<(f64, f64, f64)> {
+    let of = |tier: &str| {
+        measurements
+            .iter()
+            .find(|m| m.kernel == kernel && m.width == width && m.tier == tier)
+            .map(|m| m.gflops)
+    };
+    let scalar = of("scalar")?;
+    let best = of("simd").or_else(|| of("unrolled"))?;
+    Some((scalar, best, best / scalar))
+}
+
+/// One measured cell of the stealing-granularity comparison on the
+/// Zipf-skewed multi-tenant shape: segment-granular stealing (a whole
+/// segment per work unit) against chunk-range stealing
+/// ([`madlib_engine::StealGranularity::ChunkRange`]), both running the
+/// grouped linregr scan.
+///
+/// As with [`ZipfScheduleMeasurement`], wall clock only tells the story on a
+/// host with at least `workers` cores; the simulated makespans — greedy list
+/// scheduling of the *actual* work-unit row counts each granularity
+/// produces — capture the scheduling difference deterministically anywhere.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkRangeScheduleMeasurement {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of independent variables.
+    pub variables: usize,
+    /// Number of Zipf-ranked groups.
+    pub groups: usize,
+    /// Number of segments.
+    pub segments: usize,
+    /// Worker count both granularities ran (and were simulated) with.
+    pub workers: usize,
+    /// Work units at segment granularity (= number of segments).
+    pub segment_units: usize,
+    /// Work units at chunk-range granularity.
+    pub chunk_range_units: usize,
+    /// Simulated makespan (busiest worker's rows), segment granularity.
+    pub segment_makespan_rows: usize,
+    /// Simulated makespan (busiest worker's rows), chunk-range granularity.
+    pub chunk_range_makespan_rows: usize,
+    /// Median wall-clock time of the grouped scan, segment granularity.
+    pub segment_granular: Duration,
+    /// Median wall-clock time of the grouped scan, chunk-range granularity.
+    pub chunk_range: Duration,
+}
+
+impl ChunkRangeScheduleMeasurement {
+    /// Makespan advantage of chunk-range over segment granularity (>1 =
+    /// chunk-range better balanced; the wall-clock ratio a `workers`-core
+    /// host would approach).
+    pub fn makespan_ratio(&self) -> f64 {
+        self.segment_makespan_rows as f64 / self.chunk_range_makespan_rows.max(1) as f64
+    }
+
+    /// Wall-clock advantage of chunk-range over segment granularity.
+    pub fn wall_clock_ratio(&self) -> f64 {
+        self.segment_granular.as_secs_f64() / self.chunk_range.as_secs_f64()
+    }
+}
+
+/// Rows in each work unit the scan would schedule at `granularity`.
+fn granularity_unit_rows(
+    table: &Table,
+    granularity: madlib_engine::StealGranularity,
+) -> Vec<usize> {
+    madlib_engine::scan::chunk_range_units(table, granularity)
+        .iter()
+        .map(|unit| {
+            unit.chunks(table.segment(unit.segment))
+                .iter()
+                .map(madlib_engine::RowChunk::len)
+                .sum()
+        })
+        .collect()
+}
+
+/// Measures segment-granular vs chunk-range stealing on the Zipf-skewed
+/// grouped table: simulated `workers`-way makespans from each granularity's
+/// actual unit decomposition, wall-clock medians for the grouped linregr
+/// scan under each granularity, and a bit-identity check of the parallel
+/// chunk-range output against a serial run at the same granularity (per-group
+/// row counts and per-group `sum(y)` bits).
+///
+/// # Panics
+/// Panics when `samples == 0`, generation fails, or the parallel chunk-range
+/// scan diverges from the serial one.
+pub fn measure_zipf_chunk_range(
+    rows: usize,
+    variables: usize,
+    groups: usize,
+    segments: usize,
+    samples: usize,
+    workers: usize,
+) -> ChunkRangeScheduleMeasurement {
+    use madlib_engine::aggregate::SumAggregate;
+    use madlib_engine::StealGranularity;
+    assert!(samples > 0, "need at least one sample");
+    let table =
+        zipf_grouped_regression_table(rows, variables, groups, segments, 99 + groups as u64);
+
+    let segment_unit_rows = granularity_unit_rows(&table, StealGranularity::Segment);
+    let chunk_range_unit_rows = granularity_unit_rows(&table, StealGranularity::ChunkRange);
+
+    let median = |mut times: Vec<Duration>| -> Duration {
+        times.sort_unstable();
+        times[times.len() / 2]
+    };
+    // Pin the worker count so wall clock compares like with like.
+    let saved = std::env::var("MADLIB_THREADS").ok();
+    std::env::set_var("MADLIB_THREADS", workers.to_string());
+    let timed = |granularity: StealGranularity| -> Vec<Duration> {
+        let executor = Executor::new().with_steal_granularity(granularity);
+        (0..samples)
+            .map(|_| measure_grouped_linregr_scan(&table, &executor, groups))
+            .collect()
+    };
+    let segment_times = timed(StealGranularity::Segment);
+    let chunk_range_times = timed(StealGranularity::ChunkRange);
+
+    // Output fidelity: the parallel chunk-range scan must match a serial run
+    // at the same granularity bit for bit (per-group counts and sum bits).
+    let grouped = |executor: Executor| {
+        let counts = Dataset::from_table(&table)
+            .with_executor(executor)
+            .group_by(["grp"])
+            .aggregate_per_group(&madlib_engine::aggregate::CountAggregate)
+            .expect("grouped count over generated data cannot fail");
+        let sums = Dataset::from_table(&table)
+            .with_executor(executor)
+            .group_by(["grp"])
+            .aggregate_per_group(&SumAggregate::new("y"))
+            .expect("grouped sum over generated data cannot fail");
+        let sum_bits: Vec<(madlib_engine::GroupKey, u64)> = sums
+            .into_iter()
+            .map(|(key, sum)| (key, sum.to_bits()))
+            .collect();
+        (counts, sum_bits)
+    };
+    let parallel = grouped(Executor::new().with_steal_granularity(StealGranularity::ChunkRange));
+    let serial = grouped(Executor::serial().with_steal_granularity(StealGranularity::ChunkRange));
+    assert_eq!(
+        parallel, serial,
+        "parallel chunk-range scan diverged from the serial run"
+    );
+    match saved {
+        Some(value) => std::env::set_var("MADLIB_THREADS", value),
+        None => std::env::remove_var("MADLIB_THREADS"),
+    }
+
+    ChunkRangeScheduleMeasurement {
+        rows,
+        variables,
+        groups,
+        segments,
+        workers,
+        segment_units: segment_unit_rows.len(),
+        chunk_range_units: chunk_range_unit_rows.len(),
+        segment_makespan_rows: stealing_makespan(&segment_unit_rows, workers),
+        chunk_range_makespan_rows: stealing_makespan(&chunk_range_unit_rows, workers),
+        segment_granular: median(segment_times),
+        chunk_range: median(chunk_range_times),
     }
 }
 
@@ -1106,6 +1478,37 @@ mod tests {
         assert!(m.chunk_path.as_nanos() > 0);
         assert!(m.speedup() > 0.0);
         assert_eq!((m.rows, m.variables, m.groups, m.segments), (400, 5, 8, 2));
+    }
+
+    #[test]
+    fn kernel_sweep_measures_every_tier() {
+        let measurements = measure_kernel_tiers(&[8], 1e6, 1);
+        let tiers = if madlib_linalg::kernels::simd::available() {
+            3
+        } else {
+            2
+        };
+        assert_eq!(measurements.len(), 8 * tiers);
+        assert!(measurements.iter().all(|m| m.gflops > 0.0));
+        assert!(measurements.iter().all(|m| m.elapsed.as_nanos() > 0));
+        let (scalar, best, ratio) =
+            kernel_speedup_cell(&measurements, "rank_k_update_lower", 8).unwrap();
+        assert!(scalar > 0.0 && best > 0.0 && ratio > 0.0);
+        assert!(kernel_speedup_cell(&measurements, "no_such_kernel", 8).is_none());
+    }
+
+    #[test]
+    fn zipf_chunk_range_measurement_is_consistent() {
+        let m = measure_zipf_chunk_range(4_000, 8, 32, 4, 1, 4);
+        // Chunk ranges can only refine the segment decomposition, and the
+        // greedy simulation can only improve (or tie) with finer units on
+        // this skewed shape.
+        assert!(m.chunk_range_units >= m.segment_units);
+        assert_eq!(m.segment_units, 4);
+        assert!(m.chunk_range_makespan_rows <= m.segment_makespan_rows);
+        assert!(m.makespan_ratio() >= 1.0);
+        assert!(m.segment_granular.as_nanos() > 0);
+        assert!(m.chunk_range.as_nanos() > 0);
     }
 
     #[test]

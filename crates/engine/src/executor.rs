@@ -69,6 +69,7 @@ pub struct Executor {
     /// occasionally useful for debugging and for measuring parallel speedup.
     parallel: bool,
     mode: ExecutionMode,
+    steal: scan::StealGranularity,
 }
 
 impl Executor {
@@ -77,6 +78,7 @@ impl Executor {
         Self {
             parallel: true,
             mode: ExecutionMode::Chunked,
+            steal: scan::StealGranularity::Segment,
         }
     }
 
@@ -86,13 +88,32 @@ impl Executor {
     pub fn serial() -> Self {
         Self {
             parallel: false,
-            mode: ExecutionMode::Chunked,
+            ..Self::new()
         }
     }
 
     /// Selects the scan mode (chunked by default).
     pub fn with_mode(mut self, mode: ExecutionMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Selects the work-stealing granularity for aggregate scans
+    /// ([`scan::StealGranularity::Segment`] by default).
+    ///
+    /// [`scan::StealGranularity::ChunkRange`] spreads one hot segment's
+    /// chunks across every worker, curing intra-segment skew, at the price
+    /// of a different (but still deterministic, worker-count-independent)
+    /// floating-point merge structure: per segment, the partial transition
+    /// states of each chunk range merge in range order via
+    /// [`Aggregate::merge`], which reassociates additions relative to the
+    /// whole-segment sequential fold.  Exact-arithmetic aggregates (counts,
+    /// integer-valued sums) are bit-identical either way; inexact ones agree
+    /// to merge-level rounding.  The granularity only affects the chunked
+    /// scan mode — [`ExecutionMode::RowAtATime`] always scans whole
+    /// segments.
+    pub fn with_steal_granularity(mut self, steal: scan::StealGranularity) -> Self {
+        self.steal = steal;
         self
     }
 
@@ -109,6 +130,21 @@ impl Executor {
     /// The scan mode in use.
     pub fn mode(&self) -> ExecutionMode {
         self.mode
+    }
+
+    /// The work-stealing granularity for aggregate scans.
+    pub fn steal_granularity(&self) -> scan::StealGranularity {
+        self.steal
+    }
+
+    /// The granularity actually used for a scan in `mode`: chunk-range
+    /// stealing only exists on the chunked path, so [`ExecutionMode::RowAtATime`]
+    /// always degrades to whole-segment units.
+    fn effective_granularity(&self, mode: ExecutionMode) -> scan::StealGranularity {
+        match mode {
+            ExecutionMode::Chunked => self.steal,
+            ExecutionMode::RowAtATime => scan::StealGranularity::Segment,
+        }
     }
 
     /// Runs `aggregate` over every row of `table`, returning the finalized
@@ -134,9 +170,23 @@ impl Executor {
     ) -> Result<(A::Output, ExecutionStats)> {
         let schema = table.schema();
         let mode = self.mode;
-        let segment_results = scan::run_per_segment(table, self.parallel, |_, segment| {
-            Self::run_segment(aggregate, segment, schema, filter, mode)
-        });
+        let segment_results = scan::run_per_segment_ranged(
+            table,
+            self.parallel,
+            self.effective_granularity(mode),
+            |range, segment| {
+                Self::run_segment_range(aggregate, segment, range, schema, filter, mode)
+            },
+            |(left, left_stats), (right, right_stats)| {
+                (
+                    aggregate.merge(left, right),
+                    scan::SegmentScanStats {
+                        rows_scanned: left_stats.rows_scanned + right_stats.rows_scanned,
+                        rows_passed: left_stats.rows_passed + right_stats.rows_passed,
+                    },
+                )
+            },
+        );
 
         let mut merged: Option<A::State> = None;
         let mut stats = ExecutionStats {
@@ -157,9 +207,10 @@ impl Executor {
         Ok((aggregate.finalize(state)?, stats))
     }
 
-    fn run_segment<A: Aggregate>(
+    fn run_segment_range<A: Aggregate>(
         aggregate: &A,
         segment: &Segment,
+        range: scan::ChunkRange,
         schema: &Schema,
         filter: Option<&Predicate>,
         mode: ExecutionMode,
@@ -167,10 +218,13 @@ impl Executor {
         let mut state = aggregate.initial_state();
         let stats = match mode {
             ExecutionMode::Chunked => {
-                scan::scan_segment_chunks(segment, schema, filter, |batch| {
+                scan::scan_chunks(range.chunks(segment), schema, filter, |batch| {
                     aggregate.transition_chunk(&mut state, batch.chunk(), schema)
                 })?
             }
+            // Row-at-a-time scans run at Segment granularity only (see
+            // `effective_granularity`), so the range always covers the
+            // whole segment here.
             ExecutionMode::RowAtATime => scan::scan_segment_rows(segment, schema, filter, |row| {
                 aggregate.transition(&mut state, row, schema)
             })?,

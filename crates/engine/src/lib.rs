@@ -104,7 +104,7 @@ pub use error::{EngineError, Result};
 pub use executor::{ExecutionMode, Executor};
 pub use group::{GroupKey, KeyPart};
 pub use row::Row;
-pub use scan::ScanBatch;
+pub use scan::{ScanBatch, StealGranularity};
 pub use schema::{Column, ColumnType, Schema};
 pub use table::Table;
 pub use value::Value;

@@ -18,20 +18,39 @@
 //!
 //! # Scheduling
 //!
-//! Both fan-outs — [`run_per_segment`] over a table's segments and
-//! [`run_per_item`] over an owned work list (per-group finalize states,
-//! gathered per-group tables) — use the same **work-stealing** scheduler:
-//! workers claim the next unclaimed unit from a shared atomic cursor instead
-//! of being striped statically, so a skewed workload (one hot tenant, one
-//! giant group) no longer serializes the worker that happened to own it
-//! while its siblings sit idle.  Results land in per-unit slots and are
-//! reassembled in input order, so the output — including which unit an error
-//! or [`EngineError::WorkerPanicked`] belongs to — is bit-identical to the
-//! serial loop regardless of which worker ran which unit.
+//! Both fan-outs — [`run_per_segment`] / [`run_per_segment_ranged`] over a
+//! table's segments and [`run_per_item`] over an owned work list (per-group
+//! finalize states, gathered per-group tables) — use the same
+//! **work-stealing** scheduler: workers claim the next unclaimed unit from a
+//! shared atomic cursor instead of being striped statically, so a skewed
+//! workload (one hot tenant, one giant group) no longer serializes the
+//! worker that happened to own it while its siblings sit idle.  Results land
+//! in per-unit slots and are reassembled in input order, so the output —
+//! including which unit an error or [`EngineError::WorkerPanicked`] belongs
+//! to — is bit-identical to the serial loop regardless of which worker ran
+//! which unit.
+//!
+//! # Stealing granularity
+//!
+//! Segment-granular stealing still serializes a workload whose skew lives
+//! *inside* one segment: one hot segment is one unit, owned end-to-end by
+//! one worker.  [`run_per_segment_ranged`] therefore splits segments into
+//! [`ChunkRange`] units of at most [`CHUNKS_PER_UNIT`] chunks when asked for
+//! [`StealGranularity::ChunkRange`], merging each segment's per-unit results
+//! back together in range order with a caller-supplied `merge`.  The
+//! decomposition is a pure function of the table — never of the worker
+//! count — so a scan's result is independent of scheduling and thread count
+//! at *either* granularity.  The granularities themselves may differ
+//! bitwise for floating-point aggregate states (merging partial states
+//! reassociates additions), which is why chunk-range stealing is opt-in for
+//! aggregations ([`crate::Executor::with_steal_granularity`]) while
+//! order-preserving concatenation consumers (`map_chunks`) use it
+//! unconditionally.
 //!
 //! The worker count comes from [`worker_count`]: the `MADLIB_THREADS`
 //! environment variable when set to a positive integer, the machine's
-//! available parallelism otherwise.
+//! available parallelism otherwise (an invalid override logs a warning once
+//! rather than being silently ignored).
 
 use crate::chunk::{RowChunk, Segment};
 use crate::error::{EngineError, Result};
@@ -86,13 +105,32 @@ pub fn scan_segment_chunks<F>(
     segment: &Segment,
     schema: &Schema,
     filter: Option<&Predicate>,
+    sink: F,
+) -> Result<SegmentScanStats>
+where
+    F: FnMut(ScanBatch<'_>) -> Result<()>,
+{
+    scan_chunks(segment.chunks(), schema, filter, sink)
+}
+
+/// Streams a slice of chunks through `sink` — the ranged core of
+/// [`scan_segment_chunks`], also usable on a [`ChunkRange`]'s sub-slice of a
+/// segment's chunks.  Filtering and compaction behave exactly as in
+/// [`scan_segment_chunks`].
+///
+/// # Errors
+/// Propagates predicate-evaluation errors and errors returned by `sink`.
+pub fn scan_chunks<F>(
+    chunks: &[RowChunk],
+    schema: &Schema,
+    filter: Option<&Predicate>,
     mut sink: F,
 ) -> Result<SegmentScanStats>
 where
     F: FnMut(ScanBatch<'_>) -> Result<()>,
 {
     let mut stats = SegmentScanStats::default();
-    for chunk in segment.chunks() {
+    for chunk in chunks {
         if chunk.is_empty() {
             continue;
         }
@@ -158,26 +196,44 @@ where
 /// This is the single thread-count policy shared by [`run_per_segment`],
 /// [`run_per_item`] and the benchmark harness — the override exists so a
 /// shared benchmark host (or a test) can pin the pool size without touching
-/// cgroup limits.
+/// cgroup limits.  An override that does not parse as a positive integer
+/// (empty, `0`, `lots`) logs a warning to stderr — once per process — and
+/// falls back to the machine's parallelism: a typo'd pin on a benchmark host
+/// should be loud, not silently absorbed.  The environment is re-read on
+/// every call (benchmarks re-pin mid-process); only the warning is deduped.
 pub fn worker_count() -> usize {
-    worker_count_from(std::env::var("MADLIB_THREADS").ok().as_deref())
+    let (workers, warning) = worker_count_from(std::env::var("MADLIB_THREADS").ok().as_deref());
+    if let Some(warning) = warning {
+        static WARNED: std::sync::Once = std::sync::Once::new();
+        WARNED.call_once(|| eprintln!("madlib-engine: {warning}"));
+    }
+    workers
 }
 
 /// The pure policy behind [`worker_count`], split out so the parsing can be
 /// tested without racing on the process environment: a positive-integer
-/// override wins; anything else (unset, empty, `0`, garbage) falls back to
-/// the machine's available parallelism.
-pub fn worker_count_from(env_override: Option<&str>) -> usize {
-    if let Some(raw) = env_override {
-        if let Ok(n) = raw.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
+/// override wins; anything else (empty, `0`, garbage) falls back to the
+/// machine's available parallelism and returns the warning that should be
+/// logged.  An *unset* variable is not an error and never warns.
+pub fn worker_count_from(env_override: Option<&str>) -> (usize, Option<String>) {
+    let fallback = || {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    };
+    let Some(raw) = env_override else {
+        return (fallback(), None);
+    };
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => (n, None),
+        _ => (
+            fallback(),
+            Some(format!(
+                "invalid MADLIB_THREADS value {raw:?} (expected a positive integer); \
+                 falling back to available parallelism"
+            )),
+        ),
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
 }
 
 /// Runs `work` once per segment of `table` — on parallel worker threads when
@@ -218,47 +274,223 @@ where
     T: Send,
     F: Fn(usize, &Segment) -> Result<T> + Sync,
 {
-    let num_segments = table.num_segments();
-    let run_caught = |seg: usize| {
+    // At Segment granularity every segment is exactly one unit, so the merge
+    // closure is never invoked.
+    run_units_with_workers(
+        table,
+        chunk_range_units(table, StealGranularity::Segment),
+        workers,
+        |range, segment| work(range.segment, segment),
+        |left, _right| left,
+    )
+}
+
+/// How the parallel scan fan-out decomposes a table into steal-able units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum StealGranularity {
+    /// One work unit per segment (the default).  A segment's chunks stream
+    /// through one worker sequentially, so per-segment results are
+    /// bit-identical to the serial scan — but one hot segment serializes on
+    /// the worker that claimed it.
+    #[default]
+    Segment,
+    /// Segments split into [`ChunkRange`] units of at most
+    /// [`CHUNKS_PER_UNIT`] chunks, so one hot segment spreads across every
+    /// worker.  Per-unit results are merged back per segment in range order;
+    /// for floating-point aggregate states that merge *reassociates*
+    /// additions, so results can differ bitwise from [`Segment`] granularity
+    /// (while remaining independent of worker count and scheduling).
+    ChunkRange,
+}
+
+impl StealGranularity {
+    /// Stable lowercase label (used in bench metadata and logs).
+    pub fn label(self) -> &'static str {
+        match self {
+            StealGranularity::Segment => "segment",
+            StealGranularity::ChunkRange => "chunk-range",
+        }
+    }
+}
+
+/// One steal-able work unit: the chunks `chunk_lo..chunk_hi` of segment
+/// `segment`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkRange {
+    /// Index of the segment the range belongs to.
+    pub segment: usize,
+    /// First chunk of the range (inclusive).
+    pub chunk_lo: usize,
+    /// End of the range (exclusive).  `chunk_lo == chunk_hi` is an empty
+    /// range, emitted so even an empty segment yields one unit (and thus one
+    /// per-segment result).
+    pub chunk_hi: usize,
+}
+
+impl ChunkRange {
+    /// The range's chunks within `segment` (which must be the segment the
+    /// range was decomposed from).
+    pub fn chunks<'a>(&self, segment: &'a Segment) -> &'a [RowChunk] {
+        &segment.chunks()[self.chunk_lo..self.chunk_hi]
+    }
+}
+
+/// Chunks per [`ChunkRange`] unit under [`StealGranularity::ChunkRange`].
+///
+/// At the default chunk capacity (1024 rows) one unit is ≤ 4096 rows — fine
+/// enough that a single hot segment splits across every worker, coarse
+/// enough that the per-unit scheduling cost (one atomic claim, one state
+/// merge) stays negligible against scanning the rows.
+pub const CHUNKS_PER_UNIT: usize = 4;
+
+/// Decomposes `table` into the steal-able units [`run_per_segment_ranged`]
+/// schedules — a **pure function of the table and granularity**, never of
+/// the worker count, so results (and the merge structure behind them) do not
+/// depend on scheduling.  Every segment yields at least one unit, in
+/// `(segment, chunk_lo)` order.
+///
+/// Public so the benchmark harness can replay the exact production
+/// decomposition through its scheduling simulator.
+pub fn chunk_range_units(table: &Table, granularity: StealGranularity) -> Vec<ChunkRange> {
+    let mut units = Vec::with_capacity(table.num_segments());
+    for segment in 0..table.num_segments() {
+        let chunks = table.segment(segment).chunks().len();
+        let per_unit = match granularity {
+            StealGranularity::Segment => chunks.max(1),
+            StealGranularity::ChunkRange => CHUNKS_PER_UNIT,
+        };
+        let mut chunk_lo = 0;
+        loop {
+            let chunk_hi = (chunk_lo + per_unit).min(chunks);
+            units.push(ChunkRange {
+                segment,
+                chunk_lo,
+                chunk_hi,
+            });
+            chunk_lo = chunk_hi;
+            if chunk_lo >= chunks {
+                break;
+            }
+        }
+    }
+    units
+}
+
+/// Runs `work` once per [`ChunkRange`] unit of `table` — on work-stealing
+/// parallel workers when `parallel` is set — and folds each segment's
+/// per-unit results with `merge` **in range order**, returning one result
+/// per segment in segment order.
+///
+/// With [`StealGranularity::Segment`] every segment is a single unit, `merge`
+/// is never called, and this is exactly [`run_per_segment`].  With
+/// [`StealGranularity::ChunkRange`] a hot segment's chunks spread across all
+/// workers; `merge` must combine two adjacent ranges' results into the
+/// earlier range's (e.g. [`crate::aggregate::Aggregate::merge`], or
+/// concatenation for order-preserving collectors).  Because the unit
+/// decomposition ([`chunk_range_units`]) and the merge order are functions
+/// of the table alone, the per-segment results are identical no matter how
+/// many workers ran or which worker claimed which unit.
+///
+/// When several units of one segment fail, the earliest failing range's
+/// error (panics included, as [`EngineError::WorkerPanicked`]) is the
+/// segment's result — matching the error the serial whole-segment scan
+/// would have surfaced first.
+pub fn run_per_segment_ranged<T, F, M>(
+    table: &Table,
+    parallel: bool,
+    granularity: StealGranularity,
+    work: F,
+    merge: M,
+) -> Vec<Result<T>>
+where
+    T: Send,
+    F: Fn(ChunkRange, &Segment) -> Result<T> + Sync,
+    M: Fn(T, T) -> T,
+{
+    let units = chunk_range_units(table, granularity);
+    let workers = if parallel {
+        worker_count().min(units.len())
+    } else {
+        1
+    };
+    run_units_with_workers(table, units, workers, work, merge)
+}
+
+/// The shared core of [`run_per_segment`] and [`run_per_segment_ranged`]:
+/// schedules `units` over `workers` stealing workers (or the calling thread)
+/// and folds per-unit results into per-segment results in range order.
+fn run_units_with_workers<T, F, M>(
+    table: &Table,
+    units: Vec<ChunkRange>,
+    workers: usize,
+    work: F,
+    merge: M,
+) -> Vec<Result<T>>
+where
+    T: Send,
+    F: Fn(ChunkRange, &Segment) -> Result<T> + Sync,
+    M: Fn(T, T) -> T,
+{
+    let num_units = units.len();
+    let run_caught = |unit: ChunkRange| {
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            work(seg, table.segment(seg))
+            work(unit, table.segment(unit.segment))
         }))
         .unwrap_or_else(|payload| Err(worker_panic_error(payload.as_ref())))
     };
+    let mut unit_results: Vec<Option<Result<T>>> = (0..num_units).map(|_| None).collect();
     if workers <= 1 {
-        return (0..num_segments).map(run_caught).collect();
-    }
-    let mut results: Vec<Option<Result<T>>> = (0..num_segments).map(|_| None).collect();
-    let cursor = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        let run_caught = &run_caught;
-        let cursor = &cursor;
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(move || {
-                    let mut done = Vec::new();
-                    loop {
-                        // Work stealing: claim the next unclaimed segment.
-                        let seg = cursor.fetch_add(1, Ordering::Relaxed);
-                        if seg >= num_segments {
-                            break;
-                        }
-                        done.push((seg, run_caught(seg)));
-                    }
-                    done
-                })
-            })
-            .collect();
-        for handle in handles {
-            // Workers catch panics per segment, so joins cannot fail.
-            for (seg, result) in handle.join().expect("worker catches its panics") {
-                results[seg] = Some(result);
-            }
+        for (slot, &unit) in unit_results.iter_mut().zip(&units) {
+            *slot = Some(run_caught(unit));
         }
-    });
+    } else {
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let run_caught = &run_caught;
+            let cursor = &cursor;
+            let units = &units;
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut done = Vec::new();
+                        loop {
+                            // Work stealing: claim the next unclaimed unit.
+                            let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                            if idx >= num_units {
+                                break;
+                            }
+                            done.push((idx, run_caught(units[idx])));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            for handle in handles {
+                // Workers catch panics per unit, so joins cannot fail.
+                for (idx, result) in handle.join().expect("worker catches its panics") {
+                    unit_results[idx] = Some(result);
+                }
+            }
+        });
+    }
+    // Fold per-unit results into per-segment results.  Units are in
+    // (segment, chunk_lo) order, so iterating unit slots in order merges
+    // each segment's ranges left-to-right — the deterministic range-order
+    // merge the bit-identity guarantees rest on.
+    let mut results: Vec<Option<Result<T>>> = (0..table.num_segments()).map(|_| None).collect();
+    for (&unit, result) in units.iter().zip(unit_results) {
+        let result = result.expect("the cursor hands every unit to exactly one worker");
+        let slot = &mut results[unit.segment];
+        *slot = Some(match slot.take() {
+            None => result,
+            Some(Ok(prev)) => result.map(|next| merge(prev, next)),
+            // Keep the earliest range's error for the segment.
+            Some(err @ Err(_)) => err,
+        });
+    }
     results
         .into_iter()
-        .map(|slot| slot.expect("the cursor hands every segment to exactly one worker"))
+        .map(|slot| slot.expect("every segment decomposes into at least one unit"))
         .collect()
 }
 
@@ -601,15 +833,159 @@ mod tests {
 
     #[test]
     fn worker_count_respects_env_override() {
-        assert_eq!(worker_count_from(Some("6")), 6);
-        assert_eq!(worker_count_from(Some(" 3 ")), 3);
+        assert_eq!(worker_count_from(Some("6")), (6, None));
+        assert_eq!(worker_count_from(Some(" 3 ")), (3, None));
         let fallback = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        assert_eq!(worker_count_from(None), fallback);
-        assert_eq!(worker_count_from(Some("0")), fallback);
-        assert_eq!(worker_count_from(Some("")), fallback);
-        assert_eq!(worker_count_from(Some("lots")), fallback);
-        assert_eq!(worker_count_from(Some("-2")), fallback);
+        // Unset is the documented default, not an error: no warning.
+        assert_eq!(worker_count_from(None), (fallback, None));
+        // Invalid overrides fall back *and* warn — a typo'd pin on a
+        // benchmark host must be loud.
+        for raw in ["0", "", "lots", "-2", "1.5"] {
+            let (workers, warning) = worker_count_from(Some(raw));
+            assert_eq!(workers, fallback, "raw={raw:?}");
+            let warning = warning.unwrap_or_else(|| panic!("raw={raw:?} should warn"));
+            assert!(warning.contains("MADLIB_THREADS"), "warning: {warning}");
+        }
+    }
+
+    /// The unit decomposition is a pure function of the table: every segment
+    /// yields at least one unit, units are in (segment, chunk_lo) order,
+    /// cover each segment's chunks exactly, and never exceed
+    /// `CHUNKS_PER_UNIT` chunks at chunk-range granularity.
+    #[test]
+    fn chunk_range_units_cover_segments_deterministically() {
+        let t = make_skewed_table(&[100, 0, 1, 0, 3, 57, 0, 2]);
+        for granularity in [StealGranularity::Segment, StealGranularity::ChunkRange] {
+            let units = chunk_range_units(&t, granularity);
+            assert_eq!(units, chunk_range_units(&t, granularity));
+            let mut next_lo = vec![0usize; t.num_segments()];
+            let mut seen_segments = Vec::new();
+            for unit in &units {
+                assert_eq!(unit.chunk_lo, next_lo[unit.segment], "gap in {unit:?}");
+                assert!(unit.chunk_hi >= unit.chunk_lo);
+                if granularity == StealGranularity::ChunkRange {
+                    assert!(unit.chunk_hi - unit.chunk_lo <= CHUNKS_PER_UNIT);
+                }
+                next_lo[unit.segment] = unit.chunk_hi;
+                if seen_segments.last() != Some(&unit.segment) {
+                    seen_segments.push(unit.segment);
+                }
+            }
+            assert_eq!(seen_segments, (0..t.num_segments()).collect::<Vec<_>>());
+            for (seg, &lo) in next_lo.iter().enumerate() {
+                assert_eq!(lo, t.segment(seg).chunks().len());
+            }
+        }
+        // The hot segment (100 rows, chunk capacity 8 → 13 chunks) splits
+        // into multiple steal-able units.
+        let ranged = chunk_range_units(&t, StealGranularity::ChunkRange);
+        assert!(
+            ranged.iter().filter(|u| u.segment == 0).count() > 1,
+            "hot segment should decompose into several units: {ranged:?}"
+        );
+    }
+
+    /// Property: chunk-range stealing produces the same per-segment results
+    /// as the whole-segment serial scan for exact (integer-valued) sums, on
+    /// skewed and empty-segment tables, for every worker count.  Row counts
+    /// are integers, so every partial sum is exact and the range-order merge
+    /// is bit-identical to the sequential fold.
+    #[test]
+    fn chunk_range_stealing_matches_whole_segment_scan() {
+        let shapes: [&[usize]; 4] = [
+            &[100, 0, 1, 0, 3, 57, 0, 2],
+            &[0, 0, 0, 0],
+            &[200],
+            &[0, 97, 0, 0, 0, 0, 0, 5],
+        ];
+        for shape in shapes {
+            let t = make_skewed_table(shape);
+            let whole: Vec<(u64, u64, u64)> = run_per_segment(&t, false, |_, segment| {
+                let mut rows = 0u64;
+                let mut sum = 0.0f64;
+                scan_segment_chunks(segment, t.schema(), None, |batch| {
+                    rows += batch.chunk().len() as u64;
+                    for v in batch.chunk().doubles(0)?.values {
+                        sum += v;
+                    }
+                    Ok(())
+                })?;
+                Ok((rows, sum.to_bits(), 1))
+            })
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+            let work = |range: ChunkRange, segment: &Segment| {
+                let mut rows = 0u64;
+                let mut sum = 0.0f64;
+                scan_chunks(range.chunks(segment), t.schema(), None, |batch| {
+                    rows += batch.chunk().len() as u64;
+                    for v in batch.chunk().doubles(0)?.values {
+                        sum += v;
+                    }
+                    Ok(())
+                })?;
+                Ok((rows, sum.to_bits(), 1))
+            };
+            let merge = |a: (u64, u64, u64), b: (u64, u64, u64)| {
+                let merged = f64::from_bits(a.1) + f64::from_bits(b.1);
+                (a.0 + b.0, merged.to_bits(), a.2 + b.2)
+            };
+            let units = chunk_range_units(&t, StealGranularity::ChunkRange);
+            for workers in 1..=units.len() + 2 {
+                let ranged: Vec<(u64, u64, u64)> =
+                    run_units_with_workers(&t, units.clone(), workers, work, merge)
+                        .into_iter()
+                        .map(|r| r.unwrap())
+                        .collect();
+                assert_eq!(ranged.len(), whole.len(), "shape={shape:?}");
+                for (seg, (r, w)) in ranged.iter().zip(&whole).enumerate() {
+                    assert_eq!(r.0, w.0, "rows differ: seg={seg} workers={workers}");
+                    assert_eq!(
+                        r.1, w.1,
+                        "sum bits differ: seg={seg} workers={workers} shape={shape:?}"
+                    );
+                    // The merge count tells us how many units actually ran.
+                    assert!(r.2 >= w.2);
+                }
+            }
+        }
+    }
+
+    /// A panic in one chunk-range unit surfaces as that *segment's*
+    /// `WorkerPanicked` error while other segments complete, and the
+    /// earliest failing range wins when several fail.
+    #[test]
+    fn chunk_range_panics_surface_per_segment() {
+        let t = make_skewed_table(&[60, 5, 40]);
+        let units = chunk_range_units(&t, StealGranularity::ChunkRange);
+        for workers in [1, 2, 4] {
+            let results: Vec<Result<usize>> = run_units_with_workers(
+                &t,
+                units.clone(),
+                workers,
+                |range, _| {
+                    if range.segment == 2 && range.chunk_lo > 0 {
+                        panic!("range boom at chunk {}", range.chunk_lo);
+                    }
+                    Ok(1)
+                },
+                |a, b| a + b,
+            );
+            assert!(results[0].is_ok());
+            assert!(results[1].is_ok());
+            match &results[2] {
+                Err(EngineError::WorkerPanicked { message }) => {
+                    // Earliest failing range (first unit past chunk 0).
+                    assert!(
+                        message.contains(&format!("range boom at chunk {CHUNKS_PER_UNIT}")),
+                        "unexpected message: {message}"
+                    );
+                }
+                other => panic!("expected WorkerPanicked, got {other:?}"),
+            }
+        }
     }
 }

@@ -184,26 +184,7 @@ pub fn batch_closest_column(
             });
         }
     }
-    if width == 0 {
-        // Zero-dimensional points: every distance is 0, the first candidate
-        // wins (strict-< keeps the first minimum, as in `closest_column`).
-        out.fill(0);
-        return Ok(());
-    }
-    for (point, slot) in xs.chunks_exact(width).zip(out.iter_mut()) {
-        let mut best = (0usize, f64::INFINITY);
-        for (idx, col) in columns.iter().enumerate() {
-            let mut d = 0.0;
-            for (x, c) in point.iter().zip(col) {
-                let diff = x - c;
-                d += diff * diff;
-            }
-            if d < best.1 {
-                best = (idx, d);
-            }
-        }
-        *slot = best.0;
-    }
+    crate::kernels::batch_closest_column(columns, xs, width, out);
     Ok(())
 }
 

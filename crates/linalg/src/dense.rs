@@ -423,19 +423,7 @@ impl DenseMatrix {
             });
         }
         let mut out = DenseMatrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let aik = self.get(i, k);
-                if aik == 0.0 {
-                    continue;
-                }
-                let other_row = other.row_slice(k);
-                let out_row = out.row_slice_mut(i);
-                for (o, b) in out_row.iter_mut().zip(other_row) {
-                    *o += aik * b;
-                }
-            }
-        }
+        crate::kernels::gemm_acc(&mut out, self, other);
         Ok(out)
     }
 

@@ -1,4 +1,6 @@
-//! Inner-loop kernels in three "generations".
+//! Inner-loop kernels: paper "generations" plus tiered batched kernels.
+//!
+//! # Paper generations
 //!
 //! Section 4.4 of the paper compares three generations of the MADlib linear
 //! regression inner loop:
@@ -18,8 +20,71 @@
 //! performance profile: a plain full-matrix update, a deliberately
 //! cache-unfriendly column-striding update with emulated per-call overhead,
 //! and a triangular (symmetric) update that does roughly half the flops.
+//!
+//! # Batched kernels and dispatch tiers
+//!
+//! The engine's vectorized execution path hands transition functions a whole
+//! chunk of rows as one contiguous row-major block (`rows × width` values);
+//! the batched kernels here are the chunk-granularity counterparts of the
+//! per-row updates.  Each batched kernel exists in three implementations:
+//!
+//! * [`scalar`] — the reference: sequential loops, autovectorizer only.
+//! * [`unrolled`] — portable, manually 4-way-unrolled lane arrays.
+//! * [`simd`] — explicit AVX2 intrinsics (x86-64, runtime-detected).
+//!
+//! The public functions dispatch through [`dispatch::active_path`], which
+//! resolves once per process from runtime CPU detection and the
+//! `MADLIB_SIMD` escape hatch (`off` forces the portable tier, `scalar` the
+//! reference tier — see [`dispatch`]).
+//!
+//! # The accumulation-order contract
+//!
+//! All three tiers are **bit-identical**, to each other and to folding rows
+//! one at a time through the per-row kernels.  That is a hard engine-wide
+//! contract: the row/chunk-equivalence property tests require
+//! `transition_chunk` ≡ per-row `transition` to the bit, and the scheduler
+//! relies on results being independent of which path ran.  Two consequences
+//! shape every kernel in this module:
+//!
+//! * **Vectorization runs across independent outputs, never inside a
+//!   reduction.**  A dot product's additions form one rounding chain whose
+//!   order is observable; splitting it across SIMD lanes would reassociate
+//!   it.  So the rank-k update vectorizes across contiguous `j` elements of
+//!   `m[i][j]` (each element keeps its own in-order chain), and `batch_dot`
+//!   / `batch_squared_distances` / `gemv_acc` / `batch_closest_column` put
+//!   one *row* in each SIMD lane, stepping through elements sequentially —
+//!   this also sidesteps the serial chain's latency bound, which is why the
+//!   reduction kernels gain the most: the autovectorizer was never allowed
+//!   to touch them in the first place.
+//! * **`mul` + `add`, never `fmadd`.**  FMA skips the intermediate rounding
+//!   of `a * b`; using it would diverge from the scalar formulation even
+//!   though the hardware supports it (the bench metadata records `fma` as
+//!   detected, not as used).
+//!
+//! Accumulator register tiles are seeded from the output matrix and stored
+//! back when the tile retires; an `f64` store/load round-trip is exact, so
+//! re-batching the additions this way never changes any element's chain.
+//!
+//! One carve-out: **NaN payload and sign are outside the contract** (where
+//! NaNs appear is still exact).  When an addition has two *distinct* NaN
+//! operands — a propagated input NaN (`0x7FF8…`) meeting the indefinite NaN
+//! x86 generates for invalid operations (`0xFFF8…`, e.g. from `0 * ∞`) —
+//! the hardware returns whichever NaN sits in the first source operand, and
+//! LLVM commutes `fadd`/`fmul` operands freely during instruction
+//! selection.  The same scalar source loop can yield either payload
+//! depending on surrounding codegen, so no tier (including the scalar
+//! reference compared against itself across compilations) can promise more.
+//! The tier property tests salt with the hardware-generated NaN so every
+//! NaN is bit-identical and the remaining guarantee stays exact.
 
 use crate::dense::DenseMatrix;
+
+pub mod dispatch;
+pub mod scalar;
+pub mod simd;
+pub mod unrolled;
+
+pub use dispatch::{active_path, cpu_features, KernelPath};
 
 /// Which generation of the inner-loop kernel to use.
 ///
@@ -123,75 +188,29 @@ fn rank1_lower_triangular(m: &mut DenseMatrix, x: &[f64]) {
     }
 }
 
-// ---------------------------------------------------------------------------
-// Batched (chunk-at-a-time) kernels
-//
-// The engine's vectorized execution path hands transition functions a whole
-// chunk of rows as one contiguous row-major block (`rows × width` values).
-// These kernels are the chunk-granularity counterparts of the rank-1 updates
-// above.  They are written to be *bit-identical* to folding the rows through
-// the per-row kernels one at a time: for every accumulator element the
-// per-row contributions are added in row order, so only the memory access
-// pattern changes, never the floating-point result.  The engine's
-// row/chunk-equivalence property tests rely on this.
-// ---------------------------------------------------------------------------
-
-/// Row-block size for [`rank_k_update_lower`]: 64 rows of a ~1 000-wide chunk
-/// stay L2-resident while the accumulator tile streams through L1.
-const ROW_BLOCK: usize = 64;
-
-/// Accumulator tile edge for [`rank_k_update_lower`]: a 64×64 `f64` tile is
-/// 32 KiB, half a typical L1d cache.
-const TILE: usize = 64;
-
 /// Accumulates `m += Σ_r x_r x_rᵀ` (lower triangle only) over a chunk of rows
 /// stored contiguously row-major in `xs` — the chunk-granularity version of
-/// the v0.3 rank-1 kernel.
-///
-/// Per-row rank-1 updates walk the entire `width²/2` accumulator once per
-/// row; once the matrix outgrows cache that traffic dominates.  This kernel
-/// tiles the accumulator and blocks the rows so each tile is touched once per
-/// row-block instead of once per row, cutting accumulator memory traffic by
-/// ~`ROW_BLOCK`× while keeping per-element additions in row order
-/// (bit-identical to the per-row kernel).
+/// the v0.3 rank-1 kernel, dispatched per [`dispatch::active_path`].
 ///
 /// Callers must symmetrize afterwards, exactly as with the per-row v0.3
-/// kernel.
+/// kernel.  Bit-identical to folding the rows through
+/// [`rank1_update`]`(V03, ..)` one at a time, on every tier.
 ///
 /// # Panics
 /// Panics in debug builds when `xs.len()` is not a multiple of `width` or `m`
 /// is not `width × width`.
 pub fn rank_k_update_lower(m: &mut DenseMatrix, xs: &[f64], width: usize) {
-    debug_assert_eq!(m.rows(), width);
-    debug_assert_eq!(m.cols(), width);
-    debug_assert_eq!(xs.len() % width.max(1), 0);
-    if width == 0 {
-        return;
-    }
-    for row_block in xs.chunks(ROW_BLOCK * width) {
-        for i0 in (0..width).step_by(TILE) {
-            let i_end = (i0 + TILE).min(width);
-            for j0 in (0..=i0).step_by(TILE) {
-                for x in row_block.chunks_exact(width) {
-                    for i in i0..i_end {
-                        let xi = x[i];
-                        let j_end = (j0 + TILE).min(i + 1);
-                        let row = m.row_slice_mut(i);
-                        for (acc, xj) in row[j0..j_end].iter_mut().zip(&x[j0..j_end]) {
-                            *acc += xi * xj;
-                        }
-                    }
-                }
-            }
-        }
+    match active_path() {
+        KernelPath::Scalar => scalar::rank_k_update_lower(m, xs, width),
+        KernelPath::Unrolled => unrolled::rank_k_update_lower(m, xs, width),
+        KernelPath::Simd => simd::rank_k_update_lower(m, xs, width),
     }
 }
 
 /// Accumulates `m += Σ_r w_r · x_r x_rᵀ` (lower triangle only) over a chunk —
-/// the weighted rank-k update behind the IRLS Hessian `XᵀDX`.  Same tiling
-/// and same per-element accumulation order as [`rank_k_update_lower`]; each
-/// contribution is computed as `(w_r · x_r[i]) · x_r[j]`, matching the
-/// per-row formulation bit for bit.
+/// the weighted rank-k update behind the IRLS Hessian `XᵀDX`, dispatched per
+/// [`dispatch::active_path`].  Each contribution is computed as
+/// `(w_r · x_r[i]) · x_r[j]`, matching the per-row formulation bit for bit.
 ///
 /// # Panics
 /// Panics in debug builds on shape mismatch.
@@ -201,116 +220,111 @@ pub fn weighted_rank_k_update_lower(
     weights: &[f64],
     width: usize,
 ) {
-    debug_assert_eq!(m.rows(), width);
-    debug_assert_eq!(m.cols(), width);
-    debug_assert_eq!(xs.len(), weights.len() * width);
-    if width == 0 {
-        return;
-    }
-    for (block_idx, row_block) in xs.chunks(ROW_BLOCK * width).enumerate() {
-        let block_weights = &weights[block_idx * ROW_BLOCK..];
-        for i0 in (0..width).step_by(TILE) {
-            let i_end = (i0 + TILE).min(width);
-            for j0 in (0..=i0).step_by(TILE) {
-                for (x, w) in row_block.chunks_exact(width).zip(block_weights) {
-                    for i in i0..i_end {
-                        let wxi = w * x[i];
-                        let j_end = (j0 + TILE).min(i + 1);
-                        let row = m.row_slice_mut(i);
-                        for (acc, xj) in row[j0..j_end].iter_mut().zip(&x[j0..j_end]) {
-                            *acc += wxi * xj;
-                        }
-                    }
-                }
-            }
-        }
+    match active_path() {
+        KernelPath::Scalar => scalar::weighted_rank_k_update_lower(m, xs, weights, width),
+        KernelPath::Unrolled => unrolled::weighted_rank_k_update_lower(m, xs, weights, width),
+        KernelPath::Simd => simd::weighted_rank_k_update_lower(m, xs, weights, width),
     }
 }
 
 /// Accumulates `acc += Σ_r y_r · x_r` over a chunk: the `Xᵀy` update of the
-/// regression transition state at chunk granularity.
+/// regression transition state at chunk granularity, dispatched per
+/// [`dispatch::active_path`].
 ///
 /// # Panics
 /// Panics in debug builds on shape mismatch.
 pub fn xty_update(acc: &mut [f64], xs: &[f64], ys: &[f64], width: usize) {
-    debug_assert_eq!(xs.len(), ys.len() * width);
-    if width == 0 {
-        return;
-    }
-    for (x, y) in xs.chunks_exact(width).zip(ys) {
-        for (a, xi) in acc.iter_mut().zip(x) {
-            *a += xi * y;
-        }
+    match active_path() {
+        KernelPath::Scalar => scalar::xty_update(acc, xs, ys, width),
+        KernelPath::Unrolled => unrolled::xty_update(acc, xs, ys, width),
+        KernelPath::Simd => simd::xty_update(acc, xs, ys, width),
     }
 }
 
 /// Computes `out[r] = x_r · w` for every row of a contiguous row-major chunk
 /// — the batched linear-score (dot-product) kernel used by logistic and SGD
-/// transitions.  Each dot product accumulates left-to-right, matching the
-/// scalar `iter().zip().map().sum()` formulation bit for bit.
+/// transitions, dispatched per [`dispatch::active_path`].  Each dot product
+/// accumulates left-to-right, matching the scalar
+/// `iter().zip().map().sum()` formulation bit for bit.
 ///
 /// # Panics
 /// Panics in debug builds on shape mismatch.
 pub fn batch_dot(xs: &[f64], w: &[f64], out: &mut [f64]) {
-    let width = w.len();
-    debug_assert_eq!(xs.len(), out.len() * width);
-    if width == 0 {
-        out.fill(0.0);
-        return;
-    }
-    for (x, o) in xs.chunks_exact(width).zip(out.iter_mut()) {
-        let mut acc = 0.0;
-        for (xi, wi) in x.iter().zip(w) {
-            acc += xi * wi;
-        }
-        *o = acc;
+    match active_path() {
+        KernelPath::Scalar => scalar::batch_dot(xs, w, out),
+        KernelPath::Unrolled => unrolled::batch_dot(xs, w, out),
+        KernelPath::Simd => simd::batch_dot(xs, w, out),
     }
 }
 
 /// Computes the squared Euclidean distance from every row of a contiguous
 /// row-major chunk to a single `center` — the batched form of
-/// `array_squared_distance`, accumulating element-wise in order.
+/// `array_squared_distance`, accumulating element-wise in order, dispatched
+/// per [`dispatch::active_path`].
 ///
 /// # Panics
 /// Panics in debug builds on shape mismatch.
 pub fn batch_squared_distances(xs: &[f64], center: &[f64], out: &mut [f64]) {
-    let width = center.len();
-    debug_assert_eq!(xs.len(), out.len() * width);
-    if width == 0 {
-        out.fill(0.0);
-        return;
-    }
-    for (x, o) in xs.chunks_exact(width).zip(out.iter_mut()) {
-        let mut acc = 0.0;
-        for (xi, ci) in x.iter().zip(center) {
-            let d = xi - ci;
-            acc += d * d;
-        }
-        *o = acc;
+    match active_path() {
+        KernelPath::Scalar => scalar::batch_squared_distances(xs, center, out),
+        KernelPath::Unrolled => unrolled::batch_squared_distances(xs, center, out),
+        KernelPath::Simd => simd::batch_squared_distances(xs, center, out),
     }
 }
 
-/// General matrix–matrix multiply `C = A * B` as free function (wrapper around
-/// [`DenseMatrix::matmul`]) kept here so benchmarks can address "the gemm
-/// kernel" uniformly.
+/// Assigns every row of a contiguous row-major chunk to its closest column
+/// (first strict minimum of squared Euclidean distance — ties keep the
+/// earliest column, NaN distances never win), dispatched per
+/// [`dispatch::active_path`].  This is the k-means assignment inner loop;
+/// `array_ops::batch_closest_column` validates shapes and delegates here.
+///
+/// # Panics
+/// Panics in debug builds when a column's length differs from `width` or
+/// `xs.len() != out.len() * width`.  With an empty `columns` every row is
+/// assigned `0`; callers wanting an error must validate first (as
+/// `array_ops` does).
+pub fn batch_closest_column(columns: &[Vec<f64>], xs: &[f64], width: usize, out: &mut [usize]) {
+    match active_path() {
+        KernelPath::Scalar => scalar::batch_closest_column(columns, xs, width, out),
+        KernelPath::Unrolled => unrolled::batch_closest_column(columns, xs, width, out),
+        KernelPath::Simd => simd::batch_closest_column(columns, xs, width, out),
+    }
+}
+
+/// General matrix–matrix multiply `C = A * B` as a free function (wrapper
+/// around [`DenseMatrix::matmul`], which itself runs [`gemm_acc`]) kept here
+/// so benchmarks can address "the gemm kernel" uniformly.
 pub fn gemm(a: &DenseMatrix, b: &DenseMatrix) -> crate::Result<DenseMatrix> {
     a.matmul(b)
 }
 
-/// Accumulates `y += alpha * A * x` (dense GEMV) without allocating.
+/// Accumulates `out += A * B` (dense GEMM) without allocating, dispatched per
+/// [`dispatch::active_path`].  Every tier preserves the historical
+/// `DenseMatrix::matmul` semantics: per output element the `k` contributions
+/// are added in ascending order, and `a[i][k] == 0.0` entries are *skipped*
+/// rather than multiplied through (observable with NaN/±∞ in `B` and with
+/// signed zeros).
+///
+/// # Panics
+/// Panics in debug builds on shape mismatch.
+pub fn gemm_acc(out: &mut DenseMatrix, a: &DenseMatrix, b: &DenseMatrix) {
+    match active_path() {
+        KernelPath::Scalar => scalar::gemm_acc(out, a, b),
+        KernelPath::Unrolled => unrolled::gemm_acc(out, a, b),
+        KernelPath::Simd => simd::gemm_acc(out, a, b),
+    }
+}
+
+/// Accumulates `y += alpha * A * x` (dense GEMV) without allocating,
+/// dispatched per [`dispatch::active_path`].
 ///
 /// # Panics
 /// Panics in debug builds on shape mismatch.
 pub fn gemv_acc(alpha: f64, a: &DenseMatrix, x: &[f64], y: &mut [f64]) {
-    debug_assert_eq!(a.cols(), x.len());
-    debug_assert_eq!(a.rows(), y.len());
-    for (r, yr) in y.iter_mut().enumerate() {
-        let row = a.row_slice(r);
-        let mut acc = 0.0;
-        for (av, xv) in row.iter().zip(x) {
-            acc += av * xv;
-        }
-        *yr += alpha * acc;
+    match active_path() {
+        KernelPath::Scalar => scalar::gemv_acc(alpha, a, x, y),
+        KernelPath::Unrolled => unrolled::gemv_acc(alpha, a, x, y),
+        KernelPath::Simd => simd::gemv_acc(alpha, a, x, y),
     }
 }
 
@@ -476,8 +490,8 @@ mod tests {
         let mut out = vec![0.0; rows];
         batch_dot(&xs, &w, &mut out);
         for (x, o) in xs.chunks_exact(width).zip(&out) {
-            let scalar: f64 = x.iter().zip(&w).map(|(a, b)| a * b).sum();
-            assert_eq!(o.to_bits(), scalar.to_bits());
+            let scalar_dot: f64 = x.iter().zip(&w).map(|(a, b)| a * b).sum();
+            assert_eq!(o.to_bits(), scalar_dot.to_bits());
         }
     }
 
@@ -490,8 +504,8 @@ mod tests {
         let mut out = vec![0.0; rows];
         batch_squared_distances(&xs, &center, &mut out);
         for (x, o) in xs.chunks_exact(width).zip(&out) {
-            let scalar: f64 = x.iter().zip(&center).map(|(a, b)| (a - b) * (a - b)).sum();
-            assert_eq!(o.to_bits(), scalar.to_bits());
+            let scalar_d: f64 = x.iter().zip(&center).map(|(a, b)| (a - b) * (a - b)).sum();
+            assert_eq!(o.to_bits(), scalar_d.to_bits());
         }
     }
 

@@ -26,7 +26,10 @@
 //! * [`array_ops`]: the element-wise "array operations" support module from
 //!   Table 1 of the paper.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the explicit-SIMD kernel tier
+// (`kernels::simd`) carries a single scoped `#[allow(unsafe_code)]` for its
+// `core::arch::x86_64` intrinsics; everything else stays safe Rust.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod array_ops;

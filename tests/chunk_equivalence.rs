@@ -797,6 +797,181 @@ fn lda_loading_is_layout_invariant_and_rejects_nulls() {
         .is_err());
 }
 
+// ---------------------------------------------------------------------------
+// PR 7: chunk-range work stealing.  `Executor::with_steal_granularity(
+// StealGranularity::ChunkRange)` splits each segment into fixed chunk ranges
+// behind a shared stealing cursor, and per-range states are merged back with
+// `Aggregate::merge` in range order.  Two properties make that safe:
+//
+// * The unit decomposition is a pure function of (table, granularity) and
+//   never of the worker count, so parallel and serial execution at the same
+//   granularity fold the *same* states in the *same* order — bit-identical
+//   on arbitrary floating-point data.
+// * Relative to whole-segment scanning, only the merge step reassociates
+//   additions, so on exact-arithmetic data (integer-valued doubles small
+//   enough to round-trip) chunk-range results equal segment-granular and
+//   row-at-a-time results exactly, with the same group key order.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Parallel chunk-range stealing ≡ serial chunk-range execution, bit for
+    /// bit, on arbitrary float data — ungrouped aggregates, grouped
+    /// aggregates, and a full linear-regression fit.
+    #[test]
+    fn chunk_range_parallel_equals_serial_bitwise(
+        points in prop::collection::vec((0usize..5, -10.0..10.0f64, [-5.0..5.0f64, -5.0..5.0f64, -5.0..5.0f64]), 1..180),
+        segments in 1usize..5,
+        chunk_capacity in 1usize..8,
+    ) {
+        use madlib::engine::StealGranularity;
+
+        let schema = Schema::new(vec![
+            Column::new("grp", ColumnType::Int),
+            Column::new("y", ColumnType::Double),
+            Column::new("x", ColumnType::DoubleArray),
+        ]);
+        let mut table = Table::new(schema, segments)
+            .unwrap()
+            .with_chunk_capacity(chunk_capacity)
+            .unwrap();
+        for (key, y, x) in &points {
+            table
+                .insert(Row::new(vec![
+                    Value::Int(*key as i64),
+                    Value::Double(*y),
+                    Value::DoubleArray(x.to_vec()),
+                ]))
+                .unwrap();
+        }
+        let par = Executor::new().with_steal_granularity(StealGranularity::ChunkRange);
+        let ser = Executor::serial().with_steal_granularity(StealGranularity::ChunkRange);
+
+        let sum_p = par.aggregate(&table, &SumAggregate::new("y")).unwrap();
+        let sum_s = ser.aggregate(&table, &SumAggregate::new("y")).unwrap();
+        prop_assert_eq!(sum_p.to_bits(), sum_s.to_bits());
+        let avg_p = par.aggregate(&table, &AvgAggregate::new("y")).unwrap();
+        let avg_s = ser.aggregate(&table, &AvgAggregate::new("y")).unwrap();
+        prop_assert_eq!(avg_p.map(f64::to_bits), avg_s.map(f64::to_bits));
+
+        let grouped_sum = |exec: &Executor| {
+            dataset(&table, exec)
+                .group_by(["grp"])
+                .aggregate_per_group(&SumAggregate::new("y"))
+                .unwrap()
+        };
+        let gp = grouped_sum(&par);
+        let gs = grouped_sum(&ser);
+        prop_assert_eq!(gp.len(), gs.len());
+        for ((ka, va), (kb, vb)) in gp.iter().zip(&gs) {
+            prop_assert!(ka == kb, "keys diverge: {:?} vs {:?}", ka, kb);
+            prop_assert_eq!(va.to_bits(), vb.to_bits());
+        }
+
+        let fit = |exec: &Executor| {
+            LinearRegression::new("y", "x").fit(&dataset(&table, exec), &session())
+        };
+        match (fit(&par), fit(&ser)) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(bits(&a.coef), bits(&b.coef));
+                prop_assert_eq!(a.r2.to_bits(), b.r2.to_bits());
+            }
+            (Err(_), Err(_)) => {} // singular tiny inputs fail on both
+            (a, b) => prop_assert!(false, "paths disagree: {:?} vs {:?}", a.is_ok(), b.is_ok()),
+        }
+    }
+
+    /// On exact-arithmetic data, chunk-range stealing equals segment-granular
+    /// stealing *and* the row-at-a-time scan exactly — values, group keys and
+    /// key order — because only the merge step's reassociation could ever
+    /// differ, and integer-valued doubles make it exact.  Also pins the
+    /// row-at-a-time + chunk-range combination, which must quietly degrade to
+    /// segment granularity rather than split a per-row scan.
+    #[test]
+    fn chunk_range_equals_segment_on_exact_data(
+        num_rows in 0usize..200,
+        num_groups in 1usize..9,
+        segments in 1usize..5,
+        chunk_capacity in 1usize..8,
+        filtered in any::<bool>(),
+    ) {
+        use madlib::engine::StealGranularity;
+
+        let schema = Schema::new(vec![
+            Column::new("grp", ColumnType::Int),
+            Column::new("y", ColumnType::Double),
+            Column::new("x", ColumnType::DoubleArray),
+        ]);
+        let mut table = Table::new(schema, segments)
+            .unwrap()
+            .with_chunk_capacity(chunk_capacity)
+            .unwrap();
+        for i in 0..num_rows {
+            table
+                .insert(Row::new(vec![
+                    Value::Int(((i * 7) % num_groups) as i64),
+                    Value::Double(((i * 37) % 19) as f64 - 9.0),
+                    Value::DoubleArray(vec![1.0, (i % 5) as f64 - 2.0, ((i * 11) % 7) as f64]),
+                ]))
+                .unwrap();
+        }
+        let filter = filtered.then(|| Predicate::column_gt("y", 0.0));
+        let executors = [
+            Executor::new().with_steal_granularity(StealGranularity::ChunkRange),
+            Executor::new(), // segment-granular (default)
+            Executor::row_at_a_time(),
+            Executor::row_at_a_time().with_steal_granularity(StealGranularity::ChunkRange),
+        ];
+        let grouped_ds = |exec: &Executor| {
+            let mut ds = dataset(&table, exec).group_by(["grp"]);
+            if let Some(pred) = &filter {
+                ds = ds.filter(pred.clone());
+            }
+            ds
+        };
+        let scan = LinregrStateProbe(LinearRegression::new("y", "x"));
+        let reference_counts = grouped_ds(&executors[0])
+            .aggregate_per_group(&CountAggregate)
+            .unwrap();
+        let reference_states = grouped_ds(&executors[0]).aggregate_per_group(&scan).unwrap();
+        let reference_sum = executors[0].aggregate(&table, &SumAggregate::new("y")).unwrap();
+        for exec in &executors[1..] {
+            let counts = grouped_ds(exec).aggregate_per_group(&CountAggregate).unwrap();
+            prop_assert_eq!(&counts, &reference_counts);
+            let states = grouped_ds(exec).aggregate_per_group(&scan).unwrap();
+            prop_assert_eq!(&states, &reference_states);
+            let sum = exec.aggregate(&table, &SumAggregate::new("y")).unwrap();
+            prop_assert_eq!(sum.to_bits(), reference_sum.to_bits());
+        }
+    }
+
+    /// `map_chunks` always runs at chunk-range granularity; its concatenated
+    /// output must be independent of parallelism and identical to the
+    /// table's serial chunk layout.
+    #[test]
+    fn map_chunks_output_is_parallelism_invariant(
+        num_rows in 0usize..150,
+        segments in 1usize..6,
+        chunk_capacity in 1usize..8,
+    ) {
+        let points: Vec<(f64, [f64; 3])> = (0..num_rows)
+            .map(|i| (i as f64, [1.0, (i % 9) as f64, 0.25 * i as f64]))
+            .collect();
+        let table = labeled_table(&points, None, segments, chunk_capacity);
+        let map = |exec: &Executor| {
+            dataset(&table, exec)
+                .map_chunks(|chunk, _schema| Ok(vec![chunk.len()]))
+                .unwrap()
+        };
+        let par = map(&Executor::new());
+        let ser = map(&Executor::serial());
+        prop_assert_eq!(&par, &ser);
+        prop_assert_eq!(par.iter().sum::<usize>(), num_rows);
+        // Chunk sizes follow the serial insert layout: every chunk is full
+        // except possibly the last chunk of each segment.
+        prop_assert!(par.iter().all(|&len| len <= chunk_capacity));
+    }
+}
+
 /// Every `Estimator` impl in the workspace rejects an empty dataset with a
 /// typed `MethodError` instead of panicking — the uniform calling convention
 /// must fail uniformly too.  (`Profiler` is the deliberate exception: a
