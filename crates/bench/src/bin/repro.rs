@@ -10,6 +10,7 @@
 //! cargo run -p madlib-bench --bin repro --release -- rowchunk | grouped [--full]
 //! cargo run -p madlib-bench --bin repro --release -- grouped --smoke   # CI-scale
 //! cargo run -p madlib-bench --bin repro --release -- kernels [--full|--smoke]
+//! cargo run -p madlib-bench --bin repro --release -- predict [--full|--smoke]
 //! ```
 //!
 //! With `--full` the Figure 4/5 sweeps use the paper's variable counts
@@ -64,6 +65,7 @@ fn main() {
         "rowchunk" => rowchunk(full),
         "grouped" => grouped(full, smoke),
         "kernels" => kernels(full, smoke),
+        "predict" => predict(full, smoke),
         "all" => {
             figure4(full);
             figure5(full);
@@ -76,10 +78,11 @@ fn main() {
             rowchunk(full);
             grouped(full, smoke);
             kernels(full, smoke);
+            predict(full, smoke);
         }
         other => {
             eprintln!("unknown experiment: {other}");
-            eprintln!("expected one of: figure4 figure5 table1 table2 table3 logistic kmeans overhead rowchunk grouped kernels all");
+            eprintln!("expected one of: figure4 figure5 table1 table2 table3 logistic kmeans overhead rowchunk grouped kernels predict all");
             std::process::exit(2);
         }
     }
@@ -206,6 +209,147 @@ fn kernels(full: bool, smoke: bool) {
     match std::fs::write("BENCH_kernels.json", &json) {
         Ok(()) => println!("\nbaseline recorded to BENCH_kernels.json\n"),
         Err(err) => println!("\ncould not write BENCH_kernels.json: {err}\n"),
+    }
+}
+
+/// Serving sweep: `Dataset::score` with the linregr dot-product scorer —
+/// chunked vs row-at-a-time execution vs the naive per-row predict loop —
+/// plus the raw `batch_dot` scoring kernel per dispatch tier in millions of
+/// rows scored per second.  Records `BENCH_predict.json` (never on
+/// `--smoke`) with the ≥2× width-100 acceptance cell and the host's
+/// CPU-feature metadata.
+fn predict(full: bool, smoke: bool) {
+    println!("== In-engine serving: Dataset::score vs the per-row predict loop (linregr) ==\n");
+    // Shapes keep the working set cache-resident (≤~16 MB) so the
+    // comparison measures the serving inner loop, not DRAM bandwidth —
+    // `--full` adds the paper-scale memory-bound shapes on top.
+    let (shapes, samples): (&[(usize, usize)], usize) = if smoke {
+        (&[(20_000, 10), (10_000, 100)], 1)
+    } else if full {
+        (
+            &[
+                (200_000, 10),
+                (20_000, 100),
+                (2_000, 1000),
+                (1_000_000, 10),
+                (400_000, 100),
+            ],
+            5,
+        )
+    } else {
+        (&[(200_000, 10), (20_000, 100), (2_000, 1000)], 5)
+    };
+    let segments = 4usize;
+    println!(
+        "active dispatch path: {} (MADLIB_SIMD={}), detected cpu features: {:?}\n",
+        madlib_linalg::kernels::active_path().label(),
+        std::env::var("MADLIB_SIMD").unwrap_or_else(|_| "unset".to_owned()),
+        madlib_linalg::kernels::cpu_features(),
+    );
+    println!(
+        "{:>9}  {:>6}  {:>12}  {:>12}  {:>12}  {:>8}  {:>10}",
+        "# rows", "width", "loop (s)", "row (s)", "chunk (s)", "speedup", "Mrows/s"
+    );
+    let mut measurements = Vec::new();
+    for &(rows, width) in shapes {
+        let m = madlib_bench::measure_predict(rows, width, segments, samples);
+        println!(
+            "{:>9}  {:>6}  {:>12.4}  {:>12.4}  {:>12.4}  {:>7.2}x  {:>10.2}",
+            m.rows,
+            m.width,
+            m.per_row_loop.as_secs_f64(),
+            m.row_mode.as_secs_f64(),
+            m.chunk_mode.as_secs_f64(),
+            m.speedup_vs_loop(),
+            m.rows_per_sec(m.chunk_mode) / 1e6,
+        );
+        measurements.push(m);
+    }
+
+    println!("\n-- Raw dot-product scoring kernel (batch_dot) per dispatch tier --\n");
+    println!(
+        "{:>6}  {:>10}  {:>6}  {:>12}",
+        "width", "tier", "rows", "Mrows/s"
+    );
+    let kernel_width = 100usize;
+    let kernel_cells = madlib_bench::measure_predict_kernel_tiers(kernel_width, samples);
+    for cell in &kernel_cells {
+        println!(
+            "{:>6}  {:>10}  {:>6}  {:>12.2}",
+            cell.width, cell.tier, cell.rows, cell.mrows_per_sec
+        );
+    }
+
+    // The PR's acceptance cell: chunked Dataset::score at width 100 must
+    // beat the per-row predict loop by ≥2×.
+    let acceptance = measurements.iter().find(|m| m.width == 100);
+    if let Some(m) = acceptance {
+        println!(
+            "\nDataset::score @ width 100: per-row loop {:.4}s -> chunked {:.4}s = {:.2}x (acceptance floor 2.0x); {:.2}M rows/s chunked",
+            m.per_row_loop.as_secs_f64(),
+            m.chunk_mode.as_secs_f64(),
+            m.speedup_vs_loop(),
+            m.rows_per_sec(m.chunk_mode) / 1e6,
+        );
+    }
+    if let Some(best) = kernel_cells
+        .iter()
+        .max_by(|a, b| a.mrows_per_sec.total_cmp(&b.mrows_per_sec))
+    {
+        println!(
+            "dot-product path @ width {kernel_width}: {:.2}M rows scored/s ({} tier)",
+            best.mrows_per_sec, best.tier
+        );
+    }
+
+    if smoke {
+        println!("\nsmoke run: baseline JSON left untouched\n");
+        return;
+    }
+    let mut json = String::from("{\n  \"experiment\": \"predict_serving_sweep\",\n");
+    json.push_str(&host_metadata_json());
+    json.push_str("  \"cells\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"rows\": {}, \"width\": {}, \"segments\": {}, \"per_row_loop_s\": {:.6}, \"row_mode_s\": {:.6}, \"chunk_mode_s\": {:.6}, \"speedup_vs_loop\": {:.4}, \"chunk_rows_per_sec\": {:.1}}}{}\n",
+            m.rows,
+            m.width,
+            m.segments,
+            m.per_row_loop.as_secs_f64(),
+            m.row_mode.as_secs_f64(),
+            m.chunk_mode.as_secs_f64(),
+            m.speedup_vs_loop(),
+            m.rows_per_sec(m.chunk_mode),
+            if i + 1 < measurements.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n  \"dot_kernel_cells\": [\n");
+    for (i, cell) in kernel_cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"tier\": \"{}\", \"width\": {}, \"rows\": {}, \"seconds\": {:.6}, \"mrows_per_sec\": {:.4}}}{}\n",
+            cell.tier,
+            cell.width,
+            cell.rows,
+            cell.elapsed.as_secs_f64(),
+            cell.mrows_per_sec,
+            if i + 1 < kernel_cells.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]");
+    if let Some(m) = acceptance {
+        json.push_str(&format!(
+            ",\n  \"acceptance\": {{\"width\": 100, \"rows\": {}, \"per_row_loop_s\": {:.6}, \"chunk_mode_s\": {:.6}, \"speedup_vs_loop\": {:.4}, \"chunk_rows_per_sec\": {:.1}}}",
+            m.rows,
+            m.per_row_loop.as_secs_f64(),
+            m.chunk_mode.as_secs_f64(),
+            m.speedup_vs_loop(),
+            m.rows_per_sec(m.chunk_mode),
+        ));
+    }
+    json.push_str("\n}\n");
+    match std::fs::write("BENCH_predict.json", &json) {
+        Ok(()) => println!("\nbaseline recorded to BENCH_predict.json\n"),
+        Err(err) => println!("\ncould not write BENCH_predict.json: {err}\n"),
     }
 }
 

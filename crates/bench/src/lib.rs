@@ -21,8 +21,9 @@
 
 use madlib_core::datasets::linear_regression_data;
 use madlib_core::regress::linear::LinRegrState;
-use madlib_core::regress::LinearRegression;
+use madlib_core::regress::{LinearRegression, LinearRegressionModel};
 use madlib_core::train::{Estimator, Session};
+use madlib_core::{FeatureScorer, Predictor};
 use madlib_engine::{Aggregate, Dataset, ExecutionMode, Executor, Row, RowChunk, Schema, Table};
 use madlib_linalg::kernels::KernelGeneration;
 use std::hint::black_box;
@@ -1216,6 +1217,240 @@ pub fn measure_zipf_chunk_range(
     }
 }
 
+/// One measured cell of the serving sweep: `Dataset::score` with the
+/// linear-regression dot-product scorer, chunked vs row-at-a-time execution,
+/// against the naive per-row predict loop a client would write without the
+/// serving subsystem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictMeasurement {
+    /// Number of rows scored.
+    pub rows: usize,
+    /// Feature-vector width.
+    pub width: usize,
+    /// Number of segments.
+    pub segments: usize,
+    /// Median wall-clock time of the single-threaded per-row predict loop
+    /// (materialize each row, call `Predictor::predict_value`).
+    pub per_row_loop: Duration,
+    /// Median wall-clock time of `Dataset::score` under
+    /// [`ExecutionMode::RowAtATime`].
+    pub row_mode: Duration,
+    /// Median wall-clock time of `Dataset::score` under
+    /// [`ExecutionMode::Chunked`] (the `batch_dot` override).
+    pub chunk_mode: Duration,
+}
+
+impl PredictMeasurement {
+    /// Chunked `Dataset::score` speedup over the per-row predict loop — the
+    /// serving acceptance ratio.
+    pub fn speedup_vs_loop(&self) -> f64 {
+        self.per_row_loop.as_secs_f64() / self.chunk_mode.as_secs_f64()
+    }
+
+    /// Rows scored per second for one of the measured durations.
+    pub fn rows_per_sec(&self, elapsed: Duration) -> f64 {
+        self.rows as f64 / elapsed.as_secs_f64()
+    }
+}
+
+/// Constructs a servable linear-regression model of the given width without
+/// paying for a fit (deterministic non-trivial coefficients).
+fn predict_bench_model(width: usize) -> LinearRegressionModel {
+    LinearRegressionModel {
+        coef: kernel_bench_data(width, 41 + width as u64),
+        r2: 0.0,
+        std_err: Vec::new(),
+        t_stats: Vec::new(),
+        p_values: Vec::new(),
+        condition_no: 0.0,
+        num_rows: 0,
+    }
+}
+
+/// Times the naive client-side serving loop: walk every segment row by row,
+/// materialize the row, pull the feature array out and call the model's
+/// per-row `predict_value` — no chunks, no batched kernels, no parallelism.
+///
+/// # Panics
+/// Panics if a prediction fails, which cannot happen for generated
+/// workloads.
+pub fn measure_predict_row_loop(table: &Table, model: &LinearRegressionModel) -> Duration {
+    let schema = table.schema();
+    let x_idx = schema.index_of("x").expect("x column exists");
+    let start = Instant::now();
+    let mut scored = 0usize;
+    let mut acc = 0.0f64;
+    for seg in 0..table.num_segments() {
+        for row in table.segment(seg).iter() {
+            let x = row
+                .get(x_idx)
+                .as_double_array()
+                .expect("generated features are double arrays");
+            let prediction = model
+                .predict_value(x)
+                .expect("predict over generated data cannot fail");
+            if let madlib_engine::Value::Double(d) = prediction {
+                acc += d;
+            }
+            scored += 1;
+        }
+    }
+    let elapsed = start.elapsed();
+    black_box(acc);
+    assert_eq!(scored, table.row_count());
+    elapsed
+}
+
+/// Times one `Dataset::score` pass over the table under the given execution
+/// mode, with the linear-regression scorer.
+///
+/// # Panics
+/// Panics if scoring fails or loses rows, which cannot happen for the
+/// generated workloads.
+pub fn measure_predict_scan(
+    table: &Table,
+    model: &LinearRegressionModel,
+    mode: ExecutionMode,
+) -> Duration {
+    let executor = Executor::new().with_mode(mode);
+    let scorer = FeatureScorer::new(model, "x");
+    let start = Instant::now();
+    let predictions = Dataset::from_table(table)
+        .with_executor(executor)
+        .score(&scorer)
+        .expect("scoring generated data cannot fail");
+    let elapsed = start.elapsed();
+    black_box(predictions.first());
+    assert_eq!(predictions.len(), table.row_count());
+    elapsed
+}
+
+/// One cell of the serving sweep: median-of-`samples` times for the per-row
+/// predict loop, row-at-a-time `Dataset::score` and chunked `Dataset::score`
+/// on the same generated table — after checking the three plans agree on the
+/// predictions bit for bit.
+///
+/// # Panics
+/// Panics when `samples == 0`, generation fails, or the three serving plans
+/// disagree on any prediction.
+pub fn measure_predict(
+    rows: usize,
+    width: usize,
+    segments: usize,
+    samples: usize,
+) -> PredictMeasurement {
+    assert!(samples > 0, "need at least one sample");
+    let table = figure4_table(rows, width, segments, 61 + width as u64);
+    let model = predict_bench_model(width);
+
+    // Fidelity first: the vectorized pass must not buy speed with drift.
+    let scorer = FeatureScorer::new(&model, "x");
+    let chunked = Dataset::from_table(&table)
+        .score(&scorer)
+        .expect("scoring generated data cannot fail");
+    let by_rows = Dataset::from_table(&table)
+        .with_executor(Executor::row_at_a_time())
+        .score(&scorer)
+        .expect("scoring generated data cannot fail");
+    assert_eq!(chunked, by_rows, "chunked scoring diverged from row mode");
+
+    let median = |mut times: Vec<Duration>| -> Duration {
+        times.sort_unstable();
+        times[times.len() / 2]
+    };
+    let per_row_loop = median(
+        (0..samples)
+            .map(|_| measure_predict_row_loop(&table, &model))
+            .collect(),
+    );
+    let row_mode = median(
+        (0..samples)
+            .map(|_| measure_predict_scan(&table, &model, ExecutionMode::RowAtATime))
+            .collect(),
+    );
+    let chunk_mode = median(
+        (0..samples)
+            .map(|_| measure_predict_scan(&table, &model, ExecutionMode::Chunked))
+            .collect(),
+    );
+    PredictMeasurement {
+        rows,
+        width,
+        segments,
+        per_row_loop,
+        row_mode,
+        chunk_mode,
+    }
+}
+
+/// One measured cell of the raw dot-product scoring kernel per dispatch
+/// tier: `batch_dot` over a flat feature buffer, reported in millions of
+/// rows scored per second.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictKernelMeasurement {
+    /// Dispatch tier measured: `"scalar"`, `"unrolled"` or `"simd"`.
+    pub tier: &'static str,
+    /// Feature-vector width.
+    pub width: usize,
+    /// Rows per kernel call.
+    pub rows: usize,
+    /// Median wall-clock time of one timed region.
+    pub elapsed: Duration,
+    /// Throughput in millions of rows scored per second.
+    pub mrows_per_sec: f64,
+}
+
+/// Sweeps the dot-product scoring kernel (`batch_dot` — the inner loop of
+/// linregr/logregr/SVM serving) across the dispatch tiers, addressing the
+/// tier modules directly so the `MADLIB_SIMD` dispatch cache cannot skew the
+/// comparison.  Reports millions of rows scored per second per tier.
+///
+/// # Panics
+/// Panics when `samples == 0` or `width == 0`.
+pub fn measure_predict_kernel_tiers(width: usize, samples: usize) -> Vec<PredictKernelMeasurement> {
+    use madlib_linalg::kernels::{scalar, simd, unrolled};
+    assert!(samples > 0, "need at least one sample");
+    assert!(width > 0, "need a positive width");
+    let rows = (4_000_000 / width).clamp(1_024, 65_536);
+    let xs = kernel_bench_data(rows * width, 43 + width as u64);
+    let coef = kernel_bench_data(width, 47);
+    let mut out = vec![0.0f64; rows];
+    // Enough repetitions per timed region to outlast timer resolution.
+    let reps = (2_000_000 / rows).max(4);
+    let mut measurements = Vec::new();
+    for tier in ["scalar", "unrolled", "simd"] {
+        if tier == "simd" && !simd::available() {
+            continue;
+        }
+        let call = |out: &mut [f64]| match tier {
+            "scalar" => scalar::batch_dot(&xs, &coef, out),
+            "unrolled" => unrolled::batch_dot(&xs, &coef, out),
+            _ => simd::batch_dot(&xs, &coef, out),
+        };
+        call(&mut out); // warm up
+        let mut times: Vec<Duration> = (0..samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..reps {
+                    call(&mut out);
+                    black_box(out.first());
+                }
+                start.elapsed()
+            })
+            .collect();
+        times.sort_unstable();
+        let elapsed = times[times.len() / 2];
+        measurements.push(PredictKernelMeasurement {
+            tier,
+            width,
+            rows,
+            elapsed,
+            mrows_per_sec: (rows * reps) as f64 / elapsed.as_secs_f64() / 1e6,
+        });
+    }
+    measurements
+}
+
 /// Runs the full Figure 4 sweep and returns one measurement per cell.
 pub fn figure4_sweep(
     segment_counts: &[usize],
@@ -1509,6 +1744,26 @@ mod tests {
         assert!(m.makespan_ratio() >= 1.0);
         assert!(m.segment_granular.as_nanos() > 0);
         assert!(m.chunk_range.as_nanos() > 0);
+    }
+
+    #[test]
+    fn predict_measurement_is_consistent() {
+        let m = measure_predict(2_000, 8, 2, 1);
+        assert_eq!((m.rows, m.width, m.segments), (2_000, 8, 2));
+        assert!(m.per_row_loop.as_nanos() > 0);
+        assert!(m.row_mode.as_nanos() > 0);
+        assert!(m.chunk_mode.as_nanos() > 0);
+        assert!(m.speedup_vs_loop() > 0.0);
+        assert!(m.rows_per_sec(m.chunk_mode) > 0.0);
+
+        let tiers = measure_predict_kernel_tiers(8, 1);
+        let expected = if madlib_linalg::kernels::simd::available() {
+            3
+        } else {
+            2
+        };
+        assert_eq!(tiers.len(), expected);
+        assert!(tiers.iter().all(|t| t.mrows_per_sec > 0.0));
     }
 
     #[test]

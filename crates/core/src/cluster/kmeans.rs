@@ -50,6 +50,17 @@ impl KMeansModel {
         Ok(idx)
     }
 
+    /// Predicted cluster index for `point` — closest-centroid assignment,
+    /// the serving-side name for [`KMeansModel::assign`] (every other major
+    /// model exposes `predict`; k-means now does too).
+    ///
+    /// # Errors
+    /// Returns a dimension-mismatch error when `point`'s width differs from
+    /// the centroids'.
+    pub fn predict(&self, point: &[f64]) -> Result<usize> {
+        self.assign(point)
+    }
+
     /// Number of clusters.
     pub fn k(&self) -> usize {
         self.centroids.len()

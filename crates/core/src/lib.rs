@@ -35,6 +35,12 @@
 //! synthetic workload generators used by the examples, tests and the
 //! benchmark harness, and [`validate`] provides evaluation metrics and
 //! cross-validation.
+//!
+//! Serving mirrors training: every fitted model implements the typed
+//! [`score::Predictor`] contract, [`score::FeatureScorer`] adapts it to the
+//! engine's `Scorer` scan pass, and `Session::register_model` /
+//! `Session::score` store and serve models by name through the database
+//! model catalog (grouped registries route rows to their group's model).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -47,9 +53,11 @@ pub mod error;
 pub mod factor;
 pub mod optim;
 pub mod regress;
+pub mod score;
 pub mod topic;
 pub mod train;
 pub mod validate;
 
 pub use error::{MethodError, Result};
+pub use score::{FeatureScorer, Predictor};
 pub use train::{Estimator, GroupedModels, Session};

@@ -8,6 +8,7 @@
 //! and a default segment count that new tables inherit (the analogue of the
 //! cluster's segment configuration).
 
+use crate::catalog::ModelCatalog;
 use crate::error::{EngineError, Result};
 use crate::schema::Schema;
 use crate::table::{Distribution, Table};
@@ -25,6 +26,7 @@ struct CatalogEntry {
 #[derive(Debug, Clone)]
 pub struct Database {
     inner: Arc<RwLock<HashMap<String, CatalogEntry>>>,
+    models: ModelCatalog,
     num_segments: usize,
 }
 
@@ -49,6 +51,7 @@ impl Database {
         }
         Ok(Self {
             inner: Arc::new(RwLock::new(HashMap::new())),
+            models: ModelCatalog::new(),
             num_segments,
         })
     }
@@ -56,6 +59,13 @@ impl Database {
     /// Default segment count for new tables.
     pub fn num_segments(&self) -> usize {
         self.num_segments
+    }
+
+    /// The database's model catalog: named, typed storage for trained models
+    /// (single or per-group), shared by all clones of this handle exactly
+    /// like the table catalog.
+    pub fn models(&self) -> &ModelCatalog {
+        &self.models
     }
 
     /// Creates an empty (regular) table.

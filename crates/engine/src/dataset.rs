@@ -240,7 +240,7 @@ impl<'a> Dataset<'a> {
     /// twice — grouping by a repeated column would silently produce the same
     /// groups under a wider-looking key, so duplicates are rejected as
     /// [`EngineError::InvalidArgument`] instead.
-    fn group_column_indices(&self) -> Result<Vec<usize>> {
+    pub(crate) fn group_column_indices(&self) -> Result<Vec<usize>> {
         if self.group_columns.is_empty() {
             return Err(EngineError::invalid(
                 "dataset has no grouping columns; call group_by([...]) first",

@@ -63,6 +63,16 @@ pub enum EngineError {
         /// The panic payload's message, when one was available.
         message: String,
     },
+    /// A referenced model does not exist in the model catalog — either no
+    /// entry under the name at all, or (for grouped registries) no model for
+    /// the requested group key.
+    ModelNotFound {
+        /// Name of the missing model (catalog entry).
+        name: String,
+        /// The group key that had no model, rendered for display; `None`
+        /// when the name itself was missing.
+        group: Option<String>,
+    },
 }
 
 impl EngineError {
@@ -110,6 +120,10 @@ impl fmt::Display for EngineError {
             EngineError::WorkerPanicked { message } => {
                 write!(f, "segment worker panicked: {message}")
             }
+            EngineError::ModelNotFound { name, group } => match group {
+                Some(group) => write!(f, "model not found: {name} has no model for group {group}"),
+                None => write!(f, "model not found: {name}"),
+            },
         }
     }
 }

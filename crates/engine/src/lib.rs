@@ -15,6 +15,7 @@
 //! | `GROUP BY` over an aggregate (Section 4.2) | `Session::train` / [`dataset::Dataset::aggregate_per_group`] with typed [`group::GroupKey`]s — composite for multi-column `group_by`, one [`group::KeyPart`] per column (`madlib_core::train` hosts the `Session`/`Estimator` half; *every* trainable method implements `Estimator`, from linregr through `LowRankFactorization`, `Lda`, `Apriori` and the text crate's `CrfEstimator`) |
 //! | Driver UDF + temp tables for iteration  | [`iteration::IterationController`] + [`Database`] temp tables |
 //! | Templated queries over arbitrary schemas| [`template`] schema introspection |
+//! | In-database scoring (the macro-thesis applied to serving) | [`score::Scorer`] + [`dataset::Dataset::score`] / [`dataset::Dataset::score_per_group`] / [`dataset::Dataset::top_k_by_score`], models resolved from the [`catalog::ModelCatalog`] in [`Database::models`] |
 //!
 //! The old `Executor::aggregate_filtered` / `aggregate_grouped` /
 //! `aggregate_grouped_filtered` method matrix has been **removed**:
@@ -81,6 +82,7 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod catalog;
 pub mod chunk;
 pub mod database;
 pub mod dataset;
@@ -92,11 +94,13 @@ pub mod iteration;
 pub mod row;
 pub mod scan;
 pub mod schema;
+pub mod score;
 pub mod table;
 pub mod template;
 pub mod value;
 
 pub use aggregate::{Aggregate, FinalizeScratch};
+pub use catalog::ModelCatalog;
 pub use chunk::{RowChunk, SelectionMask};
 pub use database::Database;
 pub use dataset::Dataset;
@@ -106,5 +110,6 @@ pub use group::{GroupKey, KeyPart};
 pub use row::Row;
 pub use scan::{ScanBatch, StealGranularity};
 pub use schema::{Column, ColumnType, Schema};
+pub use score::{GroupScorers, Scorer, Similarity};
 pub use table::Table;
 pub use value::Value;

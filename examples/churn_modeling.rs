@@ -9,10 +9,16 @@
 //! and then the paper's headline `grouping_cols` scenario runs: **one churn
 //! model per market segment** from a single
 //! `session.train_grouped(..., dataset.group_by(["region"]))` call.
+//!
+//! Serving runs through the engine too: every fitted model is deposited in
+//! the database's **model catalog** by name, the holdout is scored with
+//! `session.score(...)` as a chunked scan pass (no hand-written predict
+//! loops), and the per-region registry routes each customer to their
+//! region's model.
 
 use madlib::engine::{row, Column, ColumnType, Database, Dataset, Schema, Table};
-use madlib::methods::classify::{DecisionTree, NaiveBayes};
-use madlib::methods::regress::LogisticRegression;
+use madlib::methods::classify::{DecisionTree, DecisionTreeModel, NaiveBayes, NaiveBayesModel};
+use madlib::methods::regress::{LogisticRegression, LogisticRegressionModel};
 use madlib::methods::validate::{accuracy, kfold_indices};
 use madlib::methods::Session;
 
@@ -108,8 +114,33 @@ fn main() {
         );
     }
 
+    // --- Grouped serving: route every customer to their region's model ----
+    // The trained registry goes into the model catalog as one named entry;
+    // scoring the grouped dataset looks each row's region up in the
+    // registry — bit-identical to filtering per region and predicting with
+    // that region's model.
+    session
+        .register_grouped_models("churn_by_region", per_region)
+        .expect("registry has no duplicate groups");
+    let grouped_ds = Dataset::from_table(&customers).group_by(["region"]);
+    let routed = session
+        .score::<LogisticRegressionModel>(&grouped_ds, "churn_by_region", "x")
+        .expect("registry covers every region");
+    // Predictions come back in table scan order, so collect ground truth
+    // from a scan of the same table rather than from the insertion-order
+    // vector.
+    let grouped_truth: Vec<bool> = Dataset::from_table(&customers)
+        .map_rows(|row, _| Ok(row.get(1).as_double()? > 0.5))
+        .expect("customer scan");
+    let routed_predictions: Vec<bool> = routed
+        .iter()
+        .map(|v| v.as_bool().expect("grouped scores are booleans"))
+        .collect();
+    let routed_accuracy = accuracy(&routed_predictions, &grouped_truth).expect("accuracy");
+    println!("per-region catalog serving accuracy:      {routed_accuracy:.3}");
+
     // Decision tree and naive Bayes on a single split for comparison.
-    let mut labeled = Table::new(labeled_schema, 4).expect("table");
+    let mut labeled = Table::new(labeled_schema.clone(), 4).expect("table");
     for (_, x, label, _) in rows.iter().take(1_500) {
         labeled.insert(row![*label, x.clone()]).expect("insert");
     }
@@ -126,22 +157,41 @@ fn main() {
         )
         .expect("bayes fit");
 
-    let holdout = &rows[1_500..];
-    let tree_predictions: Vec<&str> = holdout
+    // Registering moves the models into the catalog, so grab the tree's
+    // shape first; from here on both are served by name.
+    let tree_leaves = tree.leaf_count();
+    session.register_model("churn_tree", tree);
+    session.register_model("churn_bayes", bayes);
+
+    // The holdout lives in its own table and is scored through the catalog
+    // — no hand-written predict loop.
+    let mut holdout = Table::new(labeled_schema, 4).expect("table");
+    for (_, x, label, _) in rows.iter().skip(1_500) {
+        holdout.insert(row![*label, x.clone()]).expect("insert");
+    }
+    let holdout_ds = Dataset::from_table(&holdout);
+    let truth: Vec<String> = holdout_ds
+        .map_rows(|row, _| Ok(row.get(0).as_text()?.to_owned()))
+        .expect("holdout scan");
+    let tree_scores = session
+        .score::<DecisionTreeModel>(&holdout_ds, "churn_tree", "features")
+        .expect("tree is in the catalog");
+    let bayes_scores = session
+        .score::<NaiveBayesModel>(&holdout_ds, "churn_bayes", "features")
+        .expect("bayes is in the catalog");
+    let tree_predictions: Vec<&str> = tree_scores
         .iter()
-        .map(|(_, x, _, _)| tree.predict(x).expect("predict"))
+        .map(|v| v.as_text().expect("tree scores are labels"))
         .collect();
-    let bayes_predictions: Vec<String> = holdout
+    let bayes_predictions: Vec<&str> = bayes_scores
         .iter()
-        .map(|(_, x, _, _)| bayes.predict(x).expect("predict"))
+        .map(|v| v.as_text().expect("bayes scores are labels"))
         .collect();
-    let truth: Vec<&str> = holdout.iter().map(|(_, _, label, _)| *label).collect();
-    let tree_accuracy = accuracy(&tree_predictions, &truth).expect("accuracy");
-    let bayes_refs: Vec<&str> = bayes_predictions.iter().map(String::as_str).collect();
-    let bayes_accuracy = accuracy(&bayes_refs, &truth).expect("accuracy");
+    let truth_refs: Vec<&str> = truth.iter().map(String::as_str).collect();
+    let tree_accuracy = accuracy(&tree_predictions, &truth_refs).expect("accuracy");
+    let bayes_accuracy = accuracy(&bayes_predictions, &truth_refs).expect("accuracy");
     println!(
-        "\ndecision tree (C4.5) holdout accuracy:    {tree_accuracy:.3} ({} leaves)",
-        tree.leaf_count()
+        "\ndecision tree (C4.5) holdout accuracy:    {tree_accuracy:.3} ({tree_leaves} leaves)"
     );
     println!("naive Bayes holdout accuracy:             {bayes_accuracy:.3}");
 }

@@ -4,10 +4,16 @@
 //! Builds a small `data(y, x)` table, trains the single-pass
 //! linear-regression estimator with `session.train(...)`, and prints the
 //! same composite record the paper shows for
-//! `SELECT (linregr(y, x)).* FROM data;`.
+//! `SELECT (linregr(y, x)).* FROM data;` — then serves the model back
+//! in-engine: the fitted model goes into the database's **model catalog**
+//! by name, `session.score(...)` runs prediction as a chunked scan pass
+//! over the source table (the serving half of the MADlib calling
+//! convention, `linregr_predict(source_table, model, ...)`), and the k-NN
+//! terminal `Dataset::top_k_by_score` answers a vector-similarity query on
+//! the same batched kernels.
 
-use madlib::engine::{row, Column, ColumnType, Database, Schema};
-use madlib::methods::regress::LinearRegression;
+use madlib::engine::{row, Column, ColumnType, Database, Schema, Similarity};
+use madlib::methods::regress::{LinearRegression, LinearRegressionModel};
 use madlib::methods::Session;
 
 fn main() {
@@ -84,4 +90,37 @@ fn main() {
         "prediction for x = 5.0: {:.4}",
         model.predict(&[1.0, 5.0]).expect("width matches")
     );
+
+    // --- Serve the model in-engine ---------------------------------------
+    // Deposit the fitted model in the database's model catalog under a
+    // name, then score the whole table by name: prediction runs as a
+    // chunked, segment-parallel scan pass over the `batch_dot` kernel —
+    // bit-identical to calling `model.predict` row by row.
+    session.register_model("quickstart_linregr", model);
+    let predictions = session
+        .score::<LinearRegressionModel>(&dataset, "quickstart_linregr", "x")
+        .expect("model is in the catalog");
+    println!();
+    println!("psql# SELECT linregr_predict(m.model, d.x) FROM data d, models m");
+    println!(
+        "      WHERE m.name = 'quickstart_linregr';  -- {} rows",
+        predictions.len()
+    );
+    println!(
+        "first prediction: {:.4}",
+        predictions[0].as_double().expect("predictions are doubles")
+    );
+
+    // The k-NN terminal: the 3 rows whose feature vectors are nearest to
+    // x = 5.0 (squared Euclidean distance over the same batched kernels).
+    let neighbors = dataset
+        .top_k_by_score("x", &[1.0, 5.0], 3, Similarity::Euclidean)
+        .expect("ungrouped k-NN scan");
+    println!("\n3 nearest rows to x = 5.0:");
+    for (row, distance2) in &neighbors {
+        println!(
+            "  y = {:.4}  (squared distance {distance2:.6})",
+            row.get(0).as_double().expect("y is a double")
+        );
+    }
 }
