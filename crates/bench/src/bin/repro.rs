@@ -11,6 +11,7 @@
 //! cargo run -p madlib-bench --bin repro --release -- grouped --smoke   # CI-scale
 //! cargo run -p madlib-bench --bin repro --release -- kernels [--full|--smoke]
 //! cargo run -p madlib-bench --bin repro --release -- predict [--full|--smoke]
+//! cargo run -p madlib-bench --bin repro --release -- ingest [--full|--smoke]
 //! ```
 //!
 //! With `--full` the Figure 4/5 sweeps use the paper's variable counts
@@ -66,6 +67,7 @@ fn main() {
         "grouped" => grouped(full, smoke),
         "kernels" => kernels(full, smoke),
         "predict" => predict(full, smoke),
+        "ingest" => ingest(full, smoke),
         "all" => {
             figure4(full);
             figure5(full);
@@ -79,10 +81,11 @@ fn main() {
             grouped(full, smoke);
             kernels(full, smoke);
             predict(full, smoke);
+            ingest(full, smoke);
         }
         other => {
             eprintln!("unknown experiment: {other}");
-            eprintln!("expected one of: figure4 figure5 table1 table2 table3 logistic kmeans overhead rowchunk grouped kernels predict all");
+            eprintln!("expected one of: figure4 figure5 table1 table2 table3 logistic kmeans overhead rowchunk grouped kernels predict ingest all");
             std::process::exit(2);
         }
     }
@@ -350,6 +353,188 @@ fn predict(full: bool, smoke: bool) {
     match std::fs::write("BENCH_predict.json", &json) {
         Ok(()) => println!("\nbaseline recorded to BENCH_predict.json\n"),
         Err(err) => println!("\ncould not write BENCH_predict.json: {err}\n"),
+    }
+}
+
+/// Streaming ingest: `Session::refresh` after a 1% append vs. a full
+/// retrain (linregr).  The refresh absorbs only the appended rows into the
+/// materialized transition states and re-finalizes, so its cost is
+/// O(appended) + finalize while the retrain rescans everything; the two
+/// models must be bit-identical (the aggregate is algebraic and the view
+/// replays the executor's merge structure exactly).  Records
+/// `BENCH_ingest.json` (never on `--smoke`) with the ≥5× width-100
+/// acceptance cell and the host's CPU-feature metadata.
+fn ingest(full: bool, smoke: bool) {
+    println!("== Streaming ingest: refresh-after-append vs. full retrain (linregr) ==\n");
+    let (shapes, samples): (&[(usize, usize)], usize) = if smoke {
+        (&[(8_000, 20), (4_000, 100)], 1)
+    } else if full {
+        (&[(40_000, 10), (40_000, 100), (200_000, 100)], 5)
+    } else {
+        (&[(40_000, 10), (40_000, 100)], 3)
+    };
+    let segments = 4usize;
+    println!(
+        "active dispatch path: {} (MADLIB_SIMD={}), detected cpu features: {:?}\n",
+        madlib_linalg::kernels::active_path().label(),
+        std::env::var("MADLIB_SIMD").unwrap_or_else(|_| "unset".to_owned()),
+        madlib_linalg::kernels::cpu_features(),
+    );
+    println!(
+        "{:>8}  {:>6}  {:>8}  {:>12}  {:>12}  {:>8}  {:>9}",
+        "# rows", "width", "append", "retrain (s)", "refresh (s)", "speedup", "identical"
+    );
+
+    struct IngestCell {
+        rows: usize,
+        width: usize,
+        appended: usize,
+        retrain_s: f64,
+        refresh_s: f64,
+        bit_identical: bool,
+    }
+    let mut cells: Vec<IngestCell> = Vec::new();
+
+    for &(rows, width) in shapes {
+        let data = datasets::linear_regression_data(rows, width, 0.1, segments, 42).unwrap();
+        let session = Session::new(Database::new(segments).unwrap());
+        session
+            .database()
+            .register_table("events", data.table)
+            .unwrap();
+        let estimator = LinearRegression::new("y", "x");
+        session
+            .train_incremental(&estimator, "events", "ingest_linregr")
+            .unwrap();
+
+        let appended = (rows / 100).max(1);
+        let mut best_refresh = f64::INFINITY;
+        let mut best_retrain = f64::INFINITY;
+        let mut bit_identical = true;
+        let mut total_rows = rows;
+        for sample in 0..samples {
+            // Fresh rows from the same generator; inserted through the raw
+            // table mutator (not `append_rows`) so the refresh itself pays
+            // for the absorb.
+            let batch =
+                datasets::linear_regression_data(appended, width, 0.1, 1, 1_000 + sample as u64)
+                    .unwrap()
+                    .table
+                    .collect_rows();
+            session
+                .database()
+                .with_table_mut("events", |t| {
+                    for r in batch {
+                        t.insert(r)?;
+                    }
+                    Ok(())
+                })
+                .unwrap();
+            total_rows += appended;
+
+            let started = Instant::now();
+            let refreshed = session
+                .refresh(&estimator, "events", "ingest_linregr")
+                .unwrap();
+            best_refresh = best_refresh.min(started.elapsed().as_secs_f64());
+
+            let started = Instant::now();
+            let retrained = session
+                .train(&estimator, &session.dataset("events").unwrap())
+                .unwrap();
+            best_retrain = best_retrain.min(started.elapsed().as_secs_f64());
+
+            bit_identical &= refreshed.num_rows == total_rows as u64
+                && retrained.num_rows == total_rows as u64
+                && refreshed.r2.to_bits() == retrained.r2.to_bits()
+                && refreshed.coef.len() == retrained.coef.len()
+                && refreshed
+                    .coef
+                    .iter()
+                    .zip(&retrained.coef)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+        }
+        println!(
+            "{:>8}  {:>6}  {:>8}  {:>12.4}  {:>12.4}  {:>7.1}x  {:>9}",
+            rows,
+            width,
+            appended,
+            best_retrain,
+            best_refresh,
+            best_retrain / best_refresh,
+            bit_identical,
+        );
+        cells.push(IngestCell {
+            rows,
+            width,
+            appended,
+            retrain_s: best_retrain,
+            refresh_s: best_refresh,
+            bit_identical,
+        });
+    }
+
+    // The PR's acceptance cell: refresh after a 1% append at width 100 must
+    // beat the full retrain by ≥5×, with bit-identical output.  Smoke runs
+    // are CI-scale (finalize dominates at a few thousand rows), so the
+    // acceptance cell is only meaningful — and only printed — at full scale.
+    let acceptance = cells.iter().rfind(|c| c.width == 100);
+    if smoke {
+        println!("\nsmoke scale: acceptance cell evaluated only on full-scale runs");
+    } else if let Some(c) = acceptance {
+        println!(
+            "\nrefresh @ width 100 after 1% append: retrain {:.4}s -> refresh {:.4}s = {:.1}x (acceptance floor 5.0x); bit-identical: {}",
+            c.retrain_s,
+            c.refresh_s,
+            c.retrain_s / c.refresh_s,
+            c.bit_identical,
+        );
+    }
+    for c in &cells {
+        assert!(
+            c.bit_identical,
+            "refresh diverged from full retrain at rows={} width={}",
+            c.rows, c.width
+        );
+    }
+
+    if smoke {
+        println!("\nsmoke run: baseline JSON left untouched\n");
+        return;
+    }
+    let mut json = String::from("{\n  \"experiment\": \"ingest_refresh_vs_retrain\",\n");
+    json.push_str(&host_metadata_json());
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"rows\": {}, \"width\": {}, \"segments\": {}, \"appended_rows\": {}, \"retrain_s\": {:.6}, \"refresh_s\": {:.6}, \"speedup\": {:.4}, \"bit_identical\": {}}}{}\n",
+            c.rows,
+            c.width,
+            segments,
+            c.appended,
+            c.retrain_s,
+            c.refresh_s,
+            c.retrain_s / c.refresh_s,
+            c.bit_identical,
+            if i + 1 < cells.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]");
+    if let Some(c) = acceptance {
+        json.push_str(&format!(
+            ",\n  \"acceptance\": {{\"width\": 100, \"rows\": {}, \"appended_rows\": {}, \"retrain_s\": {:.6}, \"refresh_s\": {:.6}, \"speedup\": {:.4}, \"bit_identical\": {}}}",
+            c.rows,
+            c.appended,
+            c.retrain_s,
+            c.refresh_s,
+            c.retrain_s / c.refresh_s,
+            c.bit_identical,
+        ));
+    }
+    json.push_str("\n}\n");
+    match std::fs::write("BENCH_ingest.json", &json) {
+        Ok(()) => println!("\nbaseline recorded to BENCH_ingest.json\n"),
+        Err(err) => println!("\ncould not write BENCH_ingest.json: {err}\n"),
     }
 }
 

@@ -1123,7 +1123,7 @@ fn granularity_unit_rows(
         .map(|unit| {
             unit.chunks(table.segment(unit.segment))
                 .iter()
-                .map(madlib_engine::RowChunk::len)
+                .map(|chunk| chunk.len())
                 .sum()
         })
         .collect()

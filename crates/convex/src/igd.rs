@@ -385,6 +385,53 @@ mod tests {
     }
 
     #[test]
+    fn warm_start_from_previous_model_converges_in_fewer_epochs() {
+        // The incremental-refresh pattern for IGD: after an append, restart
+        // the epochs from the previous fitted model instead of zeros.  On the
+        // grown table the old optimum is already near the new one, so the
+        // warm start both begins closer (lower initial objective) and
+        // converges in no more epochs than a cold start.
+        let mut table = regression_table(4);
+        let db = Database::new(4).unwrap();
+        let objective = LeastSquaresObjective::new("y", "x", 2);
+        let runner = IgdRunner::new(IgdConfig {
+            max_epochs: 400,
+            tolerance: 1e-10,
+            schedule: StepSchedule::Constant(0.05),
+        });
+        let executor = Executor::new();
+        let cold = runner
+            .run(&executor, &db, &table, &objective, vec![0.0, 0.0])
+            .unwrap();
+
+        // Append 1% new rows from the same generator.
+        for i in 300..303 {
+            let x1 = (i % 17) as f64 / 17.0 - 0.5;
+            let x2 = (i % 11) as f64 / 11.0 - 0.5;
+            table.insert(row![2.0 * x1 - x2, vec![x1, x2]]).unwrap();
+        }
+
+        let warm = runner
+            .run(&executor, &db, &table, &objective, cold.model.clone())
+            .unwrap();
+        let cold_again = runner
+            .run(&executor, &db, &table, &objective, vec![0.0, 0.0])
+            .unwrap();
+
+        assert!(warm.initial_objective_value < cold_again.initial_objective_value);
+        assert!(warm.epochs <= cold_again.epochs);
+        // Both land on the same optimum within the convergence tolerance.
+        for (w, c) in warm.model.iter().zip(&cold_again.model) {
+            assert!(
+                (w - c).abs() < 1e-4,
+                "{:?} vs {:?}",
+                warm.model,
+                cold_again.model
+            );
+        }
+    }
+
+    #[test]
     fn dimension_mismatch_and_empty_table_are_errors() {
         let table = regression_table(2);
         let db = Database::new(2).unwrap();

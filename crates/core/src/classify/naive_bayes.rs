@@ -8,7 +8,10 @@
 //! Chan/Welford update the `madlib-stats` summary uses.
 
 use crate::error::{MethodError, Result};
-use crate::train::{fit_grouped_single_pass, Estimator, GroupedModels, Session};
+use crate::train::{
+    fit_grouped_single_pass, refresh_single_pass, train_incremental_single_pass, Estimator,
+    GroupedModels, IncrementalEstimator, Session,
+};
 use madlib_engine::aggregate::transition_chunk_by_rows;
 use madlib_engine::chunk::ColumnChunk;
 use madlib_engine::dataset::Dataset;
@@ -128,6 +131,25 @@ impl Estimator for NaiveBayes {
         _session: &Session,
     ) -> Result<GroupedModels<NaiveBayesModel>> {
         fit_grouped_single_pass(self, dataset)
+    }
+}
+
+impl IncrementalEstimator for NaiveBayes {
+    /// Registers a materialized view of the per-class count/sum/sum-of-squares
+    /// states; appends refresh the model at O(appended) cost.
+    fn train_incremental(
+        &self,
+        session: &Session,
+        table: &str,
+        name: &str,
+    ) -> Result<NaiveBayesModel> {
+        train_incremental_single_pass(self, session, table, name)
+    }
+
+    /// Absorbs only appended rows and re-finalizes — bit-identical to a full
+    /// retrain (the aggregate is algebraic).
+    fn refresh(&self, session: &Session, table: &str, name: &str) -> Result<NaiveBayesModel> {
+        refresh_single_pass(self, session, table, name)
     }
 }
 

@@ -17,7 +17,7 @@
 
 use crate::cluster::seeding::{seed_centroids, SeedingMethod};
 use crate::error::{MethodError, Result};
-use crate::train::{Estimator, Session};
+use crate::train::{Estimator, IncrementalEstimator, Session};
 use madlib_engine::aggregate::transition_chunk_by_rows;
 use madlib_engine::dataset::Dataset;
 use madlib_engine::iteration::{IterationConfig, IterationController};
@@ -77,6 +77,7 @@ pub struct KMeans {
     reassignment_fraction: f64,
     seeding: SeedingMethod,
     seed: u64,
+    initial_centroids: Option<Vec<Vec<f64>>>,
 }
 
 impl KMeans {
@@ -95,6 +96,7 @@ impl KMeans {
             reassignment_fraction: 0.001,
             seeding: SeedingMethod::KMeansPlusPlus,
             seed: 0,
+            initial_centroids: None,
         })
     }
 
@@ -119,6 +121,17 @@ impl KMeans {
     /// Sets the RNG seed used for seeding.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Warm-starts Lloyd's algorithm from `centroids` instead of running the
+    /// seeding phase — the incremental-refresh path seeds this with the
+    /// previous model's centroids so a refresh after a small append settles
+    /// in a few iterations.  There must be exactly `k` centroids, all of the
+    /// data's dimension (checked at fit time).
+    #[must_use]
+    pub fn with_initial_centroids(mut self, centroids: Vec<Vec<f64>>) -> Self {
+        self.initial_centroids = Some(centroids);
         self
     }
 }
@@ -157,7 +170,18 @@ impl Estimator for KMeans {
                 "inconsistent point dimensions across rows",
             ));
         }
-        let initial = seed_centroids(&points, self.k, self.seeding, self.seed)?;
+        let initial = match &self.initial_centroids {
+            None => seed_centroids(&points, self.k, self.seeding, self.seed)?,
+            Some(centroids) => {
+                if centroids.len() != self.k || centroids.iter().any(|c| c.len() != dims) {
+                    return Err(MethodError::invalid_input(format!(
+                        "initial centroids must be k={} vectors of dimension {dims}",
+                        self.k
+                    )));
+                }
+                centroids.clone()
+            }
+        };
 
         let config = IterationConfig {
             max_iterations: self.max_iterations,
@@ -222,6 +246,34 @@ impl Estimator for KMeans {
             converged: outcome.converged,
             num_points,
         })
+    }
+}
+
+impl IncrementalEstimator for KMeans {
+    /// Fits over the whole table and catalogs the model under `name` so
+    /// later refreshes can warm-start from it.
+    fn train_incremental(&self, session: &Session, table: &str, name: &str) -> Result<KMeansModel> {
+        let model = session.train(self, &session.dataset(table)?)?;
+        session.database().models().register(name, model.clone());
+        Ok(model)
+    }
+
+    /// Re-runs Lloyd's algorithm over the table's current contents, starting
+    /// from the previous model's centroids in the catalog instead of
+    /// re-seeding (cold start when `name` is unknown).  After a small append
+    /// the centroids barely move, so the refresh settles in a few cheap
+    /// iterations; like any k-means restart it converges to a local optimum,
+    /// which warm-starting keeps stable across refreshes.
+    fn refresh(&self, session: &Session, table: &str, name: &str) -> Result<KMeansModel> {
+        let warm = match session.database().models().get::<KMeansModel>(name) {
+            Ok(previous) if previous.centroids.len() == self.k => self
+                .clone()
+                .with_initial_centroids(previous.centroids.clone()),
+            _ => self.clone(),
+        };
+        let model = session.train(&warm, &session.dataset(table)?)?;
+        session.database().models().register(name, model.clone());
+        Ok(model)
     }
 }
 

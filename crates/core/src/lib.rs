@@ -60,4 +60,4 @@ pub mod validate;
 
 pub use error::{MethodError, Result};
 pub use score::{FeatureScorer, Predictor};
-pub use train::{Estimator, GroupedModels, Session};
+pub use train::{Estimator, GroupedModels, IncrementalEstimator, Session};

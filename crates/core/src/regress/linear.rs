@@ -12,7 +12,10 @@
 //! Figure 4 version comparison.
 
 use crate::error::{MethodError, Result};
-use crate::train::{fit_grouped_single_pass, Estimator, GroupedModels, Session};
+use crate::train::{
+    fit_grouped_single_pass, refresh_single_pass, train_incremental_single_pass, Estimator,
+    GroupedModels, IncrementalEstimator, Session,
+};
 use madlib_engine::aggregate::{extract_labeled_point, transition_chunk_by_rows};
 use madlib_engine::dataset::Dataset;
 use madlib_engine::{Aggregate, FinalizeScratch, Row, RowChunk, Schema};
@@ -152,6 +155,25 @@ impl Estimator for LinearRegression {
         _session: &Session,
     ) -> Result<GroupedModels<LinearRegressionModel>> {
         fit_grouped_single_pass(self, dataset)
+    }
+}
+
+impl IncrementalEstimator for LinearRegression {
+    /// Registers a materialized view of the `XᵀX`/`Xᵀy` transition states;
+    /// appends to the source table refresh the model at O(appended) cost.
+    fn train_incremental(
+        &self,
+        session: &Session,
+        table: &str,
+        name: &str,
+    ) -> Result<LinearRegressionModel> {
+        train_incremental_single_pass(self, session, table, name)
+    }
+
+    /// Absorbs only appended rows and re-finalizes — bit-identical to a full
+    /// retrain (the aggregate is algebraic).
+    fn refresh(&self, session: &Session, table: &str, name: &str) -> Result<LinearRegressionModel> {
+        refresh_single_pass(self, session, table, name)
     }
 }
 

@@ -12,7 +12,7 @@
 //! integration tests.
 
 use crate::error::{MethodError, Result};
-use crate::train::{Estimator, Session};
+use crate::train::{Estimator, IncrementalEstimator, Session};
 use madlib_engine::aggregate::{extract_labeled_point, transition_chunk_by_rows};
 use madlib_engine::dataset::Dataset;
 use madlib_engine::iteration::{IterationConfig, IterationController};
@@ -276,6 +276,7 @@ pub struct LogisticRegression {
     max_iterations: usize,
     tolerance: f64,
     ridge: f64,
+    initial_coefficients: Option<Vec<f64>>,
 }
 
 impl LogisticRegression {
@@ -288,7 +289,23 @@ impl LogisticRegression {
             max_iterations: 50,
             tolerance: 1e-8,
             ridge: 1e-8,
+            initial_coefficients: None,
         }
+    }
+
+    /// Warm-starts the IRLS iteration from `coefficients` instead of the
+    /// zero vector — the incremental-refresh path seeds this with the
+    /// previous model's coefficients from the [`madlib_engine::ModelCatalog`]
+    /// so a refresh after a small append converges in a few cheap Newton
+    /// steps.  Newton's method on the (strictly convex, ridge-stabilized)
+    /// IRLS objective converges to the same optimum from any starting point,
+    /// so the warm-started fit agrees with a cold start to within the
+    /// convergence tolerance.  The length must match the feature width at
+    /// fit time.
+    #[must_use]
+    pub fn with_initial_coefficients(mut self, coefficients: Vec<f64>) -> Self {
+        self.initial_coefficients = Some(coefficients);
+        self
     }
 
     /// Sets the maximum number of IRLS iterations.
@@ -335,6 +352,17 @@ impl Estimator for LogisticRegression {
             .map_err(MethodError::from)?
             .len();
 
+        let initial = match &self.initial_coefficients {
+            None => vec![0.0; width],
+            Some(coefficients) if coefficients.len() == width => coefficients.clone(),
+            Some(coefficients) => {
+                return Err(MethodError::invalid_input(format!(
+                    "initial coefficient length {} does not match feature width {width}",
+                    coefficients.len()
+                )))
+            }
+        };
+
         let config = IterationConfig {
             max_iterations: self.max_iterations,
             tolerance: self.tolerance,
@@ -345,7 +373,7 @@ impl Estimator for LogisticRegression {
 
         let outcome = controller
             .run(
-                vec![0.0; width],
+                initial,
                 |beta, _iteration| {
                     let step = IrlsStep {
                         y_column: &self.y_column,
@@ -410,6 +438,47 @@ impl Estimator for LogisticRegression {
             converged: outcome.converged,
             num_rows,
         })
+    }
+}
+
+impl IncrementalEstimator for LogisticRegression {
+    /// Fits over the whole table and catalogs the model under `name` so
+    /// later refreshes can warm-start from it.
+    fn train_incremental(
+        &self,
+        session: &Session,
+        table: &str,
+        name: &str,
+    ) -> Result<LogisticRegressionModel> {
+        let model = session.train(self, &session.dataset(table)?)?;
+        session.database().models().register(name, model.clone());
+        Ok(model)
+    }
+
+    /// Re-fits over the table's current contents, seeding IRLS from the
+    /// previous model's coefficients in the catalog (cold start when `name`
+    /// is unknown).  Converges to the same optimum as a cold fit within the
+    /// solver's tolerance — not bit-identical — in far fewer Newton steps
+    /// after a small append.
+    fn refresh(
+        &self,
+        session: &Session,
+        table: &str,
+        name: &str,
+    ) -> Result<LogisticRegressionModel> {
+        let warm = match session
+            .database()
+            .models()
+            .get::<LogisticRegressionModel>(name)
+        {
+            Ok(previous) => self
+                .clone()
+                .with_initial_coefficients(previous.coef.clone()),
+            Err(_) => self.clone(),
+        };
+        let model = session.train(&warm, &session.dataset(table)?)?;
+        session.database().models().register(name, model.clone());
+        Ok(model)
     }
 }
 

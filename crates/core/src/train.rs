@@ -47,6 +47,7 @@
 use crate::error::{MethodError, Result};
 use madlib_engine::dataset::Dataset;
 use madlib_engine::group::GroupKey;
+use madlib_engine::materialize::MaterializedAggregate;
 use madlib_engine::{Database, Executor, Value};
 
 /// Execution context for training: the executor that runs scans and the
@@ -158,6 +159,48 @@ impl Session {
             self,
         )
     }
+
+    /// Trains a model over the whole catalog table `table`, registers it in
+    /// the model catalog under `name` (`CREATE OR REPLACE` semantics), and
+    /// sets up whatever incremental machinery the estimator maintains —
+    /// materialized partial aggregate states for single-pass estimators,
+    /// just the cataloged model for warm-starting iterative ones.
+    ///
+    /// After rows are appended to `table` (via
+    /// [`Database::append_rows`] or [`Database::with_table_mut`]), call
+    /// [`Session::refresh`] to bring the model up to date without a full
+    /// retrain.
+    ///
+    /// # Errors
+    /// Propagates estimator, table-lookup and registration errors.
+    pub fn train_incremental<E: IncrementalEstimator>(
+        &self,
+        estimator: &E,
+        table: &str,
+        name: &str,
+    ) -> Result<E::Model> {
+        estimator.train_incremental(self, table, name)
+    }
+
+    /// Refreshes the model registered under `name` from the current contents
+    /// of `table`: single-pass estimators absorb only the rows appended
+    /// since the last train/refresh (their materialized states' chunk
+    /// watermarks) and cheaply re-finalize — bit-identical to a full
+    /// retrain; iterative estimators re-fit warm-started from the previous
+    /// model in the catalog — same optimum within the convergence
+    /// tolerance, in far fewer iterations.  The refreshed model replaces the
+    /// cataloged one and is returned.
+    ///
+    /// # Errors
+    /// Propagates estimator, view and catalog errors.
+    pub fn refresh<E: IncrementalEstimator>(
+        &self,
+        estimator: &E,
+        table: &str,
+        name: &str,
+    ) -> Result<E::Model> {
+        estimator.refresh(self, table, name)
+    }
 }
 
 /// A trainable method with the uniform `fit(dataset, session)` signature.
@@ -234,6 +277,133 @@ where
     <E as Estimator>::Model: Send,
 {
     Ok(GroupedModels::new(dataset.aggregate_per_group(estimator)?))
+}
+
+/// An estimator whose model can be maintained under table appends without a
+/// full retrain — the paper's algebraic transition/merge/final contract
+/// applied to *streaming ingest*.
+///
+/// Two maintenance strategies, chosen per estimator:
+///
+/// * **Single-pass** estimators (linear regression, naive Bayes, the
+///   profiler) keep a [`MaterializedAggregate`] view of their partial
+///   transition states registered on the database
+///   ([`Database::register_view`]).  [`IncrementalEstimator::refresh`]
+///   absorbs only the rows appended past the view's chunk watermark and
+///   re-finalizes — bit-identical to a full retrain, at O(appended) cost.
+///   These implement the trait via [`train_incremental_single_pass`] /
+///   [`refresh_single_pass`].
+/// * **Iterative** estimators (logistic regression, k-means) warm-start:
+///   `refresh` re-fits over the whole table but seeds the solver from the
+///   previous model in the [`Database::models`] catalog, converging in far
+///   fewer iterations after a small append (same optimum within the
+///   solver's convergence tolerance, *not* bit-identical).
+///
+/// Both paths register the model under `name` with `CREATE OR REPLACE`
+/// semantics, so [`Database::models`]`().get::<M>(name)` always serves the
+/// latest refresh.
+pub trait IncrementalEstimator: Estimator {
+    /// Trains over the whole catalog table, registers the model under
+    /// `name`, and installs the estimator's incremental machinery.
+    ///
+    /// # Errors
+    /// Propagates fit, table-lookup and registration errors.
+    fn train_incremental(&self, session: &Session, table: &str, name: &str) -> Result<Self::Model>;
+
+    /// Brings the model registered under `name` up to date with `table`'s
+    /// current contents (see the trait docs for the per-strategy cost and
+    /// equivalence guarantees).  Falls back to
+    /// [`IncrementalEstimator::train_incremental`] when `name` was never
+    /// trained in this session.
+    ///
+    /// # Errors
+    /// Propagates fit, view and catalog errors.
+    fn refresh(&self, session: &Session, table: &str, name: &str) -> Result<Self::Model>;
+}
+
+/// The database view name backing the incremental model `name` — namespaced
+/// so it cannot collide with user-registered views.
+pub fn incremental_view_name(model_name: &str) -> String {
+    format!("__incremental::{model_name}")
+}
+
+/// [`IncrementalEstimator::train_incremental`] for single-pass aggregating
+/// estimators: registers a [`MaterializedAggregate`] view of the estimator's
+/// transition states over `table`, absorbs the table's current rows, and
+/// finalizes + catalogs the model.  Replaces any previous view/model of the
+/// same `name`.
+///
+/// # Errors
+/// Propagates table-lookup, absorb and finalize errors.
+pub fn train_incremental_single_pass<E>(
+    estimator: &E,
+    session: &Session,
+    table: &str,
+    name: &str,
+) -> Result<<E as Estimator>::Model>
+where
+    E: Estimator + madlib_engine::Aggregate<Output = <E as Estimator>::Model>,
+    E: Clone + Send + 'static,
+    <E as madlib_engine::Aggregate>::State: Clone + 'static,
+    <E as Estimator>::Model: Clone + Send + Sync + 'static,
+{
+    let view = MaterializedAggregate::new(estimator.clone(), session.executor());
+    session
+        .database()
+        .register_view(&incremental_view_name(name), table, Box::new(view))?;
+    finalize_single_pass::<E>(session, name)
+}
+
+/// [`IncrementalEstimator::refresh`] for single-pass aggregating estimators:
+/// absorbs rows appended past the view's watermark, re-finalizes, and
+/// replaces the cataloged model.  Falls back to
+/// [`train_incremental_single_pass`] when no view exists (e.g. a fresh
+/// session refreshing a name it never trained).
+///
+/// # Errors
+/// Propagates absorb, finalize and catalog errors.
+pub fn refresh_single_pass<E>(
+    estimator: &E,
+    session: &Session,
+    table: &str,
+    name: &str,
+) -> Result<<E as Estimator>::Model>
+where
+    E: Estimator + madlib_engine::Aggregate<Output = <E as Estimator>::Model>,
+    E: Clone + Send + 'static,
+    <E as madlib_engine::Aggregate>::State: Clone + 'static,
+    <E as Estimator>::Model: Clone + Send + Sync + 'static,
+{
+    if !session.database().has_view(&incremental_view_name(name)) {
+        return train_incremental_single_pass(estimator, session, table, name);
+    }
+    finalize_single_pass::<E>(session, name)
+}
+
+/// Catches the view backing `name` up to its source table and re-finalizes,
+/// registering the resulting model under `name`.
+fn finalize_single_pass<E>(session: &Session, name: &str) -> Result<<E as Estimator>::Model>
+where
+    E: Estimator + madlib_engine::Aggregate<Output = <E as Estimator>::Model>,
+    E: Clone + Send + 'static,
+    <E as madlib_engine::Aggregate>::State: Clone + 'static,
+    <E as Estimator>::Model: Clone + Send + Sync + 'static,
+{
+    let model = session
+        .database()
+        .refresh_view(&incremental_view_name(name), |state| {
+            state
+                .as_any_mut()
+                .downcast_mut::<MaterializedAggregate<E>>()
+                .ok_or_else(|| {
+                    madlib_engine::EngineError::invalid(format!(
+                        "materialized view backing model {name:?} holds a different aggregate type"
+                    ))
+                })?
+                .finalize()
+        })?;
+    session.database().models().register(name, model.clone());
+    Ok(model)
 }
 
 /// One model per group, keyed by the typed [`GroupKey`]s of the grouped

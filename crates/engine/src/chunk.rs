@@ -21,6 +21,7 @@ use crate::error::{EngineError, Result};
 use crate::row::Row;
 use crate::schema::{ColumnType, Schema};
 use crate::value::Value;
+use std::sync::Arc;
 
 /// Number of rows a chunk holds before the table seals it and starts the
 /// next one.  1 024 rows × 8 bytes keeps a scalar column inside L1 and a
@@ -1116,9 +1117,17 @@ impl RowChunk {
 ///
 /// All chunks except possibly the last hold exactly the table's chunk
 /// capacity; inserts append to the last chunk and seal it when full.
+///
+/// Chunks live behind [`Arc`] so that cloning a segment — the heart of a
+/// [`Database::table`](crate::database::Database::table) snapshot read —
+/// shares every chunk's buffers instead of deep-copying them.  Sealed
+/// (full) chunks are immutable by the invariant above, so sharing is
+/// always safe; only the open tail chunk is ever mutated, via
+/// [`Arc::make_mut`], which copies the (at most one chunk's worth of)
+/// tail rows exactly when a snapshot still holds the same allocation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Segment {
-    chunks: Vec<RowChunk>,
+    chunks: Vec<Arc<RowChunk>>,
     rows: usize,
 }
 
@@ -1142,7 +1151,7 @@ impl Segment {
     }
 
     /// The chunks, in insertion order.
-    pub fn chunks(&self) -> &[RowChunk] {
+    pub fn chunks(&self) -> &[Arc<RowChunk>] {
         &self.chunks
     }
 
@@ -1163,22 +1172,25 @@ impl Segment {
             Some(last) => last.len() >= chunk_capacity,
         };
         if needs_new_chunk {
-            self.chunks.push(RowChunk::new(schema));
+            self.chunks.push(Arc::new(RowChunk::new(schema)));
         }
-        self.chunks
-            .last_mut()
-            .expect("chunk just ensured")
-            .push_values(values)?;
+        // Copy-on-write: clones the open tail chunk only when a snapshot
+        // still shares it; sealed chunks are never reached here.
+        Arc::make_mut(self.chunks.last_mut().expect("chunk just ensured")).push_values(values)?;
         self.rows += 1;
         Ok(())
     }
 
     /// Removes all rows, keeping the segment itself.
     pub(crate) fn clear(&mut self) {
-        // Keep one cleared chunk to reuse its buffers on the next insert.
+        // Keep one cleared chunk to reuse its buffers on the next insert —
+        // unless a snapshot still shares it, in which case drop it (the
+        // snapshot keeps the rows; clearing in place would corrupt it).
         self.chunks.truncate(1);
-        if let Some(first) = self.chunks.first_mut() {
-            first.clear();
+        match self.chunks.first_mut().map(Arc::get_mut) {
+            Some(Some(first)) => first.clear(),
+            Some(None) => self.chunks.clear(),
+            None => {}
         }
         self.rows = 0;
     }

@@ -7,38 +7,102 @@
 //! regular tables, temp tables (dropped on [`Database::drop_temp_tables`]),
 //! and a default segment count that new tables inherit (the analogue of the
 //! cluster's segment configuration).
+//!
+//! # Locking
+//!
+//! The catalog map itself is guarded by one `RwLock`, but each table lives
+//! behind its **own** `Arc<RwLock<Table>>`: catalog operations (create,
+//! drop, lookup) take the catalog lock only long enough to touch the map,
+//! and every table read or mutation happens under that table's private
+//! lock.  A long append to table A therefore never blocks a snapshot read
+//! of table B — the failure mode of the earlier design, where
+//! [`Database::with_table_mut`] held the catalog-wide write lock for its
+//! closure's full duration.
+//!
+//! # Snapshot isolation
+//!
+//! [`Database::table`] and [`Database::dataset`] return a *snapshot*: a
+//! clone of the table taken under its read lock.  Because a
+//! [`crate::chunk::Segment`]'s chunks sit behind `Arc`, the clone shares
+//! every sealed chunk buffer with the cataloged table (pointer identity, no
+//! copy) and only the open tail chunk is copied lazily when a later append
+//! mutates it (`Arc::make_mut`).  Appends committed *after* the snapshot
+//! was taken are never visible to it, and the snapshot stays valid after
+//! the table is dropped — the read-committed snapshot semantics the paper's
+//! method drivers assume of `source_table`.
 
 use crate::catalog::ModelCatalog;
 use crate::error::{EngineError, Result};
+use crate::materialize::AnyMaterialized;
+use crate::row::Row;
 use crate::schema::Schema;
 use crate::table::{Distribution, Table};
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct CatalogEntry {
-    table: Table,
+    table: Arc<RwLock<Table>>,
     is_temp: bool,
+}
+
+/// A registered materialized aggregate: the type-erased incremental state
+/// plus the source table it watches.
+struct ViewEntry {
+    source: String,
+    state: Arc<Mutex<Box<dyn AnyMaterialized>>>,
 }
 
 /// An in-memory database: named tables partitioned across a configurable
 /// number of segments.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Database {
     inner: Arc<RwLock<HashMap<String, CatalogEntry>>>,
+    views: Arc<RwLock<HashMap<String, ViewEntry>>>,
     models: ModelCatalog,
+    temp_counter: Arc<AtomicU64>,
     num_segments: usize,
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("num_segments", &self.num_segments)
+            .field("tables", &self.list_tables().len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Recovers a read guard from a poisoned lock: catalog and table mutations
+/// cannot leave their data half-written, so propagating the panic as a
+/// second panic would only lose information.
+fn read_lock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write_lock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|e| e.into_inner())
 }
 
 impl Database {
     fn read(&self) -> RwLockReadGuard<'_, HashMap<String, CatalogEntry>> {
-        // Catalog mutations cannot leave the map in a half-written state, so
-        // recover from poisoning instead of propagating the panic.
-        self.inner.read().unwrap_or_else(|e| e.into_inner())
+        read_lock(&self.inner)
     }
 
     fn write(&self) -> RwLockWriteGuard<'_, HashMap<String, CatalogEntry>> {
-        self.inner.write().unwrap_or_else(|e| e.into_inner())
+        write_lock(&self.inner)
+    }
+
+    /// Looks up a table's lock handle, holding the catalog lock only for the
+    /// map probe.
+    fn entry(&self, name: &str) -> Result<Arc<RwLock<Table>>> {
+        self.read()
+            .get(name)
+            .map(|e| Arc::clone(&e.table))
+            .ok_or_else(|| EngineError::TableNotFound {
+                name: name.to_owned(),
+            })
     }
 
     /// Creates a database whose tables default to `num_segments` partitions.
@@ -51,7 +115,9 @@ impl Database {
         }
         Ok(Self {
             inner: Arc::new(RwLock::new(HashMap::new())),
+            views: Arc::new(RwLock::new(HashMap::new())),
             models: ModelCatalog::new(),
+            temp_counter: Arc::new(AtomicU64::new(1)),
             num_segments,
         })
     }
@@ -102,24 +168,28 @@ impl Database {
     }
 
     /// Creates an empty temp table under `base` or, when that name is taken,
-    /// the first free `base_1`, `base_2`, ... — returning the name actually
-    /// used.  Probe and create happen under one catalog write lock, so
-    /// concurrent callers (e.g. parallel per-group iterative fits sharing an
-    /// iteration-state base name) always receive distinct tables; the old
-    /// probe-then-create dance in callers raced between the two steps.
+    /// `base_<n>` for a database-wide monotonic counter `n` — returning the
+    /// name actually used.  Probe and create happen under one catalog write
+    /// lock, so concurrent callers (e.g. parallel per-group iterative fits
+    /// sharing an iteration-state base name) always receive distinct tables.
+    ///
+    /// The counter advances monotonically and is never reused, so a burst of
+    /// k concurrent fits costs O(k) probes total — the earlier
+    /// `base_1, base_2, ...` linear re-probe was O(k²) across many live
+    /// per-group iteration tables and could collide semantically with a
+    /// same-named regular table that happened to end in `_<i>`.
     ///
     /// # Errors
     /// Propagates table-construction errors.
     pub fn create_unique_temp_table(&self, base: &str, schema: Schema) -> Result<String> {
         let mut catalog = self.write();
         let name = if catalog.contains_key(base) {
-            let mut i = 1usize;
             loop {
-                let candidate = format!("{base}_{i}");
+                let n = self.temp_counter.fetch_add(1, Ordering::Relaxed);
+                let candidate = format!("{base}_{n}");
                 if !catalog.contains_key(&candidate) {
                     break candidate;
                 }
-                i += 1;
             }
         } else {
             base.to_owned()
@@ -128,7 +198,7 @@ impl Database {
         catalog.insert(
             name.clone(),
             CatalogEntry {
-                table,
+                table: Arc::new(RwLock::new(table)),
                 is_temp: true,
             },
         );
@@ -149,7 +219,13 @@ impl Database {
             });
         }
         let table = Table::with_distribution(schema, self.num_segments, distribution)?;
-        catalog.insert(name.to_owned(), CatalogEntry { table, is_temp });
+        catalog.insert(
+            name.to_owned(),
+            CatalogEntry {
+                table: Arc::new(RwLock::new(table)),
+                is_temp,
+            },
+        );
         Ok(())
     }
 
@@ -168,28 +244,28 @@ impl Database {
         catalog.insert(
             name.to_owned(),
             CatalogEntry {
-                table,
+                table: Arc::new(RwLock::new(table)),
                 is_temp: false,
             },
         );
         Ok(())
     }
 
-    /// Returns a clone of the named table.
+    /// Returns a snapshot of the named table.
     ///
-    /// Cloning keeps the API simple and mirrors a snapshot read; method
-    /// drivers operate on the snapshot and write results back under a new
-    /// name.
+    /// The snapshot is taken under the table's read lock and is **cheap**:
+    /// sealed chunk buffers are shared with the cataloged table by `Arc`
+    /// (pointer identity, no copy); only segment/chunk bookkeeping is
+    /// cloned.  Appends committed after this call are invisible to the
+    /// snapshot, and the snapshot outlives a later `drop_table` — see the
+    /// module-level *Snapshot isolation* notes.
     ///
     /// # Errors
     /// Returns [`EngineError::TableNotFound`] for an unknown name.
     pub fn table(&self, name: &str) -> Result<Table> {
-        self.read()
-            .get(name)
-            .map(|e| e.table.clone())
-            .ok_or_else(|| EngineError::TableNotFound {
-                name: name.to_owned(),
-            })
+        let entry = self.entry(name)?;
+        let guard = read_lock(&entry);
+        Ok(guard.clone())
     }
 
     /// Whether the named table exists.
@@ -211,6 +287,9 @@ impl Database {
     /// Applies a mutation to the named table in place (insert rows, truncate,
     /// etc.).
     ///
+    /// Only the named table's own write lock is held while `mutate` runs —
+    /// reads and writes of *other* tables proceed concurrently.
+    ///
     /// # Errors
     /// Returns [`EngineError::TableNotFound`] for an unknown name and
     /// propagates errors from the mutation closure.
@@ -219,13 +298,26 @@ impl Database {
         name: &str,
         mutate: impl FnOnce(&mut Table) -> Result<T>,
     ) -> Result<T> {
-        let mut catalog = self.write();
-        let entry = catalog
-            .get_mut(name)
-            .ok_or_else(|| EngineError::TableNotFound {
-                name: name.to_owned(),
-            })?;
-        mutate(&mut entry.table)
+        let entry = self.entry(name)?;
+        let mut guard = write_lock(&entry);
+        mutate(&mut guard)
+    }
+
+    /// Appends rows to the named table and advances every materialized
+    /// aggregate registered on it (each absorbs exactly the newly appended
+    /// rows via its chunk watermark — history is not rescanned).
+    ///
+    /// # Errors
+    /// Returns [`EngineError::TableNotFound`] for an unknown name and
+    /// propagates insert / transition errors.
+    pub fn append_rows(&self, name: &str, rows: impl IntoIterator<Item = Row>) -> Result<()> {
+        self.with_table_mut(name, |t| {
+            for row in rows {
+                t.insert(row)?;
+            }
+            Ok(())
+        })?;
+        self.absorb_views_of(name)
     }
 
     /// Replaces the contents of the named table with `table` (the
@@ -235,13 +327,9 @@ impl Database {
     /// # Errors
     /// Returns [`EngineError::TableNotFound`] for an unknown name.
     pub fn replace_table(&self, name: &str, table: Table) -> Result<()> {
-        let mut catalog = self.write();
-        let entry = catalog
-            .get_mut(name)
-            .ok_or_else(|| EngineError::TableNotFound {
-                name: name.to_owned(),
-            })?;
-        entry.table = table;
+        let entry = self.entry(name)?;
+        let mut guard = write_lock(&entry);
+        *guard = table;
         Ok(())
     }
 
@@ -265,6 +353,91 @@ impl Database {
         let before = catalog.len();
         catalog.retain(|_, e| !e.is_temp);
         before - catalog.len()
+    }
+
+    /// Registers a materialized aggregate under `view`, watching `source`,
+    /// replacing any previous view of the same name (`CREATE OR REPLACE`
+    /// semantics, matching [`ModelCatalog::register`]).  The state should
+    /// already have absorbed (or be about to absorb) the source's current
+    /// contents; [`Database::refresh_view`] catches up either way.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::TableNotFound`] when `source` does not exist.
+    pub fn register_view(
+        &self,
+        view: &str,
+        source: &str,
+        state: Box<dyn AnyMaterialized>,
+    ) -> Result<()> {
+        if !self.has_table(source) {
+            return Err(EngineError::TableNotFound {
+                name: source.to_owned(),
+            });
+        }
+        write_lock(&self.views).insert(
+            view.to_owned(),
+            ViewEntry {
+                source: source.to_owned(),
+                state: Arc::new(Mutex::new(state)),
+            },
+        );
+        Ok(())
+    }
+
+    /// Whether a materialized view of this name exists.
+    pub fn has_view(&self, view: &str) -> bool {
+        read_lock(&self.views).contains_key(view)
+    }
+
+    /// Drops the named materialized view, returning whether it existed.
+    pub fn drop_view(&self, view: &str) -> bool {
+        write_lock(&self.views).remove(view).is_some()
+    }
+
+    /// Catches the named view up to its source table's current contents
+    /// (absorbing only rows past its watermark) and hands the up-to-date
+    /// state to `with`.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::ModelNotFound`] for an unknown view,
+    /// [`EngineError::TableNotFound`] when the source table was dropped, and
+    /// propagates absorb errors.
+    pub fn refresh_view<T>(
+        &self,
+        view: &str,
+        with: impl FnOnce(&mut dyn AnyMaterialized) -> Result<T>,
+    ) -> Result<T> {
+        let (source, state) = {
+            let views = read_lock(&self.views);
+            let entry = views.get(view).ok_or_else(|| EngineError::ModelNotFound {
+                name: view.to_owned(),
+                group: None,
+            })?;
+            (entry.source.clone(), Arc::clone(&entry.state))
+        };
+        let snapshot = self.table(&source)?;
+        let mut guard = state.lock().unwrap_or_else(|e| e.into_inner());
+        guard.absorb(&snapshot)?;
+        with(guard.as_mut())
+    }
+
+    /// Absorbs the current contents of `table` into every view registered on
+    /// it (called by [`Database::append_rows`] after the insert commits).
+    fn absorb_views_of(&self, table: &str) -> Result<()> {
+        let watching: Vec<Arc<Mutex<Box<dyn AnyMaterialized>>>> = read_lock(&self.views)
+            .values()
+            .filter(|e| e.source == table)
+            .map(|e| Arc::clone(&e.state))
+            .collect();
+        if watching.is_empty() {
+            return Ok(());
+        }
+        let snapshot = self.table(table)?;
+        for state in watching {
+            let mut guard = state.lock().unwrap_or_else(|e| e.into_inner());
+            guard.absorb(&snapshot)?;
+        }
+        Ok(())
     }
 }
 
@@ -361,5 +534,132 @@ mod tests {
         db2.with_table_mut("shared", |t| t.insert(row![1i64, 1.0]))
             .unwrap();
         assert_eq!(db.table("shared").unwrap().row_count(), 1);
+    }
+
+    /// Snapshots share sealed chunk buffers with the cataloged table by
+    /// pointer identity — no copy — while the open tail chunk is
+    /// copy-on-write: appending after the snapshot un-shares only the tail.
+    #[test]
+    fn snapshot_shares_sealed_chunks_by_pointer() {
+        let db = Database::new(1).unwrap();
+        let mut t = Table::new(schema(), 1)
+            .unwrap()
+            .with_chunk_capacity(4)
+            .unwrap();
+        for i in 0..10 {
+            t.insert(row![i as i64, i as f64]).unwrap();
+        }
+        db.register_table("data", t).unwrap();
+
+        let snap = db.table("data").unwrap();
+        let live = db.table("data").unwrap();
+        // 10 rows at capacity 4 → chunks of 4, 4, 2: two sealed + open tail.
+        let a = snap.segment(0).chunks();
+        let b = live.segment(0).chunks();
+        assert_eq!(a.len(), 3);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!(Arc::ptr_eq(x, y), "snapshot must share chunk buffers");
+        }
+
+        // An append after the snapshot is invisible to it and un-shares
+        // only the tail chunk.
+        db.with_table_mut("data", |t| t.insert(row![99i64, 99.0]))
+            .unwrap();
+        assert_eq!(snap.row_count(), 10);
+        let after = db.table("data").unwrap();
+        let c = after.segment(0).chunks();
+        assert!(Arc::ptr_eq(&a[0], &c[0]));
+        assert!(Arc::ptr_eq(&a[1], &c[1]));
+        assert!(
+            !Arc::ptr_eq(&a[2], &c[2]),
+            "tail chunk must be copy-on-write"
+        );
+        assert_eq!(a[2].len(), 2);
+        assert_eq!(c[2].len(), 3);
+    }
+
+    /// A long-running mutation of table A must not block a snapshot read of
+    /// unrelated table B (per-table locks, not a catalog-wide write lock).
+    #[test]
+    fn append_to_one_table_does_not_block_scans_of_another() {
+        use std::sync::mpsc;
+        use std::time::Duration;
+
+        let db = Database::new(2).unwrap();
+        db.create_table("a", schema()).unwrap();
+        db.create_table("b", schema()).unwrap();
+        db.with_table_mut("b", |t| t.insert(row![1i64, 1.0]))
+            .unwrap();
+
+        // Holds table A's write lock until told to release.
+        let (entered_tx, entered_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let db_writer = db.clone();
+        let writer = std::thread::spawn(move || {
+            db_writer
+                .with_table_mut("a", |t| {
+                    entered_tx.send(()).unwrap();
+                    release_rx
+                        .recv_timeout(Duration::from_secs(10))
+                        .expect("released");
+                    t.insert(row![2i64, 2.0])
+                })
+                .unwrap();
+        });
+        entered_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("writer entered closure");
+
+        // With table A mid-append, a scan of table B must complete.
+        let (scanned_tx, scanned_rx) = mpsc::channel();
+        let db_reader = db.clone();
+        let reader = std::thread::spawn(move || {
+            let rows = db_reader.table("b").unwrap().row_count();
+            scanned_tx.send(rows).unwrap();
+        });
+        let rows = scanned_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("scan of b must not wait on a's append");
+        assert_eq!(rows, 1);
+        reader.join().unwrap();
+
+        release_tx.send(()).unwrap();
+        writer.join().unwrap();
+        assert_eq!(db.table("a").unwrap().row_count(), 1);
+    }
+
+    /// The unique-temp-table counter is monotonic: names never repeat, a
+    /// same-named regular table is never shadowed, and concurrent callers
+    /// (the shape of parallel per-group IRLS fits sharing a state base name)
+    /// all receive distinct tables.
+    #[test]
+    fn unique_temp_tables_under_concurrency() {
+        let db = Database::new(1).unwrap();
+        db.create_table("iter_state", schema()).unwrap();
+
+        let names: Vec<String> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let db = db.clone();
+                    scope.spawn(move || {
+                        (0..16)
+                            .map(|_| db.create_unique_temp_table("iter_state", schema()).unwrap())
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        let mut unique: std::collections::HashSet<&str> =
+            names.iter().map(String::as_str).collect();
+        assert_eq!(unique.len(), names.len(), "temp names must be distinct");
+        unique.insert("iter_state");
+        assert_eq!(unique.len(), names.len() + 1, "base name never reused");
+        // Dropping the temps leaves the regular table untouched.
+        assert_eq!(db.drop_temp_tables(), names.len());
+        assert!(db.has_table("iter_state"));
     }
 }

@@ -667,7 +667,7 @@ fn flush_bucket<A: Aggregate>(
 
 fn run_segment_grouped_chunked<A: Aggregate>(
     aggregate: &A,
-    chunks: &[RowChunk],
+    chunks: &[std::sync::Arc<RowChunk>],
     schema: &Schema,
     group_indices: &[usize],
     filter: Option<&Predicate>,

@@ -16,6 +16,7 @@
 //! | Driver UDF + temp tables for iteration  | [`iteration::IterationController`] + [`Database`] temp tables |
 //! | Templated queries over arbitrary schemas| [`template`] schema introspection |
 //! | In-database scoring (the macro-thesis applied to serving) | [`score::Scorer`] + [`dataset::Dataset::score`] / [`dataset::Dataset::score_per_group`] / [`dataset::Dataset::top_k_by_score`], models resolved from the [`catalog::ModelCatalog`] in [`Database::models`] |
+//! | Streaming ingest + incremental model maintenance (algebraic transition/merge/final under appends) | [`Database::append_rows`] + [`materialize::MaterializedAggregate`] chunk-watermark views (registered via [`Database::register_view`], refreshed via [`Database::refresh_view`]; `madlib_core::train` surfaces them as `Session::train_incremental` / `Session::refresh`) |
 //!
 //! The old `Executor::aggregate_filtered` / `aggregate_grouped` /
 //! `aggregate_grouped_filtered` method matrix has been **removed**:
@@ -37,7 +38,11 @@
 //!   [`chunk::RowChunk`]s.  A scalar `double precision` column is one
 //!   contiguous `f64` buffer per chunk; a `double precision[]` feature-vector
 //!   column is one flattened buffer plus an offset table; every column
-//!   carries a [`chunk::NullBitmap`].
+//!   carries a [`chunk::NullBitmap`].  Chunks sit behind `Arc`: sealed
+//!   (full) chunks are immutable and shared by snapshot reads
+//!   ([`Database::table`] / [`Database::dataset`] clone bookkeeping only,
+//!   never buffers), while the open tail chunk is copy-on-write under
+//!   append — see the snapshot-isolation notes on [`database`].
 //! * **Aggregates** — [`Aggregate::transition_chunk`] receives a whole chunk.
 //!   The default implementation materializes rows and calls the per-row
 //!   [`Aggregate::transition`], so existing aggregates work unchanged; hot
@@ -91,6 +96,7 @@ pub mod executor;
 pub mod expr;
 pub mod group;
 pub mod iteration;
+pub mod materialize;
 pub mod row;
 pub mod scan;
 pub mod schema;
@@ -107,6 +113,7 @@ pub use dataset::Dataset;
 pub use error::{EngineError, Result};
 pub use executor::{ExecutionMode, Executor};
 pub use group::{GroupKey, KeyPart};
+pub use materialize::{AnyMaterialized, MaterializedAggregate};
 pub use row::Row;
 pub use scan::{ScanBatch, StealGranularity};
 pub use schema::{Column, ColumnType, Schema};

@@ -59,7 +59,7 @@ use crate::row::Row;
 use crate::schema::Schema;
 use crate::table::Table;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// One batch of filter-surviving rows handed to a scan sink: either a whole
 /// chunk that passed the predicate untouched, or a compacted copy of the
@@ -121,7 +121,7 @@ where
 /// # Errors
 /// Propagates predicate-evaluation errors and errors returned by `sink`.
 pub fn scan_chunks<F>(
-    chunks: &[RowChunk],
+    chunks: &[Arc<RowChunk>],
     schema: &Schema,
     filter: Option<&Predicate>,
     mut sink: F,
@@ -131,6 +131,7 @@ where
 {
     let mut stats = SegmentScanStats::default();
     for chunk in chunks {
+        let chunk: &RowChunk = chunk;
         if chunk.is_empty() {
             continue;
         }
@@ -330,7 +331,7 @@ pub struct ChunkRange {
 impl ChunkRange {
     /// The range's chunks within `segment` (which must be the segment the
     /// range was decomposed from).
-    pub fn chunks<'a>(&self, segment: &'a Segment) -> &'a [RowChunk] {
+    pub fn chunks<'a>(&self, segment: &'a Segment) -> &'a [Arc<RowChunk>] {
         &segment.chunks()[self.chunk_lo..self.chunk_hi]
     }
 }

@@ -613,7 +613,7 @@ fn model_not_found(name: &str, key: &GroupKey) -> EngineError {
 /// row positions.
 fn score_chunks_grouped<S: Scorer>(
     scorers: &GroupScorers<S>,
-    chunks: &[RowChunk],
+    chunks: &[std::sync::Arc<RowChunk>],
     schema: &Schema,
     group_indices: &[usize],
     filter: Option<&crate::expr::Predicate>,

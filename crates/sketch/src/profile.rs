@@ -22,12 +22,15 @@
 use crate::countmin::CountMinSketch;
 use crate::fm::FlajoletMartin;
 use crate::quantile::QuantileSummary;
-use madlib_core::train::{Estimator, GroupedModels, Session};
+use madlib_core::train::{
+    incremental_view_name, Estimator, GroupedModels, IncrementalEstimator, Session,
+};
 use madlib_engine::chunk::ColumnChunk;
 use madlib_engine::dataset::Dataset;
 use madlib_engine::template::{describe_schema, ColumnInfo, ColumnRole};
 use madlib_engine::{
-    Aggregate, EngineError, Executor, Result, Row, RowChunk, Schema, Table, Value,
+    Aggregate, EngineError, Executor, MaterializedAggregate, Result, Row, RowChunk, Schema, Table,
+    Value,
 };
 use madlib_stats::descriptive::FrequencyTable;
 use madlib_stats::Summary;
@@ -489,6 +492,61 @@ impl Estimator for Profiler {
             &ProfileAggregate::new(dataset.schema()),
         )?))
     }
+}
+
+impl IncrementalEstimator for Profiler {
+    /// Registers a materialized view of the per-column accumulators
+    /// (summaries, quantile sketches, FM/CM sketches, frequency tables);
+    /// appends to the source table refresh the profile at O(appended) cost.
+    fn train_incremental(
+        &self,
+        session: &Session,
+        table: &str,
+        name: &str,
+    ) -> madlib_core::Result<TableProfile> {
+        // The templated step: the aggregate's state shape is a function of
+        // the source table's schema at registration time.
+        let schema = session.database().table(table)?.schema().clone();
+        let view = MaterializedAggregate::new(ProfileAggregate::new(&schema), session.executor());
+        session
+            .database()
+            .register_view(&incremental_view_name(name), table, Box::new(view))?;
+        refresh_profile_view(session, name)
+    }
+
+    /// Absorbs only appended rows and re-finalizes — bit-identical to a full
+    /// re-profile (every accumulator is mergeable).
+    fn refresh(
+        &self,
+        session: &Session,
+        table: &str,
+        name: &str,
+    ) -> madlib_core::Result<TableProfile> {
+        if !session.database().has_view(&incremental_view_name(name)) {
+            return self.train_incremental(session, table, name);
+        }
+        refresh_profile_view(session, name)
+    }
+}
+
+/// Catches the profile view backing `name` up to its source table,
+/// re-finalizes, and registers the profile in the model catalog.
+fn refresh_profile_view(session: &Session, name: &str) -> madlib_core::Result<TableProfile> {
+    let profile = session
+        .database()
+        .refresh_view(&incremental_view_name(name), |state| {
+            state
+                .as_any_mut()
+                .downcast_mut::<MaterializedAggregate<ProfileAggregate>>()
+                .ok_or_else(|| {
+                    EngineError::invalid(format!(
+                        "materialized view backing profile {name:?} holds a different aggregate type"
+                    ))
+                })?
+                .finalize()
+        })?;
+    session.database().models().register(name, profile.clone());
+    Ok(profile)
 }
 
 #[cfg(test)]
