@@ -12,6 +12,7 @@
 //! cargo run -p madlib-bench --bin repro --release -- kernels [--full|--smoke]
 //! cargo run -p madlib-bench --bin repro --release -- predict [--full|--smoke]
 //! cargo run -p madlib-bench --bin repro --release -- ingest [--full|--smoke]
+//! cargo run -p madlib-bench --bin repro --release -- durability [--full|--smoke]
 //! ```
 //!
 //! With `--full` the Figure 4/5 sweeps use the paper's variable counts
@@ -68,6 +69,7 @@ fn main() {
         "kernels" => kernels(full, smoke),
         "predict" => predict(full, smoke),
         "ingest" => ingest(full, smoke),
+        "durability" => durability(full, smoke),
         "all" => {
             figure4(full);
             figure5(full);
@@ -82,10 +84,11 @@ fn main() {
             kernels(full, smoke);
             predict(full, smoke);
             ingest(full, smoke);
+            durability(full, smoke);
         }
         other => {
             eprintln!("unknown experiment: {other}");
-            eprintln!("expected one of: figure4 figure5 table1 table2 table3 logistic kmeans overhead rowchunk grouped kernels predict ingest all");
+            eprintln!("expected one of: figure4 figure5 table1 table2 table3 logistic kmeans overhead rowchunk grouped kernels predict ingest durability all");
             std::process::exit(2);
         }
     }
@@ -535,6 +538,175 @@ fn ingest(full: bool, smoke: bool) {
     match std::fs::write("BENCH_ingest.json", &json) {
         Ok(()) => println!("\nbaseline recorded to BENCH_ingest.json\n"),
         Err(err) => println!("\ncould not write BENCH_ingest.json: {err}\n"),
+    }
+}
+
+/// Durability: group-commit WAL throughput vs. one fsync per append, and
+/// recovery time as a function of WAL length.  Concurrent appenders hammer
+/// one table; with group commit the leader batches every queued record into
+/// a single `write` + `fsync`, so the fsync cost amortizes across the
+/// group, while the per-append mode pays one fsync per record (the paper's
+/// host DBMS default).  Records `BENCH_durability.json` (never on
+/// `--smoke`) with the ≥3× 64-appender acceptance cell.  The scratch
+/// directory lives under `target/` — real filesystem, not tmpfs, so the
+/// fsyncs being amortized are real ones.
+fn durability(full: bool, smoke: bool) {
+    println!("== Durability: group-commit WAL vs. per-append fsync, recovery replay ==\n");
+    let (appenders, batches, recovery_rows): (usize, usize, &[usize]) = if smoke {
+        (8, 10, &[2_000])
+    } else if full {
+        (64, 50, &[10_000, 40_000, 160_000])
+    } else {
+        (64, 25, &[10_000, 40_000])
+    };
+    let rows_per_batch = 4usize;
+    let segments = 4usize;
+    let schema = Schema::new(vec![
+        Column::new("id", ColumnType::Int),
+        Column::new("v", ColumnType::Double),
+    ]);
+    let bench_root = std::path::PathBuf::from("target/durability_bench");
+
+    // -- Group commit vs. per-append fsync at `appenders` concurrent writers.
+    let run_commit = |group: bool| -> f64 {
+        let dir = bench_root.join(if group { "group" } else { "per_append" });
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let db = Database::open(&dir, segments).unwrap();
+        db.set_group_commit(group);
+        db.create_table("events", schema.clone()).unwrap();
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            for tid in 0..appenders {
+                let db = &db;
+                scope.spawn(move || {
+                    for b in 0..batches {
+                        let base = (tid * batches + b) * rows_per_batch;
+                        db.append_rows(
+                            "events",
+                            (0..rows_per_batch).map(|i| row![(base + i) as i64, (base + i) as f64]),
+                        )
+                        .unwrap();
+                    }
+                });
+            }
+        });
+        let elapsed = started.elapsed().as_secs_f64();
+        assert_eq!(
+            db.table("events").unwrap().row_count(),
+            appenders * batches * rows_per_batch,
+        );
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+        elapsed
+    };
+    let per_fsync_s = run_commit(false);
+    let group_s = run_commit(true);
+    let total_appends = (appenders * batches) as f64;
+    let speedup = per_fsync_s / group_s;
+    println!(
+        "{:>10}  {:>8}  {:>16}  {:>16}  {:>8}",
+        "appenders", "appends", "per-fsync (a/s)", "group (a/s)", "speedup"
+    );
+    println!(
+        "{:>10}  {:>8}  {:>16.0}  {:>16.0}  {:>7.1}x",
+        appenders,
+        appenders * batches,
+        total_appends / per_fsync_s,
+        total_appends / group_s,
+        speedup,
+    );
+
+    // -- Recovery time vs. WAL length (appends only, no checkpoint: the
+    // whole state is replayed from the log).
+    struct RecoveryCell {
+        rows: usize,
+        wal_bytes: u64,
+        recover_s: f64,
+    }
+    let mut recovery: Vec<RecoveryCell> = Vec::new();
+    println!(
+        "\n{:>10}  {:>12}  {:>12}  {:>14}",
+        "# rows", "wal bytes", "recover (s)", "rows/s"
+    );
+    for &rows in recovery_rows {
+        let dir = bench_root.join(format!("recovery_{rows}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let wal_bytes;
+        {
+            let db = Database::open(&dir, segments).unwrap();
+            db.create_table("events", schema.clone()).unwrap();
+            for start in (0..rows).step_by(500) {
+                let end = (start + 500).min(rows);
+                db.append_rows("events", (start..end).map(|i| row![i as i64, i as f64]))
+                    .unwrap();
+            }
+            wal_bytes = db.wal_durable_len().unwrap();
+        }
+        let started = Instant::now();
+        let recovered = Database::recover(&dir).unwrap();
+        let recover_s = started.elapsed().as_secs_f64();
+        assert_eq!(recovered.table("events").unwrap().row_count(), rows);
+        drop(recovered);
+        let _ = std::fs::remove_dir_all(&dir);
+        println!(
+            "{:>10}  {:>12}  {:>12.4}  {:>14.0}",
+            rows,
+            wal_bytes,
+            recover_s,
+            rows as f64 / recover_s,
+        );
+        recovery.push(RecoveryCell {
+            rows,
+            wal_bytes,
+            recover_s,
+        });
+    }
+    let _ = std::fs::remove_dir_all(&bench_root);
+
+    if smoke {
+        println!("\nsmoke scale: acceptance cell evaluated only on full-scale runs");
+        println!("\nsmoke run: baseline JSON left untouched\n");
+        return;
+    }
+    println!(
+        "\ngroup commit @ {appenders} appenders: per-fsync {per_fsync_s:.4}s -> group {group_s:.4}s = {speedup:.1}x (acceptance floor 3.0x)"
+    );
+
+    let mut json = String::from("{\n  \"experiment\": \"durability_wal\",\n");
+    json.push_str(&host_metadata_json());
+    json.push_str(&format!(
+        "  \"commit\": {{\"appenders\": {}, \"batches_per_appender\": {}, \"rows_per_batch\": {}, \"per_fsync_s\": {:.6}, \"group_s\": {:.6}, \"per_fsync_appends_per_s\": {:.1}, \"group_appends_per_s\": {:.1}, \"speedup\": {:.4}}},\n",
+        appenders,
+        batches,
+        rows_per_batch,
+        per_fsync_s,
+        group_s,
+        total_appends / per_fsync_s,
+        total_appends / group_s,
+        speedup,
+    ));
+    json.push_str("  \"recovery\": [\n");
+    for (i, c) in recovery.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"rows\": {}, \"wal_bytes\": {}, \"recover_s\": {:.6}, \"rows_per_s\": {:.0}}}{}\n",
+            c.rows,
+            c.wal_bytes,
+            c.recover_s,
+            c.rows as f64 / c.recover_s,
+            if i + 1 < recovery.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"acceptance\": {{\"appenders\": {}, \"per_fsync_s\": {:.6}, \"group_s\": {:.6}, \"speedup\": {:.4}, \"floor\": 3.0}}\n",
+        appenders, per_fsync_s, group_s, speedup,
+    ));
+    json.push_str("}\n");
+    match std::fs::write("BENCH_durability.json", &json) {
+        Ok(()) => println!("\nbaseline recorded to BENCH_durability.json\n"),
+        Err(err) => println!("\ncould not write BENCH_durability.json: {err}\n"),
     }
 }
 

@@ -83,6 +83,36 @@ impl NullBitmap {
         self.nulls > 0
     }
 
+    /// The packed bitmap words (persistence reads them directly; bit `i` of
+    /// the concatenated words is row `i`'s NULL flag).
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a bitmap from persisted words, recomputing the null count.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::Storage`] when the word count does not match
+    /// `len` or bits past `len` are set (corrupt persisted data).
+    pub(crate) fn from_raw(words: Vec<u64>, len: usize) -> Result<Self> {
+        if words.len() != len.div_ceil(64) {
+            return Err(EngineError::storage(
+                "null bitmap",
+                format!("{} words cannot cover {len} rows", words.len()),
+            ));
+        }
+        let tail = len % 64;
+        if tail != 0 {
+            if let Some(last) = words.last() {
+                if last & !((1u64 << tail) - 1) != 0 {
+                    return Err(EngineError::storage("null bitmap", "bits set past length"));
+                }
+            }
+        }
+        let nulls = words.iter().map(|w| w.count_ones() as usize).sum();
+        Ok(Self { words, len, nulls })
+    }
+
     fn pop(&mut self) {
         debug_assert!(self.len > 0);
         self.len -= 1;
@@ -1103,6 +1133,14 @@ impl RowChunk {
         Ok(())
     }
 
+    /// Reassembles a chunk from persisted column buffers.  Callers (the
+    /// recovery path) must supply columns that all cover exactly `len` rows;
+    /// the decoder validates this before calling.
+    pub(crate) fn from_parts(len: usize, columns: Vec<ColumnChunk>) -> Self {
+        debug_assert!(columns.iter().all(|c| c.nulls().len() == len));
+        Self { len, columns }
+    }
+
     /// Removes all rows, keeping each column's grown buffers for reuse (the
     /// grouped scan's staging buckets clear and refill across flushes).
     pub(crate) fn clear(&mut self) {
@@ -1138,6 +1176,13 @@ impl Segment {
             chunks: Vec::new(),
             rows: 0,
         }
+    }
+
+    /// Reassembles a segment from recovered chunks (persisted sealed chunks
+    /// followed by the manifest's tail chunk), recomputing the row count.
+    pub(crate) fn from_chunks(chunks: Vec<Arc<RowChunk>>) -> Self {
+        let rows = chunks.iter().map(|c| c.len()).sum();
+        Self { chunks, rows }
     }
 
     /// Number of rows in the segment.

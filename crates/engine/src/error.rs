@@ -73,6 +73,25 @@ pub enum EngineError {
         /// when the name itself was missing.
         group: Option<String>,
     },
+    /// A durable-storage operation failed: an I/O error on the WAL, snapshot
+    /// or manifest files, or on-disk corruption detected during recovery.
+    Storage {
+        /// Description of the failure (operation context plus the underlying
+        /// I/O or corruption detail).
+        message: String,
+    },
+    /// Rows were appended and **committed**, but one or more materialized
+    /// views registered on the table failed to absorb them.  The insert is
+    /// durable and must not be retried (a retry would double-append); the
+    /// failed views have been marked for rebuild and will re-absorb from
+    /// scratch on their next refresh.
+    ViewAbsorbFailed {
+        /// The table the rows were appended to.
+        table: String,
+        /// `(view name, error message)` for every view whose absorb failed,
+        /// sorted by view name.
+        failures: Vec<(String, String)>,
+    },
 }
 
 impl EngineError {
@@ -88,6 +107,14 @@ impl EngineError {
     pub fn invalid<E: fmt::Display>(err: E) -> Self {
         EngineError::InvalidArgument {
             message: err.to_string(),
+        }
+    }
+
+    /// Helper for constructing [`EngineError::Storage`] with operation
+    /// context prepended to the underlying failure.
+    pub fn storage<E: fmt::Display>(context: &str, err: E) -> Self {
+        EngineError::Storage {
+            message: format!("{context}: {err}"),
         }
     }
 }
@@ -124,6 +151,18 @@ impl fmt::Display for EngineError {
                 Some(group) => write!(f, "model not found: {name} has no model for group {group}"),
                 None => write!(f, "model not found: {name}"),
             },
+            EngineError::Storage { message } => write!(f, "storage error: {message}"),
+            EngineError::ViewAbsorbFailed { table, failures } => {
+                write!(
+                    f,
+                    "rows appended to {table} committed, but {} view(s) failed to absorb them:",
+                    failures.len()
+                )?;
+                for (view, err) in failures {
+                    write!(f, " {view}: {err};")?;
+                }
+                Ok(())
+            }
         }
     }
 }

@@ -80,6 +80,12 @@ pub trait AnyMaterialized: Send {
     /// Propagates transition and predicate errors.
     fn absorb(&mut self, table: &Table) -> Result<()>;
 
+    /// Flags the view so its next absorb rebuilds from scratch instead of
+    /// trusting the retained states.  [`crate::Database`] sets this after a
+    /// failed absorb, whose partial transitions may have left states
+    /// inconsistent with the watermark.
+    fn mark_needs_rebuild(&mut self);
+
     /// The concrete [`MaterializedAggregate`], for downcasting.
     fn as_any(&self) -> &dyn Any;
 
@@ -132,6 +138,14 @@ pub struct MaterializedAggregate<A: Aggregate> {
     /// a segment into one unit (whole-segment granularity).
     chunks_per_unit: usize,
     segments: Vec<SegmentStates<A::State>>,
+    /// Lifecycle generation of the table incarnation the watermarks
+    /// describe ([`Table::generation`]); a mismatch on absorb proves the
+    /// source was dropped/recreated, replaced or truncated, and forces a
+    /// rebuild even when the new incarnation has at least as many chunks.
+    source_generation: Option<u64>,
+    /// Set when a failed absorb may have left states inconsistent with the
+    /// watermark; the next absorb rebuilds from scratch.
+    needs_rebuild: bool,
 }
 
 impl<A: Aggregate> std::fmt::Debug for MaterializedAggregate<A> {
@@ -164,6 +178,8 @@ where
             group_columns: Vec::new(),
             chunks_per_unit,
             segments: Vec::new(),
+            source_generation: None,
+            needs_rebuild: false,
         }
     }
 
@@ -196,6 +212,12 @@ where
         !self.group_columns.is_empty()
     }
 
+    /// Whether the next absorb will rebuild from scratch (a failed absorb
+    /// marked the retained states untrustworthy).
+    pub fn needs_rebuild(&self) -> bool {
+        self.needs_rebuild
+    }
+
     /// Absorbs every row of `table` past the per-segment watermarks —
     /// O(new rows).  Safe to call repeatedly and after arbitrary appends; a
     /// segment that shrank since the last absorb is rebuilt from scratch.
@@ -209,6 +231,16 @@ where
             .iter()
             .map(|c| schema.index_of(c))
             .collect::<Result<_>>()?;
+        let generation = table.generation();
+        if self.needs_rebuild || self.source_generation != Some(generation) {
+            // A different table incarnation (drop/recreate, replace,
+            // truncate — possibly with *more* chunks than the watermark, so
+            // shrink detection alone would wrongly absorb its suffix), or a
+            // previous absorb failed mid-transition: start over.
+            self.segments.clear();
+            self.needs_rebuild = false;
+            self.source_generation = Some(generation);
+        }
         if self.segments.len() != table.num_segments() {
             // Repartitioned (or first absorb): start over.
             self.segments = (0..table.num_segments())
@@ -216,7 +248,12 @@ where
                 .collect();
         }
         for seg in 0..table.num_segments() {
-            self.absorb_segment(seg, table.segment(seg), schema, &group_indices)?;
+            if let Err(e) = self.absorb_segment(seg, table.segment(seg), schema, &group_indices) {
+                // The failed transition may have folded some rows in without
+                // advancing the watermark; only a rebuild is safe now.
+                self.needs_rebuild = true;
+                return Err(e);
+            }
         }
         Ok(())
     }
@@ -437,6 +474,10 @@ where
 {
     fn absorb(&mut self, table: &Table) -> Result<()> {
         MaterializedAggregate::absorb(self, table)
+    }
+
+    fn mark_needs_rebuild(&mut self) {
+        self.needs_rebuild = true;
     }
 
     fn as_any(&self) -> &dyn Any {

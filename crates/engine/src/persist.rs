@@ -1,0 +1,1278 @@
+//! On-disk formats and snapshot persistence for the durability layer.
+//!
+//! Three kinds of files live in a database directory, all built from one
+//! checksummed frame codec (`[u32 payload length][u64 checksum][payload]`,
+//! FNV-1a over the payload):
+//!
+//! * **`wal.log`** — the write-ahead log ([`crate::wal`]).  Each frame's
+//!   payload is a [`WalRecord`]: the logical operation (create / drop /
+//!   append / truncate / put-table) with rows encoded value-by-value.
+//! * **`table_<id>_seg_<n>.chunks`** — per-segment snapshot files.  Each
+//!   frame's payload is one serialized sealed [`RowChunk`] (column-major
+//!   buffers, null-bitmap words, array offset tables; `f64`s stored as raw
+//!   bits so recovery is bit-identical).  A sealed chunk is immutable by
+//!   construction, so checkpoints *append* each newly sealed chunk exactly
+//!   once and never rewrite a file — unless the table's generation changed
+//!   (truncate/replace), which starts a fresh file id.
+//! * **`MANIFEST`** — the checkpoint root: WAL epoch + replay offset, and
+//!   per table the schema, distribution, chunk capacity, round-robin
+//!   cursor, per-segment persisted-chunk counts and the (possibly open)
+//!   tail chunk inline.  Written to `MANIFEST.tmp`, fsynced, renamed, then
+//!   the directory is fsynced — so the manifest is always either the old or
+//!   the new checkpoint, never torn.
+//!
+//! The checkpoint ordering is what makes WAL truncation crash-safe: the
+//! manifest recording `(epoch N, offset)` becomes durable *before* the WAL
+//! is reset to epoch `N + 1`.  Recovery therefore accepts exactly two WAL
+//! epochs — `N` (reset never happened: replay from the recorded offset) and
+//! `N + 1` (reset happened: replay from the header) — and treats anything
+//! else as corruption.
+
+use crate::chunk::{ColumnChunk, NullBitmap, RowChunk, Segment};
+use crate::error::{EngineError, Result};
+use crate::schema::{Column, ColumnType, Schema};
+use crate::table::Distribution;
+use crate::value::Value;
+use crate::wal::Wal;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// File magic identifying a manifest and its format version.
+const MANIFEST_MAGIC: &[u8; 8] = b"MADMAN01";
+
+// ---------------------------------------------------------------------------
+// Frame codec
+// ---------------------------------------------------------------------------
+
+/// FNV-1a 64-bit hash — the record checksum.  Not cryptographic; it detects
+/// torn writes and random corruption, which is the failure model here.
+pub(crate) fn checksum64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Wraps a payload in a `[u32 len][u64 checksum][payload]` frame.
+pub(crate) fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&checksum64(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Result of parsing one frame at a byte offset.
+pub(crate) enum FrameParse<'a> {
+    /// A complete, checksum-valid frame; `next` is the following offset.
+    Frame {
+        /// The frame's payload bytes.
+        payload: &'a [u8],
+        /// Offset of the byte after this frame.
+        next: usize,
+    },
+    /// No further valid frame: end of buffer, a short (torn) frame, or a
+    /// checksum mismatch.  Scanning must stop — frame boundaries after an
+    /// invalid frame cannot be trusted.
+    End,
+}
+
+/// Parses the frame starting at `pos`, if a complete valid one is present.
+pub(crate) fn parse_frame(bytes: &[u8], pos: usize) -> FrameParse<'_> {
+    if pos + 12 > bytes.len() {
+        return FrameParse::End;
+    }
+    let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+    let sum = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().expect("8 bytes"));
+    let start = pos + 12;
+    let Some(end) = start.checked_add(len) else {
+        return FrameParse::End;
+    };
+    if end > bytes.len() {
+        return FrameParse::End;
+    }
+    let payload = &bytes[start..end];
+    if checksum64(payload) != sum {
+        return FrameParse::End;
+    }
+    FrameParse::Frame { payload, next: end }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive encoders / decoder
+// ---------------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    // Raw bits, so NaN payloads and signed zeros survive bit-identically.
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn corrupt(what: &str) -> EngineError {
+    EngineError::Storage {
+        message: format!("corrupt persisted data: {what}"),
+    }
+}
+
+/// Cursor over a decoded payload; every read is bounds-checked and surfaces
+/// [`EngineError::Storage`] instead of panicking on truncated data.
+pub(crate) struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(corrupt("unexpected end of payload"));
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn str(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| corrupt("invalid utf-8 string"))
+    }
+
+    /// A collection count, sanity-bounded so a corrupt count cannot drive a
+    /// huge allocation: each element occupies at least `min_element_bytes`.
+    fn count(&mut self, min_element_bytes: usize) -> Result<usize> {
+        let n = self.u32()? as usize;
+        if min_element_bytes > 0 && n > self.remaining() / min_element_bytes {
+            return Err(corrupt("collection count exceeds payload size"));
+        }
+        Ok(n)
+    }
+
+    fn finish(&self) -> Result<()> {
+        if self.pos != self.bytes.len() {
+            return Err(corrupt("trailing bytes after payload"));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Value / schema / distribution codecs
+// ---------------------------------------------------------------------------
+
+fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(0),
+        Value::Bool(b) => {
+            out.push(1);
+            out.push(*b as u8);
+        }
+        Value::Int(i) => {
+            out.push(2);
+            put_i64(out, *i);
+        }
+        Value::Double(d) => {
+            out.push(3);
+            put_f64(out, *d);
+        }
+        Value::Text(s) => {
+            out.push(4);
+            put_str(out, s);
+        }
+        Value::DoubleArray(xs) => {
+            out.push(5);
+            put_u32(out, xs.len() as u32);
+            for x in xs {
+                put_f64(out, *x);
+            }
+        }
+        Value::IntArray(xs) => {
+            out.push(6);
+            put_u32(out, xs.len() as u32);
+            for x in xs {
+                put_i64(out, *x);
+            }
+        }
+        Value::TextArray(xs) => {
+            out.push(7);
+            put_u32(out, xs.len() as u32);
+            for x in xs {
+                put_str(out, x);
+            }
+        }
+    }
+}
+
+fn read_value(r: &mut ByteReader<'_>) -> Result<Value> {
+    Ok(match r.u8()? {
+        0 => Value::Null,
+        1 => Value::Bool(r.u8()? != 0),
+        2 => Value::Int(r.i64()?),
+        3 => Value::Double(r.f64()?),
+        4 => Value::Text(r.str()?),
+        5 => {
+            let n = r.count(8)?;
+            let mut xs = Vec::with_capacity(n);
+            for _ in 0..n {
+                xs.push(r.f64()?);
+            }
+            Value::DoubleArray(xs)
+        }
+        6 => {
+            let n = r.count(8)?;
+            let mut xs = Vec::with_capacity(n);
+            for _ in 0..n {
+                xs.push(r.i64()?);
+            }
+            Value::IntArray(xs)
+        }
+        7 => {
+            let n = r.count(4)?;
+            let mut xs = Vec::with_capacity(n);
+            for _ in 0..n {
+                xs.push(r.str()?);
+            }
+            Value::TextArray(xs)
+        }
+        t => return Err(corrupt(&format!("unknown value tag {t}"))),
+    })
+}
+
+fn type_tag(t: ColumnType) -> u8 {
+    match t {
+        ColumnType::Bool => 0,
+        ColumnType::Int => 1,
+        ColumnType::Double => 2,
+        ColumnType::Text => 3,
+        ColumnType::DoubleArray => 4,
+        ColumnType::TextArray => 5,
+        ColumnType::IntArray => 6,
+    }
+}
+
+fn tag_type(t: u8) -> Result<ColumnType> {
+    Ok(match t {
+        0 => ColumnType::Bool,
+        1 => ColumnType::Int,
+        2 => ColumnType::Double,
+        3 => ColumnType::Text,
+        4 => ColumnType::DoubleArray,
+        5 => ColumnType::TextArray,
+        6 => ColumnType::IntArray,
+        t => return Err(corrupt(&format!("unknown column type tag {t}"))),
+    })
+}
+
+fn put_schema(out: &mut Vec<u8>, schema: &Schema) {
+    put_u32(out, schema.arity() as u32);
+    for col in schema.columns() {
+        put_str(out, &col.name);
+        out.push(type_tag(col.column_type));
+    }
+}
+
+fn read_schema(r: &mut ByteReader<'_>) -> Result<Schema> {
+    let n = r.count(5)?;
+    let mut columns = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = r.str()?;
+        let column_type = tag_type(r.u8()?)?;
+        columns.push(Column::new(name, column_type));
+    }
+    Ok(Schema::new(columns))
+}
+
+fn put_distribution(out: &mut Vec<u8>, d: &Distribution) {
+    match d {
+        Distribution::RoundRobin => out.push(0),
+        Distribution::HashColumn(name) => {
+            out.push(1);
+            put_str(out, name);
+        }
+    }
+}
+
+fn read_distribution(r: &mut ByteReader<'_>) -> Result<Distribution> {
+    Ok(match r.u8()? {
+        0 => Distribution::RoundRobin,
+        1 => Distribution::HashColumn(r.str()?),
+        t => return Err(corrupt(&format!("unknown distribution tag {t}"))),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Chunk codec
+// ---------------------------------------------------------------------------
+
+fn put_bitmap(out: &mut Vec<u8>, nulls: &NullBitmap) {
+    let words = nulls.words();
+    put_u32(out, words.len() as u32);
+    for w in words {
+        put_u64(out, *w);
+    }
+}
+
+fn read_bitmap(r: &mut ByteReader<'_>, rows: usize) -> Result<NullBitmap> {
+    let n = r.count(8)?;
+    let mut words = Vec::with_capacity(n);
+    for _ in 0..n {
+        words.push(r.u64()?);
+    }
+    NullBitmap::from_raw(words, rows)
+}
+
+fn put_offsets(out: &mut Vec<u8>, offsets: &[usize]) {
+    put_u32(out, offsets.len() as u32);
+    for o in offsets {
+        put_u64(out, *o as u64);
+    }
+}
+
+fn read_offsets(r: &mut ByteReader<'_>, rows: usize, total_values: usize) -> Result<Vec<usize>> {
+    let n = r.count(8)?;
+    if n != rows + 1 {
+        return Err(corrupt("offset table length mismatch"));
+    }
+    let mut offsets = Vec::with_capacity(n);
+    for _ in 0..n {
+        offsets.push(r.u64()? as usize);
+    }
+    if offsets.first() != Some(&0)
+        || offsets.last() != Some(&total_values)
+        || offsets.windows(2).any(|w| w[0] > w[1])
+    {
+        return Err(corrupt("offset table not monotone over the values buffer"));
+    }
+    Ok(offsets)
+}
+
+fn put_column(out: &mut Vec<u8>, column: &ColumnChunk) {
+    match column {
+        ColumnChunk::Bool { values, nulls } => {
+            out.push(type_tag(ColumnType::Bool));
+            for v in values {
+                out.push(*v as u8);
+            }
+            put_bitmap(out, nulls);
+        }
+        ColumnChunk::Int { values, nulls } => {
+            out.push(type_tag(ColumnType::Int));
+            for v in values {
+                put_i64(out, *v);
+            }
+            put_bitmap(out, nulls);
+        }
+        ColumnChunk::Double { values, nulls } => {
+            out.push(type_tag(ColumnType::Double));
+            for v in values {
+                put_f64(out, *v);
+            }
+            put_bitmap(out, nulls);
+        }
+        ColumnChunk::Text { values, nulls } => {
+            out.push(type_tag(ColumnType::Text));
+            for v in values {
+                put_str(out, v);
+            }
+            put_bitmap(out, nulls);
+        }
+        ColumnChunk::DoubleArray {
+            values,
+            offsets,
+            nulls,
+        } => {
+            out.push(type_tag(ColumnType::DoubleArray));
+            put_u32(out, values.len() as u32);
+            for v in values {
+                put_f64(out, *v);
+            }
+            put_offsets(out, offsets);
+            put_bitmap(out, nulls);
+        }
+        ColumnChunk::IntArray {
+            values,
+            offsets,
+            nulls,
+        } => {
+            out.push(type_tag(ColumnType::IntArray));
+            put_u32(out, values.len() as u32);
+            for v in values {
+                put_i64(out, *v);
+            }
+            put_offsets(out, offsets);
+            put_bitmap(out, nulls);
+        }
+        ColumnChunk::TextArray {
+            values,
+            offsets,
+            nulls,
+        } => {
+            out.push(type_tag(ColumnType::TextArray));
+            put_u32(out, values.len() as u32);
+            for v in values {
+                put_str(out, v);
+            }
+            put_offsets(out, offsets);
+            put_bitmap(out, nulls);
+        }
+    }
+}
+
+fn read_column(r: &mut ByteReader<'_>, rows: usize) -> Result<ColumnChunk> {
+    Ok(match tag_type(r.u8()?)? {
+        ColumnType::Bool => {
+            let mut values = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                values.push(r.u8()? != 0);
+            }
+            let nulls = read_bitmap(r, rows)?;
+            ColumnChunk::Bool { values, nulls }
+        }
+        ColumnType::Int => {
+            let mut values = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                values.push(r.i64()?);
+            }
+            let nulls = read_bitmap(r, rows)?;
+            ColumnChunk::Int { values, nulls }
+        }
+        ColumnType::Double => {
+            let mut values = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                values.push(r.f64()?);
+            }
+            let nulls = read_bitmap(r, rows)?;
+            ColumnChunk::Double { values, nulls }
+        }
+        ColumnType::Text => {
+            let mut values = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                values.push(r.str()?);
+            }
+            let nulls = read_bitmap(r, rows)?;
+            ColumnChunk::Text { values, nulls }
+        }
+        ColumnType::DoubleArray => {
+            let n = r.count(8)?;
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                values.push(r.f64()?);
+            }
+            let offsets = read_offsets(r, rows, n)?;
+            let nulls = read_bitmap(r, rows)?;
+            ColumnChunk::DoubleArray {
+                values,
+                offsets,
+                nulls,
+            }
+        }
+        ColumnType::IntArray => {
+            let n = r.count(8)?;
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                values.push(r.i64()?);
+            }
+            let offsets = read_offsets(r, rows, n)?;
+            let nulls = read_bitmap(r, rows)?;
+            ColumnChunk::IntArray {
+                values,
+                offsets,
+                nulls,
+            }
+        }
+        ColumnType::TextArray => {
+            let n = r.count(4)?;
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                values.push(r.str()?);
+            }
+            let offsets = read_offsets(r, rows, n)?;
+            let nulls = read_bitmap(r, rows)?;
+            ColumnChunk::TextArray {
+                values,
+                offsets,
+                nulls,
+            }
+        }
+    })
+}
+
+/// Serializes a chunk: row count, arity, then each column's buffers.
+pub(crate) fn encode_chunk(chunk: &RowChunk) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u32(&mut out, chunk.len() as u32);
+    put_u32(&mut out, chunk.arity() as u32);
+    for column in chunk.columns() {
+        put_column(&mut out, column);
+    }
+    out
+}
+
+/// Decodes a chunk serialized by [`encode_chunk`], validating that every
+/// column covers exactly the declared row count.
+pub(crate) fn decode_chunk(payload: &[u8]) -> Result<RowChunk> {
+    let mut r = ByteReader::new(payload);
+    let rows = r.u32()? as usize;
+    let arity = r.u32()? as usize;
+    if arity > payload.len() {
+        return Err(corrupt("chunk arity exceeds payload size"));
+    }
+    let mut columns = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        let column = read_column(&mut r, rows)?;
+        if column.nulls().len() != rows {
+            return Err(corrupt("column row count mismatch"));
+        }
+        columns.push(column);
+    }
+    r.finish()?;
+    Ok(RowChunk::from_parts(rows, columns))
+}
+
+// ---------------------------------------------------------------------------
+// WAL records
+// ---------------------------------------------------------------------------
+
+/// One logical operation in the write-ahead log.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum WalRecord {
+    /// `Database::create_table` (and the chunk-capacity variant).
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Table schema.
+        schema: Schema,
+        /// Distribution policy.
+        distribution: Distribution,
+        /// Rows per chunk.
+        chunk_capacity: u64,
+    },
+    /// `Database::drop_table`.
+    DropTable {
+        /// Table name.
+        name: String,
+    },
+    /// One `Database::append_rows` call — the whole batch is one record, so
+    /// a torn group commit can never surface part of a batch.
+    Append {
+        /// Target table.
+        table: String,
+        /// The appended rows, in insertion order.
+        rows: Vec<Vec<Value>>,
+    },
+    /// `Database::truncate_table`.
+    Truncate {
+        /// Target table.
+        table: String,
+    },
+    /// Wholesale contents replacement (`replace_table` / `register_table`):
+    /// schema, metadata and every row, per segment so that replay
+    /// reproduces the exact chunk layout.
+    PutTable {
+        /// Table name.
+        name: String,
+        /// Table schema.
+        schema: Schema,
+        /// Distribution policy.
+        distribution: Distribution,
+        /// Rows per chunk.
+        chunk_capacity: u64,
+        /// Round-robin cursor to restore.
+        next_round_robin: u64,
+        /// Per-segment rows, in insertion order.
+        segments: Vec<Vec<Vec<Value>>>,
+    },
+}
+
+fn put_rows(out: &mut Vec<u8>, rows: &[Vec<Value>]) {
+    put_u32(out, rows.len() as u32);
+    for row in rows {
+        put_u32(out, row.len() as u32);
+        for v in row {
+            put_value(out, v);
+        }
+    }
+}
+
+fn read_rows(r: &mut ByteReader<'_>) -> Result<Vec<Vec<Value>>> {
+    let n = r.count(4)?;
+    let mut rows = Vec::with_capacity(n);
+    for _ in 0..n {
+        let arity = r.count(1)?;
+        let mut row = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            row.push(read_value(r)?);
+        }
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+/// Serializes a WAL record payload.
+pub(crate) fn encode_record(record: &WalRecord) -> Vec<u8> {
+    let mut out = Vec::new();
+    match record {
+        WalRecord::CreateTable {
+            name,
+            schema,
+            distribution,
+            chunk_capacity,
+        } => {
+            out.push(1);
+            put_str(&mut out, name);
+            put_schema(&mut out, schema);
+            put_distribution(&mut out, distribution);
+            put_u64(&mut out, *chunk_capacity);
+        }
+        WalRecord::DropTable { name } => {
+            out.push(2);
+            put_str(&mut out, name);
+        }
+        WalRecord::Append { table, rows } => {
+            out.push(3);
+            put_str(&mut out, table);
+            put_rows(&mut out, rows);
+        }
+        WalRecord::Truncate { table } => {
+            out.push(4);
+            put_str(&mut out, table);
+        }
+        WalRecord::PutTable {
+            name,
+            schema,
+            distribution,
+            chunk_capacity,
+            next_round_robin,
+            segments,
+        } => {
+            out.push(5);
+            put_str(&mut out, name);
+            put_schema(&mut out, schema);
+            put_distribution(&mut out, distribution);
+            put_u64(&mut out, *chunk_capacity);
+            put_u64(&mut out, *next_round_robin);
+            put_u32(&mut out, segments.len() as u32);
+            for segment in segments {
+                put_rows(&mut out, segment);
+            }
+        }
+    }
+    out
+}
+
+/// Decodes a WAL record payload.
+pub(crate) fn decode_record(payload: &[u8]) -> Result<WalRecord> {
+    let mut r = ByteReader::new(payload);
+    let record = match r.u8()? {
+        1 => WalRecord::CreateTable {
+            name: r.str()?,
+            schema: read_schema(&mut r)?,
+            distribution: read_distribution(&mut r)?,
+            chunk_capacity: r.u64()?,
+        },
+        2 => WalRecord::DropTable { name: r.str()? },
+        3 => WalRecord::Append {
+            table: r.str()?,
+            rows: read_rows(&mut r)?,
+        },
+        4 => WalRecord::Truncate { table: r.str()? },
+        5 => {
+            let name = r.str()?;
+            let schema = read_schema(&mut r)?;
+            let distribution = read_distribution(&mut r)?;
+            let chunk_capacity = r.u64()?;
+            let next_round_robin = r.u64()?;
+            let n = r.count(4)?;
+            let mut segments = Vec::with_capacity(n);
+            for _ in 0..n {
+                segments.push(read_rows(&mut r)?);
+            }
+            WalRecord::PutTable {
+                name,
+                schema,
+                distribution,
+                chunk_capacity,
+                next_round_robin,
+                segments,
+            }
+        }
+        t => return Err(corrupt(&format!("unknown wal record tag {t}"))),
+    };
+    r.finish()?;
+    Ok(record)
+}
+
+// ---------------------------------------------------------------------------
+// Manifest
+// ---------------------------------------------------------------------------
+
+/// One segment's persistence record inside the manifest.
+pub(crate) struct ManifestSegment {
+    /// Sealed chunks already written to the segment's chunk file.
+    pub persisted_chunks: u64,
+    /// The segment's last chunk at checkpoint time (open tail or the most
+    /// recent sealed chunk), stored inline — it may still grow, so it is
+    /// never written to the append-only chunk file.
+    pub tail: Option<RowChunk>,
+}
+
+/// One table's persistence record inside the manifest.
+pub(crate) struct ManifestTable {
+    /// Table name.
+    pub name: String,
+    /// Identifier naming the table's chunk files.
+    pub file_id: u64,
+    /// Table schema.
+    pub schema: Schema,
+    /// Distribution policy.
+    pub distribution: Distribution,
+    /// Rows per chunk.
+    pub chunk_capacity: u64,
+    /// Round-robin cursor at checkpoint time.
+    pub next_round_robin: u64,
+    /// Per-segment chunk bookkeeping.
+    pub segments: Vec<ManifestSegment>,
+}
+
+/// The checkpoint root: everything recovery needs besides the WAL tail.
+pub(crate) struct Manifest {
+    /// WAL epoch the `wal_offset` refers to.
+    pub epoch: u64,
+    /// Byte offset in the epoch's WAL from which replay must resume.
+    pub wal_offset: u64,
+    /// The database's default segment count.
+    pub num_segments: u64,
+    /// Next unused chunk-file id.
+    pub next_file_id: u64,
+    /// Every non-temporary table at checkpoint time.
+    pub tables: Vec<ManifestTable>,
+}
+
+fn encode_manifest(m: &Manifest) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u64(&mut out, m.epoch);
+    put_u64(&mut out, m.wal_offset);
+    put_u64(&mut out, m.num_segments);
+    put_u64(&mut out, m.next_file_id);
+    put_u32(&mut out, m.tables.len() as u32);
+    for t in &m.tables {
+        put_str(&mut out, &t.name);
+        put_u64(&mut out, t.file_id);
+        put_schema(&mut out, &t.schema);
+        put_distribution(&mut out, &t.distribution);
+        put_u64(&mut out, t.chunk_capacity);
+        put_u64(&mut out, t.next_round_robin);
+        put_u32(&mut out, t.segments.len() as u32);
+        for s in &t.segments {
+            put_u64(&mut out, s.persisted_chunks);
+            match &s.tail {
+                None => out.push(0),
+                Some(chunk) => {
+                    out.push(1);
+                    let bytes = encode_chunk(chunk);
+                    put_u32(&mut out, bytes.len() as u32);
+                    out.extend_from_slice(&bytes);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn decode_manifest(payload: &[u8]) -> Result<Manifest> {
+    let mut r = ByteReader::new(payload);
+    let epoch = r.u64()?;
+    let wal_offset = r.u64()?;
+    let num_segments = r.u64()?;
+    let next_file_id = r.u64()?;
+    let table_count = r.count(8)?;
+    let mut tables = Vec::with_capacity(table_count);
+    for _ in 0..table_count {
+        let name = r.str()?;
+        let file_id = r.u64()?;
+        let schema = read_schema(&mut r)?;
+        let distribution = read_distribution(&mut r)?;
+        let chunk_capacity = r.u64()?;
+        let next_round_robin = r.u64()?;
+        let seg_count = r.count(9)?;
+        let mut segments = Vec::with_capacity(seg_count);
+        for _ in 0..seg_count {
+            let persisted_chunks = r.u64()?;
+            let tail = match r.u8()? {
+                0 => None,
+                1 => {
+                    let len = r.u32()? as usize;
+                    Some(decode_chunk(r.take(len)?)?)
+                }
+                t => return Err(corrupt(&format!("unknown tail tag {t}"))),
+            };
+            segments.push(ManifestSegment {
+                persisted_chunks,
+                tail,
+            });
+        }
+        tables.push(ManifestTable {
+            name,
+            file_id,
+            schema,
+            distribution,
+            chunk_capacity,
+            next_round_robin,
+            segments,
+        });
+    }
+    r.finish()?;
+    Ok(Manifest {
+        epoch,
+        wal_offset,
+        num_segments,
+        next_file_id,
+        tables,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// File layout and I/O
+// ---------------------------------------------------------------------------
+
+/// Path of the write-ahead log inside a database directory.
+pub(crate) fn wal_path(dir: &Path) -> PathBuf {
+    dir.join("wal.log")
+}
+
+fn manifest_path(dir: &Path) -> PathBuf {
+    dir.join("MANIFEST")
+}
+
+/// Path of one table segment's chunk file.
+pub(crate) fn chunk_path(dir: &Path, file_id: u64, segment: usize) -> PathBuf {
+    dir.join(format!("table_{file_id}_seg_{segment}.chunks"))
+}
+
+fn sync_dir(dir: &Path) -> Result<()> {
+    File::open(dir)
+        .and_then(|d| d.sync_all())
+        .map_err(|e| EngineError::storage("sync directory", e))
+}
+
+/// Atomically installs a new manifest: write to `MANIFEST.tmp`, fsync,
+/// rename over `MANIFEST`, fsync the directory.
+pub(crate) fn write_manifest(dir: &Path, manifest: &Manifest) -> Result<()> {
+    let payload = encode_manifest(manifest);
+    let mut bytes = Vec::with_capacity(8 + 12 + payload.len());
+    bytes.extend_from_slice(MANIFEST_MAGIC);
+    bytes.extend_from_slice(&frame(&payload));
+    let tmp = dir.join("MANIFEST.tmp");
+    let mut file = File::create(&tmp).map_err(|e| EngineError::storage("create manifest", e))?;
+    file.write_all(&bytes)
+        .and_then(|_| file.sync_all())
+        .map_err(|e| EngineError::storage("write manifest", e))?;
+    drop(file);
+    std::fs::rename(&tmp, manifest_path(dir))
+        .map_err(|e| EngineError::storage("install manifest", e))?;
+    sync_dir(dir)
+}
+
+/// Loads the manifest; `None` when the database has never checkpointed.
+///
+/// # Errors
+/// A present-but-invalid manifest is a hard [`EngineError::Storage`] error:
+/// manifest installation is atomic, so corruption here means real data loss
+/// that must not be silently ignored.
+pub(crate) fn read_manifest(dir: &Path) -> Result<Option<Manifest>> {
+    let bytes = match std::fs::read(manifest_path(dir)) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(EngineError::storage("read manifest", e)),
+    };
+    if bytes.len() < 8 || &bytes[..8] != MANIFEST_MAGIC {
+        return Err(corrupt("manifest magic"));
+    }
+    match parse_frame(&bytes, 8) {
+        FrameParse::Frame { payload, next } if next == bytes.len() => {
+            decode_manifest(payload).map(Some)
+        }
+        _ => Err(corrupt("manifest frame")),
+    }
+}
+
+/// Appends serialized sealed chunks to a segment chunk file and fsyncs it.
+pub(crate) fn append_chunks(path: &Path, chunks: &[Arc<RowChunk>]) -> Result<()> {
+    if chunks.is_empty() {
+        return Ok(());
+    }
+    let file = OpenOptions::new()
+        .append(true)
+        .create(true)
+        .open(path)
+        .map_err(|e| EngineError::storage("open chunk file", e))?;
+    let mut buf = Vec::new();
+    for chunk in chunks {
+        buf.extend_from_slice(&frame(&encode_chunk(chunk)));
+    }
+    (&file)
+        .write_all(&buf)
+        .and_then(|_| file.sync_all())
+        .map_err(|e| EngineError::storage("append chunk file", e))
+}
+
+/// Reads the first `count` chunks back from a segment chunk file.  The file
+/// may contain *more* frames than the manifest says (a checkpoint that
+/// crashed after appending chunks but before installing its manifest);
+/// extras are ignored.  Fewer valid frames than `count` is corruption.
+pub(crate) fn read_chunks(path: &Path, count: usize) -> Result<Vec<Arc<RowChunk>>> {
+    if count == 0 {
+        return Ok(Vec::new());
+    }
+    let bytes = std::fs::read(path).map_err(|e| EngineError::storage("read chunk file", e))?;
+    let mut chunks = Vec::with_capacity(count);
+    let mut pos = 0;
+    while chunks.len() < count {
+        match parse_frame(&bytes, pos) {
+            FrameParse::Frame { payload, next } => {
+                chunks.push(Arc::new(decode_chunk(payload)?));
+                pos = next;
+            }
+            FrameParse::End => {
+                return Err(corrupt(&format!(
+                    "chunk file {} holds {} valid chunks, manifest expects {count}",
+                    path.display(),
+                    chunks.len()
+                )))
+            }
+        }
+    }
+    Ok(chunks)
+}
+
+/// Rebuilds one segment from its chunk file plus the manifest's tail.
+pub(crate) fn recover_segment(
+    dir: &Path,
+    file_id: u64,
+    segment: usize,
+    m: &ManifestSegment,
+) -> Result<Segment> {
+    let mut chunks = read_chunks(
+        &chunk_path(dir, file_id, segment),
+        m.persisted_chunks as usize,
+    )?;
+    if let Some(tail) = &m.tail {
+        if !tail.is_empty() {
+            chunks.push(Arc::new(tail.clone()));
+        }
+    }
+    Ok(Segment::from_chunks(chunks))
+}
+
+// ---------------------------------------------------------------------------
+// Durability state attached to a Database
+// ---------------------------------------------------------------------------
+
+/// Per-table snapshot bookkeeping: which chunk file the table writes to and
+/// how many sealed chunks of each segment are already on disk.
+pub(crate) struct TablePersist {
+    /// The table's current chunk-file id.
+    pub file_id: u64,
+    /// Generation this bookkeeping describes; a mismatch at checkpoint time
+    /// (truncate/replace since the last one) invalidates the persisted
+    /// prefix and forces a fresh file id.
+    pub generation: u64,
+    /// Per-segment count of sealed chunks already appended to disk.
+    pub persisted: Vec<u64>,
+}
+
+/// Snapshot bookkeeping across checkpoints.
+pub(crate) struct PersistState {
+    /// Next unused chunk-file id.
+    pub next_file_id: u64,
+    /// Bookkeeping per cataloged (non-temporary) table.
+    pub tables: HashMap<String, TablePersist>,
+}
+
+/// The durable half of a [`crate::Database`]: directory, WAL, the commit
+/// gate serializing logged mutations against checkpoints, and snapshot
+/// bookkeeping.
+pub(crate) struct Durability {
+    /// The database directory.
+    pub dir: PathBuf,
+    /// The write-ahead log.
+    pub wal: Wal,
+    /// Logged mutations hold this for read across (table lock + WAL
+    /// enqueue); checkpoint holds it for write while cutting its snapshot,
+    /// so the manifest's `(epoch, offset)` and the snapshot agree exactly.
+    pub gate: RwLock<()>,
+    /// Chunk-file bookkeeping, touched only by checkpoints.
+    pub persist: Mutex<PersistState>,
+}
+
+/// Deletes a table incarnation's chunk files (best-effort; missing files are
+/// fine — the table may never have sealed a chunk in some segment).
+pub(crate) fn delete_chunk_files(dir: &Path, file_id: u64, num_segments: usize) {
+    for seg in 0..num_segments {
+        std::fs::remove_file(chunk_path(dir, file_id, seg)).ok();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row::Row;
+
+    fn sample_chunk() -> RowChunk {
+        let schema = Schema::new(vec![
+            Column::new("b", ColumnType::Bool),
+            Column::new("i", ColumnType::Int),
+            Column::new("d", ColumnType::Double),
+            Column::new("t", ColumnType::Text),
+            Column::new("da", ColumnType::DoubleArray),
+            Column::new("ia", ColumnType::IntArray),
+            Column::new("ta", ColumnType::TextArray),
+        ]);
+        let mut chunk = RowChunk::new(&schema);
+        chunk
+            .push_values(&[
+                Value::Bool(true),
+                Value::Int(7),
+                Value::Double(1.5),
+                Value::Text("alpha".into()),
+                Value::DoubleArray(vec![1.0, -0.0, f64::NAN]),
+                Value::IntArray(vec![1, 2]),
+                Value::TextArray(vec!["x".into(), "y".into()]),
+            ])
+            .unwrap();
+        chunk
+            .push_values(&[
+                Value::Null,
+                Value::Null,
+                Value::Null,
+                Value::Null,
+                Value::Null,
+                Value::Null,
+                Value::Null,
+            ])
+            .unwrap();
+        chunk
+            .push_values(&[
+                Value::Bool(false),
+                Value::Int(-3),
+                Value::Double(f64::NEG_INFINITY),
+                Value::Text(String::new()),
+                Value::DoubleArray(Vec::new()),
+                Value::IntArray(vec![0]),
+                Value::TextArray(Vec::new()),
+            ])
+            .unwrap();
+        chunk
+    }
+
+    #[test]
+    fn chunk_codec_is_bit_identical() {
+        let chunk = sample_chunk();
+        let decoded = decode_chunk(&encode_chunk(&chunk)).unwrap();
+        assert_eq!(decoded.len(), chunk.len());
+        assert_eq!(decoded.arity(), chunk.arity());
+        for i in 0..chunk.len() {
+            for c in 0..chunk.arity() {
+                let (a, b) = (chunk.value(i, c), decoded.value(i, c));
+                match (&a, &b) {
+                    (Value::DoubleArray(xs), Value::DoubleArray(ys)) => {
+                        let xs: Vec<u64> = xs.iter().map(|x| x.to_bits()).collect();
+                        let ys: Vec<u64> = ys.iter().map(|y| y.to_bits()).collect();
+                        assert_eq!(xs, ys);
+                    }
+                    (Value::Double(x), Value::Double(y)) => {
+                        assert_eq!(x.to_bits(), y.to_bits());
+                    }
+                    _ => assert_eq!(a, b),
+                }
+            }
+        }
+        // -0.0 survives as -0.0, not 0.0.
+        let Value::DoubleArray(xs) = decoded.value(0, 4) else {
+            panic!("expected array")
+        };
+        assert_eq!(xs[1].to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn chunk_decoder_rejects_corruption() {
+        let bytes = encode_chunk(&sample_chunk());
+        // Truncations anywhere must error, never panic.
+        for cut in 0..bytes.len() {
+            assert!(decode_chunk(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        // Trailing garbage is rejected.
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(decode_chunk(&extended).is_err());
+    }
+
+    #[test]
+    fn wal_records_round_trip() {
+        let schema = Schema::new(vec![
+            Column::new("id", ColumnType::Int),
+            Column::new("x", ColumnType::DoubleArray),
+        ]);
+        let records = vec![
+            WalRecord::CreateTable {
+                name: "points".into(),
+                schema: schema.clone(),
+                distribution: Distribution::HashColumn("id".into()),
+                chunk_capacity: 64,
+            },
+            WalRecord::Append {
+                table: "points".into(),
+                rows: vec![
+                    vec![Value::Int(1), Value::DoubleArray(vec![1.0, 2.0])],
+                    vec![Value::Null, Value::Null],
+                ],
+            },
+            WalRecord::Truncate {
+                table: "points".into(),
+            },
+            WalRecord::PutTable {
+                name: "points".into(),
+                schema,
+                distribution: Distribution::RoundRobin,
+                chunk_capacity: 1024,
+                next_round_robin: 3,
+                segments: vec![vec![vec![Value::Int(9), Value::Null]], vec![]],
+            },
+            WalRecord::DropTable {
+                name: "points".into(),
+            },
+        ];
+        for record in &records {
+            let bytes = encode_record(record);
+            assert_eq!(&decode_record(&bytes).unwrap(), record);
+            for cut in 0..bytes.len() {
+                assert!(decode_record(&bytes[..cut]).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips_atomically() {
+        let dir = std::env::temp_dir().join(format!("madlib_manifest_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(read_manifest(&dir).unwrap().is_none());
+        let manifest = Manifest {
+            epoch: 5,
+            wal_offset: 1234,
+            num_segments: 4,
+            next_file_id: 7,
+            tables: vec![ManifestTable {
+                name: "t".into(),
+                file_id: 2,
+                schema: Schema::new(vec![Column::new("v", ColumnType::Double)]),
+                distribution: Distribution::RoundRobin,
+                chunk_capacity: 8,
+                next_round_robin: 1,
+                segments: vec![
+                    ManifestSegment {
+                        persisted_chunks: 3,
+                        tail: Some(sample_tail()),
+                    },
+                    ManifestSegment {
+                        persisted_chunks: 0,
+                        tail: None,
+                    },
+                ],
+            }],
+        };
+        write_manifest(&dir, &manifest).unwrap();
+        let loaded = read_manifest(&dir).unwrap().unwrap();
+        assert_eq!(loaded.epoch, 5);
+        assert_eq!(loaded.wal_offset, 1234);
+        assert_eq!(loaded.tables.len(), 1);
+        assert_eq!(loaded.tables[0].segments[0].persisted_chunks, 3);
+        assert_eq!(loaded.tables[0].segments[0].tail.as_ref().unwrap().len(), 1);
+        // A flipped byte inside the manifest is a hard error.
+        let path = dir.join("MANIFEST");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_manifest(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn sample_tail() -> RowChunk {
+        let schema = Schema::new(vec![Column::new("v", ColumnType::Double)]);
+        let mut chunk = RowChunk::new(&schema);
+        chunk
+            .push_values(Row::new(vec![Value::Double(2.5)]).values())
+            .unwrap();
+        chunk
+    }
+
+    #[test]
+    fn chunk_files_append_and_recover() {
+        let dir =
+            std::env::temp_dir().join(format!("madlib_chunkfile_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = chunk_path(&dir, 1, 0);
+        std::fs::remove_file(&path).ok();
+        let a = Arc::new(sample_chunk());
+        let b = Arc::new(sample_tail());
+        append_chunks(&path, &[Arc::clone(&a)]).unwrap();
+        append_chunks(&path, &[Arc::clone(&b)]).unwrap();
+        let chunks = read_chunks(&path, 2).unwrap();
+        assert_eq!(chunks[0].len(), a.len());
+        assert_eq!(chunks[1].len(), b.len());
+        // Extra frames beyond the requested count are ignored (a checkpoint
+        // that crashed before installing its manifest leaves them behind).
+        assert_eq!(read_chunks(&path, 1).unwrap().len(), 1);
+        // Fewer valid frames than requested is corruption.
+        assert!(read_chunks(&path, 3).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

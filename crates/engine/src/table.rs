@@ -46,6 +46,7 @@ pub struct Table {
     distribution: Distribution,
     next_round_robin: usize,
     chunk_capacity: usize,
+    generation: u64,
 }
 
 impl Table {
@@ -80,7 +81,39 @@ impl Table {
             distribution,
             next_round_robin: 0,
             chunk_capacity: CHUNK_CAPACITY,
+            generation: 0,
         })
+    }
+
+    /// Reassembles a table from recovered segment storage (the persistence
+    /// layer's chunk files plus the manifest's tail chunks and metadata).
+    pub(crate) fn from_recovered(
+        schema: Schema,
+        segments: Vec<Segment>,
+        distribution: Distribution,
+        next_round_robin: usize,
+        chunk_capacity: usize,
+    ) -> Self {
+        Self {
+            schema,
+            segments,
+            distribution,
+            next_round_robin,
+            chunk_capacity,
+            generation: 0,
+        }
+    }
+
+    /// The next round-robin segment cursor (persisted so that recovery
+    /// continues routing appends exactly where the pre-crash table would).
+    pub(crate) fn next_round_robin(&self) -> usize {
+        self.next_round_robin
+    }
+
+    /// Restores the round-robin cursor (WAL replay of wholesale-contents
+    /// records, which refill segments directly and bypass the cursor).
+    pub(crate) fn set_next_round_robin(&mut self, cursor: usize) {
+        self.next_round_robin = cursor % self.segments.len();
     }
 
     /// Overrides the number of rows per chunk (default
@@ -136,6 +169,26 @@ impl Table {
     /// The distribution policy.
     pub fn distribution(&self) -> &Distribution {
         &self.distribution
+    }
+
+    /// The table's lifecycle generation.
+    ///
+    /// [`crate::Database`] assigns a fresh generation whenever the identity
+    /// of a cataloged table's contents changes wholesale — create, register,
+    /// replace, truncate, or drop-and-recreate under the same name.  Chunk
+    /// watermarks ([`crate::materialize::MaterializedAggregate`]) record the
+    /// generation they absorbed; a mismatch proves the watermark's chunk
+    /// counts describe a *different* table incarnation, forcing a rebuild
+    /// instead of silently folding the new table's suffix onto stale partial
+    /// states.  Standalone tables built directly via [`Table::new`] keep
+    /// generation 0.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Stamps the table with a database-assigned lifecycle generation.
+    pub(crate) fn set_generation(&mut self, generation: u64) {
+        self.generation = generation;
     }
 
     /// Inserts a row, validating it against the schema and routing it to a

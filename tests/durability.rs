@@ -1,0 +1,282 @@
+//! End-to-end durability: recovery hands analytics a bit-identical world.
+//!
+//! The engine-level crash harness (`crates/engine/tests/durability.rs`)
+//! proves recovery reproduces the committed table prefix byte-for-byte.
+//! These tests close the loop at the analytics layer: models trained over a
+//! recovered database are bit-for-bit the models trained before the crash,
+//! incremental views re-registered after recovery refresh to the same bits,
+//! and appending *after* recovery continues exactly as if the crash never
+//! happened — under both execution modes.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use madlib::engine::aggregate::SumAggregate;
+use madlib::engine::{row, Database, Executor, MaterializedAggregate, Row, Value};
+use madlib::methods::datasets::labeled_point_schema;
+use madlib::methods::regress::LinearRegression;
+use madlib::methods::Session;
+
+static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> Self {
+        let id = DIR_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "madlib_e2e_durability_{tag}_{}_{id}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        ScratchDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn executor(row_mode: bool) -> Executor {
+    if row_mode {
+        Executor::row_at_a_time()
+    } else {
+        Executor::new()
+    }
+}
+
+/// Deterministic labeled points: y = 2 + 3·x₁ − x₂ plus a fixed "noise"
+/// term, so the fitted coefficients are nontrivial but reproducible.
+fn labeled_rows(range: std::ops::Range<i64>) -> Vec<Row> {
+    range
+        .map(|i| {
+            let x1 = (i as f64) * 0.25;
+            let x2 = ((i * 7) % 11) as f64 - 5.0;
+            let noise = ((i * 13) % 17) as f64 * 0.01;
+            let y = 2.0 + 3.0 * x1 - x2 + noise;
+            row![y, vec![1.0, x1, x2]]
+        })
+        .collect()
+}
+
+fn bits(values: &[f64]) -> Vec<u64> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+fn train_coef_bits(db: &Database, exec: Executor) -> Vec<u64> {
+    let session = Session::new(db.clone()).with_executor(exec);
+    let dataset = session.database().dataset("points").unwrap();
+    let model = session
+        .train(&LinearRegression::new("y", "x"), &dataset)
+        .unwrap();
+    bits(&model.coef)
+}
+
+/// A model trained over the recovered database is bit-for-bit the model
+/// trained before the crash, and appends after recovery continue exactly
+/// as on a database that never crashed — both execution modes, with and
+/// without a checkpoint in the history.
+#[test]
+fn recovered_tables_train_bit_identically() {
+    for row_mode in [false, true] {
+        for checkpoint in [false, true] {
+            let scratch = ScratchDir::new("train");
+            // A control database that never goes down.
+            let control = Database::new(2).unwrap();
+            control
+                .create_table_with_chunk_capacity("points", labeled_point_schema(), 8)
+                .unwrap();
+            control.append_rows("points", labeled_rows(0..40)).unwrap();
+
+            let before;
+            {
+                let db = Database::open(scratch.path(), 2).unwrap();
+                db.create_table_with_chunk_capacity("points", labeled_point_schema(), 8)
+                    .unwrap();
+                db.append_rows("points", labeled_rows(0..25)).unwrap();
+                if checkpoint {
+                    db.checkpoint().unwrap();
+                }
+                db.append_rows("points", labeled_rows(25..40)).unwrap();
+                before = train_coef_bits(&db, executor(row_mode));
+                assert_eq!(
+                    before,
+                    train_coef_bits(&control, executor(row_mode)),
+                    "durable and in-memory databases must agree pre-crash"
+                );
+                // Crash: the database is dropped with a dirty WAL tail.
+            }
+            let recovered = Database::recover(scratch.path()).unwrap();
+            assert_eq!(
+                train_coef_bits(&recovered, executor(row_mode)),
+                before,
+                "row_mode={row_mode} checkpoint={checkpoint}: retrain after recovery diverged"
+            );
+
+            // Life goes on: appends after recovery match the control.
+            recovered
+                .append_rows("points", labeled_rows(40..60))
+                .unwrap();
+            control.append_rows("points", labeled_rows(40..60)).unwrap();
+            assert_eq!(
+                train_coef_bits(&recovered, executor(row_mode)),
+                train_coef_bits(&control, executor(row_mode)),
+                "row_mode={row_mode} checkpoint={checkpoint}: post-recovery appends diverged"
+            );
+        }
+    }
+}
+
+/// Incremental training over a recovered database: a fresh
+/// `train_incremental` over the recovered table produces the same bits as
+/// the pre-crash refreshed model, and further installments keep agreeing
+/// with a never-crashed control.
+#[test]
+fn incremental_models_resume_bit_identically_after_recovery() {
+    for row_mode in [false, true] {
+        let scratch = ScratchDir::new("incr");
+        let refreshed_bits;
+        {
+            let db = Database::open(scratch.path(), 2).unwrap();
+            db.create_table_with_chunk_capacity("points", labeled_point_schema(), 8)
+                .unwrap();
+            db.append_rows("points", labeled_rows(0..20)).unwrap();
+            let session = Session::new(db.clone()).with_executor(executor(row_mode));
+            let est = LinearRegression::new("y", "x");
+            session.train_incremental(&est, "points", "lin").unwrap();
+            db.append_rows("points", labeled_rows(20..32)).unwrap();
+            let refreshed = session.refresh(&est, "points", "lin").unwrap();
+            refreshed_bits = bits(&refreshed.coef);
+        }
+        let recovered = Database::recover(scratch.path()).unwrap();
+        // Views and cataloged models are rebuilt from the recovered tables:
+        // a fresh incremental train must land on the same bits the refresh
+        // reached before the crash (the single-pass bit-identity contract).
+        let session = Session::new(recovered.clone()).with_executor(executor(row_mode));
+        let est = LinearRegression::new("y", "x");
+        let retrained = session.train_incremental(&est, "points", "lin").unwrap();
+        assert_eq!(bits(&retrained.coef), refreshed_bits, "row_mode={row_mode}");
+
+        // And refreshes keep working across the recovery boundary.
+        let control = Database::new(2).unwrap();
+        control
+            .create_table_with_chunk_capacity("points", labeled_point_schema(), 8)
+            .unwrap();
+        control.append_rows("points", labeled_rows(0..44)).unwrap();
+        recovered
+            .append_rows("points", labeled_rows(32..44))
+            .unwrap();
+        let refreshed = session.refresh(&est, "points", "lin").unwrap();
+        let control_session = Session::new(control).with_executor(executor(row_mode));
+        let full = control_session
+            .train(
+                &LinearRegression::new("y", "x"),
+                &control_session.database().dataset("points").unwrap(),
+            )
+            .unwrap();
+        assert_eq!(
+            bits(&refreshed.coef),
+            bits(&full.coef),
+            "row_mode={row_mode}"
+        );
+    }
+}
+
+/// Raw materialized views re-registered over a recovered database refresh
+/// to the same result as before the crash, and keep absorbing appends.
+#[test]
+fn materialized_views_rebuild_identically_after_recovery() {
+    let scratch = ScratchDir::new("views");
+    let before;
+    {
+        let db = Database::open(scratch.path(), 2).unwrap();
+        db.create_table_with_chunk_capacity("points", labeled_point_schema(), 8)
+            .unwrap();
+        db.append_rows("points", labeled_rows(0..30)).unwrap();
+        db.register_view(
+            "y_sum",
+            "points",
+            Box::new(MaterializedAggregate::new(
+                SumAggregate::new("y"),
+                &Executor::new(),
+            )),
+        )
+        .unwrap();
+        before = db
+            .refresh_view("y_sum", |state| {
+                state
+                    .as_any_mut()
+                    .downcast_mut::<MaterializedAggregate<SumAggregate>>()
+                    .expect("sum view")
+                    .finalize()
+            })
+            .unwrap();
+    }
+    let recovered = Database::recover(scratch.path()).unwrap();
+    recovered
+        .register_view(
+            "y_sum",
+            "points",
+            Box::new(MaterializedAggregate::new(
+                SumAggregate::new("y"),
+                &Executor::new(),
+            )),
+        )
+        .unwrap();
+    let refresh = |db: &Database| {
+        db.refresh_view("y_sum", |state| {
+            state
+                .as_any_mut()
+                .downcast_mut::<MaterializedAggregate<SumAggregate>>()
+                .expect("sum view")
+                .finalize()
+        })
+        .unwrap()
+    };
+    assert_eq!(refresh(&recovered).to_bits(), before.to_bits());
+
+    // The rebuilt view keeps absorbing post-recovery appends; spot-check
+    // against a direct aggregate over the same table.
+    recovered
+        .append_rows("points", labeled_rows(30..41))
+        .unwrap();
+    let after = refresh(&recovered);
+    let expect = {
+        let session = Session::new(recovered.clone());
+        let sum: f64 = session
+            .database()
+            .dataset("points")
+            .unwrap()
+            .aggregate(&SumAggregate::new("y"))
+            .unwrap();
+        sum
+    };
+    assert_eq!(after.to_bits(), expect.to_bits());
+
+    // Null-bearing appends survive a second crash/recover cycle too.
+    recovered
+        .append_rows("points", [Row::new(vec![Value::Null, Value::Null])])
+        .unwrap();
+    recovered.checkpoint().unwrap();
+    let mark = refresh(&recovered);
+    drop(recovered);
+    let again = Database::recover(scratch.path()).unwrap();
+    again
+        .register_view(
+            "y_sum",
+            "points",
+            Box::new(MaterializedAggregate::new(
+                SumAggregate::new("y"),
+                &Executor::new(),
+            )),
+        )
+        .unwrap();
+    assert_eq!(refresh(&again).to_bits(), mark.to_bits());
+}
